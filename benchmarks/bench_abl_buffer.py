@@ -1,0 +1,18 @@
+"""Ablation A4 — buffer-pool size sensitivity (CRM2).
+
+Beyond the paper: Section 4 fixes a 100-block clock buffer per query;
+this bench sweeps the allocation to show how much of each structure's
+cost is re-read traffic.
+"""
+
+from repro.bench import ablation_buffer
+
+
+def test_abl_buffer(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_buffer, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    inv = result.series_values("CRM2-Inv-Thres")
+    # More buffer never hurts the inverted index's re-read traffic.
+    assert inv[-1] <= inv[0]

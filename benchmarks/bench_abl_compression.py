@@ -1,0 +1,18 @@
+"""Ablation A2 — MBR boundary compression on a large domain (Gen3).
+
+Beyond the paper: Section 3.2 proposes set-signature folding and
+discretized over-estimation but does not evaluate them; this bench
+measures their I/O effect where they matter (the largest Gen3 domain,
+where raw boundaries shrink internal fan-out).
+"""
+
+from repro.bench import ablation_compression
+
+
+def test_abl_compression(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_compression, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    schemes = {name.split("-")[-1] for name in result.series}
+    assert schemes == {"Raw", "Disc4", "Fold", "FoldDisc2"}

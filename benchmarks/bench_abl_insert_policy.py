@@ -1,0 +1,20 @@
+"""Ablation A3 — PDR-tree insert policies (CRM1).
+
+Beyond the paper: Section 3.2 lists minimum-area-increase and
+most-similar-MBR "or [a] combination of these" without measuring them;
+this bench compares all three.
+"""
+
+from repro.bench import ablation_insert_policy
+
+
+def test_abl_insert_policy(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_insert_policy, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    assert set(result.series) == {
+        "CRM1-min_area-Thres",
+        "CRM1-most_similar-Thres",
+        "CRM1-hybrid-Thres",
+    }

@@ -1,0 +1,16 @@
+"""Ablation A6 — PETJ access paths: probing inverted index vs PDR-tree.
+
+Beyond the paper: Definition 6 defines the joins but the evaluation only
+measures selections; this bench measures per-outer-tuple I/O for an
+index-nested-loop self-join.
+"""
+
+from repro.bench import ablation_join
+
+
+def test_abl_join(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_join, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    assert set(result.series) == {"Join-Inv-Thres", "Join-PDR-Thres"}

@@ -1,0 +1,16 @@
+"""Ablation A5 — item-popularity skew (Zipf) sensitivity.
+
+Beyond the paper: real categorical attributes are skewed; this bench
+sweeps a Zipf exponent to see how hot posting lists affect each
+structure.
+"""
+
+from repro.bench import ablation_skew
+
+
+def test_abl_skew(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_skew, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    assert set(result.series) == {"Zipf-Inv-Thres", "Zipf-PDR-Thres"}

@@ -1,0 +1,17 @@
+"""Ablation A1 — the five inverted-index search strategies (CRM1).
+
+Beyond the paper: Section 3.1 describes four search algorithms plus the
+no-random-access variant but never compares them head-to-head; this
+bench does.
+"""
+
+from repro.bench import ablation_strategies
+
+
+def test_abl_strategies(benchmark, scale, report):
+    result = benchmark.pedantic(
+        ablation_strategies, args=(scale,), iterations=1, rounds=1
+    )
+    report(result, benchmark)
+    names = {name.split("-")[0] for name in result.series}
+    assert names == {"Brute", "HPF", "Row", "Col", "NRA"}

@@ -1,0 +1,23 @@
+"""Figure 4 — L1 vs L2 vs KL as the PDR-tree clustering measure (CRM1).
+
+Paper shape: at low selectivity KL beats L1 beats L2; top-k costs a
+roughly constant factor over threshold queries of equal selectivity.
+"""
+
+from repro.bench import figure4
+
+
+def test_fig04_divergence(benchmark, scale, report):
+    result = benchmark.pedantic(figure4, args=(scale,), iterations=1, rounds=1)
+    report(result, benchmark)
+    assert set(result.series) == {
+        f"CRM1-{d}-{kind}"
+        for d in ("L1", "L2", "KL")
+        for kind in ("Thres", "TopK")
+    }
+    # Top-k explores at least as much as the equally selective threshold
+    # query, for every divergence (the paper's "constant factor" remark).
+    for divergence in ("L1", "L2", "KL"):
+        threshold = result.series_values(f"CRM1-{divergence}-Thres")
+        topk = result.series_values(f"CRM1-{divergence}-TopK")
+        assert all(t >= s * 0.95 for s, t in zip(threshold, topk))

@@ -1,0 +1,17 @@
+"""Figure 7 — inverted index vs PDR-tree on CRM2 (dense real-style data).
+
+Paper shape: the PDR-tree significantly outperforms the inverted index,
+and CRM2 costs sit roughly an order of magnitude above CRM1's
+(unsupervised fuzzy memberships are dense; classifier posteriors are
+sparse).
+"""
+
+from repro.bench import figure7
+
+
+def test_fig07_crm2(benchmark, scale, report):
+    result = benchmark.pedantic(figure7, args=(scale,), iterations=1, rounds=1)
+    report(result, benchmark)
+    inv = result.series_values("CRM2-Inv-Thres")
+    pdr = result.series_values("CRM2-PDR-Thres")
+    assert all(p < i for p, i in zip(pdr, inv))

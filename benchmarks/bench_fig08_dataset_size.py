@@ -1,0 +1,18 @@
+"""Figure 8 — scalability with dataset size (CRM2).
+
+Paper shape: the inverted index scales linearly with the number of
+tuples, the PDR-tree sub-linearly.
+"""
+
+from repro.bench import figure8
+
+
+def test_fig08_dataset_size(benchmark, scale, report):
+    result = benchmark.pedantic(figure8, args=(scale,), iterations=1, rounds=1)
+    report(result, benchmark)
+    inv = result.series_values("CRM2-Inv-Thres")
+    pdr = result.series_values("CRM2-PDR-Thres")
+    # The inverted index grows with dataset size and the PDR-tree stays
+    # well below it at the largest size.
+    assert inv[-1] > inv[0]
+    assert pdr[-1] < inv[-1]

@@ -1,0 +1,16 @@
+"""Figure 10 — top-down vs bottom-up PDR-tree splits (Uniform).
+
+Paper shape: bottom-up beats top-down, whose farthest-pair seeds are
+vulnerable to outliers.
+"""
+
+from repro.bench import figure10
+
+
+def test_fig10_split(benchmark, scale, report):
+    result = benchmark.pedantic(figure10, args=(scale,), iterations=1, rounds=1)
+    report(result, benchmark)
+    assert set(result.series) == {
+        "Uniform-TopDown-Thres",
+        "Uniform-BottomUp-Thres",
+    }

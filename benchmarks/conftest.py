@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one figure of the paper (or one ablation) at
+the scale selected by ``REPRO_SCALE`` (quick / default / paper; see
+:class:`repro.bench.ExperimentScale`).  The rendered series table is
+printed (run pytest with ``-s`` to see it inline) and saved under
+``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentResult, ExperimentScale, format_result
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale for this benchmark session."""
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture()
+def report(request):
+    """Print an experiment's table and persist it under results/."""
+
+    def _report(result: ExperimentResult, benchmark=None) -> ExperimentResult:
+        table = format_result(result)
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = request.node.name.removeprefix("test_")
+        (RESULTS_DIR / f"{stem}.txt").write_text(table + "\n")
+        if benchmark is not None:
+            for name in sorted(result.series):
+                values = result.series_values(name)
+                benchmark.extra_info[name] = [round(v, 1) for v in values]
+        return result
+
+    return _report

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Run every experiment at a chosen scale and save the series tables.
+
+Usage::
+
+    REPRO_SCALE=default python benchmarks/run_all.py [results_dir]
+
+This is the driver used to produce the numbers recorded in
+EXPERIMENTS.md; ``pytest benchmarks/ --benchmark-only`` runs the same
+experiments through pytest-benchmark instead.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import ALL_EXPERIMENTS, ExperimentScale, format_result
+
+
+def main() -> None:
+    scale = ExperimentScale.from_env()
+    results_dir = Path(
+        sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results"
+    )
+    results_dir.mkdir(parents=True, exist_ok=True)
+    print(f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
+          f"qpp={scale.queries_per_point}")
+    for name, experiment in ALL_EXPERIMENTS.items():
+        started = time.time()
+        result = experiment(scale)
+        elapsed = time.time() - started
+        table = format_result(result)
+        print(table)
+        print(f"[{name}: {elapsed:.1f}s]\n", flush=True)
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+
+
+if __name__ == "__main__":
+    main()

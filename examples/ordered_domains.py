@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Ordered-domain operators: severity grading with windowed equality.
+
+Section 2 of the paper notes that totally ordered categorical domains
+(e.g. severity levels 1..N) admit extra probabilistic operators:
+``Pr(u > v)``, ``Pr(|u - v| <= c)``, and a *windowed* relaxation of
+equality.  This example grades incident severities with uncertainty and
+answers:
+
+* which incidents are probably more severe than a reference incident,
+* which incidents match a target severity *within one level*, indexed
+  through both structures (the windowed query expands into a weighted
+  equality query that the ordinary machinery answers).
+
+Run:  python examples/ordered_domains.py
+"""
+
+import numpy as np
+
+from repro import (
+    CategoricalDomain,
+    UncertainAttribute,
+    UncertainRelation,
+    WindowedEqualityQuery,
+)
+from repro.core.ordered import greater_than_probability
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+SEVERITIES = 9  # Sev1 (worst) .. Sev9 (cosmetic); index = severity - 1
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    levels = CategoricalDomain([f"Sev{i + 1}" for i in range(SEVERITIES)])
+    incidents = UncertainRelation(levels, name="incidents")
+
+    # Automatic grading is uncertain: each incident gets a peaked
+    # distribution around its true severity.
+    for i in range(500):
+        center = int(rng.integers(SEVERITIES))
+        spread = rng.dirichlet(np.ones(3) * 2)
+        pairs = {}
+        for offset, mass in zip((-1, 0, 1), spread):
+            level = min(max(center + offset, 0), SEVERITIES - 1)
+            pairs[level] = pairs.get(level, 0.0) + float(mass)
+        incidents.append(
+            UncertainAttribute.from_pairs(pairs), payload=f"INC-{1000 + i}"
+        )
+
+    # -- Pr(u > v): probably more severe than a reference -----------------
+    reference = incidents.uda_of(0)
+    print(f"Reference {incidents.payload_of(0)} mode severity: "
+          f"Sev{reference.mode()[0] + 1}")
+    more_severe = [
+        (incidents.payload_of(tid),
+         greater_than_probability(reference, incidents.uda_of(tid)))
+        for tid in range(1, 40)
+    ]
+    more_severe = [(name, p) for name, p in more_severe if p >= 0.8]
+    print(f"Incidents the reference is >=80% likely to outrank: "
+          f"{len(more_severe)} of 39 sampled")
+
+    # -- Windowed equality through both indexes -----------------------------
+    target = UncertainAttribute.from_labels(levels, {"Sev3": 1.0})
+    query = WindowedEqualityQuery(target, threshold=0.9, window=1)
+
+    naive = incidents.execute(query)
+    inverted = ProbabilisticInvertedIndex(len(levels))
+    inverted.build(incidents)
+    tree = PDRTree(len(levels))
+    tree.build(incidents)
+
+    assert inverted.execute(query).tid_set() == naive.tid_set()
+    assert tree.execute(query).tid_set() == naive.tid_set()
+    print(f"\nIncidents within one level of Sev3 with Pr >= 0.9: {len(naive)}")
+    for match in list(naive)[:5]:
+        uda = incidents.uda_of(match.tid)
+        profile = ", ".join(
+            f"Sev{i + 1}:{p:.2f}" for i, p in uda.pairs()
+        )
+        print(f"  {incidents.payload_of(match.tid)}  Pr = {match.score:.3f}  ({profile})")
+    print("\nBoth indexes agree with the naive scan: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` without a ``[build-system]`` table) use the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — a reproduction of "Indexing Uncertain Categorical Data" (ICDE 2007).
+
+The package provides:
+
+* a data model for **uncertain discrete attributes** (UDAs) over
+  categorical domains, with probabilistic equality and distributional
+  similarity semantics (:mod:`repro.core`);
+* a **probabilistic inverted index** with four search strategies and a
+  no-random-access rank-join variant (:mod:`repro.invindex`);
+* the **Probabilistic Distribution R-tree** (PDR-tree) with pluggable
+  insert policies, split strategies and MBR compression
+  (:mod:`repro.pdrtree`);
+* a paged storage substrate (8 KB pages, clock-replacement buffer pool)
+  that counts physical I/Os the way the paper's evaluation does
+  (:mod:`repro.storage`, :mod:`repro.btree`);
+* dataset generators for the paper's synthetic and CRM-style workloads
+  (:mod:`repro.datagen`) and the full experiment harness
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import (
+        CategoricalDomain, UncertainAttribute, UncertainRelation,
+        EqualityThresholdQuery,
+    )
+
+    domain = CategoricalDomain(["Brake", "Tires", "Trans", "Exhaust"])
+    cars = UncertainRelation(domain)
+    cars.append(UncertainAttribute.from_labels(
+        domain, {"Brake": 0.5, "Tires": 0.5}))
+    cars.append(UncertainAttribute.from_labels(
+        domain, {"Exhaust": 0.4, "Brake": 0.6}))
+
+    query = EqualityThresholdQuery(
+        UncertainAttribute.from_labels(domain, {"Brake": 1.0}), 0.5)
+    for match in cars.execute(query):
+        print(match.tid, match.score)
+"""
+
+from repro.core import (
+    DIVERGENCES,
+    CategoricalDomain,
+    DomainError,
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    InvalidDistributionError,
+    JoinPair,
+    Match,
+    Query,
+    QueryError,
+    QueryResult,
+    QueryStats,
+    ReproError,
+    QueryVector,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+    WindowedEqualityQuery,
+    dstj,
+    get_divergence,
+    kl_divergence,
+    l1_divergence,
+    l2_divergence,
+    pej_top_k,
+    petj,
+)
+from repro.storage import BufferPool, DiskManager, IOStatistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DIVERGENCES",
+    "BufferPool",
+    "CategoricalDomain",
+    "DiskManager",
+    "DomainError",
+    "EqualityQuery",
+    "EqualityThresholdQuery",
+    "EqualityTopKQuery",
+    "IOStatistics",
+    "InvalidDistributionError",
+    "JoinPair",
+    "Match",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "QueryVector",
+    "SimilarityThresholdQuery",
+    "SimilarityTopKQuery",
+    "UncertainAttribute",
+    "UncertainRelation",
+    "WindowedEqualityQuery",
+    "__version__",
+    "dstj",
+    "get_divergence",
+    "kl_divergence",
+    "l1_divergence",
+    "l2_divergence",
+    "pej_top_k",
+    "petj",
+]

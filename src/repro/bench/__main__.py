@@ -1,0 +1,88 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig4 fig10 --scale quick
+    python -m repro.bench all --scale default --out results/
+
+Each experiment prints its series table (the paper's figure as rows and
+columns) and optionally writes it to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
+from repro.bench.reporting import format_result
+
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's figures (and the ablations).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig4 fig10 abl_buffer) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="dataset/workload scale (default: quick)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write the series tables into",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, fn in ALL_EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {summary}")
+        return 0
+
+    names = (
+        list(ALL_EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(ALL_EXPERIMENTS)})"
+        )
+    scale = _SCALES[args.scale]()
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](scale)
+        table = format_result(result)
+        print(table)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Measurement harness: disk I/Os per query under per-query buffering.
+
+Reproduces the paper's measurement protocol (Section 4): every query runs
+against a freshly allocated clock-replacement buffer pool of 100 blocks,
+and the reported number is the physical page *reads* the query incurs
+(writes never happen during read-only queries).
+
+An :class:`IndexUnderTest` adapts the two index structures (and the naive
+full-scan baseline) to one uniform "execute a query descriptor" surface so
+experiments can sweep structure x strategy x query kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.core.exceptions import QueryError
+from repro.core.queries import Query
+from repro.core.results import QueryResult
+from repro.datagen.workload import CalibratedQuery
+from repro.invindex.index import ProbabilisticInvertedIndex
+from repro.pdrtree.tree import PDRTree
+from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
+
+
+@dataclass
+class IndexUnderTest:
+    """A measurable index: structure plus fixed execution options."""
+
+    name: str
+    index: ProbabilisticInvertedIndex | PDRTree
+    strategy: str | None = None  # inverted-index search strategy
+
+    def execute(self, query: Query) -> QueryResult:
+        if isinstance(self.index, ProbabilisticInvertedIndex):
+            return self.index.execute(
+                query, strategy=self.strategy or "highest_prob_first"
+            )
+        if self.strategy is not None:
+            raise QueryError("PDR-tree takes no search strategy")
+        return self.index.execute(query)
+
+
+@dataclass
+class Measurement:
+    """One measured query execution."""
+
+    reads: int
+    result_size: int
+    #: Physical reads attributed per component ("postings", "tuples",
+    #: "pdr-node", ...) — the breakdown behind the total.
+    reads_by_tag: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SeriesPoint:
+    """One x-position of one series: mean I/O over its queries."""
+
+    x: float
+    mean_reads: float
+    num_queries: int
+    mean_result_size: float
+
+
+@dataclass
+class ExperimentResult:
+    """A named set of series, each a list of (x, mean I/O) points."""
+
+    name: str
+    x_label: str
+    y_label: str = "disk I/Os per query"
+    series: dict[str, list[SeriesPoint]] = field(default_factory=dict)
+
+    def add_point(self, series_name: str, point: SeriesPoint) -> None:
+        self.series.setdefault(series_name, []).append(point)
+
+    def series_values(self, series_name: str) -> list[float]:
+        """Mean-I/O values of one series in x order."""
+        points = sorted(self.series[series_name], key=lambda p: p.x)
+        return [p.mean_reads for p in points]
+
+    def xs(self) -> list[float]:
+        """Sorted union of x positions across series."""
+        positions = {
+            point.x for points in self.series.values() for point in points
+        }
+        return sorted(positions)
+
+
+def measure_query(
+    under_test: IndexUnderTest,
+    query: Query,
+    pool_size: int = DEFAULT_POOL_SIZE,
+) -> Measurement:
+    """Run one query with a fresh buffer pool; return its physical reads."""
+    index = under_test.index
+    index.pool = BufferPool(index.disk, pool_size)
+    before = index.disk.stats.snapshot()
+    tags_before = index.disk.snapshot_tags()
+    result = under_test.execute(query)
+    delta = index.disk.stats.delta_since(before)
+    tags_after = index.disk.snapshot_tags()
+    breakdown = {
+        tag: tags_after[tag] - tags_before.get(tag, 0)
+        for tag in tags_after
+        if tags_after[tag] != tags_before.get(tag, 0)
+    }
+    return Measurement(
+        reads=delta.reads, result_size=len(result), reads_by_tag=breakdown
+    )
+
+
+def measure_point(
+    under_test: IndexUnderTest,
+    queries: list[CalibratedQuery],
+    kind: str,
+    x: float,
+    pool_size: int = DEFAULT_POOL_SIZE,
+) -> SeriesPoint:
+    """Mean I/O of one workload point (one selectivity, one query kind).
+
+    ``kind`` is ``"threshold"`` (PETQ) or ``"topk"`` (PEQ-top-k).
+    """
+    if kind not in ("threshold", "topk"):
+        raise QueryError(f"kind must be threshold or topk, got {kind!r}")
+    measurements = []
+    for calibrated in queries:
+        query: Query
+        if kind == "threshold":
+            query = calibrated.threshold_query()
+        else:
+            query = calibrated.top_k_query()
+        measurements.append(measure_query(under_test, query, pool_size))
+    return SeriesPoint(
+        x=x,
+        mean_reads=mean(m.reads for m in measurements),
+        num_queries=len(measurements),
+        mean_result_size=mean(m.result_size for m in measurements),
+    )

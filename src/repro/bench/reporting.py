@@ -1,0 +1,62 @@
+"""Text rendering of experiment results.
+
+The benchmarks print each figure as an aligned table — one row per
+x-position, one column per series — mirroring the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+
+def format_result(result: ExperimentResult, precision: int = 1) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    series_names = sorted(result.series)
+    xs = result.xs()
+    by_position: dict[str, dict[float, float]] = {
+        name: {point.x: point.mean_reads for point in points}
+        for name, points in result.series.items()
+    }
+    header = [result.x_label] + series_names
+    rows = [header]
+    for x in xs:
+        row = [_format_x(x)]
+        for name in series_names:
+            value = by_position[name].get(x)
+            row.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header))
+    ]
+    lines = [f"== {result.name} ==", f"(y: {result.y_label})"]
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    if x == int(x) and abs(x) >= 1:
+        return str(int(x))
+    return f"{x:g}"
+
+
+def comparison_summary(
+    result: ExperimentResult, better: str, worse: str
+) -> str:
+    """One-line trend summary: mean ratio of ``worse`` to ``better``."""
+    better_values = result.series_values(better)
+    worse_values = result.series_values(worse)
+    ratios = [
+        w / b for b, w in zip(better_values, worse_values) if b > 0
+    ]
+    if not ratios:
+        return f"{better} vs {worse}: no comparable points"
+    mean_ratio = sum(ratios) / len(ratios)
+    return (
+        f"{worse} averages {mean_ratio:.2f}x the I/O of {better} "
+        f"across {len(ratios)} points"
+    )

@@ -1,0 +1,6 @@
+"""Paged B+-tree substrate used by posting lists and tuple directories."""
+
+from repro.btree.node import InternalView, LeafView
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree", "InternalView", "LeafView"]

@@ -1,0 +1,284 @@
+"""On-page node layouts for the paged B+-tree.
+
+Both node kinds share a 4-byte header; records are fixed size, packed
+contiguously, and kept sorted by raw byte comparison (callers encode keys
+so that lexicographic byte order equals logical order — see
+:mod:`repro.storage.serialization`).
+
+Leaf layout::
+
+    0  u8   node_type (0)
+    1  u8   reserved
+    2  u16  count
+    4  u32  next_leaf page id (INVALID_PAGE_ID if none)
+    8  records: count * (key_size + value_size) bytes, ascending by key
+
+Internal layout::
+
+    0  u8   node_type (1)
+    1  u8   reserved
+    2  u16  count                (number of separator keys)
+    4  u32  child[0] page id
+    8  entries: count * (key_size + 4) bytes of (separator key, child id);
+       child[i+1] holds keys >= separator[i]
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.exceptions import TreeError
+from repro.storage.page import INVALID_PAGE_ID, Page
+
+LEAF = 0
+INTERNAL = 1
+
+_HEADER_SIZE = 8
+_CHILD_SIZE = 4
+_U32 = struct.Struct("<I")
+
+
+class LeafView:
+    """A typed view over a leaf node's page."""
+
+    __slots__ = ("page", "key_size", "value_size", "record_size")
+
+    def __init__(self, page: Page, key_size: int, value_size: int) -> None:
+        self.page = page
+        self.key_size = key_size
+        self.value_size = value_size
+        self.record_size = key_size + value_size
+
+    @classmethod
+    def initialize(cls, page: Page, key_size: int, value_size: int) -> "LeafView":
+        """Format ``page`` as an empty leaf."""
+        page.write_u8(0, LEAF)
+        page.write_u8(1, 0)
+        page.write_u16(2, 0)
+        page.write_u32(4, INVALID_PAGE_ID)
+        return cls(page, key_size, value_size)
+
+    @staticmethod
+    def capacity(page_size: int, key_size: int, value_size: int) -> int:
+        """Maximum number of records a leaf can hold."""
+        return (page_size - _HEADER_SIZE) // (key_size + value_size)
+
+    # -- header -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.page.read_u16(2)
+
+    @count.setter
+    def count(self, value: int) -> None:
+        self.page.write_u16(2, value)
+
+    @property
+    def next_leaf(self) -> int:
+        return self.page.read_u32(4)
+
+    @next_leaf.setter
+    def next_leaf(self, page_id: int) -> None:
+        self.page.write_u32(4, page_id)
+
+    # -- records ------------------------------------------------------------
+
+    def _offset(self, index: int) -> int:
+        return _HEADER_SIZE + index * self.record_size
+
+    def key_at(self, index: int) -> bytes:
+        offset = self._offset(index)
+        return bytes(self.page.data[offset : offset + self.key_size])
+
+    def value_at(self, index: int) -> bytes:
+        offset = self._offset(index) + self.key_size
+        return bytes(self.page.data[offset : offset + self.value_size])
+
+    def record_at(self, index: int) -> bytes:
+        offset = self._offset(index)
+        return bytes(self.page.data[offset : offset + self.record_size])
+
+    def records_bytes(self) -> bytes:
+        """All records as one contiguous byte run (for bulk decoding)."""
+        return bytes(self.page.data[_HEADER_SIZE : self._offset(self.count)])
+
+    def bisect_left(self, key: bytes) -> int:
+        """First index whose key is >= ``key``."""
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.key_at(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def insert_at(self, index: int, key: bytes, value: bytes) -> None:
+        """Shift records right and place ``(key, value)`` at ``index``."""
+        count = self.count
+        start = self._offset(index)
+        end = self._offset(count)
+        self.page.data[start + self.record_size : end + self.record_size] = (
+            self.page.data[start:end]
+        )
+        self.page.data[start : start + self.key_size] = key
+        self.page.data[start + self.key_size : start + self.record_size] = value
+        self.count = count + 1
+
+    def remove_at(self, index: int) -> None:
+        """Delete the record at ``index``, shifting the tail left."""
+        count = self.count
+        start = self._offset(index)
+        end = self._offset(count)
+        self.page.data[start : end - self.record_size] = self.page.data[
+            start + self.record_size : end
+        ]
+        self.count = count - 1
+
+    def append_record(self, key: bytes, value: bytes) -> None:
+        """Append at the end; caller guarantees sort order and capacity."""
+        offset = self._offset(self.count)
+        self.page.data[offset : offset + self.key_size] = key
+        self.page.data[offset + self.key_size : offset + self.record_size] = value
+        self.count = self.count + 1
+
+    def take_upper_half(self, into: "LeafView") -> bytes:
+        """Move the upper half of the records into the (empty) leaf ``into``.
+
+        Returns the first key of the moved half (the separator).
+        """
+        count = self.count
+        split = count // 2
+        if split == 0 or split == count:
+            raise TreeError(f"cannot split a leaf of {count} records")
+        start = self._offset(split)
+        end = self._offset(count)
+        moved = self.page.data[start:end]
+        into.page.data[_HEADER_SIZE : _HEADER_SIZE + len(moved)] = moved
+        into.count = count - split
+        self.count = split
+        return bytes(moved[: self.key_size])
+
+
+class InternalView:
+    """A typed view over an internal node's page."""
+
+    __slots__ = ("page", "key_size", "entry_size")
+
+    def __init__(self, page: Page, key_size: int) -> None:
+        self.page = page
+        self.key_size = key_size
+        self.entry_size = key_size + _CHILD_SIZE
+
+    @classmethod
+    def initialize(
+        cls, page: Page, key_size: int, leftmost_child: int
+    ) -> "InternalView":
+        """Format ``page`` as an internal node with one child, no keys."""
+        page.write_u8(0, INTERNAL)
+        page.write_u8(1, 0)
+        page.write_u16(2, 0)
+        page.write_u32(4, leftmost_child)
+        return cls(page, key_size)
+
+    @staticmethod
+    def capacity(page_size: int, key_size: int) -> int:
+        """Maximum number of separator keys an internal node can hold."""
+        return (page_size - _HEADER_SIZE) // (key_size + _CHILD_SIZE)
+
+    # -- header -------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self.page.read_u16(2)
+
+    @count.setter
+    def count(self, value: int) -> None:
+        self.page.write_u16(2, value)
+
+    # -- entries ------------------------------------------------------------
+
+    def _offset(self, index: int) -> int:
+        return _HEADER_SIZE + index * self.entry_size
+
+    def key_at(self, index: int) -> bytes:
+        offset = self._offset(index)
+        return bytes(self.page.data[offset : offset + self.key_size])
+
+    def child_at(self, index: int) -> int:
+        """The page id of child ``index`` in ``[0, count]``."""
+        if index == 0:
+            return self.page.read_u32(4)
+        offset = self._offset(index - 1) + self.key_size
+        return _U32.unpack_from(self.page.data, offset)[0]
+
+    def set_child(self, index: int, page_id: int) -> None:
+        if index == 0:
+            self.page.write_u32(4, page_id)
+        else:
+            offset = self._offset(index - 1) + self.key_size
+            _U32.pack_into(self.page.data, offset, page_id)
+
+    def child_index_for(self, key: bytes) -> int:
+        """Index of the child whose subtree may contain ``key``.
+
+        ``child[i+1]`` holds keys >= ``separator[i]``, so we descend into
+        the child after the last separator <= key.
+        """
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.key_at(mid) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def insert_entry(self, index: int, key: bytes, right_child: int) -> None:
+        """Insert separator ``key`` with its right child at key slot ``index``."""
+        count = self.count
+        start = self._offset(index)
+        end = self._offset(count)
+        self.page.data[start + self.entry_size : end + self.entry_size] = (
+            self.page.data[start:end]
+        )
+        self.page.data[start : start + self.key_size] = key
+        _U32.pack_into(self.page.data, start + self.key_size, right_child)
+        self.count = count + 1
+
+    def append_entry(self, key: bytes, right_child: int) -> None:
+        """Append a separator/child pair at the end (bulk load path)."""
+        offset = self._offset(self.count)
+        self.page.data[offset : offset + self.key_size] = key
+        _U32.pack_into(self.page.data, offset + self.key_size, right_child)
+        self.count = self.count + 1
+
+    def remove_entry(self, index: int) -> None:
+        """Remove separator ``index`` and its right child."""
+        count = self.count
+        start = self._offset(index)
+        end = self._offset(count)
+        self.page.data[start : end - self.entry_size] = self.page.data[
+            start + self.entry_size : end
+        ]
+        self.count = count - 1
+
+    def split_into(self, into: "InternalView") -> bytes:
+        """Move the upper half into ``into``; returns the promoted key.
+
+        The median separator is *promoted* (removed from both halves), as
+        usual for internal B+-tree splits.
+        """
+        count = self.count
+        mid = count // 2
+        promoted = self.key_at(mid)
+        into.set_child(0, self.child_at(mid + 1))
+        for i in range(mid + 1, count):
+            into.append_entry(self.key_at(i), self.child_at(i + 1))
+        self.count = mid
+        return promoted
+
+
+def node_type(page: Page) -> int:
+    """Read the node-type tag of a formatted tree page."""
+    return page.read_u8(0)

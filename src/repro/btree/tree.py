@@ -1,0 +1,383 @@
+"""A paged B+-tree with fixed-size keys and values.
+
+The paper organises posting lists and tuple lists "as dynamic structures
+such as B-trees, allowing efficient searches, insertions, and deletions"
+(Section 3.1).  This module provides that substrate: a disk-backed B+-tree
+whose every node is one page fetched through the buffer pool, so tree
+traversals cost exactly the I/Os the paper counts.
+
+Keys are fixed-length byte strings compared lexicographically; encode keys
+so that byte order equals logical order (see
+:func:`repro.storage.serialization.encode_posting_key`).  Values are
+fixed-length byte strings.
+
+Supported operations: point search, ascending iteration (whole tree or
+from a key), insert, delete, and sorted bulk load.  Deletes do not
+rebalance (no merging/borrowing): records are removed in place and empty
+non-root leaves simply persist until their sibling chain is rebuilt.  This
+keeps the structure simple while preserving every search invariant; the
+experiment workloads are build-once/query-many, matching the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.exceptions import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    TreeError,
+)
+from repro.btree.node import INTERNAL, InternalView, LeafView, node_type
+from repro.storage.buffer import BufferPool
+from repro.storage.page import INVALID_PAGE_ID, Page
+
+
+class BPlusTree:
+    """A disk-backed B+-tree over fixed-size byte keys and values.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool for all page access; swap the attribute to re-run
+        queries under a fresh bounded pool.
+    key_size / value_size:
+        Record geometry in bytes.  All keys and values must have exactly
+        these lengths.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        key_size: int,
+        value_size: int,
+        tag: str = "btree",
+    ) -> None:
+        if key_size < 1:
+            raise TreeError(f"key_size must be >= 1, got {key_size}")
+        if value_size < 0:
+            raise TreeError(f"value_size must be >= 0, got {value_size}")
+        self.pool = pool
+        self.key_size = key_size
+        self.value_size = value_size
+        self.tag = tag
+        page_size = pool.disk.page_size
+        self.leaf_capacity = LeafView.capacity(page_size, key_size, value_size)
+        self.internal_capacity = InternalView.capacity(page_size, key_size)
+        if self.leaf_capacity < 2 or self.internal_capacity < 2:
+            raise TreeError(
+                f"records of {key_size}+{value_size} bytes are too large for "
+                f"{page_size}-byte pages"
+            )
+        root = self.pool.new_page(tag=self.tag)
+        LeafView.initialize(root, key_size, value_size)
+        self.pool.mark_dirty(root.page_id)
+        self.root_page_id = root.page_id
+        self.height = 1
+        self.num_records = 0
+
+    @classmethod
+    def attach(
+        cls,
+        pool: BufferPool,
+        key_size: int,
+        value_size: int,
+        root_page_id: int,
+        height: int,
+        num_records: int,
+        tag: str = "btree",
+    ) -> "BPlusTree":
+        """Re-attach to an existing tree on disk (no root allocation).
+
+        Used when reopening a persisted structure: the caller supplies
+        the root id and counters previously captured from :meth:`state`.
+        """
+        tree = cls.__new__(cls)
+        tree.pool = pool
+        tree.key_size = key_size
+        tree.value_size = value_size
+        tree.tag = tag
+        page_size = pool.disk.page_size
+        tree.leaf_capacity = LeafView.capacity(page_size, key_size, value_size)
+        tree.internal_capacity = InternalView.capacity(page_size, key_size)
+        tree.root_page_id = root_page_id
+        tree.height = height
+        tree.num_records = num_records
+        return tree
+
+    def state(self) -> dict:
+        """The attachment state for :meth:`attach` (JSON-serializable)."""
+        return {
+            "root_page_id": self.root_page_id,
+            "height": self.height,
+            "num_records": self.num_records,
+        }
+
+    # -- views ---------------------------------------------------------------
+
+    def _leaf(self, page: Page) -> LeafView:
+        return LeafView(page, self.key_size, self.value_size)
+
+    def _internal(self, page: Page) -> InternalView:
+        return InternalView(page, self.key_size)
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise TreeError(
+                f"key of {len(key)} bytes; tree expects {self.key_size}"
+            )
+
+    # -- search ----------------------------------------------------------------
+
+    def _descend_to_leaf(self, key: bytes) -> tuple[LeafView, list[int]]:
+        """Walk from the root to the leaf for ``key``.
+
+        Returns the leaf view and the page-id path (root first, leaf last).
+        """
+        path = []
+        page = self.pool.fetch_page(self.root_page_id)
+        path.append(page.page_id)
+        while node_type(page) == INTERNAL:
+            internal = self._internal(page)
+            child = internal.child_at(internal.child_index_for(key))
+            page = self.pool.fetch_page(child)
+            path.append(page.page_id)
+        return self._leaf(page), path
+
+    def search(self, key: bytes) -> bytes | None:
+        """Return the value stored under ``key``, or None."""
+        self._check_key(key)
+        leaf, _ = self._descend_to_leaf(key)
+        index = leaf.bisect_left(key)
+        if index < leaf.count and leaf.key_at(index) == key:
+            return leaf.value_at(index)
+        return None
+
+    def _leftmost_leaf_id(self) -> int:
+        page = self.pool.fetch_page(self.root_page_id)
+        while node_type(page) == INTERNAL:
+            page = self.pool.fetch_page(self._internal(page).child_at(0))
+        return page.page_id
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all records in ascending key order."""
+        page_id = self._leftmost_leaf_id()
+        visited = set()
+        while page_id != INVALID_PAGE_ID:
+            if page_id in visited:
+                raise TreeError(f"leaf chain cycles at page {page_id}")
+            visited.add(page_id)
+            leaf = self._leaf(self.pool.fetch_page(page_id))
+            for i in range(leaf.count):
+                yield leaf.key_at(i), leaf.value_at(i)
+            page_id = leaf.next_leaf
+
+    def items_from(self, key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate records with key >= ``key`` in ascending order."""
+        self._check_key(key)
+        leaf, _ = self._descend_to_leaf(key)
+        index = leaf.bisect_left(key)
+        while True:
+            for i in range(index, leaf.count):
+                yield leaf.key_at(i), leaf.value_at(i)
+            if leaf.next_leaf == INVALID_PAGE_ID:
+                return
+            leaf = self._leaf(self.pool.fetch_page(leaf.next_leaf))
+            index = 0
+
+    def iter_leaf_runs(self) -> Iterator[bytes]:
+        """Yield each leaf's packed records (for vectorized decoding).
+
+        Visiting one leaf costs one page fetch; decoding the returned run
+        is free.  This is the scan primitive the inverted-index search
+        strategies use.
+        """
+        page_id = self._leftmost_leaf_id()
+        visited = set()
+        while page_id != INVALID_PAGE_ID:
+            if page_id in visited:
+                raise TreeError(f"leaf chain cycles at page {page_id}")
+            visited.add(page_id)
+            leaf = self._leaf(self.pool.fetch_page(page_id))
+            yield leaf.records_bytes()
+            page_id = leaf.next_leaf
+
+    # -- insert -------------------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert a record; raises DuplicateKeyError if ``key`` exists."""
+        self._check_key(key)
+        if len(value) != self.value_size:
+            raise TreeError(
+                f"value of {len(value)} bytes; tree expects {self.value_size}"
+            )
+        leaf, path = self._descend_to_leaf(key)
+        index = leaf.bisect_left(key)
+        if index < leaf.count and leaf.key_at(index) == key:
+            raise DuplicateKeyError(f"key {key.hex()} already present")
+        if leaf.count < self.leaf_capacity:
+            leaf.insert_at(index, key, value)
+            self.pool.mark_dirty(leaf.page.page_id)
+        else:
+            self._split_leaf_and_insert(leaf, path, key, value)
+        self.num_records += 1
+
+    def _split_leaf_and_insert(
+        self, leaf: LeafView, path: list[int], key: bytes, value: bytes
+    ) -> None:
+        new_page = self.pool.new_page(tag=self.tag)
+        new_leaf = LeafView.initialize(new_page, self.key_size, self.value_size)
+        separator = leaf.take_upper_half(new_leaf)
+        new_leaf.next_leaf = leaf.next_leaf
+        leaf.next_leaf = new_page.page_id
+        if key < separator:
+            leaf.insert_at(leaf.bisect_left(key), key, value)
+        else:
+            new_leaf.insert_at(new_leaf.bisect_left(key), key, value)
+        self.pool.mark_dirty(leaf.page.page_id)
+        self.pool.mark_dirty(new_page.page_id)
+        self._insert_separator(path[:-1], leaf.page.page_id, separator, new_page.page_id)
+
+    def _insert_separator(
+        self, path: list[int], left_id: int, key: bytes, right_id: int
+    ) -> None:
+        """Propagate a split upward along ``path`` (may grow a new root)."""
+        while path:
+            parent = self._internal(self.pool.fetch_page(path[-1]))
+            index = parent.child_index_for(key)
+            if parent.child_at(index) != left_id:
+                # The key equals an existing separator; the left child sits
+                # immediately before the descend position.
+                raise TreeError("split parent does not reference child")
+            if parent.count < self.internal_capacity:
+                parent.insert_entry(index, key, right_id)
+                self.pool.mark_dirty(parent.page.page_id)
+                return
+            # Split the parent, then decide which half receives the entry.
+            new_page = self.pool.new_page(tag=self.tag)
+            new_internal = InternalView.initialize(
+                new_page, self.key_size, leftmost_child=0
+            )
+            promoted = parent.split_into(new_internal)
+            if key < promoted:
+                parent.insert_entry(parent.child_index_for(key), key, right_id)
+            else:
+                new_internal.insert_entry(
+                    new_internal.child_index_for(key), key, right_id
+                )
+            self.pool.mark_dirty(parent.page.page_id)
+            self.pool.mark_dirty(new_page.page_id)
+            left_id = parent.page.page_id
+            key = promoted
+            right_id = new_page.page_id
+            path = path[:-1]
+        self._grow_root(left_id, key, right_id)
+
+    def _grow_root(self, left_id: int, key: bytes, right_id: int) -> None:
+        root = self.pool.new_page(tag=self.tag)
+        view = InternalView.initialize(root, self.key_size, leftmost_child=left_id)
+        view.append_entry(key, right_id)
+        self.pool.mark_dirty(root.page_id)
+        self.root_page_id = root.page_id
+        self.height += 1
+
+    # -- delete ---------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> None:
+        """Remove the record under ``key``; raises KeyNotFoundError if absent."""
+        self._check_key(key)
+        leaf, _ = self._descend_to_leaf(key)
+        index = leaf.bisect_left(key)
+        if index >= leaf.count or leaf.key_at(index) != key:
+            raise KeyNotFoundError(f"key {key.hex()} not present")
+        leaf.remove_at(index)
+        self.pool.mark_dirty(leaf.page.page_id)
+        self.num_records -= 1
+
+    # -- bulk load --------------------------------------------------------------------
+
+    def bulk_load(
+        self,
+        records: Iterable[tuple[bytes, bytes]],
+        fill_factor: float = 1.0,
+    ) -> None:
+        """Replace the tree's contents with pre-sorted ``records``.
+
+        ``records`` must be in strictly ascending key order.  Leaves are
+        packed to ``fill_factor`` of capacity; internal levels are built
+        bottom-up.  Only valid on an empty tree.
+        """
+        if self.num_records:
+            raise TreeError("bulk_load requires an empty tree")
+        if not 0.0 < fill_factor <= 1.0:
+            raise TreeError(f"fill factor must be in (0, 1], got {fill_factor}")
+        per_leaf = max(2, int(self.leaf_capacity * fill_factor))
+
+        # Build the leaf level.
+        leaf_firsts: list[bytes] = []
+        leaf_ids: list[int] = []
+        current: LeafView | None = None
+        previous_key: bytes | None = None
+        count = 0
+        for key, value in records:
+            self._check_key(key)
+            if previous_key is not None and key <= previous_key:
+                raise TreeError("bulk_load records must be strictly ascending")
+            previous_key = key
+            if current is None or current.count >= per_leaf:
+                page = self.pool.new_page(tag=self.tag)
+                new_leaf = LeafView.initialize(page, self.key_size, self.value_size)
+                if current is not None:
+                    current.next_leaf = page.page_id
+                    self.pool.mark_dirty(current.page.page_id)
+                current = new_leaf
+                leaf_ids.append(page.page_id)
+                leaf_firsts.append(key)
+            current.append_record(key, value)
+            self.pool.mark_dirty(current.page.page_id)
+            count += 1
+        if not leaf_ids:
+            return  # nothing to load; keep the empty root leaf
+
+        # Build internal levels bottom-up until a single root remains.
+        level_ids = leaf_ids
+        level_firsts = leaf_firsts
+        height = 1
+        per_internal = max(2, int(self.internal_capacity * fill_factor))
+        while len(level_ids) > 1:
+            parent_firsts: list[bytes] = []
+            i = 0
+            parents: list[int] = []
+            while i < len(level_ids):
+                group_ids = level_ids[i : i + per_internal + 1]
+                group_firsts = level_firsts[i : i + per_internal + 1]
+                page = self.pool.new_page(tag=self.tag)
+                view = InternalView.initialize(
+                    page, self.key_size, leftmost_child=group_ids[0]
+                )
+                for child_id, first in zip(group_ids[1:], group_firsts[1:]):
+                    view.append_entry(first, child_id)
+                self.pool.mark_dirty(page.page_id)
+                parents.append(page.page_id)
+                parent_firsts.append(group_firsts[0])
+                i += per_internal + 1
+            level_ids = parents
+            level_firsts = parent_firsts
+            height += 1
+
+        # Install the new root.  The placeholder empty root leaf remains
+        # allocated (one page) so that a buffered copy can still be flushed.
+        self.root_page_id = level_ids[0]
+        self.height = height
+        self.num_records = count
+
+    # -- introspection -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def __repr__(self) -> str:
+        return (
+            f"BPlusTree(records={self.num_records}, height={self.height}, "
+            f"leaf_capacity={self.leaf_capacity})"
+        )

@@ -1,0 +1,77 @@
+"""Core data model: domains, UDAs, divergences, queries, relations, joins."""
+
+from repro.core.divergence import (
+    DIVERGENCES,
+    get_divergence,
+    kl_divergence,
+    l1_divergence,
+    l2_divergence,
+    symmetric_kl,
+)
+from repro.core.domain import CategoricalDomain
+from repro.core.exceptions import (
+    BufferPoolError,
+    DomainError,
+    DuplicateKeyError,
+    InvalidDistributionError,
+    KeyNotFoundError,
+    PageError,
+    QueryError,
+    RecordTooLargeError,
+    ReproError,
+    SerializationError,
+    StorageError,
+    TreeError,
+)
+from repro.core.joins import JoinPair, dstj, pej_top_k, petj
+from repro.core.queries import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    Query,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    WindowedEqualityQuery,
+)
+from repro.core.relation import UncertainRelation
+from repro.core.results import Match, QueryResult, QueryStats
+from repro.core.uda import QueryVector, UncertainAttribute
+
+__all__ = [
+    "DIVERGENCES",
+    "BufferPoolError",
+    "CategoricalDomain",
+    "DomainError",
+    "DuplicateKeyError",
+    "EqualityQuery",
+    "EqualityThresholdQuery",
+    "EqualityTopKQuery",
+    "InvalidDistributionError",
+    "JoinPair",
+    "Match",
+    "PageError",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "QueryStats",
+    "KeyNotFoundError",
+    "RecordTooLargeError",
+    "ReproError",
+    "SerializationError",
+    "SimilarityThresholdQuery",
+    "SimilarityTopKQuery",
+    "StorageError",
+    "TreeError",
+    "QueryVector",
+    "UncertainAttribute",
+    "UncertainRelation",
+    "WindowedEqualityQuery",
+    "dstj",
+    "get_divergence",
+    "kl_divergence",
+    "l1_divergence",
+    "l2_divergence",
+    "pej_top_k",
+    "petj",
+    "symmetric_kl",
+]

@@ -1,0 +1,143 @@
+"""Distributional divergence measures: L1, L2, and KL.
+
+Section 2 of the paper defines three distances between distributions:
+
+* ``L1(u, v) = sum_i |u.p_i - v.p_i|`` — Manhattan distance;
+* ``L2(u, v) = sqrt(sum_i (u.p_i - v.p_i)^2)`` — Euclidean distance;
+* ``KL(u, v) = sum_i u.p_i log(u.p_i / v.p_i)`` — Kullback–Leibler
+  divergence, which "is not a metric ... but can be used for clustering in
+  an index".
+
+All three operate on the *sparse* UDA representation; KL uses an epsilon
+floor on the right-hand distribution so it is defined when ``v`` lacks an
+item of ``u``'s support (needed when clustering against MBR boundary
+vectors, which are not strict distributions).
+
+The measures double as distances between MBR boundary vectors during
+PDR-tree insertion and splitting, so they also accept plain
+``(items, values)`` sparse vectors via :func:`sparse_l1` and friends.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+from repro.core.uda import UncertainAttribute
+
+#: Epsilon floor for KL against vectors with holes in their support.
+KL_EPSILON = 1e-9
+
+#: Signature shared by all divergence measures.
+DivergenceFn = Callable[[UncertainAttribute, UncertainAttribute], float]
+
+
+def _aligned(
+    u_items: np.ndarray,
+    u_values: np.ndarray,
+    v_items: np.ndarray,
+    v_values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand two sparse vectors onto the union of their supports."""
+    union = np.union1d(u_items, v_items)
+    left = np.zeros(len(union))
+    right = np.zeros(len(union))
+    left[np.searchsorted(union, u_items)] = u_values
+    right[np.searchsorted(union, v_items)] = v_values
+    return left, right
+
+
+def sparse_l1(
+    u_items: np.ndarray,
+    u_values: np.ndarray,
+    v_items: np.ndarray,
+    v_values: np.ndarray,
+) -> float:
+    """Manhattan distance between two sparse non-negative vectors."""
+    left, right = _aligned(u_items, u_values, v_items, v_values)
+    return float(np.abs(left - right).sum())
+
+
+def sparse_l2(
+    u_items: np.ndarray,
+    u_values: np.ndarray,
+    v_items: np.ndarray,
+    v_values: np.ndarray,
+) -> float:
+    """Euclidean distance between two sparse non-negative vectors."""
+    left, right = _aligned(u_items, u_values, v_items, v_values)
+    return float(np.sqrt(np.square(left - right).sum()))
+
+
+def sparse_kl(
+    u_items: np.ndarray,
+    u_values: np.ndarray,
+    v_items: np.ndarray,
+    v_values: np.ndarray,
+    epsilon: float = KL_EPSILON,
+) -> float:
+    """KL divergence ``KL(u || v)`` with an epsilon floor on ``v``.
+
+    Only items in ``u``'s support contribute (``0 log 0 = 0``); items of
+    ``u`` missing from ``v`` are compared against ``epsilon`` rather than
+    zero, keeping the result finite.
+    """
+    if len(u_items) == 0:
+        return 0.0
+    if len(v_items) == 0:
+        v_aligned = np.full(len(u_items), epsilon)
+    else:
+        positions = np.minimum(
+            np.searchsorted(v_items, u_items), len(v_items) - 1
+        )
+        matched = v_items[positions] == u_items
+        v_aligned = np.where(matched, v_values[positions], epsilon)
+        v_aligned = np.maximum(v_aligned, epsilon)
+    return float(np.sum(u_values * np.log(u_values / v_aligned)))
+
+
+def l1_divergence(u: UncertainAttribute, v: UncertainAttribute) -> float:
+    """``L1(u, v)``: Manhattan distance between two UDAs."""
+    return sparse_l1(u.items, u.probs, v.items, v.probs)
+
+
+def l2_divergence(u: UncertainAttribute, v: UncertainAttribute) -> float:
+    """``L2(u, v)``: Euclidean distance between two UDAs."""
+    return sparse_l2(u.items, u.probs, v.items, v.probs)
+
+
+def kl_divergence(u: UncertainAttribute, v: UncertainAttribute) -> float:
+    """``KL(u, v)``: Kullback–Leibler divergence (asymmetric, non-metric)."""
+    return sparse_kl(u.items, u.probs, v.items, v.probs)
+
+
+def symmetric_kl(u: UncertainAttribute, v: UncertainAttribute) -> float:
+    """Symmetrized KL, ``(KL(u,v) + KL(v,u)) / 2``.
+
+    Used where a clustering step needs a symmetric dissimilarity (e.g.
+    picking the two farthest split seeds) while staying in the KL family.
+    """
+    return 0.5 * (kl_divergence(u, v) + kl_divergence(v, u))
+
+
+#: Registry of divergence measures by name, as used throughout the library
+#: and in the Figure 4 experiment.
+DIVERGENCES: dict[str, DivergenceFn] = {
+    "l1": l1_divergence,
+    "l2": l2_divergence,
+    "kl": kl_divergence,
+    "symmetric_kl": symmetric_kl,
+}
+
+
+def get_divergence(name: str) -> DivergenceFn:
+    """Look up a divergence measure by name (case-insensitive)."""
+    try:
+        return DIVERGENCES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DIVERGENCES))
+        raise QueryError(
+            f"unknown divergence {name!r}; expected one of: {known}"
+        ) from None

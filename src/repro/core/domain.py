@@ -1,0 +1,104 @@
+"""Categorical domains.
+
+A domain is the finite set ``D = {d1, ..., dN}`` an uncertain discrete
+attribute ranges over (Definition 1 of the paper).  Internally every value
+is an integer index in ``[0, N)``; :class:`CategoricalDomain` maintains the
+bidirectional mapping between human-readable labels and indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.exceptions import DomainError
+
+
+class CategoricalDomain:
+    """An ordered, finite set of categorical values.
+
+    Parameters
+    ----------
+    labels:
+        The domain values, in index order.  Labels must be unique.
+
+    Examples
+    --------
+    >>> problems = CategoricalDomain(["Brake", "Tires", "Trans"])
+    >>> problems.index_of("Tires")
+    1
+    >>> problems.label_of(2)
+    'Trans'
+    >>> len(problems)
+    3
+    """
+
+    __slots__ = ("_labels", "_index")
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        self._labels: tuple[str, ...] = tuple(labels)
+        if not self._labels:
+            raise DomainError("a categorical domain must not be empty")
+        self._index: dict[str, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        if len(self._index) != len(self._labels):
+            raise DomainError("domain labels must be unique")
+
+    @classmethod
+    def of_size(cls, size: int, prefix: str = "d") -> "CategoricalDomain":
+        """Build an anonymous domain ``{prefix}0 .. {prefix}{size-1}``.
+
+        Convenient for synthetic datasets where values carry no meaning.
+        """
+        if size < 1:
+            raise DomainError(f"domain size must be >= 1, got {size}")
+        return cls(f"{prefix}{i}" for i in range(size))
+
+    # -- lookups ------------------------------------------------------------
+
+    def index_of(self, label: str) -> int:
+        """Return the index of ``label``; raises DomainError if unknown."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise DomainError(f"value {label!r} is not in the domain") from None
+
+    def label_of(self, index: int) -> str:
+        """Return the label at ``index``; raises DomainError if out of range."""
+        if not 0 <= index < len(self._labels):
+            raise DomainError(
+                f"index {index} outside domain of size {len(self._labels)}"
+            )
+        return self._labels[index]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """All labels in index order."""
+        return self._labels
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoricalDomain):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        if len(self._labels) <= 6:
+            inner = ", ".join(self._labels)
+        else:
+            shown = ", ".join(self._labels[:3])
+            inner = f"{shown}, ... ({len(self._labels)} values)"
+        return f"CategoricalDomain([{inner}])"

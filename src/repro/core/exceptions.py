@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DomainError(ReproError):
+    """A categorical value or index does not belong to the domain."""
+
+
+class InvalidDistributionError(ReproError):
+    """A probability vector violates the UDA model constraints.
+
+    Raised when probabilities fall outside ``(0, 1]``, when the total mass
+    exceeds one beyond numerical tolerance, or when items are duplicated.
+    """
+
+
+class QueryError(ReproError):
+    """A query descriptor is malformed (e.g. non-positive threshold)."""
+
+
+class StorageError(ReproError):
+    """Base class for failures in the paged storage substrate."""
+
+
+class PageError(StorageError):
+    """A page id is unknown, or page data has an invalid size/layout."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request.
+
+    Raised for example when every frame is pinned and a new page must be
+    brought in, or when unpinning a page that is not resident.
+    """
+
+
+class SerializationError(StorageError):
+    """A record cannot be encoded into, or decoded from, its byte layout."""
+
+
+class RecordTooLargeError(SerializationError):
+    """A single record does not fit in one page."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure failures (B+-tree, inverted, PDR)."""
+
+
+class TreeError(IndexError_):
+    """Structural invariant violation inside a paged tree."""
+
+
+class DuplicateKeyError(TreeError):
+    """An insert found an existing record with the same key."""
+
+
+class KeyNotFoundError(TreeError):
+    """A delete or lookup referenced a key that is not present."""

@@ -1,0 +1,142 @@
+"""Probabilistic join operators over uncertain relations.
+
+Section 2 (Definition 6) lifts each select query to a join: ``R ⋈ S``
+under probability threshold τ contains every pair ``(r, s)`` with
+``Pr(r.a = s.b) >= τ`` (PETJ), and analogously PEJ-top-k, DSTJ and
+DSJ-top-k.
+
+Two execution strategies are provided:
+
+* a **nested-loop** reference implementation that scores every pair, and
+* an **index-nested-loop** that probes any executor implementing
+  :class:`QueryExecutor` (the probabilistic inverted index and the
+  PDR-tree both do) once per outer tuple.
+
+As the paper notes, joining introduces correlations between result pairs;
+like the paper, we only perform threshold/top-k *selection* and do not
+track lineage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.exceptions import QueryError
+from repro.core.queries import (
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    Query,
+    SimilarityThresholdQuery,
+)
+from repro.core.relation import UncertainRelation
+from repro.core.results import QueryResult
+
+
+class QueryExecutor(Protocol):
+    """Anything that can answer the query descriptors of this library."""
+
+    def execute(self, query: Query) -> QueryResult:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True, order=True)
+class JoinPair:
+    """One qualifying pair, ordered by descending score then tids."""
+
+    sort_index: tuple[float, int, int] = field(init=False, repr=False)
+    left_tid: int = field(compare=False)
+    right_tid: int = field(compare=False)
+    score: float = field(compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sort_index", (-self.score, self.left_tid, self.right_tid)
+        )
+
+
+def petj(
+    left: UncertainRelation,
+    right: UncertainRelation,
+    threshold: float,
+    right_index: QueryExecutor | None = None,
+) -> list[JoinPair]:
+    """Probabilistic equality threshold join (Definition 6).
+
+    Returns all pairs with ``Pr(r.a = s.b) >= threshold``, sorted by
+    descending probability.  When ``right_index`` is given, each outer
+    tuple probes it with a PETQ; otherwise the inner relation's naive
+    executor is used.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise QueryError(f"join threshold must lie in (0, 1], got {threshold}")
+    inner: QueryExecutor = right_index if right_index is not None else right
+    pairs: list[JoinPair] = []
+    for left_tid in left.tids():
+        probe = EqualityThresholdQuery(left.uda_of(left_tid), threshold)
+        for match in inner.execute(probe):
+            pairs.append(
+                JoinPair(
+                    left_tid=left_tid, right_tid=match.tid, score=match.score
+                )
+            )
+    return sorted(pairs)
+
+
+def pej_top_k(
+    left: UncertainRelation,
+    right: UncertainRelation,
+    k: int,
+    right_index: QueryExecutor | None = None,
+) -> list[JoinPair]:
+    """PEJ-top-k: the ``k`` pairs with the highest equality probability.
+
+    Every globally top-k pair lies within its outer tuple's local top-k,
+    so probing each outer tuple with a top-k query and merging is exact.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    inner: QueryExecutor = right_index if right_index is not None else right
+    pairs: list[JoinPair] = []
+    for left_tid in left.tids():
+        probe = EqualityTopKQuery(left.uda_of(left_tid), k)
+        for match in inner.execute(probe):
+            pairs.append(
+                JoinPair(
+                    left_tid=left_tid, right_tid=match.tid, score=match.score
+                )
+            )
+        pairs.sort()
+        del pairs[k:]
+    return pairs
+
+
+def dstj(
+    left: UncertainRelation,
+    right: UncertainRelation,
+    threshold: float,
+    divergence: str = "l1",
+    right_index: QueryExecutor | None = None,
+) -> list[JoinPair]:
+    """Distributional-similarity threshold join.
+
+    Returns all pairs with ``F(r.a, s.b) <= threshold`` sorted by
+    ascending divergence.  The returned ``score`` is the *negated*
+    divergence so that JoinPair ordering (descending score) presents the
+    most similar pairs first.
+    """
+    if threshold < 0.0:
+        raise QueryError(f"DSTJ threshold must be >= 0, got {threshold}")
+    inner: QueryExecutor = right_index if right_index is not None else right
+    pairs: list[JoinPair] = []
+    for left_tid in left.tids():
+        probe = SimilarityThresholdQuery(
+            left.uda_of(left_tid), threshold, divergence
+        )
+        for match in inner.execute(probe):
+            pairs.append(
+                JoinPair(
+                    left_tid=left_tid, right_tid=match.tid, score=match.score
+                )
+            )
+    return sorted(pairs)

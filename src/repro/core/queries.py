@@ -1,0 +1,180 @@
+"""Query descriptors for uncertain categorical data.
+
+These are the select-query forms of Section 2 of the paper:
+
+* :class:`EqualityQuery` — PEQ (Definition 3): every tuple with non-zero
+  equality probability, reported with its probability.
+* :class:`EqualityThresholdQuery` — PETQ (Definition 4): tuples with
+  ``Pr(q = t.a) >= threshold``.
+* :class:`EqualityTopKQuery` — PEQ-top-k: the ``k`` tuples with the
+  highest equality probability.
+* :class:`SimilarityThresholdQuery` — DSTQ (Definition 5): tuples whose
+  divergence from the query distribution is at most the threshold.
+* :class:`SimilarityTopKQuery` — DSQ-top-k.
+
+A descriptor is pure data (plus validation); executors live in the
+relation (naive reference), inverted index, and PDR-tree packages.
+
+Threshold semantics: this library uses the *inclusive* comparison
+``Pr >= threshold`` (respectively ``divergence <= threshold``) uniformly
+across the naive executor and both indexes, so that all three provably
+return identical answer sets.  The paper writes a strict inequality; for
+calibrated workloads the distinction only moves boundary-probability
+tuples and does not change any reported trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.divergence import DivergenceFn, get_divergence
+from repro.core.exceptions import QueryError
+from repro.core.uda import QueryVector, UncertainAttribute
+
+
+@dataclass(frozen=True)
+class EqualityQuery:
+    """PEQ: all tuples with ``Pr(q = t.a) > 0``, with their probabilities."""
+
+    q: UncertainAttribute
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("PEQ query distribution must be non-empty")
+
+
+@dataclass(frozen=True)
+class EqualityThresholdQuery:
+    """PETQ: all tuples with ``Pr(q = t.a) >= threshold``."""
+
+    q: UncertainAttribute
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("PETQ query distribution must be non-empty")
+        if not 0.0 < self.threshold <= 1.0:
+            raise QueryError(
+                f"PETQ threshold must lie in (0, 1], got {self.threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class EqualityTopKQuery:
+    """PEQ-top-k: the ``k`` tuples with the highest equality probability.
+
+    Ties at the k-th probability are broken by ascending tuple id, so the
+    answer is deterministic and identical across executors.
+    """
+
+    q: UncertainAttribute
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("top-k query distribution must be non-empty")
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+
+@dataclass(frozen=True)
+class SimilarityThresholdQuery:
+    """DSTQ: all tuples with ``F(q, t.a) <= threshold``.
+
+    ``divergence`` names a measure from
+    :data:`repro.core.divergence.DIVERGENCES` ("l1", "l2", "kl", ...).
+    """
+
+    q: UncertainAttribute
+    threshold: float
+    divergence: str = "l1"
+    _fn: DivergenceFn = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("DSTQ query distribution must be non-empty")
+        if self.threshold < 0.0:
+            raise QueryError(
+                f"DSTQ threshold must be >= 0, got {self.threshold}"
+            )
+        object.__setattr__(self, "_fn", get_divergence(self.divergence))
+
+    def distance(self, other: UncertainAttribute) -> float:
+        """Divergence from the query distribution to ``other``."""
+        return self._fn(self.q, other)
+
+
+@dataclass(frozen=True)
+class SimilarityTopKQuery:
+    """DSQ-top-k: the ``k`` tuples with the smallest divergence."""
+
+    q: UncertainAttribute
+    k: int
+    divergence: str = "l1"
+    _fn: DivergenceFn = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("top-k query distribution must be non-empty")
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        object.__setattr__(self, "_fn", get_divergence(self.divergence))
+
+    def distance(self, other: UncertainAttribute) -> float:
+        """Divergence from the query distribution to ``other``."""
+        return self._fn(self.q, other)
+
+
+@dataclass(frozen=True)
+class WindowedEqualityQuery:
+    """Relaxed PETQ on a totally ordered domain (paper Section 2).
+
+    Returns tuples with ``Pr(|q - t.a| <= window) >= threshold``, where
+    items are ordered by index.  ``window = 0`` is ordinary PETQ.
+
+    Internally the query expands into a :class:`QueryVector` of weights
+    ``w_i = sum_{j : |i-j| <= window} q.p_j`` so that the windowed
+    probability is the plain weighted dot product ``sum_i w_i * u_i`` —
+    which lets every equality executor (naive, inverted index, PDR-tree)
+    answer it with its ordinary machinery.
+    """
+
+    q: UncertainAttribute
+    threshold: float
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.q.nnz == 0:
+            raise QueryError("windowed query distribution must be non-empty")
+        if not 0.0 < self.threshold <= 1.0:
+            raise QueryError(
+                f"threshold must lie in (0, 1], got {self.threshold}"
+            )
+        if self.window < 0:
+            raise QueryError(f"window must be >= 0, got {self.window}")
+
+    def expanded(self) -> QueryVector:
+        """The window-expanded weight vector."""
+        low = int(self.q.items.min()) - self.window
+        high = int(self.q.items.max()) + self.window
+        span = np.arange(max(low, 0), high + 1, dtype=np.int64)
+        weights = np.zeros(len(span))
+        for item, prob in self.q.pairs():
+            start = max(item - self.window, 0) - span[0]
+            end = item + self.window + 1 - span[0]
+            weights[max(start, 0) : end] += prob
+        keep = weights > 0.0
+        return QueryVector(span[keep], weights[keep])
+
+
+#: Union of every query descriptor type.
+Query = (
+    EqualityQuery
+    | EqualityThresholdQuery
+    | EqualityTopKQuery
+    | SimilarityThresholdQuery
+    | SimilarityTopKQuery
+    | WindowedEqualityQuery
+)

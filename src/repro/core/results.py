@@ -1,0 +1,69 @@
+"""Query result and statistics types shared by all executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Match:
+    """One qualifying tuple.
+
+    ``score`` is the equality probability for equality-based queries and
+    the (negated-for-ordering-free) divergence for similarity queries;
+    ``sort_index`` makes matches order naturally by descending score and
+    then ascending tid, the presentation order used everywhere.
+    """
+
+    sort_index: tuple[float, int] = field(init=False, repr=False)
+    tid: int = field(compare=False)
+    score: float = field(compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sort_index", (-self.score, self.tid))
+
+
+@dataclass
+class QueryStats:
+    """Work counters an executor fills in while answering one query."""
+
+    #: Tuples whose exact score was computed (candidate verifications).
+    candidates_examined: int = 0
+    #: Posting entries or stored UDAs decoded during the search.
+    entries_scanned: int = 0
+    #: Tree nodes or lists visited.
+    nodes_visited: int = 0
+    #: Random accesses to the tuple store.
+    random_accesses: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another executor's counters into this one."""
+        self.candidates_examined += other.candidates_examined
+        self.entries_scanned += other.entries_scanned
+        self.nodes_visited += other.nodes_visited
+        self.random_accesses += other.random_accesses
+
+
+@dataclass
+class QueryResult:
+    """Matches plus the work statistics gathered while finding them."""
+
+    matches: list[Match]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __post_init__(self) -> None:
+        self.matches = sorted(self.matches)
+
+    def tids(self) -> list[int]:
+        """Qualifying tuple ids in presentation order."""
+        return [match.tid for match in self.matches]
+
+    def tid_set(self) -> set[int]:
+        """Qualifying tuple ids as a set (for order-free comparison)."""
+        return {match.tid for match in self.matches}
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)

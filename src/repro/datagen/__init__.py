@@ -1,0 +1,40 @@
+"""Dataset and workload generators for the paper's evaluation."""
+
+from repro.datagen.classifier import MultinomialNaiveBayes
+from repro.datagen.crm import crm1_dataset, crm2_dataset
+from repro.datagen.fuzzy import FuzzyCMeansResult, fuzzy_c_means
+from repro.datagen.synthetic import (
+    expected_group_size,
+    gen3_dataset,
+    pairwise_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.datagen.text import Corpus, generate_corpus
+from repro.datagen.workload import (
+    PAPER_SELECTIVITIES,
+    CalibratedQuery,
+    build_workload,
+    calibrate_threshold,
+    sample_query_udas,
+)
+
+__all__ = [
+    "PAPER_SELECTIVITIES",
+    "CalibratedQuery",
+    "Corpus",
+    "FuzzyCMeansResult",
+    "MultinomialNaiveBayes",
+    "build_workload",
+    "calibrate_threshold",
+    "crm1_dataset",
+    "crm2_dataset",
+    "expected_group_size",
+    "fuzzy_c_means",
+    "gen3_dataset",
+    "generate_corpus",
+    "pairwise_dataset",
+    "sample_query_udas",
+    "uniform_dataset",
+    "zipf_dataset",
+]

@@ -1,0 +1,182 @@
+"""Synthetic datasets from the paper's evaluation (Section 4).
+
+* **Uniform** — "5 items and the probability of each item is chosen
+  randomly for all tuples": every tuple is a dense random distribution
+  over the whole (small) domain.  The worst case for an inverted index
+  (every query touches every list).
+* **Pairwise** — "also has 5 elements but the individual tuples have
+  only 2 non-zero items with roughly equal probabilities.  In addition,
+  the total number of item combinations is restricted to 5": maximally
+  sparse and clusterable.  "These two datasets represent the two extreme
+  possible scenarios."
+* **Gen3** — the domain-size scalability family: "a number of item
+  groups are picked at random from the domain.  The size of the item
+  groups ... is distributed geometrically.  The expected group size was
+  varied from 3 (in domain size 10) to 10 (in domain size 500).  The
+  item probabilities inside a group are chosen randomly."
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.domain import CategoricalDomain
+from repro.core.exceptions import QueryError
+from repro.core.relation import UncertainRelation
+from repro.core.uda import UncertainAttribute
+
+#: The paper's synthetic dataset size.
+DEFAULT_NUM_TUPLES = 10_000
+
+#: The paper's Uniform/Pairwise domain size.
+DEFAULT_DOMAIN_SIZE = 5
+
+
+def uniform_dataset(
+    num_tuples: int = DEFAULT_NUM_TUPLES,
+    domain_size: int = DEFAULT_DOMAIN_SIZE,
+    seed: int = 0,
+) -> UncertainRelation:
+    """The Uniform dataset: dense random distributions."""
+    rng = np.random.default_rng(seed)
+    domain = CategoricalDomain.of_size(domain_size)
+    relation = UncertainRelation(domain, name=f"Uniform-{num_tuples}")
+    items = np.arange(domain_size, dtype=np.int64)
+    probabilities = rng.dirichlet(np.ones(domain_size), size=num_tuples)
+    for row in probabilities:
+        relation.append(UncertainAttribute(items, row))
+    return relation
+
+
+def pairwise_dataset(
+    num_tuples: int = DEFAULT_NUM_TUPLES,
+    domain_size: int = DEFAULT_DOMAIN_SIZE,
+    num_combinations: int = 5,
+    jitter: float = 0.1,
+    seed: int = 0,
+) -> UncertainRelation:
+    """The Pairwise dataset: 2 non-zero items, 5 possible combinations.
+
+    ``jitter`` controls "roughly equal probabilities": each tuple's split
+    is ``0.5 +- uniform(0, jitter/2)``.
+    """
+    max_pairs = domain_size * (domain_size - 1) // 2
+    if num_combinations > max_pairs:
+        raise QueryError(
+            f"domain of size {domain_size} has only {max_pairs} item pairs"
+        )
+    rng = np.random.default_rng(seed)
+    domain = CategoricalDomain.of_size(domain_size)
+    relation = UncertainRelation(domain, name=f"Pairwise-{num_tuples}")
+    all_pairs = [
+        (a, b)
+        for a in range(domain_size)
+        for b in range(a + 1, domain_size)
+    ]
+    chosen = rng.choice(len(all_pairs), size=num_combinations, replace=False)
+    combinations = [all_pairs[int(i)] for i in chosen]
+    picks = rng.integers(0, num_combinations, size=num_tuples)
+    splits = 0.5 + rng.uniform(-jitter / 2, jitter / 2, size=num_tuples)
+    for pick, split in zip(picks.tolist(), splits.tolist()):
+        first, second = combinations[pick]
+        relation.append(
+            UncertainAttribute.from_pairs(
+                [(first, split), (second, 1.0 - split)]
+            )
+        )
+    return relation
+
+
+def expected_group_size(domain_size: int) -> int:
+    """The paper's fill-factor schedule: 3 at ``|D|=10`` up to 10 at 500.
+
+    Interpolates logarithmically between the two anchor points and clips
+    to ``[3, 10]``.
+    """
+    if domain_size <= 10:
+        return 3
+    if domain_size >= 500:
+        return 10
+    fraction = math.log(domain_size / 10) / math.log(500 / 10)
+    return int(round(3 + fraction * (10 - 3)))
+
+
+def zipf_dataset(
+    num_tuples: int = DEFAULT_NUM_TUPLES,
+    domain_size: int = 50,
+    skew: float = 1.1,
+    nnz: int = 4,
+    seed: int = 0,
+) -> UncertainRelation:
+    """A skewed synthetic family (beyond the paper's three).
+
+    Item popularity follows a Zipf law with exponent ``skew``: a few
+    "hot" domain values occur in most tuples, the long tail almost
+    never.  Real categorical data (problem codes, departments) is
+    usually skewed, so this family probes how both index structures
+    degrade when a handful of posting lists hold most of the mass —
+    the regime the ablation bench ``bench_abl_skew`` sweeps.
+    """
+    if skew <= 1.0:
+        raise QueryError(f"zipf skew must be > 1, got {skew}")
+    if not 1 <= nnz <= domain_size:
+        raise QueryError(
+            f"nnz must be in [1, {domain_size}], got {nnz}"
+        )
+    rng = np.random.default_rng(seed)
+    domain = CategoricalDomain.of_size(domain_size)
+    relation = UncertainRelation(domain, name=f"Zipf-{skew}")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    popularity = ranks**-skew
+    popularity /= popularity.sum()
+    for _ in range(num_tuples):
+        items = rng.choice(domain_size, size=nnz, replace=False, p=popularity)
+        probabilities = rng.dirichlet(np.ones(nnz))
+        relation.append(
+            UncertainAttribute.from_pairs(
+                list(zip(items.tolist(), probabilities.tolist()))
+            )
+        )
+    return relation
+
+
+def gen3_dataset(
+    num_tuples: int = DEFAULT_NUM_TUPLES,
+    domain_size: int = 100,
+    group_size: int | None = None,
+    num_groups: int | None = None,
+    seed: int = 0,
+) -> UncertainRelation:
+    """The Gen3 dataset used for domain-size scalability (Figure 9).
+
+    Item groups are sampled from the domain with geometrically
+    distributed sizes (mean ``group_size``, clipped to the domain); each
+    tuple picks a random group and spreads random probabilities over its
+    items.
+    """
+    rng = np.random.default_rng(seed)
+    if group_size is None:
+        group_size = expected_group_size(domain_size)
+    if num_groups is None:
+        num_groups = max(8, domain_size // 2)
+    domain = CategoricalDomain.of_size(domain_size)
+    relation = UncertainRelation(domain, name=f"Gen3-{domain_size}")
+    groups = []
+    for _ in range(num_groups):
+        size = int(rng.geometric(1.0 / group_size))
+        size = max(1, min(size, domain_size))
+        groups.append(rng.choice(domain_size, size=size, replace=False))
+    picks = rng.integers(0, num_groups, size=num_tuples)
+    for pick in picks.tolist():
+        members = groups[pick]
+        probabilities = rng.dirichlet(np.ones(len(members)))
+        relation.append(
+            UncertainAttribute.from_pairs(
+                list(zip(members.tolist(), probabilities.tolist()))
+            )
+        )
+    return relation

@@ -1,0 +1,95 @@
+"""Synthetic document corpus (substitute for the proprietary CRM text).
+
+The paper's real datasets derive from "100,000 text documents consisting
+of complaints, responses, and ensuing communications" of "a major cell
+phone service provider" — data we cannot have.  What the indexes see,
+however, is only the *probability vectors* a classifier/clusterer emits,
+so we substitute a topic-mixture corpus generator whose statistical
+structure (topical vocabulary, mixed-topic documents, term sparsity)
+drives the downstream classifier (:mod:`repro.datagen.classifier`) and
+fuzzy clusterer (:mod:`repro.datagen.fuzzy`) the same way real support
+tickets would.
+
+Generative model (a fixed-length LDA-style mixture):
+
+1. Each of ``num_topics`` topics draws a word distribution over the
+   vocabulary from ``Dirichlet(beta)`` (small ``beta`` => topical words).
+2. Each document draws topic weights from ``Dirichlet(alpha)`` (small
+   ``alpha`` => one or two dominant topics, like a complaint that is
+   mostly about brakes) and its bag of words from the mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.exceptions import QueryError
+
+
+@dataclass
+class Corpus:
+    """A generated corpus: term counts plus generative ground truth."""
+
+    #: Document-term counts, shape (num_docs, vocab_size).
+    counts: sparse.csr_matrix
+    #: The dominant generating topic of each document (ground truth).
+    labels: np.ndarray
+    #: True per-document topic weights, shape (num_docs, num_topics).
+    topic_weights: np.ndarray
+    #: Topic-word distributions, shape (num_topics, vocab_size).
+    topics: np.ndarray
+
+    @property
+    def num_docs(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def vocab_size(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def num_topics(self) -> int:
+        return self.topics.shape[0]
+
+
+def generate_corpus(
+    num_docs: int,
+    num_topics: int = 50,
+    vocab_size: int = 500,
+    doc_length: int = 60,
+    alpha: float = 0.08,
+    beta: float = 0.05,
+    seed: int = 0,
+    chunk_size: int = 4096,
+) -> Corpus:
+    """Generate a topic-mixture corpus.
+
+    ``alpha`` controls how mixed documents are (smaller = purer topics,
+    sparser downstream posteriors), ``beta`` how topical words are.
+    """
+    if num_docs < 1:
+        raise QueryError(f"num_docs must be >= 1, got {num_docs}")
+    if num_topics < 2:
+        raise QueryError(f"num_topics must be >= 2, got {num_topics}")
+    rng = np.random.default_rng(seed)
+    topics = rng.dirichlet(np.full(vocab_size, beta), size=num_topics)
+    weights = rng.dirichlet(np.full(num_topics, alpha), size=num_docs)
+    labels = weights.argmax(axis=1)
+    blocks = []
+    for start in range(0, num_docs, chunk_size):
+        block_weights = weights[start : start + chunk_size]
+        mixtures = block_weights @ topics  # (chunk, vocab)
+        # Guard against tiny negative round-off and renormalize rows.
+        mixtures = np.maximum(mixtures, 0.0)
+        mixtures /= mixtures.sum(axis=1, keepdims=True)
+        block_counts = np.vstack(
+            [rng.multinomial(doc_length, row) for row in mixtures]
+        )
+        blocks.append(sparse.csr_matrix(block_counts))
+    counts = sparse.vstack(blocks).tocsr()
+    return Corpus(
+        counts=counts, labels=labels, topic_weights=weights, topics=topics
+    )

@@ -1,0 +1,133 @@
+"""Query workload generation and selectivity calibration.
+
+The paper's x-axis is *query selectivity* — the fraction of the dataset
+a query returns — swept across 0.01% to 10% by varying the threshold and
+``k`` ("Multiple thresholds and values for k are considered in order to
+produce queries with varying selectivities").
+
+Queries are drawn from the dataset's own distribution: a query UDA is a
+randomly picked tuple's distribution.  That mirrors the paper's
+motivating use ("determine the k patients that are most similar to a
+given patient") and guarantees non-degenerate answer sets at every
+selectivity.
+
+:func:`calibrate_threshold` turns a target selectivity into the exact
+threshold that yields it for a given query, using the relation's
+vectorized probability fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+from repro.core.queries import EqualityThresholdQuery, EqualityTopKQuery
+from repro.core.relation import UncertainRelation
+from repro.core.uda import UncertainAttribute
+
+#: The selectivity grid of the paper's figures (fractions, not percent).
+PAPER_SELECTIVITIES = (0.0001, 0.001, 0.01, 0.1)
+
+
+@dataclass(frozen=True)
+class CalibratedQuery:
+    """A query distribution calibrated to one target selectivity."""
+
+    q: UncertainAttribute
+    selectivity: float
+    threshold: float
+    k: int
+
+    def threshold_query(self) -> EqualityThresholdQuery:
+        """The PETQ form of this workload entry."""
+        return EqualityThresholdQuery(self.q, self.threshold)
+
+    def top_k_query(self) -> EqualityTopKQuery:
+        """The PEQ-top-k form of this workload entry."""
+        return EqualityTopKQuery(self.q, self.k)
+
+
+def sample_query_udas(
+    relation: UncertainRelation, num_queries: int, seed: int = 0
+) -> list[UncertainAttribute]:
+    """Draw query distributions from the relation's own tuples."""
+    if len(relation) == 0:
+        raise QueryError("cannot sample queries from an empty relation")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(relation), size=num_queries)
+    return [relation.uda_of(int(tid)) for tid in picks]
+
+
+def calibrate_threshold(
+    relation: UncertainRelation,
+    q: UncertainAttribute,
+    selectivity: float,
+) -> tuple[float, int]:
+    """Threshold and k matching a target selectivity for query ``q``.
+
+    Returns ``(threshold, k)`` where ``k = max(1, round(selectivity * n))``
+    and ``threshold`` is the k-th largest equality probability — i.e.
+    the inclusive PETQ threshold that selects (at least) ``k`` tuples.
+    Raises QueryError when fewer than ``k`` tuples have positive
+    probability (the query cannot reach the target selectivity).
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise QueryError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    probabilities = relation.equality_probabilities(q)
+    k = max(1, int(round(selectivity * len(relation))))
+    positive = int((probabilities > 0.0).sum())
+    if positive < k:
+        raise QueryError(
+            f"query reaches only {positive}/{len(relation)} tuples; "
+            f"selectivity {selectivity} needs {k}"
+        )
+    kth = float(np.partition(probabilities, -k)[-k])
+    return kth, k
+
+
+def build_workload(
+    relation: UncertainRelation,
+    selectivities: tuple[float, ...] = PAPER_SELECTIVITIES,
+    queries_per_point: int = 10,
+    seed: int = 0,
+    max_attempts_factor: int = 10,
+) -> dict[float, list[CalibratedQuery]]:
+    """A calibrated workload: per selectivity, a list of queries.
+
+    Sampled query distributions that cannot reach a target selectivity
+    are skipped and resampled (up to ``max_attempts_factor`` times the
+    requested count per point).
+    """
+    workload: dict[float, list[CalibratedQuery]] = {}
+    for point, selectivity in enumerate(selectivities):
+        candidates = sample_query_udas(
+            relation,
+            queries_per_point * max_attempts_factor,
+            seed=seed * 7919 + point,
+        )
+        calibrated: list[CalibratedQuery] = []
+        for q in candidates:
+            if len(calibrated) >= queries_per_point:
+                break
+            try:
+                threshold, k = calibrate_threshold(relation, q, selectivity)
+            except QueryError:
+                continue
+            if threshold <= 0.0:
+                continue
+            calibrated.append(
+                CalibratedQuery(
+                    q=q, selectivity=selectivity, threshold=threshold, k=k
+                )
+            )
+        if not calibrated:
+            raise QueryError(
+                f"no sampled query reaches selectivity {selectivity}; "
+                "the dataset may be too small or too sparse"
+            )
+        workload[selectivity] = calibrated
+    return workload

@@ -1,0 +1,28 @@
+"""Probabilistic inverted index (paper Section 3.1)."""
+
+from repro.invindex.index import ProbabilisticInvertedIndex
+from repro.invindex.postings import PostingCursor, PostingList
+from repro.invindex.strategies import (
+    STRATEGIES,
+    ColumnPruning,
+    HighestProbFirst,
+    InvIndexSearch,
+    NoRandomAccess,
+    RowPruning,
+    SearchStrategy,
+    get_strategy,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "ColumnPruning",
+    "HighestProbFirst",
+    "InvIndexSearch",
+    "NoRandomAccess",
+    "PostingCursor",
+    "PostingList",
+    "ProbabilisticInvertedIndex",
+    "RowPruning",
+    "SearchStrategy",
+    "get_strategy",
+]

@@ -1,0 +1,627 @@
+"""Search strategies for the probabilistic inverted index.
+
+Section 3.1 of the paper describes one brute-force lookup and "three
+heuristics by which the search can be concluded early", which "search the
+tuples in decreasing probability order, stopping when no more tuples are
+likely to satisfy the threshold":
+
+* :class:`InvIndexSearch` — read every query item's list fully and score
+  candidates from the accumulated contributions;
+* :class:`HighestProbFirst` — synchronized descending-probability cursors
+  over the query lists, always advancing the most promising one, stopping
+  by Lemma 1;
+* :class:`RowPruning` — only read lists of items whose *query*
+  probability can reach the threshold;
+* :class:`ColumnPruning` — read every query list, but only the prefix
+  whose *stored* probabilities can reach the threshold;
+* :class:`NoRandomAccess` — the rank-join variant (after Fagin's NRA):
+  per-tuple lower/upper "lack" bookkeeping, candidates discarded as their
+  upper bound falls below the threshold, random accesses deferred until
+  the candidate set is small.
+
+Every strategy answers both PETQ (``threshold``) and PEQ-top-k
+(``top_k``, via a dynamically raised threshold, as in Section 2).
+
+Strategies consume posting lists at *leaf granularity* (a page is read
+whole, so its postings are processed as one batch); the stopping rules
+hold at any batch size, with an overshoot of at most one leaf per list.
+Strategies accept both :class:`UncertainAttribute` queries and the
+mass-unconstrained :class:`~repro.core.uda.QueryVector` weights that
+windowed ordered-domain queries expand into.
+
+Exactness
+---------
+All strategies return *exactly* the naive executor's answer set and
+scores.  Scores are always computed with the canonical
+:meth:`~repro.core.uda.UncertainAttribute.equality_probability`
+(an order-independent, correctly rounded sum).  Pruning bounds are
+floating-point estimates, so every cut-off carries the safety margin
+:data:`EPSILON` (and a query/tuple mass allowance where the paper's
+argument relies on masses being at most one): the bounds may admit a few
+extra candidates, never drop a qualifying one.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.core.exceptions import QueryError
+from repro.core.results import Match, QueryResult, QueryStats
+from repro.core.uda import MASS_TOLERANCE, UncertainAttribute
+from repro.invindex.index import ProbabilisticInvertedIndex
+from repro.invindex.postings import PostingCursor
+
+#: Safety margin absorbing float error in pruning bounds (never in scores).
+EPSILON = 1e-10
+
+#: Allowance for total tuple mass, which may exceed 1 by MASS_TOLERANCE.
+_MASS_BOUND = 1.0 + MASS_TOLERANCE
+
+
+class _Verifier:
+    """Random-access verification with per-query memoization."""
+
+    def __init__(
+        self,
+        index: ProbabilisticInvertedIndex,
+        q: UncertainAttribute,
+        stats: QueryStats,
+    ) -> None:
+        self._index = index
+        self._q = q
+        self._stats = stats
+        self._cache: dict[int, float] = {}
+
+    def score(self, tid: int) -> float:
+        """Exact ``Pr(q = tid)`` via one random access (memoized)."""
+        cached = self._cache.get(tid)
+        if cached is not None:
+            return cached
+        self._stats.random_accesses += 1
+        self._stats.candidates_examined += 1
+        items, probs = self._index.fetch_uda_arrays(tid)
+        probability = self._q.equality_with_arrays(items, probs)
+        self._cache[tid] = probability
+        return probability
+
+
+class _CursorSet:
+    """Descending cursors over the query's posting lists.
+
+    Wraps one :class:`PostingCursor` per query item that has a posting
+    list, tracking the "most promising" list — the one maximizing
+    ``q.p_j * p'_j`` — and the Lemma 1 bound ``sum_j q.p_j * p'_j``.
+    """
+
+    def __init__(
+        self, index: ProbabilisticInvertedIndex, q: UncertainAttribute
+    ) -> None:
+        self.items: list[int] = []
+        self.q_probs: list[float] = []
+        self.cursors: list[PostingCursor] = []
+        for item, q_prob in q.pairs_by_probability():
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            self.items.append(item)
+            self.q_probs.append(q_prob)
+            self.cursors.append(posting_list.cursor())
+
+    def __len__(self) -> int:
+        return len(self.cursors)
+
+    def bound(self) -> float:
+        """Lemma 1 upper bound on any tuple below every cursor."""
+        return math.fsum(
+            q_prob * cursor.head_prob()
+            for q_prob, cursor in zip(self.q_probs, self.cursors)
+        )
+
+    def most_promising(self) -> int | None:
+        """Index of the live cursor maximizing ``q.p_j * p'_j``."""
+        best = None
+        best_value = 0.0
+        for j, (q_prob, cursor) in enumerate(zip(self.q_probs, self.cursors)):
+            if cursor.exhausted:
+                continue
+            value = q_prob * cursor.head_prob()
+            if best is None or value > best_value:
+                best = j
+                best_value = value
+        return best
+
+
+class SearchStrategy(ABC):
+    """Interface every inverted-index search strategy implements."""
+
+    #: Registry name; set by subclasses.
+    name: str
+
+    @abstractmethod
+    def threshold(
+        self,
+        index: ProbabilisticInvertedIndex,
+        q: UncertainAttribute,
+        tau: float,
+    ) -> QueryResult:
+        """Answer PETQ(q, tau)."""
+
+    @abstractmethod
+    def top_k(
+        self,
+        index: ProbabilisticInvertedIndex,
+        q: UncertainAttribute,
+        k: int,
+    ) -> QueryResult:
+        """Answer PEQ-top-k(q, k)."""
+
+
+# ---------------------------------------------------------------------------
+# Brute force: inv-index-search
+# ---------------------------------------------------------------------------
+
+class InvIndexSearch(SearchStrategy):
+    """Brute-force lookup: read every query list fully.
+
+    Because *all* lists of the query's support are read, the gathered
+    contributions of a candidate cover every common item of ``q`` and the
+    tuple — the accumulated score *is* the exact equality probability, so
+    no random access is needed.  "In many cases when these lists are not
+    too big and the query involves fewer [items], this could be as good
+    as any other method.  However, ... it reads the entire list for every
+    query."
+    """
+
+    name = "inv_index_search"
+
+    def _gather(
+        self, index: ProbabilisticInvertedIndex, q: UncertainAttribute, stats: QueryStats
+    ) -> dict[int, float]:
+        """Exact scores for every tuple sharing an item with ``q``."""
+        contributions: dict[int, list[float]] = {}
+        for item, q_prob in q.pairs():
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            stats.nodes_visited += 1
+            tids, probs = posting_list.read_all()
+            stats.entries_scanned += len(tids)
+            for tid, prob in zip(tids.tolist(), probs.tolist()):
+                contributions.setdefault(tid, []).append(q_prob * prob)
+        scores = {
+            tid: math.fsum(products)
+            for tid, products in contributions.items()
+        }
+        stats.candidates_examined += len(scores)
+        return scores
+
+    def threshold(self, index, q, tau):
+        stats = QueryStats()
+        scores = self._gather(index, q, stats)
+        matches = [
+            Match(tid=tid, score=score)
+            for tid, score in scores.items()
+            if score >= tau
+        ]
+        return QueryResult(matches, stats)
+
+    def top_k(self, index, q, k):
+        stats = QueryStats()
+        scores = self._gather(index, q, stats)
+        matches = sorted(
+            Match(tid=tid, score=score)
+            for tid, score in scores.items()
+            if score > 0.0
+        )
+        return QueryResult(matches[:k], stats)
+
+
+# ---------------------------------------------------------------------------
+# Highest-prob-first
+# ---------------------------------------------------------------------------
+
+class HighestProbFirst(SearchStrategy):
+    """Synchronized descending scan, most promising list first.
+
+    At each step the cursor whose next pair maximizes ``q.p_j * p'_j`` is
+    advanced; each first-seen tuple is verified by random access.  The
+    search stops when the Lemma 1 bound ``sum_j q.p_j * p'_j`` drops
+    below the (possibly dynamic) threshold: no unseen tuple can qualify.
+    """
+
+    name = "highest_prob_first"
+
+    def threshold(self, index, q, tau):
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cursors = _CursorSet(index, q)
+        stats.nodes_visited += len(cursors)
+        matches: list[Match] = []
+        seen: set[int] = set()
+        while True:
+            if cursors.bound() < tau - EPSILON:
+                break
+            j = cursors.most_promising()
+            if j is None:
+                break
+            # Consume the most promising list at leaf granularity (the
+            # page is read whole anyway); the Lemma 1 stopping argument
+            # is insensitive to batch size.
+            tids, _ = cursors.cursors[j].pop_run()
+            stats.entries_scanned += len(tids)
+            for tid in tids.tolist():
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                score = verifier.score(tid)
+                if score >= tau:
+                    matches.append(Match(tid=tid, score=score))
+        return QueryResult(matches, stats)
+
+    def top_k(self, index, q, k):
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cursors = _CursorSet(index, q)
+        stats.nodes_visited += len(cursors)
+        found: list[Match] = []
+        seen: set[int] = set()
+        while True:
+            # Dynamic threshold: the k-th best exact score so far.
+            tau_k = found[k - 1].score if len(found) >= k else 0.0
+            if len(found) >= k and cursors.bound() < tau_k - EPSILON:
+                break
+            j = cursors.most_promising()
+            if j is None:
+                break
+            tids, _ = cursors.cursors[j].pop_run()
+            stats.entries_scanned += len(tids)
+            for tid in tids.tolist():
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                score = verifier.score(tid)
+                if score > 0.0:
+                    found.append(Match(tid=tid, score=score))
+            found.sort()
+        return QueryResult(found[:k], stats)
+
+
+# ---------------------------------------------------------------------------
+# Row pruning
+# ---------------------------------------------------------------------------
+
+class RowPruning(SearchStrategy):
+    """Only read lists whose *query* probability can reach the threshold.
+
+    A tuple whose every common item has query probability below
+    ``tau / mass`` satisfies ``Pr(q = u) <= max_i q.p_i * sum_i u.p_i
+    < tau``, so lists with smaller query probability cannot introduce new
+    qualifying tuples and are skipped entirely.
+    """
+
+    name = "row_pruning"
+
+    def threshold(self, index, q, tau):
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cutoff = tau / _MASS_BOUND - EPSILON
+        matches: list[Match] = []
+        seen: set[int] = set()
+        for item, q_prob in q.pairs_by_probability():
+            if q_prob < cutoff:
+                break  # pairs are in descending q_prob order
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            stats.nodes_visited += 1
+            tids, _ = posting_list.read_all()
+            stats.entries_scanned += len(tids)
+            for tid in tids.tolist():
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                score = verifier.score(tid)
+                if score >= tau:
+                    matches.append(Match(tid=tid, score=score))
+        return QueryResult(matches, stats)
+
+    def top_k(self, index, q, k):
+        """Examine candidate lists eagerly, raising the threshold as we go."""
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        found: list[Match] = []
+        seen: set[int] = set()
+        for item, q_prob in q.pairs_by_probability():
+            tau_k = found[k - 1].score if len(found) >= k else 0.0
+            if len(found) >= k and q_prob * _MASS_BOUND < tau_k - EPSILON:
+                break  # no unseen tuple in this or later lists can qualify
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            stats.nodes_visited += 1
+            tids, _ = posting_list.read_all()
+            stats.entries_scanned += len(tids)
+            for tid in tids.tolist():
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                score = verifier.score(tid)
+                if score > 0.0:
+                    found.append(Match(tid=tid, score=score))
+            found.sort()
+        return QueryResult(found[:k], stats)
+
+
+# ---------------------------------------------------------------------------
+# Column pruning
+# ---------------------------------------------------------------------------
+
+class ColumnPruning(SearchStrategy):
+    """Read every query list, but only down to the threshold probability.
+
+    A tuple whose every common item has *stored* probability below
+    ``tau / q_mass`` satisfies ``Pr(q = u) <= (max common u.p_i) *
+    sum_j q.p_j < tau``; such tuples appear only in the pruned tails.
+    """
+
+    name = "column_pruning"
+
+    def threshold(self, index, q, tau):
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cutoff = tau / max(q.total_mass, EPSILON) - EPSILON
+        matches: list[Match] = []
+        seen: set[int] = set()
+        for item, _ in q.pairs_by_probability():
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            stats.nodes_visited += 1
+            tids, _ = posting_list.read_prefix(cutoff)
+            stats.entries_scanned += len(tids)
+            for tid in tids.tolist():
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                score = verifier.score(tid)
+                if score >= tau:
+                    matches.append(Match(tid=tid, score=score))
+        return QueryResult(matches, stats)
+
+    def top_k(self, index, q, k):
+        """Like highest-prob-first, but each list is dropped independently
+        once its head probability falls below the dynamic per-list cutoff
+        ("more conducive to top-k queries")."""
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cursors = _CursorSet(index, q)
+        stats.nodes_visited += len(cursors)
+        q_mass = max(q.total_mass, EPSILON)
+        found: list[Match] = []
+        seen: set[int] = set()
+        live = [not cursor.exhausted for cursor in cursors.cursors]
+        while any(live):
+            tau_k = found[k - 1].score if len(found) >= k else 0.0
+            cutoff = tau_k / q_mass - EPSILON if len(found) >= k else -1.0
+            advanced = False
+            for j, cursor in enumerate(cursors.cursors):
+                if not live[j]:
+                    continue
+                if cursor.exhausted or cursor.head_prob() < cutoff:
+                    live[j] = False
+                    continue
+                run_tids, run_probs = cursor.pop_run()
+                # Entries below the cutoff cannot introduce new top-k
+                # tuples via this list (their maximal common probability
+                # lies above the cutoff in some other list, where they
+                # are seen); skip verifying them, as the per-entry
+                # algorithm would have.
+                keep = run_probs >= cutoff
+                stats.entries_scanned += int(keep.sum())
+                advanced = True
+                for tid in run_tids[keep].tolist():
+                    if tid in seen:
+                        continue
+                    seen.add(tid)
+                    score = verifier.score(tid)
+                    if score > 0.0:
+                        found.append(Match(tid=tid, score=score))
+                found.sort()
+            if not advanced:
+                break
+        return QueryResult(found[:k], stats)
+
+
+# ---------------------------------------------------------------------------
+# No-random-access (rank-join) variant
+# ---------------------------------------------------------------------------
+
+class NoRandomAccess(SearchStrategy):
+    """Rank-join search with "lack" bookkeeping and deferred verification.
+
+    "For each tuple so far encountered ... we maintain its lack parameter
+    — the amount of probability value required for the tuple, and which
+    lists it could come from.  As soon as the probability values of
+    required lists drop below a certain boundary such that a tuple can
+    never qualify, we discard the tuple. ...  Finally, once the size of
+    this candidate set falls below some number ... we perform random
+    accesses for these tuples."
+
+    ``fallback`` is that "some number": when at most this many candidates
+    remain unresolved, the strategy switches to random accesses.  Result
+    scores are always verified by random access so they match the naive
+    executor exactly.  Bound bookkeeping over the whole candidate set is
+    amortized: it runs every ``resolve_every`` consumed postings rather
+    than after each one.
+    """
+
+    name = "no_random_access"
+
+    def __init__(self, fallback: int = 64, resolve_every: int = 64) -> None:
+        if fallback < 1:
+            raise QueryError(f"fallback must be >= 1, got {fallback}")
+        if resolve_every < 1:
+            raise QueryError(
+                f"resolve_every must be >= 1, got {resolve_every}"
+            )
+        self.fallback = fallback
+        self.resolve_every = resolve_every
+
+    def threshold(self, index, q, tau):
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cursors = _CursorSet(index, q)
+        stats.nodes_visited += len(cursors)
+        num_lists = len(cursors)
+        partial: dict[int, float] = {}
+        seen_in: dict[int, int] = {}  # tid -> bitmask of consumed lists
+        confirmed: set[int] = set()
+        discovering = True
+        since_resolve = self.resolve_every  # force an initial pass
+        while True:
+            if since_resolve >= self.resolve_every:
+                since_resolve = 0
+                heads = [cursor.head_prob() for cursor in cursors.cursors]
+                unseen_bound = math.fsum(
+                    q_prob * head
+                    for q_prob, head in zip(cursors.q_probs, heads)
+                )
+                if discovering and unseen_bound < tau - EPSILON:
+                    discovering = False
+                # Resolve candidates whose bounds crossed the threshold.
+                resolved = []
+                for tid, mask in seen_in.items():
+                    if tid in confirmed:
+                        continue
+                    lack = math.fsum(
+                        cursors.q_probs[j] * heads[j]
+                        for j in range(num_lists)
+                        if not mask >> j & 1
+                    )
+                    if partial[tid] + lack < tau - EPSILON:
+                        resolved.append(tid)  # can never qualify
+                    elif partial[tid] >= tau + EPSILON:
+                        confirmed.add(tid)  # definitely qualifies
+                for tid in resolved:
+                    del seen_in[tid]
+                    del partial[tid]
+                unresolved = len(seen_in) - len(confirmed)
+                if not discovering and unresolved <= self.fallback:
+                    break
+            j = cursors.most_promising()
+            if j is None:
+                break
+            run_tids, run_probs = cursors.cursors[j].pop_run()
+            stats.entries_scanned += len(run_tids)
+            since_resolve += len(run_tids)
+            bit = 1 << j
+            q_prob = cursors.q_probs[j]
+            for tid, prob in zip(run_tids.tolist(), run_probs.tolist()):
+                mask = seen_in.get(tid)
+                if mask is None:
+                    if not discovering:
+                        continue  # new tuples can no longer qualify
+                    seen_in[tid] = bit
+                    partial[tid] = q_prob * prob
+                elif not mask & bit:
+                    seen_in[tid] = mask | bit
+                    partial[tid] += q_prob * prob
+        # Final verification pass: confirmed tuples need exact scores, the
+        # remaining unresolved candidates need a membership decision.
+        matches = []
+        for tid in seen_in:
+            score = verifier.score(tid)
+            if score >= tau:
+                matches.append(Match(tid=tid, score=score))
+        return QueryResult(matches, stats)
+
+    def top_k(self, index, q, k):
+        """Collect candidates without random access, then verify.
+
+        Scans until no unseen tuple can beat the k-th best partial (lower
+        bound) score, then random-accesses every surviving candidate
+        whose upper bound reaches it.
+        """
+        stats = QueryStats()
+        verifier = _Verifier(index, q, stats)
+        cursors = _CursorSet(index, q)
+        stats.nodes_visited += len(cursors)
+        num_lists = len(cursors)
+        partial: dict[int, float] = {}
+        seen_in: dict[int, int] = {}
+        since_check = self.resolve_every  # force an initial stop check
+        while True:
+            if since_check >= self.resolve_every:
+                since_check = 0
+                heads = [cursor.head_prob() for cursor in cursors.cursors]
+                unseen_bound = math.fsum(
+                    q_prob * head
+                    for q_prob, head in zip(cursors.q_probs, heads)
+                )
+                if len(partial) >= k:
+                    tau_k = sorted(partial.values(), reverse=True)[k - 1]
+                    if unseen_bound < tau_k - EPSILON:
+                        break
+            j = cursors.most_promising()
+            if j is None:
+                break
+            run_tids, run_probs = cursors.cursors[j].pop_run()
+            stats.entries_scanned += len(run_tids)
+            since_check += len(run_tids)
+            bit = 1 << j
+            q_prob = cursors.q_probs[j]
+            for tid, prob in zip(run_tids.tolist(), run_probs.tolist()):
+                mask = seen_in.get(tid)
+                if mask is None:
+                    seen_in[tid] = bit
+                    partial[tid] = q_prob * prob
+                elif not mask & bit:
+                    seen_in[tid] = mask | bit
+                    partial[tid] += q_prob * prob
+        if not partial:
+            return QueryResult([], stats)
+        tau_k = (
+            sorted(partial.values(), reverse=True)[k - 1]
+            if len(partial) >= k
+            else 0.0
+        )
+        heads = [cursor.head_prob() for cursor in cursors.cursors]
+        found = []
+        for tid, mask in seen_in.items():
+            lack = math.fsum(
+                cursors.q_probs[j] * heads[j]
+                for j in range(num_lists)
+                if not mask >> j & 1
+            )
+            if partial[tid] + lack < tau_k - EPSILON:
+                continue  # upper bound cannot reach the k-th best
+            score = verifier.score(tid)
+            if score > 0.0:
+                found.append(Match(tid=tid, score=score))
+        found.sort()
+        return QueryResult(found[:k], stats)
+
+
+#: Strategy registry by name.
+STRATEGIES: dict[str, SearchStrategy] = {
+    strategy.name: strategy
+    for strategy in (
+        InvIndexSearch(),
+        HighestProbFirst(),
+        RowPruning(),
+        ColumnPruning(),
+        NoRandomAccess(),
+    )
+}
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    """Look up a search strategy by name (case-insensitive)."""
+    try:
+        return STRATEGIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise QueryError(
+            f"unknown search strategy {name!r}; expected one of: {known}"
+        ) from None

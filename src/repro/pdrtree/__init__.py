@@ -1,0 +1,18 @@
+"""Probabilistic Distribution R-tree (paper Section 3.2)."""
+
+from repro.pdrtree.compression import BoundaryCodec
+from repro.pdrtree.insert_policy import INSERT_POLICIES, choose_child
+from repro.pdrtree.mbr import BoundaryVector
+from repro.pdrtree.split import MAX_FRACTION, split_objects
+from repro.pdrtree.tree import PDRTree, PDRTreeConfig
+
+__all__ = [
+    "INSERT_POLICIES",
+    "MAX_FRACTION",
+    "BoundaryCodec",
+    "BoundaryVector",
+    "PDRTree",
+    "PDRTreeConfig",
+    "choose_child",
+    "split_objects",
+]

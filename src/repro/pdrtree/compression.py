@@ -1,0 +1,246 @@
+"""MBR boundary compression for the PDR-tree (paper Section 3.2).
+
+"An MBR boundary may be described in terms of |D| floating-point values.
+This may be space inefficient if the data domain is large. ... The MBR
+description does not need to be precise and can be stored in approximate
+form. ... the lossy representation of an MBR boundary vector must be an
+over-estimation of the actual values."
+
+A :class:`BoundaryCodec` bundles the paper's two orthogonal approaches:
+
+* **Set-signature folding** — a function ``f : D -> C`` with ``|C| < |D|``
+  maps domain items onto a smaller *scheme space*; the boundary stores one
+  value per occupied fold class, the class maximum.  (We fold by
+  ``item mod |C|`` and project each UDA by summing its mass per class,
+  which over-estimates every member probability.)
+* **Discretized over-estimation** — each value is rounded *up* to the next
+  multiple of ``1 / 2**bits`` and stored in ``bits`` bits (the paper's
+  example: 0.62 with 2 bits becomes 0.75).
+
+Either, both, or neither may be active.  The codec also fixes the byte
+layout of an encoded boundary and guarantees the over-estimation
+invariant end to end, including the float32 narrowing of uncompressed
+values (rounded toward +inf so the stored bound never undershoots).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.exceptions import QueryError, SerializationError
+
+_HEADER = struct.Struct("<H")
+_ITEM = np.dtype("<u4")
+_VALUE = np.dtype("<f4")
+
+
+class BoundaryCodec:
+    """Encoding/decoding of MBR boundary vectors, with optional compression.
+
+    Parameters
+    ----------
+    domain_size:
+        Size of the uncompressed domain ``D``.
+    fold_size:
+        When given, activate set-signature folding onto ``C`` of this
+        size (must be smaller than ``domain_size``).
+    bits:
+        When given, activate discretized over-estimation with this many
+        bits per value (one of 2, 4, 8).
+    """
+
+    def __init__(
+        self,
+        domain_size: int,
+        fold_size: int | None = None,
+        bits: int | None = None,
+    ) -> None:
+        if domain_size < 1:
+            raise QueryError(f"domain_size must be >= 1, got {domain_size}")
+        if fold_size is not None and not 1 <= fold_size < domain_size:
+            raise QueryError(
+                f"fold_size must be in [1, {domain_size}), got {fold_size}"
+            )
+        if bits is not None and bits not in (2, 4, 8):
+            raise QueryError(f"bits must be one of 2, 4, 8; got {bits}")
+        self.domain_size = domain_size
+        self.fold_size = fold_size
+        self.bits = bits
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def space_size(self) -> int:
+        """Size of the scheme space boundaries live in (``|C|`` or ``|D|``)."""
+        return self.fold_size if self.fold_size is not None else self.domain_size
+
+    @property
+    def tag(self) -> int:
+        """A one-byte configuration tag stored in node headers."""
+        fold_bit = 1 if self.fold_size is not None else 0
+        bits_code = {None: 0, 2: 1, 4: 2, 8: 3}[self.bits]
+        return fold_bit | bits_code << 1
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``"fold=16, bits=4"``."""
+        parts = []
+        if self.fold_size is not None:
+            parts.append(f"fold={self.fold_size}")
+        if self.bits is not None:
+            parts.append(f"bits={self.bits}")
+        return ", ".join(parts) if parts else "raw"
+
+    # -- projection into scheme space ---------------------------------------
+
+    def fold_item(self, item: int) -> int:
+        """The signature function ``f : D -> C`` (identity when unfolded)."""
+        if self.fold_size is None:
+            return item
+        return item % self.fold_size
+
+    def project(
+        self, items: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project a sparse non-negative vector over ``D`` into scheme space.
+
+        Folding takes the *maximum* per fold class: exactly the signature
+        semantics the paper gives, ``Pr(c_i) = max{Pr(d_j) : f(d_j) = c_i}``.
+        The class maximum dominates every individual component, so folded
+        boundaries keep the over-estimation invariant (and stay <= 1).
+        Without folding this is the identity.
+        """
+        if self.fold_size is None:
+            return np.asarray(items, dtype=np.int64), np.asarray(
+                values, dtype=np.float64
+            )
+        folded = np.asarray(items, dtype=np.int64) % self.fold_size
+        classes, inverse = np.unique(folded, return_inverse=True)
+        maxima = np.zeros(len(classes))
+        np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.float64))
+        return classes, maxima
+
+    def fold_query(
+        self, items: np.ndarray, probs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project a query distribution for dot products in scheme space.
+
+        Query mass folds by *sum* (every query item scores against its
+        class's boundary value), giving
+        ``<boundary, folded_q> = sum_i q_i * boundary[f(i)]
+        >= sum_i q_i * u_i`` for every member ``u`` — pruning against
+        folded boundaries stays correct.
+        """
+        if self.fold_size is None:
+            return np.asarray(items, dtype=np.int64), np.asarray(
+                probs, dtype=np.float64
+            )
+        folded = np.asarray(items, dtype=np.int64) % self.fold_size
+        classes, inverse = np.unique(folded, return_inverse=True)
+        sums = np.zeros(len(classes))
+        np.add.at(sums, inverse, np.asarray(probs, dtype=np.float64))
+        return classes, sums
+
+    # -- value quantization ---------------------------------------------------
+
+    def quantize_up(self, values: np.ndarray) -> np.ndarray:
+        """Round values up to what the encoding will actually store.
+
+        This is the *logical* quantization: encode → decode is the
+        identity on its output.  Values must lie in ``(0, space_size]``
+        (folded masses may exceed one; they are clamped to the number of
+        fold classes a page can sum to, but in practice stay small).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self.bits is None:
+            narrowed = values.astype(np.float32).astype(np.float64)
+            undershoot = narrowed < values
+            if np.any(undershoot):
+                narrowed[undershoot] = np.nextafter(
+                    narrowed[undershoot].astype(np.float32), np.float32(np.inf)
+                ).astype(np.float64)
+            return narrowed
+        return self._levels(values) / (1 << self.bits)
+
+    def _levels(self, values: np.ndarray) -> np.ndarray:
+        """Quantization levels (1-based) for bit-packed storage."""
+        scale = 1 << self.bits
+        clipped = np.minimum(
+            np.maximum(np.asarray(values, dtype=np.float64), 0.0), 1.0
+        )
+        levels = np.ceil(clipped * scale - 1e-12).astype(np.int64)
+        return np.minimum(np.maximum(levels, 1), scale)
+
+    # -- byte layout -----------------------------------------------------------
+
+    def encoded_size(self, count: int) -> int:
+        """Size in bytes of an encoded boundary with ``count`` entries."""
+        if self.bits is None:
+            return _HEADER.size + count * (4 + 4)
+        packed = (count * self.bits + 7) // 8
+        return _HEADER.size + count * 4 + packed
+
+    def encode(self, items: np.ndarray, values: np.ndarray) -> bytes:
+        """Serialize a scheme-space boundary (items ascending)."""
+        items = np.asarray(items, dtype=np.int64)
+        count = len(items)
+        if count > 0xFFFF:
+            raise SerializationError(f"boundary has {count} entries; max 65535")
+        header = _HEADER.pack(count)
+        item_bytes = items.astype(_ITEM).tobytes()
+        if self.bits is None:
+            quantized = self.quantize_up(values)
+            return header + item_bytes + quantized.astype(_VALUE).tobytes()
+        levels = self._levels(values) - 1  # store 0-based levels
+        per_byte = 8 // self.bits
+        padded = np.zeros(
+            (count + per_byte - 1) // per_byte * per_byte, dtype=np.uint8
+        )
+        padded[:count] = levels.astype(np.uint8)
+        packed = np.zeros(len(padded) // per_byte, dtype=np.uint8)
+        for slot in range(per_byte):
+            packed |= padded[slot::per_byte] << (slot * self.bits)
+        return header + item_bytes + packed.tobytes()
+
+    def decode(
+        self, buffer: bytes | bytearray | memoryview, offset: int = 0
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Decode a boundary; returns ``(items, values, end_offset)``."""
+        (count,) = _HEADER.unpack_from(buffer, offset)
+        offset += _HEADER.size
+        items = np.frombuffer(buffer, dtype=_ITEM, count=count, offset=offset)
+        offset += count * 4
+        if self.bits is None:
+            values = np.frombuffer(
+                buffer, dtype=_VALUE, count=count, offset=offset
+            ).astype(np.float64)
+            offset += count * 4
+        else:
+            per_byte = 8 // self.bits
+            num_bytes = (count + per_byte - 1) // per_byte
+            packed = np.frombuffer(
+                buffer, dtype=np.uint8, count=num_bytes, offset=offset
+            )
+            offset += num_bytes
+            mask = (1 << self.bits) - 1
+            levels = np.empty(num_bytes * per_byte, dtype=np.int64)
+            for slot in range(per_byte):
+                levels[slot::per_byte] = (packed >> (slot * self.bits)) & mask
+            values = (levels[:count] + 1) / (1 << self.bits)
+        return items.astype(np.int64), values, offset
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundaryCodec):
+            return NotImplemented
+        return (
+            self.domain_size == other.domain_size
+            and self.fold_size == other.fold_size
+            and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundaryCodec(domain_size={self.domain_size}, "
+            f"fold_size={self.fold_size}, bits={self.bits})"
+        )

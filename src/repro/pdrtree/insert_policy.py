@@ -1,0 +1,99 @@
+"""Child-selection policies for PDR-tree insertion (paper Section 3.2).
+
+"The following criteria (or combination of these) are used to pick the
+best page: (1) Minimum area increase: we pick a page whose area increase
+is minimized after insertion of this new UDA; (2) Most similar MBR: we
+use [a] distributional similarity measure of u with [the] MBR boundary."
+
+Three policies are provided:
+
+* ``min_area`` — criterion (1), ties broken by smaller current area;
+* ``most_similar`` — criterion (2) under the tree's divergence measure;
+* ``hybrid`` — the combination: among the children with the minimum area
+  increase, pick the distributionally most similar boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+from repro.pdrtree.node import ChildEntry
+
+#: Registry of valid policy names.
+INSERT_POLICIES = ("min_area", "most_similar", "hybrid")
+
+
+def choose_child(
+    entries: list[ChildEntry],
+    items: np.ndarray,
+    values: np.ndarray,
+    policy: str,
+    divergence: str,
+) -> int:
+    """Index of the best child to receive the (scheme-space) vector."""
+    if not entries:
+        raise QueryError("cannot choose a child of an empty node")
+    if policy == "min_area":
+        return _min_area(entries, items, values)
+    if policy == "most_similar":
+        return _most_similar(entries, items, values, divergence)
+    if policy == "hybrid":
+        return _hybrid(entries, items, values, divergence)
+    known = ", ".join(INSERT_POLICIES)
+    raise QueryError(
+        f"unknown insert policy {policy!r}; expected one of: {known}"
+    )
+
+
+def _min_area(entries: list[ChildEntry], items: np.ndarray, values: np.ndarray) -> int:
+    best = 0
+    best_key = (float("inf"), float("inf"))
+    for index, entry in enumerate(entries):
+        key = (
+            entry.boundary.area_increase(items, values),
+            entry.boundary.area,
+        )
+        if key < best_key:
+            best_key = key
+            best = index
+    return best
+
+
+def _most_similar(
+    entries: list[ChildEntry],
+    items: np.ndarray,
+    values: np.ndarray,
+    divergence: str,
+) -> int:
+    best = 0
+    best_distance = float("inf")
+    for index, entry in enumerate(entries):
+        dist = entry.boundary.distance_to(items, values, divergence)
+        if dist < best_distance:
+            best_distance = dist
+            best = index
+    return best
+
+
+def _hybrid(
+    entries: list[ChildEntry],
+    items: np.ndarray,
+    values: np.ndarray,
+    divergence: str,
+) -> int:
+    increases = [
+        entry.boundary.area_increase(items, values) for entry in entries
+    ]
+    minimum = min(increases)
+    best = None
+    best_distance = float("inf")
+    for index, entry in enumerate(entries):
+        if increases[index] > minimum:
+            continue
+        dist = entry.boundary.distance_to(items, values, divergence)
+        if dist < best_distance:
+            best_distance = dist
+            best = index
+    assert best is not None  # at least the argmin-increase child qualifies
+    return best

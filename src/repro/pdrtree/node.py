@@ -1,0 +1,194 @@
+"""On-page layouts for PDR-tree nodes.
+
+PDR nodes hold variable-length entries, so unlike the B+-tree they are
+decoded into Python objects on fetch and re-encoded wholesale on update
+(CPU cost, never extra I/O).
+
+Leaf layout::
+
+    0  u8   node_type (2)
+    1  u8   codec tag (sanity check against the tree's codec)
+    2  u16  count
+    4  u16  used   (offset one past the last record; enables O(1) appends)
+    6  records:  u32 tid, u16 npairs, npairs * (u32 item, f32 prob)
+       pairs ascending by item — the UDA "pairs" representation, which
+       "also stores the number of pairs in the list"
+
+Internal layout::
+
+    0  u8   node_type (3)
+    1  u8   codec tag
+    2  u16  count
+    4  entries:  u32 child page id, then the codec-encoded boundary
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import PageError, SerializationError
+from repro.pdrtree.compression import BoundaryCodec
+from repro.pdrtree.mbr import BoundaryVector
+from repro.storage.page import Page
+
+PDR_LEAF = 2
+PDR_INTERNAL = 3
+
+LEAF_HEADER_SIZE = 6
+INTERNAL_HEADER_SIZE = 4
+_LEAF_RECORD_HEADER = struct.Struct("<IH")
+_CHILD = struct.Struct("<I")
+_PAIRS_DTYPE = np.dtype([("item", "<u4"), ("prob", "<f4")])
+
+
+@dataclass
+class LeafEntry:
+    """One stored UDA: tuple id plus its sparse pairs."""
+
+    tid: int
+    items: np.ndarray
+    probs: np.ndarray
+
+    @property
+    def encoded_size(self) -> int:
+        return _LEAF_RECORD_HEADER.size + len(self.items) * _PAIRS_DTYPE.itemsize
+
+
+@dataclass
+class ChildEntry:
+    """One child reference: page id plus its boundary (scheme space)."""
+
+    child_id: int
+    boundary: BoundaryVector
+
+    def encoded_size(self, codec: BoundaryCodec) -> int:
+        return _CHILD.size + codec.encoded_size(len(self.boundary))
+
+
+def leaf_capacity_bytes(page_size: int) -> int:
+    """Bytes available for leaf records."""
+    return page_size - LEAF_HEADER_SIZE
+
+
+def leaf_used_bytes(page: Page) -> int:
+    """Offset one past the last record of a formatted leaf."""
+    return page.read_u16(4)
+
+
+def _write_leaf_record(page: Page, offset: int, entry: LeafEntry) -> int:
+    _LEAF_RECORD_HEADER.pack_into(page.data, offset, entry.tid, len(entry.items))
+    pairs = np.empty(len(entry.items), dtype=_PAIRS_DTYPE)
+    pairs["item"] = entry.items
+    pairs["prob"] = entry.probs
+    page.write_bytes(offset + _LEAF_RECORD_HEADER.size, pairs.tobytes())
+    return offset + entry.encoded_size
+
+
+def encode_leaf(page: Page, codec: BoundaryCodec, entries: list[LeafEntry]) -> None:
+    """Serialize a leaf node onto ``page``."""
+    page.zero()
+    page.write_u8(0, PDR_LEAF)
+    page.write_u8(1, codec.tag)
+    page.write_u16(2, len(entries))
+    offset = LEAF_HEADER_SIZE
+    for entry in entries:
+        if offset + entry.encoded_size > page.size:
+            raise SerializationError(
+                f"leaf overflow: {len(entries)} entries need more than "
+                f"{page.size} bytes"
+            )
+        offset = _write_leaf_record(page, offset, entry)
+    page.write_u16(4, offset)
+
+
+def append_leaf_record(page: Page, entry: LeafEntry) -> bool:
+    """Append one record in place; returns False when it does not fit."""
+    if page.read_u8(0) != PDR_LEAF:
+        raise PageError(f"page {page.page_id} is not a PDR leaf")
+    used = page.read_u16(4)
+    if used + entry.encoded_size > page.size:
+        return False
+    end = _write_leaf_record(page, used, entry)
+    page.write_u16(2, page.read_u16(2) + 1)
+    page.write_u16(4, end)
+    return True
+
+
+def decode_leaf(page: Page) -> list[LeafEntry]:
+    """Deserialize the leaf node stored on ``page``."""
+    if page.read_u8(0) != PDR_LEAF:
+        raise PageError(f"page {page.page_id} is not a PDR leaf")
+    count = page.read_u16(2)
+    entries = []
+    offset = LEAF_HEADER_SIZE
+    buffer = bytes(page.data)
+    for _ in range(count):
+        tid, npairs = _LEAF_RECORD_HEADER.unpack_from(buffer, offset)
+        offset += _LEAF_RECORD_HEADER.size
+        pairs = np.frombuffer(buffer, dtype=_PAIRS_DTYPE, count=npairs, offset=offset)
+        offset += npairs * _PAIRS_DTYPE.itemsize
+        entries.append(
+            LeafEntry(
+                tid=tid,
+                items=pairs["item"].astype(np.int64),
+                probs=pairs["prob"].astype(np.float64),
+            )
+        )
+    return entries
+
+
+def encode_internal(
+    page: Page, codec: BoundaryCodec, entries: list[ChildEntry]
+) -> None:
+    """Serialize an internal node onto ``page``."""
+    page.zero()
+    page.write_u8(0, PDR_INTERNAL)
+    page.write_u8(1, codec.tag)
+    page.write_u16(2, len(entries))
+    offset = INTERNAL_HEADER_SIZE
+    for entry in entries:
+        encoded = codec.encode(entry.boundary.items, entry.boundary.values)
+        end = offset + _CHILD.size + len(encoded)
+        if end > page.size:
+            raise SerializationError(
+                f"internal overflow: {len(entries)} entries need more than "
+                f"{page.size} bytes"
+            )
+        _CHILD.pack_into(page.data, offset, entry.child_id)
+        page.write_bytes(offset + _CHILD.size, encoded)
+        offset = end
+
+
+def decode_internal(page: Page, codec: BoundaryCodec) -> list[ChildEntry]:
+    """Deserialize the internal node stored on ``page``.
+
+    Decoded boundary values are the codec's over-estimates; re-encoding
+    them is idempotent, so boundaries never drift across updates.
+    """
+    if page.read_u8(0) != PDR_INTERNAL:
+        raise PageError(f"page {page.page_id} is not a PDR internal node")
+    if page.read_u8(1) != codec.tag:
+        raise PageError(
+            f"page {page.page_id} was written with codec tag "
+            f"{page.read_u8(1)}, expected {codec.tag}"
+        )
+    count = page.read_u16(2)
+    entries = []
+    offset = INTERNAL_HEADER_SIZE
+    buffer = bytes(page.data)
+    for _ in range(count):
+        (child_id,) = _CHILD.unpack_from(buffer, offset)
+        offset += _CHILD.size
+        items, values, offset = codec.decode(buffer, offset)
+        entries.append(
+            ChildEntry(child_id=child_id, boundary=BoundaryVector(items, values))
+        )
+    return entries
+
+
+def node_kind(page: Page) -> int:
+    """The PDR node-type tag of a formatted page."""
+    return page.read_u8(0)

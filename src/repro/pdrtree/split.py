@@ -1,0 +1,155 @@
+"""Split strategies for overfull PDR-tree nodes (paper Section 3.2).
+
+"There are two alternative strategies to split an overfull page:
+top-down and bottom-up.  In the top-down strategy, we pick two children
+MBRs whose boundaries are distributionally farthest from each other ...
+With these two serving as the seeds for two clusters, all other UDAs are
+inserted into the closer cluster. ...  In the bottom-up strategy, we
+begin with each element forming an independent cluster.  In each step
+the closest pair of clusters (in terms of their distributional distance)
+are merged.  This process stops when only two clusters remain."
+
+Both strategies honour the balance constraint: "no cluster is allowed to
+contain more than 3/4 of the total elements".
+
+Objects are split in *scheme space* (UDA projections for leaves, child
+boundaries for internal nodes) over the union of their supports, so all
+distance work is dense and vectorized.  Figure 10 of the paper compares
+the two strategies; :mod:`benchmarks.bench_fig10_split` reproduces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+from repro.pdrtree.mbr import densify, pairwise_distances, rows_to_rows_distance
+
+#: The paper's occupancy cap for either side of a split.
+MAX_FRACTION = 0.75
+
+SparseVector = tuple[np.ndarray, np.ndarray]
+
+
+def split_objects(
+    objects: list[SparseVector],
+    strategy: str,
+    divergence: str,
+) -> tuple[list[int], list[int]]:
+    """Partition ``objects`` into two non-empty balanced groups.
+
+    Returns index lists ``(group_a, group_b)``; each group holds at most
+    ``MAX_FRACTION`` of the objects.
+    """
+    if len(objects) < 2:
+        raise QueryError(f"cannot split {len(objects)} object(s)")
+    if strategy == "top_down":
+        return _top_down(objects, divergence)
+    if strategy == "bottom_up":
+        return _bottom_up(objects, divergence)
+    raise QueryError(
+        f"unknown split strategy {strategy!r}; expected 'top_down' or "
+        "'bottom_up'"
+    )
+
+
+def _cap(total: int) -> int:
+    """Maximum group size under the 3/4 occupancy constraint."""
+    return max(1, min(total - 1, int(MAX_FRACTION * total)))
+
+
+def _top_down(objects: list[SparseVector], divergence: str) -> tuple[list[int], list[int]]:
+    """Farthest-pair seeds, then closest-seed assignment.
+
+    Follows the paper's description literally: objects are assigned to
+    the closer seed in arrival order, switching groups only when the
+    preferred one hits the occupancy cap.  (This is exactly the strategy
+    whose performance "is caused by outliers in the data that result in
+    poor choices for the initial cluster seeds" — Figure 10.)
+    """
+    matrix, _ = densify(objects)
+    total = len(objects)
+    distances = pairwise_distances(matrix, divergence)
+    seed_a, seed_b = np.unravel_index(np.argmax(distances), distances.shape)
+    if seed_a == seed_b:  # all objects identical; fall back to halves
+        half = total // 2
+        return list(range(half)), list(range(half, total))
+    cap = _cap(total)
+    group_a = [int(seed_a)]
+    group_b = [int(seed_b)]
+    rest = [i for i in range(total) if i not in (seed_a, seed_b)]
+    to_a = distances[rest, seed_a]
+    to_b = distances[rest, seed_b]
+    for position, index in enumerate(rest):
+        prefers_a = to_a[position] <= to_b[position]
+        if prefers_a and len(group_a) < cap:
+            group_a.append(index)
+        elif not prefers_a and len(group_b) < cap:
+            group_b.append(index)
+        elif len(group_a) < cap:
+            group_a.append(index)
+        else:
+            group_b.append(index)
+    return group_a, group_b
+
+
+def _bottom_up(objects: list[SparseVector], divergence: str) -> tuple[list[int], list[int]]:
+    """Agglomerative merging of closest cluster boundaries down to two.
+
+    Cluster distance is the divergence between the clusters' boundary
+    vectors (their pointwise maxima), symmetrized for KL.  Merges that
+    would exceed the occupancy cap are skipped.
+    """
+    matrix, _ = densify(objects)
+    total = len(objects)
+    cap = _cap(total)
+    boundaries = matrix.copy()  # row c: boundary of cluster c
+    members: list[list[int] | None] = [[i] for i in range(total)]
+    active = np.ones(total, dtype=bool)
+    sizes = np.ones(total, dtype=np.int64)
+    distances = pairwise_distances(boundaries, divergence)
+    np.fill_diagonal(distances, np.inf)
+    while int(active.sum()) > 2:
+        # Vectorized search for the closest mergeable (cap-respecting) pair.
+        size_sum = sizes[:, None] + sizes[None, :]
+        invalid = (
+            ~active[:, None]
+            | ~active[None, :]
+            | (size_sum > cap)
+        )
+        masked = np.where(invalid, np.inf, distances)
+        np.fill_diagonal(masked, np.inf)
+        flat = int(np.argmin(masked))
+        keep, drop = divmod(flat, total)
+        if not np.isfinite(masked[keep, drop]):
+            break  # only cap-violating merges remain
+        if drop < keep:
+            keep, drop = drop, keep
+        members[keep] = members[keep] + members[drop]
+        members[drop] = None
+        active[drop] = False
+        sizes[keep] += sizes[drop]
+        sizes[drop] = 0
+        boundaries[keep] = np.maximum(boundaries[keep], boundaries[drop])
+        others = np.flatnonzero(active & (np.arange(total) != keep))
+        if len(others):
+            forward = rows_to_rows_distance(
+                boundaries[keep][None, :], boundaries[others], divergence
+            )[0]
+            if divergence == "kl":
+                backward = rows_to_rows_distance(
+                    boundaries[others], boundaries[keep][None, :], divergence
+                )[:, 0]
+                forward = 0.5 * (forward + backward)
+            distances[keep, others] = forward
+            distances[others, keep] = forward
+    groups = [members[c] for c in np.flatnonzero(active) if members[c]]
+    if len(groups) == 2:
+        return groups[0], groups[1]
+    # More than two clusters survive only when every further merge would
+    # breach the cap; greedily fold the smallest clusters together.
+    groups.sort(key=len)
+    group_a: list[int] = []
+    for group in groups[:-1]:
+        group_a.extend(group)
+    return group_a, groups[-1]

@@ -1,0 +1,674 @@
+"""The Probabilistic Distribution R-tree (PDR-tree), paper Section 3.2.
+
+Each UDA is stored whole in a leaf page alongside distributionally
+similar UDAs; internal nodes hold child page ids with MBR boundary
+vectors (component-wise maxima, optionally compressed).  Queries prune
+with Lemma 2: a subtree whose boundary satisfies ``<<c.v, q>> < tau``
+cannot contain a qualifying tuple.
+
+Configuration (:class:`PDRTreeConfig`) exposes every design axis the
+paper evaluates or proposes:
+
+* ``divergence`` — the distributional distance used for clustering
+  (Figure 4 compares L1, L2, KL; KL wins);
+* ``split_strategy`` — ``top_down`` or ``bottom_up`` (Figure 10;
+  bottom-up wins);
+* ``insert_policy`` — minimum area increase, most similar MBR, or the
+  hybrid combination;
+* ``fold_size`` / ``bits`` — the two orthogonal MBR compression schemes.
+
+Top-k queries raise their threshold dynamically and visit children in
+greedy descending-bound order ("we can upgrade our threshold quickly by
+finding better candidates at the beginning of the search").
+
+As an extension past the paper's equality focus, the tree also answers
+distributional-similarity queries (DSTQ / DSQ-top-k) for L1 and L2 with
+a sound MBR lower bound (KL admits no such bound and falls back to a
+full sweep).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import (
+    KeyNotFoundError,
+    QueryError,
+    RecordTooLargeError,
+)
+from repro.core.queries import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    Query,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    WindowedEqualityQuery,
+)
+from repro.core.relation import UncertainRelation
+from repro.core.results import Match, QueryResult, QueryStats
+from repro.core.uda import UncertainAttribute
+from repro.pdrtree.compression import BoundaryCodec
+from repro.pdrtree.insert_policy import INSERT_POLICIES, choose_child
+from repro.pdrtree.mbr import BoundaryVector
+from repro.pdrtree.node import (
+    INTERNAL_HEADER_SIZE,
+    LEAF_HEADER_SIZE,
+    PDR_INTERNAL,
+    PDR_LEAF,
+    ChildEntry,
+    LeafEntry,
+    append_leaf_record,
+    decode_internal,
+    decode_leaf,
+    encode_internal,
+    encode_leaf,
+    leaf_used_bytes,
+    node_kind,
+)
+from repro.pdrtree.split import split_objects
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+#: Safety margin for floating-point pruning bounds (never affects scores).
+EPSILON = 1e-10
+
+
+@dataclass(frozen=True)
+class PDRTreeConfig:
+    """Build-time knobs of a PDR-tree (defaults are the paper's winners)."""
+
+    insert_policy: str = "hybrid"
+    split_strategy: str = "bottom_up"
+    divergence: str = "kl"
+    fold_size: int | None = None
+    bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.insert_policy not in INSERT_POLICIES:
+            raise QueryError(
+                f"unknown insert policy {self.insert_policy!r}"
+            )
+        if self.split_strategy not in ("top_down", "bottom_up"):
+            raise QueryError(
+                f"unknown split strategy {self.split_strategy!r}"
+            )
+        if self.divergence not in ("l1", "l2", "kl"):
+            raise QueryError(
+                f"clustering divergence must be l1, l2 or kl; got "
+                f"{self.divergence!r}"
+            )
+
+
+class PDRTree:
+    """Probabilistic Distribution R-tree over one uncertain attribute."""
+
+    def __init__(
+        self,
+        domain_size: int,
+        disk: DiskManager | None = None,
+        pool: BufferPool | None = None,
+        config: PDRTreeConfig | None = None,
+    ) -> None:
+        self.domain_size = domain_size
+        self.config = config if config is not None else PDRTreeConfig()
+        self.codec = BoundaryCodec(
+            domain_size,
+            fold_size=self.config.fold_size,
+            bits=self.config.bits,
+        )
+        self.disk = disk if disk is not None else DiskManager()
+        self._pool = pool if pool is not None else BufferPool(self.disk, 4096)
+        root = self._pool.new_page(tag="pdr-node")
+        encode_leaf(root, self.codec, [])
+        self._pool.mark_dirty(root.page_id)
+        self.root_page_id = root.page_id
+        self.height = 1
+        self.num_tuples = 0
+        self._leaf_of_tid: dict[int, int] = {}
+        # Decoded-node caches: pure CPU memoization of page decoding.
+        # They never bypass the buffer pool (every access still fetches
+        # the page, so I/O accounting is unaffected) and are updated on
+        # every write this tree makes — it is the only writer.
+        self._leaf_cache: dict[int, list[LeafEntry]] = {}
+        self._internal_cache: dict[int, list[ChildEntry]] = {}
+
+    # -- cached node access ----------------------------------------------------
+
+    def _get_leaf(self, page_id: int) -> list[LeafEntry]:
+        page = self._pool.fetch_page(page_id)
+        entries = self._leaf_cache.get(page_id)
+        if entries is None:
+            entries = decode_leaf(page)
+            self._leaf_cache[page_id] = entries
+        return entries
+
+    def _put_leaf(self, page_id: int, entries: list[LeafEntry]) -> None:
+        page = self._pool.fetch_page(page_id)
+        encode_leaf(page, self.codec, entries)
+        self._pool.mark_dirty(page_id)
+        self._leaf_cache[page_id] = entries
+        self._internal_cache.pop(page_id, None)
+
+    def _get_internal(self, page_id: int) -> list[ChildEntry]:
+        page = self._pool.fetch_page(page_id)
+        entries = self._internal_cache.get(page_id)
+        if entries is None:
+            entries = decode_internal(page, self.codec)
+            self._internal_cache[page_id] = entries
+        return entries
+
+    def _put_internal(self, page_id: int, entries: list[ChildEntry]) -> None:
+        page = self._pool.fetch_page(page_id)
+        encode_internal(page, self.codec, entries)
+        self._pool.mark_dirty(page_id)
+        self._internal_cache[page_id] = entries
+        self._leaf_cache.pop(page_id, None)
+
+    # -- buffering ------------------------------------------------------------
+
+    @property
+    def pool(self) -> BufferPool:
+        """The buffer pool all page access goes through."""
+        return self._pool
+
+    @pool.setter
+    def pool(self, pool: BufferPool) -> None:
+        if pool.disk is not self.disk:
+            raise QueryError("buffer pool must be backed by the tree's disk")
+        self._pool.flush_all()  # don't strand dirty pages in the old pool
+        self._pool = pool
+
+    # -- size accounting ---------------------------------------------------------
+
+    def _leaf_fits(self, entries: list[LeafEntry]) -> bool:
+        size = LEAF_HEADER_SIZE + sum(entry.encoded_size for entry in entries)
+        return size <= self.disk.page_size
+
+    def _internal_fits(self, entries: list[ChildEntry]) -> bool:
+        size = INTERNAL_HEADER_SIZE + sum(
+            entry.encoded_size(self.codec) for entry in entries
+        )
+        return size <= self.disk.page_size
+
+    # -- construction ---------------------------------------------------------------
+
+    def build(self, relation: UncertainRelation) -> None:
+        """Insert every tuple of ``relation`` (tuple-at-a-time, as the
+        dynamic structure the paper describes)."""
+        if self.num_tuples:
+            raise QueryError("tree already built; create a fresh one")
+        if len(relation.domain) != self.domain_size:
+            raise QueryError(
+                f"relation domain size {len(relation.domain)} != tree "
+                f"domain size {self.domain_size}"
+            )
+        for tid in relation.tids():
+            self.insert(tid, relation.uda_of(tid))
+        self._pool.flush_all()
+
+    def insert(self, tid: int, uda: UncertainAttribute) -> None:
+        """Insert one tuple, expanding boundaries along the descent path.
+
+        If expanding a boundary overflows an internal node, the node is
+        split and the descent restarts from the root (each retry performs
+        a split, so the loop terminates).
+        """
+        if tid in self._leaf_of_tid:
+            raise QueryError(f"tid {tid} already present")
+        entry = LeafEntry(tid=tid, items=uda.items, probs=uda.probs)
+        if LEAF_HEADER_SIZE + entry.encoded_size > self.disk.page_size:
+            raise RecordTooLargeError(
+                f"UDA with {uda.nnz} pairs does not fit in a "
+                f"{self.disk.page_size}-byte page"
+            )
+        proj_items, proj_values = self.codec.project(uda.items, uda.probs)
+        while not self._insert_attempt(entry, proj_items, proj_values):
+            pass
+        self.num_tuples += 1
+
+    def _insert_attempt(
+        self,
+        entry: LeafEntry,
+        proj_items: np.ndarray,
+        proj_values: np.ndarray,
+    ) -> bool:
+        """One descent; returns False when a mid-path split forces a retry."""
+        path: list[tuple[int, int]] = []  # (page_id, chosen child index)
+        page_id = self.root_page_id
+        while True:
+            page = self._pool.fetch_page(page_id)
+            if node_kind(page) == PDR_LEAF:
+                break
+            entries = self._get_internal(page_id)
+            index = choose_child(
+                entries,
+                proj_items,
+                proj_values,
+                self.config.insert_policy,
+                self.config.divergence,
+            )
+            chosen = entries[index]
+            if not chosen.boundary.dominates(proj_items, proj_values):
+                entries[index] = ChildEntry(
+                    child_id=chosen.child_id,
+                    boundary=chosen.boundary.expanded(proj_items, proj_values),
+                )
+                if not self._internal_fits(entries):
+                    # The grown boundary no longer fits: split this node
+                    # (with the expanded entry, which keeps every boundary
+                    # a valid over-estimate) and retry from the root.
+                    self._split_internal(page_id, entries, path)
+                    return False
+                self._put_internal(page_id, entries)
+                chosen = entries[index]
+            path.append((page_id, index))
+            page_id = chosen.child_id
+        # Fast path: append the record in place when it fits.
+        if leaf_used_bytes(page) + entry.encoded_size <= page.size:
+            appended = append_leaf_record(page, entry)
+            assert appended
+            self._pool.mark_dirty(page_id)
+            cached = self._leaf_cache.get(page_id)
+            if cached is not None:
+                cached.append(entry)
+            self._leaf_of_tid[entry.tid] = page_id
+        else:
+            self._split_leaf(page_id, self._get_leaf(page_id) + [entry], path)
+        return True
+
+    def delete(self, tid: int) -> None:
+        """Remove a tuple from its leaf.
+
+        Boundaries are not tightened (they remain valid over-estimates);
+        rebuild the tree to re-compact after heavy deletion.
+        """
+        try:
+            page_id = self._leaf_of_tid.pop(tid)
+        except KeyError:
+            raise KeyNotFoundError(f"tid {tid} not in tree") from None
+        entries = [e for e in self._get_leaf(page_id) if e.tid != tid]
+        self._put_leaf(page_id, entries)
+        self.num_tuples -= 1
+
+    # -- splitting ------------------------------------------------------------------
+
+    def _rebalance_bytes(
+        self,
+        sizes: list[int],
+        group_a: list[int],
+        group_b: list[int],
+        budget: int,
+    ) -> tuple[list[int], list[int]]:
+        """Shift members so both groups fit their byte budget.
+
+        The split strategies balance *counts* (the paper's 3/4 rule); with
+        variable-length records a group can still overflow its page, in
+        which case members migrate to the other group, largest first.
+        """
+        def total(group: list[int]) -> int:
+            return sum(sizes[i] for i in group)
+
+        for source, sink in ((group_a, group_b), (group_b, group_a)):
+            while total(source) > budget and len(source) > 1:
+                largest = max(source, key=lambda i: sizes[i])
+                source.remove(largest)
+                sink.append(largest)
+        if total(group_a) > budget or total(group_b) > budget:
+            raise RecordTooLargeError(
+                "node split cannot fit either half into a page"
+            )
+        return group_a, group_b
+
+    def _split_leaf(
+        self,
+        page_id: int,
+        entries: list[LeafEntry],
+        path: list[tuple[int, int]],
+    ) -> None:
+        projections = [
+            self.codec.project(entry.items, entry.probs) for entry in entries
+        ]
+        group_a, group_b = split_objects(
+            projections, self.config.split_strategy, self.config.divergence
+        )
+        sizes = [entry.encoded_size for entry in entries]
+        budget = self.disk.page_size - LEAF_HEADER_SIZE
+        group_a, group_b = self._rebalance_bytes(sizes, group_a, group_b, budget)
+        new_page = self._pool.new_page(tag="pdr-node")
+        for target_id, group in (
+            (page_id, group_a),
+            (new_page.page_id, group_b),
+        ):
+            members = [entries[i] for i in group]
+            self._put_leaf(target_id, members)
+            for member in members:
+                self._leaf_of_tid[member.tid] = target_id
+        boundary_a = BoundaryVector.over([projections[i] for i in group_a])
+        boundary_b = BoundaryVector.over([projections[i] for i in group_b])
+        self._replace_in_parent(
+            path,
+            page_id,
+            [(page_id, boundary_a), (new_page.page_id, boundary_b)],
+        )
+
+    def _split_internal(
+        self,
+        page_id: int,
+        entries: list[ChildEntry],
+        path: list[tuple[int, int]],
+    ) -> None:
+        objects = [
+            (entry.boundary.items, entry.boundary.values) for entry in entries
+        ]
+        group_a, group_b = split_objects(
+            objects, self.config.split_strategy, self.config.divergence
+        )
+        sizes = [entry.encoded_size(self.codec) for entry in entries]
+        budget = self.disk.page_size - INTERNAL_HEADER_SIZE
+        group_a, group_b = self._rebalance_bytes(sizes, group_a, group_b, budget)
+        new_page = self._pool.new_page(tag="pdr-node")
+        for target_id, group in (
+            (page_id, group_a),
+            (new_page.page_id, group_b),
+        ):
+            self._put_internal(target_id, [entries[i] for i in group])
+        boundary_a = BoundaryVector.over([objects[i] for i in group_a])
+        boundary_b = BoundaryVector.over([objects[i] for i in group_b])
+        self._replace_in_parent(
+            path,
+            page_id,
+            [(page_id, boundary_a), (new_page.page_id, boundary_b)],
+        )
+
+    def _replace_in_parent(
+        self,
+        path: list[tuple[int, int]],
+        old_child: int,
+        replacements: list[tuple[int, BoundaryVector]],
+    ) -> None:
+        new_entries = [
+            ChildEntry(child_id=child_id, boundary=boundary)
+            for child_id, boundary in replacements
+        ]
+        if not path:
+            # The split node was the root: grow a new internal root.
+            if not self._internal_fits(new_entries):
+                raise RecordTooLargeError(
+                    f"an internal node cannot hold two boundary vectors of "
+                    f"this domain ({self.domain_size} items) in a "
+                    f"{self.disk.page_size}-byte page; enable MBR "
+                    "compression (fold_size and/or bits) — see paper "
+                    "Section 3.2, 'Compression techniques'"
+                )
+            root = self._pool.new_page(tag="pdr-node")
+            self._put_internal(root.page_id, new_entries)
+            self.root_page_id = root.page_id
+            self.height += 1
+            return
+        parent_id, index = path[-1]
+        entries = self._get_internal(parent_id)
+        if entries[index].child_id != old_child:
+            raise QueryError(
+                "internal corruption: parent entry does not reference the "
+                "split child"
+            )
+        entries[index : index + 1] = new_entries
+        if self._internal_fits(entries):
+            self._put_internal(parent_id, entries)
+        else:
+            self._split_internal(parent_id, entries, path[:-1])
+
+    # -- queries --------------------------------------------------------------------
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer any query descriptor of :mod:`repro.core.queries`."""
+        if isinstance(query, EqualityThresholdQuery):
+            return self._petq(query.q, query.threshold)
+        if isinstance(query, EqualityTopKQuery):
+            return self._peq_top_k(query.q, query.k)
+        if isinstance(query, EqualityQuery):
+            return self._petq(query.q, float(np.finfo(np.float32).tiny))
+        if isinstance(query, SimilarityThresholdQuery):
+            return self._dstq(query)
+        if isinstance(query, SimilarityTopKQuery):
+            return self._dsq_top_k(query)
+        if isinstance(query, WindowedEqualityQuery):
+            # Lemma 2 holds for any non-negative weight vector, so the
+            # expanded windowed query prunes like ordinary PETQ.
+            return self._petq(query.expanded(), query.threshold)
+        raise QueryError(f"unsupported query type: {type(query).__name__}")
+
+    def _petq(self, q: UncertainAttribute, tau: float) -> QueryResult:
+        """Depth-first PETQ with Lemma 2 pruning."""
+        stats = QueryStats()
+        q_items, q_values = self.codec.fold_query(q.items, q.probs)
+        matches: list[Match] = []
+        stack = [self.root_page_id]
+        while stack:
+            page_id = stack.pop()
+            page = self._pool.fetch_page(page_id)
+            stats.nodes_visited += 1
+            if node_kind(page) == PDR_INTERNAL:
+                for entry in self._get_internal(page_id):
+                    bound = entry.boundary.dot(q_items, q_values)
+                    if bound >= tau - EPSILON:
+                        stack.append(entry.child_id)
+            else:
+                for entry in self._get_leaf(page_id):
+                    stats.candidates_examined += 1
+                    score = q.equality_with_arrays(entry.items, entry.probs)
+                    if score >= tau:
+                        matches.append(Match(tid=entry.tid, score=score))
+        return QueryResult(matches, stats)
+
+    def _peq_top_k(self, q: UncertainAttribute, k: int) -> QueryResult:
+        """Greedy depth-first top-k with a dynamically raised threshold."""
+        stats = QueryStats()
+        q_items, q_values = self.codec.fold_query(q.items, q.probs)
+        found: list[Match] = []
+
+        def visit(page_id: int) -> None:
+            page = self._pool.fetch_page(page_id)
+            stats.nodes_visited += 1
+            if node_kind(page) == PDR_INTERNAL:
+                scored = [
+                    (entry.boundary.dot(q_items, q_values), entry.child_id)
+                    for entry in self._get_internal(page_id)
+                ]
+                scored.sort(key=lambda pair: -pair[0])
+                for bound, child_id in scored:
+                    tau_k = found[k - 1].score if len(found) >= k else 0.0
+                    if len(found) >= k and bound < tau_k - EPSILON:
+                        break  # bounds descend: siblings prune too
+                    visit(child_id)
+            else:
+                for entry in self._get_leaf(page_id):
+                    stats.candidates_examined += 1
+                    score = q.equality_with_arrays(entry.items, entry.probs)
+                    if score > 0.0:
+                        found.append(Match(tid=entry.tid, score=score))
+                found.sort()
+                del found[max(k, 0) + 64 :]  # keep a slack buffer sorted
+
+        visit(self.root_page_id)
+        found.sort()
+        return QueryResult(found[:k], stats)
+
+    # -- similarity queries (extension) -----------------------------------------------
+
+    def _similarity_bound(
+        self,
+        boundary: BoundaryVector,
+        q_items: np.ndarray,
+        q_probs: np.ndarray,
+        folded: np.ndarray,
+        divergence: str,
+    ) -> float:
+        """A lower bound on the divergence from q to any member UDA.
+
+        Every member satisfies ``u_i <= boundary[f(i)]``, so
+        ``|q_i - u_i| >= max(0, q_i - boundary[f(i)])`` componentwise.
+        Sound for L1 and L2; KL has no such bound (returns 0 = no prune).
+        """
+        if divergence == "kl":
+            return 0.0
+        positions = np.searchsorted(boundary.items, folded)
+        positions = np.clip(positions, 0, max(len(boundary.items) - 1, 0))
+        if len(boundary.items) > 0:
+            matched = boundary.items[positions] == folded
+            bounds = np.where(matched, boundary.values[positions], 0.0)
+        else:
+            bounds = np.zeros(len(folded))
+        deficit = np.maximum(q_probs - bounds, 0.0)
+        if divergence == "l1":
+            return float(deficit.sum())
+        return float(np.sqrt(np.square(deficit).sum()))
+
+    def _dstq(self, query: SimilarityThresholdQuery) -> QueryResult:
+        stats = QueryStats()
+        q = query.q
+        folded = np.array([self.codec.fold_item(int(i)) for i in q.items])
+        matches: list[Match] = []
+        stack = [self.root_page_id]
+        while stack:
+            page_id = stack.pop()
+            page = self._pool.fetch_page(page_id)
+            stats.nodes_visited += 1
+            if node_kind(page) == PDR_INTERNAL:
+                for entry in self._get_internal(page_id):
+                    bound = self._similarity_bound(
+                        entry.boundary, q.items, q.probs, folded,
+                        query.divergence,
+                    )
+                    if bound <= query.threshold + EPSILON:
+                        stack.append(entry.child_id)
+            else:
+                for entry in self._get_leaf(page_id):
+                    stats.candidates_examined += 1
+                    uda = UncertainAttribute(entry.items, entry.probs)
+                    dist = query.distance(uda)
+                    if dist <= query.threshold:
+                        matches.append(Match(tid=entry.tid, score=-dist))
+        return QueryResult(matches, stats)
+
+    def _dsq_top_k(self, query: SimilarityTopKQuery) -> QueryResult:
+        stats = QueryStats()
+        q = query.q
+        k = query.k
+        folded = np.array([self.codec.fold_item(int(i)) for i in q.items])
+        found: list[Match] = []
+
+        def visit(page_id: int) -> None:
+            page = self._pool.fetch_page(page_id)
+            stats.nodes_visited += 1
+            if node_kind(page) == PDR_INTERNAL:
+                scored = [
+                    (
+                        self._similarity_bound(
+                            entry.boundary, q.items, q.probs, folded,
+                            query.divergence,
+                        ),
+                        entry.child_id,
+                    )
+                    for entry in self._get_internal(page_id)
+                ]
+                scored.sort(key=lambda pair: pair[0])
+                for bound, child_id in scored:
+                    tau_k = -found[k - 1].score if len(found) >= k else math.inf
+                    if len(found) >= k and bound > tau_k + EPSILON:
+                        break
+                    visit(child_id)
+            else:
+                for entry in self._get_leaf(page_id):
+                    stats.candidates_examined += 1
+                    uda = UncertainAttribute(entry.items, entry.probs)
+                    found.append(Match(tid=entry.tid, score=-query.distance(uda)))
+                found.sort()
+                del found[max(k, 0) + 64 :]
+
+        visit(self.root_page_id)
+        found.sort()
+        return QueryResult(found[:k], stats)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the tree (pages plus catalog) to ``path``.
+
+        The tid -> leaf directory is rebuilt by a tree walk on load, so
+        the catalog stays small.
+        """
+        from repro.storage.persistence import save_disk_to_path
+
+        self._pool.flush_all()
+        metadata = {
+            "kind": "pdr-tree",
+            "domain_size": self.domain_size,
+            "num_tuples": self.num_tuples,
+            "root_page_id": self.root_page_id,
+            "height": self.height,
+            "config": {
+                "insert_policy": self.config.insert_policy,
+                "split_strategy": self.config.split_strategy,
+                "divergence": self.config.divergence,
+                "fold_size": self.config.fold_size,
+                "bits": self.config.bits,
+            },
+        }
+        save_disk_to_path(path, self.disk, metadata)
+
+    @classmethod
+    def load(cls, path) -> "PDRTree":
+        """Reopen a tree persisted with :meth:`save`."""
+        from repro.storage.persistence import load_disk_from_path
+
+        disk, metadata = load_disk_from_path(path)
+        if metadata.get("kind") != "pdr-tree":
+            raise QueryError(
+                f"{path} holds a {metadata.get('kind')!r} structure, "
+                "not a PDR-tree"
+            )
+        config = PDRTreeConfig(**metadata["config"])
+        tree = cls.__new__(cls)
+        tree.domain_size = int(metadata["domain_size"])
+        tree.config = config
+        tree.codec = BoundaryCodec(
+            tree.domain_size,
+            fold_size=config.fold_size,
+            bits=config.bits,
+        )
+        tree.disk = disk
+        tree._pool = BufferPool(disk, 4096)
+        tree.root_page_id = int(metadata["root_page_id"])
+        tree.height = int(metadata["height"])
+        tree.num_tuples = int(metadata["num_tuples"])
+        tree._leaf_cache = {}
+        tree._internal_cache = {}
+        tree._leaf_of_tid = {}
+        stack = [tree.root_page_id]
+        while stack:
+            page_id = stack.pop()
+            page = tree._pool.fetch_page(page_id)
+            if node_kind(page) == PDR_INTERNAL:
+                stack.extend(
+                    entry.child_id for entry in tree._get_internal(page_id)
+                )
+            else:
+                for entry in tree._get_leaf(page_id):
+                    tree._leaf_of_tid[entry.tid] = page_id
+        if tree.num_tuples != len(tree._leaf_of_tid):
+            raise QueryError(
+                f"{path} is corrupt: catalog says {tree.num_tuples} "
+                f"tuples, leaves hold {len(tree._leaf_of_tid)}"
+            )
+        return tree
+
+    def __repr__(self) -> str:
+        return (
+            f"PDRTree(tuples={self.num_tuples}, height={self.height}, "
+            f"pages={self.disk.num_pages}, codec={self.codec.describe()!r})"
+        )

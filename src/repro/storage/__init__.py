@@ -1,0 +1,26 @@
+"""Paged storage substrate: disk simulation, buffering, and record codecs.
+
+This package provides the storage layer the paper's evaluation implicitly
+assumes: 8 KB pages, a disk whose physical reads/writes are counted, a
+100-frame clock-replacement buffer pool per query, and the byte layouts of
+UDA records and posting entries.
+"""
+
+from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heapfile import HeapFile, Rid
+from repro.storage.page import DEFAULT_PAGE_SIZE, INVALID_PAGE_ID, Page
+from repro.storage.stats import IOSnapshot, IOStatistics
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_POOL_SIZE",
+    "INVALID_PAGE_ID",
+    "BufferPool",
+    "DiskManager",
+    "HeapFile",
+    "IOSnapshot",
+    "IOStatistics",
+    "Page",
+    "Rid",
+]

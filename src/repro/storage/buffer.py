@@ -1,0 +1,189 @@
+"""Buffer pool with clock (second-chance) replacement.
+
+The paper's evaluation "simulate[s] the effect of buffering" with "a buffer
+manager that allocates 100 blocks to each query" managed by "a clock
+replacement algorithm" (Section 4).  :class:`BufferPool` reproduces that:
+a bounded set of frames over a :class:`~repro.storage.disk.DiskManager`;
+a hit costs no I/O, a miss costs one physical read, and evicting a dirty
+frame costs one physical write.
+
+Queries in the experiment harness each run against a fresh pool (see
+:mod:`repro.bench.harness`), exactly like the paper's per-query allocation.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import BufferPoolError
+from repro.storage.disk import DiskManager
+from repro.storage.page import Page
+
+#: The paper's per-query buffer allocation, in frames.
+DEFAULT_POOL_SIZE = 100
+
+
+class _Frame:
+    """One buffer slot: a resident page plus replacement metadata."""
+
+    __slots__ = ("page", "pin_count", "referenced", "dirty")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.pin_count = 0
+        self.referenced = True
+        self.dirty = False
+
+
+class BufferPool:
+    """A bounded page cache with clock replacement.
+
+    Parameters
+    ----------
+    disk:
+        The disk whose pages are cached.
+    capacity:
+        Maximum number of resident frames (the paper uses 100).
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_SIZE) -> None:
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: dict[int, _Frame] = {}
+        self._clock_order: list[int] = []
+        self._clock_hand = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- page access ----------------------------------------------------------
+
+    def fetch_page(self, page_id: int, *, pin: bool = False) -> Page:
+        """Return the page, reading it from disk if not resident.
+
+        When ``pin`` is true the frame's pin count is incremented and the
+        caller must later :meth:`unpin_page`.  Pinned frames are never
+        evicted.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            frame.referenced = True
+        else:
+            self.misses += 1
+            self._ensure_free_frame()
+            frame = _Frame(self.disk.read_page(page_id))
+            self._frames[page_id] = frame
+            self._clock_order.append(page_id)
+        if pin:
+            frame.pin_count += 1
+        return frame.page
+
+    def new_page(self, *, pin: bool = False, tag: str = "untagged") -> Page:
+        """Allocate a disk page and return its (resident, dirty) frame.
+
+        ``tag`` attributes the page to a component for per-tag I/O
+        accounting (see :meth:`DiskManager.allocate_page`).
+        """
+        page_id = self.disk.allocate_page(tag)
+        self._ensure_free_frame()
+        # The freshly allocated page is all zeroes; no physical read needed.
+        frame = _Frame(Page(page_id, size=self.disk.page_size))
+        frame.dirty = True
+        self._frames[page_id] = frame
+        self._clock_order.append(page_id)
+        if pin:
+            frame.pin_count += 1
+        return frame.page
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the resident page has been modified."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"mark_dirty: page {page_id} is not resident")
+        frame.dirty = True
+
+    def unpin_page(self, page_id: int) -> None:
+        """Decrement the pin count taken by ``fetch_page(..., pin=True)``."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"unpin: page {page_id} is not resident")
+        if frame.pin_count == 0:
+            raise BufferPoolError(f"unpin: page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        """Write the resident page back to disk if dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"flush: page {page_id} is not resident")
+        if frame.dirty:
+            self.disk.write_page(frame.page)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write every dirty resident page back to disk."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    # -- replacement --------------------------------------------------------------
+
+    def _ensure_free_frame(self) -> None:
+        """Evict with the clock algorithm until a frame slot is free."""
+        if len(self._frames) < self.capacity:
+            return
+        # Two full sweeps: the first clears reference bits, the second
+        # evicts.  If every frame stays pinned across both sweeps the pool
+        # genuinely cannot make room.
+        max_steps = 2 * len(self._clock_order) + 1
+        for _ in range(max_steps):
+            if self._clock_hand >= len(self._clock_order):
+                self._clock_hand = 0
+            page_id = self._clock_order[self._clock_hand]
+            frame = self._frames[page_id]
+            if frame.pin_count > 0:
+                self._clock_hand += 1
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                self._clock_hand += 1
+                continue
+            self._evict(page_id)
+            return
+        raise BufferPoolError(
+            "buffer pool exhausted: every frame is pinned "
+            f"(capacity={self.capacity})"
+        )
+
+    def _evict(self, page_id: int) -> None:
+        frame = self._frames.pop(page_id)
+        if frame.dirty:
+            self.disk.write_page(frame.page)
+        index = self._clock_order.index(page_id)
+        self._clock_order.pop(index)
+        if index < self._clock_hand:
+            self._clock_hand -= 1
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def num_resident(self) -> int:
+        """Number of pages currently buffered."""
+        return len(self._frames)
+
+    def is_resident(self, page_id: int) -> bool:
+        """Whether ``page_id`` is currently buffered (no I/O, no ref bit)."""
+        return page_id in self._frames
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of fetches served without physical I/O."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self.capacity}, resident={self.num_resident}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

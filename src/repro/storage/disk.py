@@ -1,0 +1,115 @@
+"""Simulated disk with physical-I/O accounting.
+
+The paper measures index performance as the number of disk I/O operations
+per query.  We reproduce that metric with an in-memory "disk": a mapping
+from page id to page bytes whose every physical read and write increments
+the counters in :class:`~repro.storage.stats.IOStatistics`.  Wall-clock time
+is deliberately *not* the metric — see DESIGN.md, "Substitutions".
+
+A :class:`DiskManager` is shared by everything belonging to one index
+structure (its tree pages, posting pages, heap pages, ...), so the
+per-query read delta is exactly the paper's y-axis.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import PageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.stats import IOStatistics
+
+
+class DiskManager:
+    """An in-memory page store that counts physical I/O operations.
+
+    Parameters
+    ----------
+    page_size:
+        Size of every page in bytes (default 8 KB, as in the paper).
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self.stats = IOStatistics()
+        self._pages: dict[int, bytes] = {}
+        self._tags: dict[int, str] = {}
+        self._next_page_id = 0
+        #: Physical reads attributed to each allocation tag.
+        self.reads_by_tag: dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def allocate_page(self, tag: str = "untagged") -> int:
+        """Allocate a fresh zero-filled page and return its id.
+
+        ``tag`` names the component the page belongs to ("postings",
+        "tuples", "pdr-node", ...); every later physical read of the
+        page is attributed to it in :attr:`reads_by_tag`.  Allocation
+        itself is not counted as a read or a write.
+        """
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = bytes(self.page_size)
+        self._tags[page_id] = tag
+        self.stats.record_allocation()
+        return page_id
+
+    def tag_of(self, page_id: int) -> str:
+        """The allocation tag of ``page_id``."""
+        try:
+            return self._tags[page_id]
+        except KeyError:
+            raise PageError(f"unknown page {page_id}") from None
+
+    def snapshot_tags(self) -> dict[str, int]:
+        """A copy of the per-tag read counters (pair with delta math)."""
+        return dict(self.reads_by_tag)
+
+    def deallocate_page(self, page_id: int) -> None:
+        """Release ``page_id``.  Accessing it afterwards raises PageError."""
+        if page_id not in self._pages:
+            raise PageError(f"cannot deallocate unknown page {page_id}")
+        del self._pages[page_id]
+        self._tags.pop(page_id, None)
+
+    # -- physical I/O ---------------------------------------------------------
+
+    def read_page(self, page_id: int) -> Page:
+        """Physically read ``page_id``; counts one read (and its tag)."""
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageError(f"read of unknown page {page_id}") from None
+        self.stats.record_read()
+        tag = self._tags.get(page_id, "untagged")
+        self.reads_by_tag[tag] = self.reads_by_tag.get(tag, 0) + 1
+        return Page(page_id, bytearray(data), size=self.page_size)
+
+    def write_page(self, page: Page) -> None:
+        """Physically write ``page``; counts one write."""
+        if page.page_id not in self._pages:
+            raise PageError(f"write of unknown page {page.page_id}")
+        if len(page.data) != self.page_size:
+            raise PageError(
+                f"page {page.page_id}: buffer is {len(page.data)} bytes, "
+                f"expected {self.page_size}"
+            )
+        self._pages[page.page_id] = bytes(page.data)
+        self.stats.record_write()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Number of currently allocated pages."""
+        return len(self._pages)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total size of all allocated pages."""
+        return len(self._pages) * self.page_size
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskManager(pages={self.num_pages}, "
+            f"page_size={self.page_size}, stats={self.stats!r})"
+        )

@@ -1,0 +1,126 @@
+"""Fixed-size page abstraction.
+
+All index structures in this library are laid out on fixed-size pages —
+8 KB by default, matching the paper's experimental setup ("All experiments
+are conducted with page size of 8 KB", Section 4).  A :class:`Page` is a
+thin wrapper over a ``bytearray`` with typed read/write helpers; it knows
+its own id but nothing about buffering or persistence (see
+:mod:`repro.storage.disk` and :mod:`repro.storage.buffer` for those).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.exceptions import PageError
+
+#: Default page size in bytes, matching the paper's 8 KB pages.
+DEFAULT_PAGE_SIZE = 8192
+
+#: Sentinel page id meaning "no page" (e.g. a leaf with no right sibling).
+INVALID_PAGE_ID = 0xFFFFFFFF
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
+
+class Page:
+    """A fixed-size byte buffer with typed accessors.
+
+    Parameters
+    ----------
+    page_id:
+        The identifier assigned by the :class:`~repro.storage.disk.DiskManager`.
+    data:
+        Existing page contents.  When omitted a zero-filled buffer of
+        ``size`` bytes is created.
+    size:
+        Page size in bytes; must match ``len(data)`` when ``data`` is given.
+    """
+
+    __slots__ = ("page_id", "data", "size")
+
+    def __init__(
+        self,
+        page_id: int,
+        data: bytearray | None = None,
+        size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if data is None:
+            data = bytearray(size)
+        elif len(data) != size:
+            raise PageError(
+                f"page {page_id}: buffer is {len(data)} bytes, expected {size}"
+            )
+        self.page_id = page_id
+        self.data = data
+        self.size = size
+
+    # -- unsigned integers -------------------------------------------------
+
+    def read_u8(self, offset: int) -> int:
+        return _U8.unpack_from(self.data, offset)[0]
+
+    def write_u8(self, offset: int, value: int) -> None:
+        _U8.pack_into(self.data, offset, value)
+
+    def read_u16(self, offset: int) -> int:
+        return _U16.unpack_from(self.data, offset)[0]
+
+    def write_u16(self, offset: int, value: int) -> None:
+        _U16.pack_into(self.data, offset, value)
+
+    def read_u32(self, offset: int) -> int:
+        return _U32.unpack_from(self.data, offset)[0]
+
+    def write_u32(self, offset: int, value: int) -> None:
+        _U32.pack_into(self.data, offset, value)
+
+    def read_u64(self, offset: int) -> int:
+        return _U64.unpack_from(self.data, offset)[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        _U64.pack_into(self.data, offset, value)
+
+    # -- floats ------------------------------------------------------------
+
+    def read_f32(self, offset: int) -> float:
+        return _F32.unpack_from(self.data, offset)[0]
+
+    def write_f32(self, offset: int, value: float) -> None:
+        _F32.pack_into(self.data, offset, value)
+
+    def read_f64(self, offset: int) -> float:
+        return _F64.unpack_from(self.data, offset)[0]
+
+    def write_f64(self, offset: int, value: float) -> None:
+        _F64.pack_into(self.data, offset, value)
+
+    # -- raw bytes ---------------------------------------------------------
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        if offset + length > self.size:
+            raise PageError(
+                f"page {self.page_id}: read of {length} bytes at offset "
+                f"{offset} overruns the {self.size}-byte page"
+            )
+        return bytes(self.data[offset : offset + length])
+
+    def write_bytes(self, offset: int, value: bytes) -> None:
+        if offset + len(value) > self.size:
+            raise PageError(
+                f"page {self.page_id}: write of {len(value)} bytes at offset "
+                f"{offset} overruns the {self.size}-byte page"
+            )
+        self.data[offset : offset + len(value)] = value
+
+    def zero(self) -> None:
+        """Reset the entire page to zero bytes."""
+        self.data[:] = bytes(self.size)
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, size={self.size})"

@@ -1,0 +1,78 @@
+"""I/O accounting for the simulated storage substrate.
+
+The paper's evaluation metric is the *number of disk I/O operations per
+query* (Section 4).  :class:`IOStatistics` is a plain counter bundle that the
+:class:`~repro.storage.disk.DiskManager` increments on every physical page
+access; :class:`IOSnapshot` captures a point-in-time copy so a harness can
+compute per-query deltas with :meth:`IOStatistics.delta_since`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """An immutable point-in-time copy of the I/O counters."""
+
+    reads: int
+    writes: int
+    allocations: int
+
+    @property
+    def total(self) -> int:
+        """Total physical I/O operations (reads plus writes)."""
+        return self.reads + self.writes
+
+
+class IOStatistics:
+    """Mutable read/write/allocation counters for one simulated disk."""
+
+    __slots__ = ("reads", "writes", "allocations")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def record_read(self, count: int = 1) -> None:
+        """Count ``count`` physical page reads."""
+        self.reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        """Count ``count`` physical page writes."""
+        self.writes += count
+
+    def record_allocation(self, count: int = 1) -> None:
+        """Count ``count`` page allocations."""
+        self.allocations += count
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def snapshot(self) -> IOSnapshot:
+        """Return an immutable copy of the current counters."""
+        return IOSnapshot(self.reads, self.writes, self.allocations)
+
+    def delta_since(self, snapshot: IOSnapshot) -> IOSnapshot:
+        """Return counters accumulated since ``snapshot`` was taken."""
+        return IOSnapshot(
+            reads=self.reads - snapshot.reads,
+            writes=self.writes - snapshot.writes,
+            allocations=self.allocations - snapshot.allocations,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total physical I/O operations (reads plus writes)."""
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStatistics(reads={self.reads}, writes={self.writes}, "
+            f"allocations={self.allocations})"
+        )

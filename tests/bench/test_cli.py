@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro.bench`` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestListing:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "abl_buffer" in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig10" in capsys.readouterr().out
+
+
+class TestRunning:
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_runs_experiment_and_writes_table(self, capsys, tmp_path, monkeypatch):
+        # Shrink the quick scale so the CLI test stays fast.
+        from repro.bench import ExperimentScale
+        from repro.bench import __main__ as cli
+
+        micro = ExperimentScale(
+            crm_tuples=200,
+            synth_tuples=300,
+            queries_per_point=2,
+            selectivities=(0.05,),
+            fig8_sizes=(100,),
+            fig9_domains=(10,),
+        )
+        monkeypatch.setitem(cli._SCALES, "quick", lambda: micro)
+        assert main(["fig10", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert (tmp_path / "fig10.txt").exists()

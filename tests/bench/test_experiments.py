@@ -1,0 +1,90 @@
+"""Smoke tests for the experiment definitions at a micro scale."""
+
+import pytest
+
+from repro.bench import ExperimentScale, clear_caches, figure5, figure10
+from repro.bench.experiments import _dataset, _inverted, _pdr
+from repro.core import QueryError
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    return ExperimentScale(
+        crm_tuples=300,
+        synth_tuples=500,
+        queries_per_point=2,
+        selectivities=(0.01, 0.1),
+        fig8_sizes=(200, 400),
+        fig9_domains=(10, 25),
+    )
+
+
+class TestScalePresets:
+    def test_presets_exist(self):
+        assert ExperimentScale.quick().crm_tuples < ExperimentScale.default().crm_tuples
+        assert ExperimentScale.default().crm_tuples < ExperimentScale.paper().crm_tuples
+
+    def test_paper_scale_matches_paper(self):
+        paper = ExperimentScale.paper()
+        assert paper.crm_tuples == 100_000
+        assert paper.synth_tuples == 10_000
+        assert max(paper.fig9_domains) == 500
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert ExperimentScale.from_env() == ExperimentScale.default()
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(QueryError):
+            ExperimentScale.from_env()
+
+    def test_default_env_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert ExperimentScale.from_env() == ExperimentScale.quick()
+
+
+class TestCaching:
+    def test_dataset_cache_returns_same_object(self):
+        key = ("uniform", 100, 0, 1)
+        assert _dataset(*key) is _dataset(*key)
+
+    def test_index_caches_keyed_by_config(self):
+        key = ("uniform", 100, 0, 1)
+        assert _pdr(key) is _pdr(key)
+        assert _pdr(key) is not _pdr(key, split_strategy="top_down")
+        assert _inverted(key) is _inverted(key)
+
+    def test_clear_caches(self):
+        key = ("uniform", 100, 0, 1)
+        first = _dataset(*key)
+        clear_caches()
+        assert _dataset(*key) is not first
+
+
+class TestExperimentsSmoke:
+    def test_figure5_structure(self, micro_scale):
+        result = figure5(micro_scale)
+        assert len(result.series) == 8  # 2 datasets x 2 structures x 2 kinds
+        for points in result.series.values():
+            assert len(points) == len(micro_scale.selectivities)
+            assert all(p.mean_reads >= 0 for p in points)
+
+    def test_figure10_structure(self, micro_scale):
+        result = figure10(micro_scale)
+        assert set(result.series) == {
+            "Uniform-TopDown-Thres",
+            "Uniform-BottomUp-Thres",
+        }
+
+
+class TestNewAblations:
+    def test_skew_and_join_structure(self, micro_scale):
+        from repro.bench import ablation_join, ablation_skew
+
+        skew = ablation_skew(micro_scale)
+        assert set(skew.series) == {"Zipf-Inv-Thres", "Zipf-PDR-Thres"}
+        assert len(skew.xs()) == 4
+
+        join = ablation_join(micro_scale)
+        assert set(join.series) == {"Join-Inv-Thres", "Join-PDR-Thres"}
+        for points in join.series.values():
+            assert all(p.mean_reads >= 0 for p in points)

@@ -1,0 +1,114 @@
+"""Tests for :mod:`repro.bench.harness` and reporting."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    IndexUnderTest,
+    SeriesPoint,
+    comparison_summary,
+    format_result,
+    measure_point,
+    measure_query,
+)
+from repro.core import EqualityThresholdQuery, QueryError
+from repro.datagen import build_workload, uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_dataset(num_tuples=400, seed=2)
+
+
+@pytest.fixture(scope="module")
+def inverted(relation):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    return index
+
+
+@pytest.fixture(scope="module")
+def workload(relation):
+    return build_workload(
+        relation, selectivities=(0.05,), queries_per_point=3, seed=1
+    )
+
+
+class TestMeasureQuery:
+    def test_reads_counted(self, relation, inverted):
+        under_test = IndexUnderTest("Inv", inverted, "inv_index_search")
+        q = relation.uda_of(0)
+        measurement = measure_query(under_test, EqualityThresholdQuery(q, 0.2))
+        assert measurement.reads > 0
+        assert measurement.result_size >= 1  # the tuple itself qualifies
+
+    def test_fresh_pool_makes_measurements_repeatable(self, relation, inverted):
+        under_test = IndexUnderTest("Inv", inverted, "inv_index_search")
+        q = relation.uda_of(0)
+        query = EqualityThresholdQuery(q, 0.2)
+        first = measure_query(under_test, query)
+        second = measure_query(under_test, query)
+        assert first.reads == second.reads
+
+    def test_larger_pool_never_costs_more(self, relation, inverted):
+        under_test = IndexUnderTest("Inv", inverted, "inv_index_search")
+        q = relation.uda_of(0)
+        query = EqualityThresholdQuery(q, 0.2)
+        small = measure_query(under_test, query, pool_size=5)
+        large = measure_query(under_test, query, pool_size=500)
+        assert large.reads <= small.reads
+
+    def test_pdr_takes_no_strategy(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        under_test = IndexUnderTest("PDR", tree, strategy="highest_prob_first")
+        q = relation.uda_of(0)
+        with pytest.raises(QueryError):
+            measure_query(under_test, EqualityThresholdQuery(q, 0.2))
+
+
+class TestMeasurePoint:
+    def test_mean_over_queries(self, inverted, workload):
+        under_test = IndexUnderTest("Inv", inverted, "highest_prob_first")
+        point = measure_point(under_test, workload[0.05], "threshold", x=5.0)
+        assert point.x == 5.0
+        assert point.num_queries == 3
+        assert point.mean_reads > 0
+
+    def test_topk_kind(self, inverted, workload):
+        under_test = IndexUnderTest("Inv", inverted, "highest_prob_first")
+        point = measure_point(under_test, workload[0.05], "topk", x=5.0)
+        assert point.mean_result_size > 0
+
+    def test_invalid_kind(self, inverted, workload):
+        under_test = IndexUnderTest("Inv", inverted, "highest_prob_first")
+        with pytest.raises(QueryError):
+            measure_point(under_test, workload[0.05], "median", x=1.0)
+
+
+class TestResultAndReporting:
+    @pytest.fixture()
+    def result(self):
+        result = ExperimentResult("Demo", "selectivity %")
+        for x, a, b in [(0.1, 10.0, 20.0), (1.0, 15.0, 30.0)]:
+            result.add_point("A-Thres", SeriesPoint(x, a, 3, 1.0))
+            result.add_point("B-Thres", SeriesPoint(x, b, 3, 1.0))
+        return result
+
+    def test_series_values_sorted_by_x(self, result):
+        assert result.series_values("A-Thres") == [10.0, 15.0]
+
+    def test_xs_union(self, result):
+        assert result.xs() == [0.1, 1.0]
+
+    def test_format_contains_all_series(self, result):
+        table = format_result(result)
+        assert "A-Thres" in table and "B-Thres" in table
+        assert "Demo" in table
+        assert "10.0" in table
+
+    def test_comparison_summary(self, result):
+        summary = comparison_summary(result, "A-Thres", "B-Thres")
+        assert "2.00x" in summary

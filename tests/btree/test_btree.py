@@ -1,0 +1,214 @@
+"""Tests for :mod:`repro.btree`."""
+
+import struct
+
+import pytest
+
+from repro.core import DuplicateKeyError, KeyNotFoundError, TreeError
+from repro.btree import BPlusTree
+from repro.storage import BufferPool, DiskManager
+
+
+def key_of(value: int) -> bytes:
+    return struct.pack(">Q", value)
+
+
+def make_tree(page_size=256, key_size=8, value_size=4, capacity=64):
+    disk = DiskManager(page_size=page_size)
+    pool = BufferPool(disk, capacity=capacity)
+    return BPlusTree(pool, key_size=key_size, value_size=value_size)
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert list(tree.items()) == []
+
+    def test_capacities_computed_from_page_size(self):
+        tree = make_tree(page_size=256)
+        assert tree.leaf_capacity == (256 - 8) // 12
+        assert tree.internal_capacity == (256 - 8) // 12
+
+    def test_records_too_large_rejected(self):
+        with pytest.raises(TreeError):
+            make_tree(page_size=64, key_size=40, value_size=40)
+
+    def test_invalid_key_size(self):
+        with pytest.raises(TreeError):
+            make_tree(key_size=0)
+
+
+class TestInsertSearch:
+    def test_single_record(self):
+        tree = make_tree()
+        tree.insert(key_of(5), b"ABCD")
+        assert tree.search(key_of(5)) == b"ABCD"
+        assert tree.search(key_of(6)) is None
+
+    def test_duplicate_rejected(self):
+        tree = make_tree()
+        tree.insert(key_of(5), b"AAAA")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(key_of(5), b"BBBB")
+
+    def test_wrong_key_size(self):
+        tree = make_tree()
+        with pytest.raises(TreeError):
+            tree.insert(b"short", b"AAAA")
+
+    def test_wrong_value_size(self):
+        tree = make_tree()
+        with pytest.raises(TreeError):
+            tree.insert(key_of(1), b"too long")
+
+    def test_many_inserts_cause_splits(self):
+        tree = make_tree(page_size=256)
+        values = list(range(500))
+        import random
+
+        random.Random(3).shuffle(values)
+        for v in values:
+            tree.insert(key_of(v), struct.pack("<I", v))
+        assert tree.height > 1
+        assert len(tree) == 500
+        for v in (0, 123, 499):
+            assert tree.search(key_of(v)) == struct.pack("<I", v)
+
+    def test_ascending_insert_order(self):
+        tree = make_tree(page_size=256)
+        for v in range(300):
+            tree.insert(key_of(v), struct.pack("<I", v))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items()]
+        assert got == list(range(300))
+
+    def test_descending_insert_order(self):
+        tree = make_tree(page_size=256)
+        for v in reversed(range(300)):
+            tree.insert(key_of(v), struct.pack("<I", v))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items()]
+        assert got == list(range(300))
+
+
+class TestDelete:
+    def test_delete_restores_absence(self):
+        tree = make_tree()
+        tree.insert(key_of(1), b"AAAA")
+        tree.delete(key_of(1))
+        assert tree.search(key_of(1)) is None
+        assert len(tree) == 0
+
+    def test_delete_missing_key(self):
+        tree = make_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(key_of(1))
+
+    def test_interleaved_insert_delete(self):
+        tree = make_tree(page_size=256)
+        for v in range(200):
+            tree.insert(key_of(v), struct.pack("<I", v))
+        for v in range(0, 200, 2):
+            tree.delete(key_of(v))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items()]
+        assert got == list(range(1, 200, 2))
+
+    def test_reinsert_after_delete(self):
+        tree = make_tree()
+        tree.insert(key_of(7), b"AAAA")
+        tree.delete(key_of(7))
+        tree.insert(key_of(7), b"BBBB")
+        assert tree.search(key_of(7)) == b"BBBB"
+
+
+class TestScans:
+    def test_items_from_midpoint(self):
+        tree = make_tree(page_size=256)
+        for v in range(100):
+            tree.insert(key_of(v * 2), struct.pack("<I", v))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items_from(key_of(90))]
+        assert got == list(range(90, 200, 2))
+
+    def test_items_from_between_keys(self):
+        tree = make_tree(page_size=256)
+        for v in range(100):
+            tree.insert(key_of(v * 2), struct.pack("<I", v))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items_from(key_of(91))]
+        assert got[0] == 92
+
+    def test_iter_leaf_runs_cover_everything(self):
+        tree = make_tree(page_size=256)
+        for v in range(250):
+            tree.insert(key_of(v), struct.pack("<I", v))
+        total = sum(len(run) // 12 for run in tree.iter_leaf_runs())
+        assert total == 250
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        tree = make_tree(page_size=256)
+        records = [(key_of(v), struct.pack("<I", v)) for v in range(400)]
+        tree.bulk_load(iter(records))
+        assert len(tree) == 400
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items()]
+        assert got == list(range(400))
+        assert tree.search(key_of(250)) == struct.pack("<I", 250)
+
+    def test_bulk_load_builds_internal_levels(self):
+        tree = make_tree(page_size=256)
+        tree.bulk_load((key_of(v), struct.pack("<I", v)) for v in range(2000))
+        assert tree.height >= 2
+
+    def test_bulk_load_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_bulk_load_requires_sorted(self):
+        tree = make_tree()
+        with pytest.raises(TreeError):
+            tree.bulk_load([(key_of(2), b"AAAA"), (key_of(1), b"BBBB")])
+
+    def test_bulk_load_rejects_duplicates(self):
+        tree = make_tree()
+        with pytest.raises(TreeError):
+            tree.bulk_load([(key_of(1), b"AAAA"), (key_of(1), b"BBBB")])
+
+    def test_bulk_load_requires_empty_tree(self):
+        tree = make_tree()
+        tree.insert(key_of(1), b"AAAA")
+        with pytest.raises(TreeError):
+            tree.bulk_load([(key_of(2), b"BBBB")])
+
+    def test_bulk_load_fill_factor(self):
+        dense = make_tree(page_size=256)
+        dense.bulk_load((key_of(v), struct.pack("<I", v)) for v in range(400))
+        sparse = make_tree(page_size=256)
+        sparse.bulk_load(
+            ((key_of(v), struct.pack("<I", v)) for v in range(400)),
+            fill_factor=0.5,
+        )
+        assert sparse.pool.disk.num_pages > dense.pool.disk.num_pages
+
+    def test_inserts_after_bulk_load(self):
+        tree = make_tree(page_size=256)
+        tree.bulk_load((key_of(v * 2), struct.pack("<I", v)) for v in range(200))
+        tree.insert(key_of(41), struct.pack("<I", 999))
+        got = [struct.unpack(">Q", k)[0] for k, _ in tree.items()]
+        assert got == sorted(got)
+        assert tree.search(key_of(41)) == struct.pack("<I", 999)
+
+
+class TestIOAccounting:
+    def test_search_costs_height_reads_on_cold_pool(self):
+        disk = DiskManager(page_size=256)
+        pool = BufferPool(disk, capacity=64)
+        tree = BPlusTree(pool, key_size=8, value_size=4)
+        for v in range(1000):
+            tree.insert(key_of(v), struct.pack("<I", v))
+        pool.flush_all()
+        tree.pool = BufferPool(disk, capacity=64)
+        before = disk.stats.snapshot()
+        tree.search(key_of(567))
+        assert disk.stats.delta_since(before).reads == tree.height

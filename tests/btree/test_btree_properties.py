@@ -1,0 +1,63 @@
+"""Property-based tests: B+-tree against a dict model."""
+
+import struct
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.storage import BufferPool, DiskManager
+
+
+def key_of(value: int) -> bytes:
+    return struct.pack(">Q", value)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 60)),
+        max_size=120,
+    )
+)
+def test_random_operations_match_dict_model(operations):
+    disk = DiskManager(page_size=128)  # tiny pages force frequent splits
+    tree = BPlusTree(BufferPool(disk, capacity=64), key_size=8, value_size=4)
+    model: dict[int, bytes] = {}
+    for op, value in operations:
+        key = key_of(value)
+        payload = struct.pack("<I", value)
+        if op == "insert":
+            if value in model:
+                continue
+            tree.insert(key, payload)
+            model[value] = payload
+        else:
+            if value not in model:
+                continue
+            tree.delete(key)
+            del model[value]
+    assert len(tree) == len(model)
+    expected = [(key_of(v), model[v]) for v in sorted(model)]
+    assert list(tree.items()) == expected
+    for value in sorted(model):
+        assert tree.search(key_of(value)) == model[value]
+    assert tree.search(key_of(61)) is None
+
+
+@given(st.sets(st.integers(0, 10_000), max_size=300))
+def test_bulk_load_equals_incremental_build(values):
+    ordered = sorted(values)
+    records = [(key_of(v), struct.pack("<I", v)) for v in ordered]
+
+    bulk = BPlusTree(
+        BufferPool(DiskManager(page_size=128), 64), key_size=8, value_size=4
+    )
+    bulk.bulk_load(records)
+
+    incremental = BPlusTree(
+        BufferPool(DiskManager(page_size=128), 64), key_size=8, value_size=4
+    )
+    for key, payload in records:
+        incremental.insert(key, payload)
+
+    assert list(bulk.items()) == list(incremental.items())

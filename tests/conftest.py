@@ -1,0 +1,6 @@
+"""Shared test configuration: the hypothesis profile."""
+
+from hypothesis import settings
+
+settings.register_profile("repro", max_examples=60, deadline=None)
+settings.load_profile("repro")

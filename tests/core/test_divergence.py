@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.core.divergence`."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DIVERGENCES,
+    QueryError,
+    UncertainAttribute,
+    get_divergence,
+    kl_divergence,
+    l1_divergence,
+    l2_divergence,
+    symmetric_kl,
+)
+from repro.core.divergence import sparse_kl, sparse_l1, sparse_l2
+
+
+@pytest.fixture()
+def u():
+    return UncertainAttribute.from_pairs([(0, 0.6), (1, 0.4)])
+
+
+@pytest.fixture()
+def v():
+    return UncertainAttribute.from_pairs([(0, 0.4), (1, 0.6)])
+
+
+class TestL1:
+    def test_known_value(self, u, v):
+        assert l1_divergence(u, v) == pytest.approx(0.4)
+
+    def test_identity(self, u):
+        assert l1_divergence(u, u) == 0.0
+
+    def test_symmetry(self, u, v):
+        assert l1_divergence(u, v) == l1_divergence(v, u)
+
+    def test_disjoint_supports(self):
+        a = UncertainAttribute.from_pairs([(0, 1.0)])
+        b = UncertainAttribute.from_pairs([(1, 1.0)])
+        assert l1_divergence(a, b) == pytest.approx(2.0)
+
+    def test_maximum_is_two(self):
+        # L1 between distributions is at most 2 (total variation x2).
+        a = UncertainAttribute.from_pairs([(i, 0.25) for i in range(4)])
+        b = UncertainAttribute.from_pairs([(i + 4, 0.25) for i in range(4)])
+        assert l1_divergence(a, b) == pytest.approx(2.0)
+
+
+class TestL2:
+    def test_known_value(self, u, v):
+        assert l2_divergence(u, v) == pytest.approx(np.sqrt(0.08))
+
+    def test_identity(self, u):
+        assert l2_divergence(u, u) == 0.0
+
+    def test_symmetry(self, u, v):
+        assert l2_divergence(u, v) == l2_divergence(v, u)
+
+    def test_at_most_l1(self, u, v):
+        assert l2_divergence(u, v) <= l1_divergence(u, v) + 1e-12
+
+
+class TestKL:
+    def test_identity(self, u):
+        assert kl_divergence(u, u) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self, u, v):
+        expected = 0.6 * np.log(0.6 / 0.4) + 0.4 * np.log(0.4 / 0.6)
+        assert kl_divergence(u, v) == pytest.approx(expected, rel=1e-6)
+
+    def test_asymmetric(self):
+        a = UncertainAttribute.from_pairs([(0, 0.9), (1, 0.1)])
+        b = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a))
+
+    def test_missing_support_is_finite(self):
+        # The epsilon floor keeps KL finite when v misses u's items.
+        a = UncertainAttribute.from_pairs([(0, 1.0)])
+        b = UncertainAttribute.from_pairs([(1, 1.0)])
+        value = kl_divergence(a, b)
+        assert np.isfinite(value)
+        assert value > 10  # log(1/epsilon) scale: clearly "far"
+
+    def test_symmetric_kl(self, u, v):
+        assert symmetric_kl(u, v) == pytest.approx(
+            0.5 * (kl_divergence(u, v) + kl_divergence(v, u))
+        )
+        assert symmetric_kl(u, v) == symmetric_kl(v, u)
+
+
+class TestSparseHelpers:
+    def test_sparse_l1_empty_vectors(self):
+        empty = np.empty(0, dtype=np.int64)
+        none = np.empty(0)
+        assert sparse_l1(empty, none, empty, none) == 0.0
+
+    def test_sparse_l2_one_sided(self):
+        empty = np.empty(0, dtype=np.int64)
+        none = np.empty(0)
+        items = np.array([0, 1])
+        values = np.array([0.3, 0.4])
+        assert sparse_l2(items, values, empty, none) == pytest.approx(0.5)
+
+    def test_sparse_kl_empty_left_is_zero(self):
+        empty = np.empty(0, dtype=np.int64)
+        none = np.empty(0)
+        assert sparse_kl(empty, none, np.array([0]), np.array([1.0])) == 0.0
+
+
+class TestRegistry:
+    def test_contains_all_measures(self):
+        assert set(DIVERGENCES) >= {"l1", "l2", "kl", "symmetric_kl"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_divergence("KL") is kl_divergence
+        assert get_divergence("l1") is l1_divergence
+
+    def test_unknown_name(self):
+        with pytest.raises(QueryError, match="unknown divergence"):
+            get_divergence("manhattan")

@@ -1,0 +1,64 @@
+"""Property-based tests for divergence measures."""
+
+import pytest
+from hypothesis import given
+
+from repro.core import kl_divergence, l1_divergence, l2_divergence
+
+from tests.core.test_uda_properties import udas
+
+
+@given(udas(), udas())
+def test_l1_non_negative_and_symmetric(u, v):
+    assert l1_divergence(u, v) >= 0.0
+    assert l1_divergence(u, v) == l1_divergence(v, u)
+
+
+@given(udas(), udas())
+def test_l2_non_negative_and_symmetric(u, v):
+    assert l2_divergence(u, v) >= 0.0
+    assert l2_divergence(u, v) == pytest.approx(l2_divergence(v, u))
+
+
+@given(udas())
+def test_l1_identity(u):
+    assert l1_divergence(u, u) == 0.0
+
+
+@given(udas())
+def test_l2_identity(u):
+    assert l2_divergence(u, u) == 0.0
+
+
+@given(udas(), udas(), udas())
+def test_l1_triangle_inequality(u, v, w):
+    assert l1_divergence(u, w) <= (
+        l1_divergence(u, v) + l1_divergence(v, w) + 1e-9
+    )
+
+
+@given(udas(), udas(), udas())
+def test_l2_triangle_inequality(u, v, w):
+    assert l2_divergence(u, w) <= (
+        l2_divergence(u, v) + l2_divergence(v, w) + 1e-9
+    )
+
+
+@given(udas(), udas())
+def test_l2_bounded_by_l1(u, v):
+    assert l2_divergence(u, v) <= l1_divergence(u, v) + 1e-9
+
+
+@given(udas())
+def test_kl_self_divergence_is_zero(u):
+    assert kl_divergence(u, u) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(udas(), udas())
+def test_kl_non_negative_for_normalized_inputs(u, v):
+    # Gibbs' inequality holds for proper distributions; normalize first.
+    u = u.normalized()
+    v = v.normalized()
+    # The epsilon floor can only *increase* KL (it shrinks v where v=0),
+    # so the Gibbs lower bound of 0 still holds up to float error.
+    assert kl_divergence(u, v) >= -1e-9

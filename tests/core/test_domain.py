@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.core.domain`."""
+
+import pytest
+
+from repro.core import CategoricalDomain, DomainError
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        domain = CategoricalDomain(["Brake", "Tires", "Trans"])
+        assert len(domain) == 3
+        assert domain.labels == ("Brake", "Tires", "Trans")
+
+    def test_from_iterator(self):
+        domain = CategoricalDomain(str(i) for i in range(4))
+        assert len(domain) == 4
+
+    def test_of_size(self):
+        domain = CategoricalDomain.of_size(10)
+        assert len(domain) == 10
+        assert domain.label_of(0) == "d0"
+        assert domain.label_of(9) == "d9"
+
+    def test_of_size_custom_prefix(self):
+        domain = CategoricalDomain.of_size(3, prefix="Category")
+        assert domain.labels == ("Category0", "Category1", "Category2")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain([])
+
+    def test_of_size_zero_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain.of_size(0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain(["a", "b", "a"])
+
+
+class TestLookups:
+    @pytest.fixture()
+    def domain(self):
+        return CategoricalDomain(["Shoes", "Sales", "Clothes", "HR"])
+
+    def test_index_of(self, domain):
+        assert domain.index_of("Shoes") == 0
+        assert domain.index_of("HR") == 3
+
+    def test_index_of_unknown(self, domain):
+        with pytest.raises(DomainError, match="Hardware"):
+            domain.index_of("Hardware")
+
+    def test_label_of(self, domain):
+        assert domain.label_of(1) == "Sales"
+
+    def test_label_of_out_of_range(self, domain):
+        with pytest.raises(DomainError):
+            domain.label_of(4)
+        with pytest.raises(DomainError):
+            domain.label_of(-1)
+
+    def test_contains(self, domain):
+        assert "Sales" in domain
+        assert "Hardware" not in domain
+
+    def test_iteration_order(self, domain):
+        assert list(domain) == ["Shoes", "Sales", "Clothes", "HR"]
+
+    def test_round_trip(self, domain):
+        for label in domain:
+            assert domain.label_of(domain.index_of(label)) == label
+
+
+class TestEquality:
+    def test_equal_domains(self):
+        assert CategoricalDomain(["a", "b"]) == CategoricalDomain(["a", "b"])
+
+    def test_order_matters(self):
+        assert CategoricalDomain(["a", "b"]) != CategoricalDomain(["b", "a"])
+
+    def test_hashable(self):
+        domains = {CategoricalDomain(["a"]), CategoricalDomain(["a"])}
+        assert len(domains) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert CategoricalDomain(["a"]) != ["a"]
+
+
+class TestRepr:
+    def test_small_domain_shows_all(self):
+        assert "Brake" in repr(CategoricalDomain(["Brake", "Tires"]))
+
+    def test_large_domain_abbreviated(self):
+        text = repr(CategoricalDomain.of_size(100))
+        assert "100 values" in text

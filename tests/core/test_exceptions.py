@@ -1,0 +1,51 @@
+"""The exception hierarchy: one base, meaningful layering."""
+
+import pytest
+
+from repro.core import exceptions as exc
+
+
+ALL_ERRORS = [
+    exc.DomainError,
+    exc.InvalidDistributionError,
+    exc.QueryError,
+    exc.StorageError,
+    exc.PageError,
+    exc.BufferPoolError,
+    exc.SerializationError,
+    exc.RecordTooLargeError,
+    exc.IndexError_,
+    exc.TreeError,
+    exc.DuplicateKeyError,
+    exc.KeyNotFoundError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_everything_derives_from_repro_error(error):
+    assert issubclass(error, exc.ReproError)
+
+
+def test_storage_layer_grouping():
+    for error in (exc.PageError, exc.BufferPoolError, exc.SerializationError):
+        assert issubclass(error, exc.StorageError)
+    assert issubclass(exc.RecordTooLargeError, exc.SerializationError)
+
+
+def test_index_layer_grouping():
+    assert issubclass(exc.TreeError, exc.IndexError_)
+    assert issubclass(exc.DuplicateKeyError, exc.TreeError)
+    assert issubclass(exc.KeyNotFoundError, exc.TreeError)
+
+
+def test_catching_the_base_catches_library_failures():
+    from repro.core import CategoricalDomain
+
+    with pytest.raises(exc.ReproError):
+        CategoricalDomain([])
+
+
+def test_library_errors_are_not_builtin_aliases():
+    # IndexError_ deliberately avoids shadowing the builtin.
+    assert exc.IndexError_ is not IndexError
+    assert not issubclass(exc.IndexError_, IndexError)

@@ -1,0 +1,171 @@
+"""Tests for :mod:`repro.core.joins`."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalDomain,
+    QueryError,
+    UncertainAttribute,
+    UncertainRelation,
+    dstj,
+    pej_top_k,
+    petj,
+)
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+
+@pytest.fixture()
+def departments():
+    return CategoricalDomain(["Shoes", "Sales", "Clothes", "Hardware", "HR"])
+
+
+@pytest.fixture()
+def employees(departments):
+    """The paper's Table 1(b) personnel relation."""
+    relation = UncertainRelation(departments, name="personnel")
+    relation.append(
+        UncertainAttribute.from_labels(departments, {"Shoes": 0.5, "Sales": 0.5}),
+        payload="Jim",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(departments, {"Sales": 0.4, "Clothes": 0.6}),
+        payload="Tom",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(
+            departments, {"Hardware": 0.6, "Sales": 0.4}
+        ),
+        payload="Lin",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(departments, {"HR": 1.0}),
+        payload="Nancy",
+    )
+    return relation
+
+
+def brute_force_pairs(left, right, threshold):
+    pairs = set()
+    for l in left.tids():
+        for r in right.tids():
+            p = left.uda_of(l).equality_probability(right.uda_of(r))
+            if p >= threshold:
+                pairs.add((l, r))
+    return pairs
+
+
+class TestPETJ:
+    def test_self_join_same_department(self, employees):
+        # Which pairs of employees might work in the same department?
+        pairs = petj(employees, employees, 0.15)
+        pair_set = {(p.left_tid, p.right_tid) for p in pairs}
+        assert pair_set == brute_force_pairs(employees, employees, 0.15)
+
+    def test_jim_tom_probability(self, employees):
+        pairs = petj(employees, employees, 0.15)
+        scores = {(p.left_tid, p.right_tid): p.score for p in pairs}
+        # Pr(Jim = Tom) = 0.5 * 0.4 (both in Sales) = 0.2.
+        assert scores[(0, 1)] == pytest.approx(0.2)
+
+    def test_nancy_joins_only_herself(self, employees):
+        pairs = petj(employees, employees, 0.5)
+        nancy = [(p.left_tid, p.right_tid) for p in pairs if 3 in (p.left_tid, p.right_tid)]
+        assert nancy == [(3, 3)]
+
+    def test_sorted_by_descending_score(self, employees):
+        pairs = petj(employees, employees, 0.1)
+        scores = [p.score for p in pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_with_inverted_index(self, employees, departments):
+        index = ProbabilisticInvertedIndex(len(departments))
+        index.build(employees)
+        with_index = petj(employees, employees, 0.15, right_index=index)
+        without = petj(employees, employees, 0.15)
+        assert [(p.left_tid, p.right_tid, p.score) for p in with_index] == [
+            (p.left_tid, p.right_tid, p.score) for p in without
+        ]
+
+    def test_with_pdr_tree(self, employees, departments):
+        tree = PDRTree(len(departments))
+        tree.build(employees)
+        with_index = petj(employees, employees, 0.15, right_index=tree)
+        without = petj(employees, employees, 0.15)
+        assert [(p.left_tid, p.right_tid) for p in with_index] == [
+            (p.left_tid, p.right_tid) for p in without
+        ]
+
+    def test_invalid_threshold(self, employees):
+        with pytest.raises(QueryError):
+            petj(employees, employees, 0.0)
+        with pytest.raises(QueryError):
+            petj(employees, employees, 1.5)
+
+
+class TestPEJTopK:
+    def test_top_pairs(self, employees):
+        pairs = pej_top_k(employees, employees, 3)
+        assert len(pairs) == 3
+        # Nancy-Nancy scores 1.0 and must be first.
+        assert (pairs[0].left_tid, pairs[0].right_tid) == (3, 3)
+
+    def test_matches_exhaustive_ranking(self, employees):
+        pairs = pej_top_k(employees, employees, 5)
+        exhaustive = []
+        for l in employees.tids():
+            for r in employees.tids():
+                score = employees.uda_of(l).equality_probability(
+                    employees.uda_of(r)
+                )
+                if score > 0:
+                    exhaustive.append((-score, l, r))
+        exhaustive.sort()
+        expected = [(l, r) for _, l, r in exhaustive[:5]]
+        assert [(p.left_tid, p.right_tid) for p in pairs] == expected
+
+    def test_invalid_k(self, employees):
+        with pytest.raises(QueryError):
+            pej_top_k(employees, employees, 0)
+
+
+class TestDSTJ:
+    def test_zero_threshold_self_pairs(self, employees):
+        pairs = dstj(employees, employees, 0.0, "l1")
+        pair_set = {(p.left_tid, p.right_tid) for p in pairs}
+        assert pair_set == {(t, t) for t in employees.tids()}
+
+    def test_negated_divergence_scores(self, employees):
+        pairs = dstj(employees, employees, 0.5, "l1")
+        for pair in pairs:
+            assert pair.score <= 0.0
+
+    def test_invalid_threshold(self, employees):
+        with pytest.raises(QueryError):
+            dstj(employees, employees, -0.1)
+
+
+class TestRandomizedAgreement:
+    def test_index_join_equals_nested_loop(self, departments):
+        rng = np.random.default_rng(11)
+        left = UncertainRelation(departments)
+        right = UncertainRelation(departments)
+        for relation, count in ((left, 30), (right, 40)):
+            for _ in range(count):
+                nnz = int(rng.integers(1, 4))
+                items = rng.choice(len(departments), size=nnz, replace=False)
+                probs = rng.dirichlet(np.ones(nnz))
+                relation.append(
+                    UncertainAttribute.from_pairs(
+                        list(zip(items.tolist(), probs.tolist()))
+                    )
+                )
+        index = ProbabilisticInvertedIndex(len(departments))
+        index.build(right)
+        for threshold in (0.05, 0.2, 0.6):
+            indexed = petj(left, right, threshold, right_index=index)
+            nested = petj(left, right, threshold)
+            assert [(p.left_tid, p.right_tid, p.score) for p in indexed] == [
+                (p.left_tid, p.right_tid, p.score) for p in nested
+            ]

@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.core.ordered` (ordered-domain operators)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CategoricalDomain, QueryError, UncertainAttribute, UncertainRelation
+from repro.core.ordered import (
+    expected_rank_difference,
+    greater_than_probability,
+    less_than_probability,
+    windowed_equality_query,
+    within_window_probability,
+)
+
+from tests.core.test_uda_properties import udas
+
+
+def exhaustive_greater(u, v):
+    return sum(
+        up * vp
+        for (ui, up), (vi, vp) in itertools.product(u.pairs(), v.pairs())
+        if ui > vi
+    )
+
+
+def exhaustive_window(u, v, c):
+    return sum(
+        up * vp
+        for (ui, up), (vi, vp) in itertools.product(u.pairs(), v.pairs())
+        if abs(ui - vi) <= c
+    )
+
+
+class TestGreaterThan:
+    def test_certain_values(self):
+        three = UncertainAttribute.point(3)
+        five = UncertainAttribute.point(5)
+        assert greater_than_probability(five, three) == 1.0
+        assert greater_than_probability(three, five) == 0.0
+        assert greater_than_probability(three, three) == 0.0
+
+    def test_known_value(self):
+        u = UncertainAttribute.from_pairs([(1, 0.5), (3, 0.5)])
+        v = UncertainAttribute.from_pairs([(2, 0.5), (4, 0.5)])
+        # u>v only via (3,2): 0.5*0.5.
+        assert greater_than_probability(u, v) == pytest.approx(0.25)
+
+    def test_less_than_is_mirror(self):
+        u = UncertainAttribute.from_pairs([(1, 0.5), (3, 0.5)])
+        v = UncertainAttribute.from_pairs([(2, 0.5), (4, 0.5)])
+        assert less_than_probability(u, v) == greater_than_probability(v, u)
+
+    def test_empty_operand(self):
+        empty = UncertainAttribute.from_pairs([])
+        point = UncertainAttribute.point(1)
+        assert greater_than_probability(empty, point) == 0.0
+
+
+class TestWindow:
+    def test_window_zero_is_equality(self):
+        u = UncertainAttribute.from_pairs([(0, 0.6), (1, 0.4)])
+        v = UncertainAttribute.from_pairs([(0, 0.4), (1, 0.6)])
+        assert within_window_probability(u, v, 0) == pytest.approx(
+            u.equality_probability(v)
+        )
+
+    def test_known_window(self):
+        u = UncertainAttribute.point(3)
+        v = UncertainAttribute.from_pairs([(1, 0.25), (2, 0.25), (4, 0.5)])
+        assert within_window_probability(u, v, 1) == pytest.approx(0.75)
+
+    def test_negative_window_rejected(self):
+        u = UncertainAttribute.point(0)
+        with pytest.raises(QueryError):
+            within_window_probability(u, u, -1)
+
+    def test_wide_window_reaches_total_mass(self):
+        u = UncertainAttribute.from_pairs([(0, 0.5), (5, 0.5)])
+        v = UncertainAttribute.from_pairs([(2, 1.0)])
+        assert within_window_probability(u, v, 10) == pytest.approx(1.0)
+
+
+class TestAgainstExhaustive:
+    @given(udas(), udas())
+    def test_greater_matches_exhaustive(self, u, v):
+        assert greater_than_probability(u, v) == pytest.approx(
+            exhaustive_greater(u, v), abs=1e-12
+        )
+
+    @given(udas(), udas(), st.integers(0, 5))
+    def test_window_matches_exhaustive(self, u, v, c):
+        assert within_window_probability(u, v, c) == pytest.approx(
+            exhaustive_window(u, v, c), abs=1e-12
+        )
+
+    @given(udas(), udas())
+    def test_trichotomy(self, u, v):
+        u = u.normalized()
+        v = v.normalized()
+        total = (
+            greater_than_probability(u, v)
+            + less_than_probability(u, v)
+            + u.equality_probability(v)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestWindowedQuery:
+    @pytest.fixture()
+    def relation(self):
+        domain = CategoricalDomain.of_size(10)
+        relation = UncertainRelation(domain)
+        relation.append(UncertainAttribute.point(2))
+        relation.append(UncertainAttribute.point(4))
+        relation.append(UncertainAttribute.from_pairs([(3, 0.5), (8, 0.5)]))
+        return relation
+
+    def test_window_widens_answers(self, relation):
+        q = UncertainAttribute.point(3)
+        exact = windowed_equality_query(relation, q, 0.4, 0)
+        relaxed = windowed_equality_query(relation, q, 0.4, 1)
+        assert exact.tid_set() == {2}
+        assert relaxed.tid_set() == {0, 1, 2}
+
+    def test_threshold_validation(self, relation):
+        q = UncertainAttribute.point(3)
+        with pytest.raises(QueryError):
+            windowed_equality_query(relation, q, 0.0, 1)
+
+
+class TestExpectedRank:
+    def test_sign(self):
+        low = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+        high = UncertainAttribute.from_pairs([(8, 0.5), (9, 0.5)])
+        assert expected_rank_difference(high, low) > 0
+        assert expected_rank_difference(low, high) < 0
+
+    def test_empty_rejected(self):
+        empty = UncertainAttribute.from_pairs([])
+        with pytest.raises(QueryError):
+            expected_rank_difference(empty, empty)

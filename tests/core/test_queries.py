@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.core.queries`."""
+
+import pytest
+
+from repro.core import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    QueryError,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    UncertainAttribute,
+    l1_divergence,
+)
+
+
+@pytest.fixture()
+def q():
+    return UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+
+
+class TestEqualityQueries:
+    def test_peq_construction(self, q):
+        assert EqualityQuery(q).q is q
+
+    def test_peq_rejects_empty_distribution(self):
+        with pytest.raises(QueryError):
+            EqualityQuery(UncertainAttribute.from_pairs([]))
+
+    def test_petq_construction(self, q):
+        query = EqualityThresholdQuery(q, 0.25)
+        assert query.threshold == 0.25
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_petq_invalid_thresholds(self, q, threshold):
+        with pytest.raises(QueryError):
+            EqualityThresholdQuery(q, threshold)
+
+    def test_petq_threshold_of_one_allowed(self, q):
+        assert EqualityThresholdQuery(q, 1.0).threshold == 1.0
+
+    def test_topk_construction(self, q):
+        assert EqualityTopKQuery(q, 10).k == 10
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_topk_invalid_k(self, q, k):
+        with pytest.raises(QueryError):
+            EqualityTopKQuery(q, k)
+
+
+class TestSimilarityQueries:
+    def test_dstq_distance_uses_named_divergence(self, q):
+        other = UncertainAttribute.from_pairs([(0, 1.0)])
+        query = SimilarityThresholdQuery(q, 0.5, "l1")
+        assert query.distance(other) == l1_divergence(q, other)
+
+    def test_dstq_default_divergence_is_l1(self, q):
+        assert SimilarityThresholdQuery(q, 0.5).divergence == "l1"
+
+    def test_dstq_zero_threshold_allowed(self, q):
+        assert SimilarityThresholdQuery(q, 0.0).threshold == 0.0
+
+    def test_dstq_negative_threshold_rejected(self, q):
+        with pytest.raises(QueryError):
+            SimilarityThresholdQuery(q, -0.1)
+
+    def test_dstq_unknown_divergence(self, q):
+        with pytest.raises(QueryError):
+            SimilarityThresholdQuery(q, 0.5, "hamming")
+
+    def test_ds_topk_construction(self, q):
+        query = SimilarityTopKQuery(q, 3, "kl")
+        assert query.k == 3
+        assert query.divergence == "kl"
+
+    def test_ds_topk_invalid_k(self, q):
+        with pytest.raises(QueryError):
+            SimilarityTopKQuery(q, 0)
+
+    def test_ds_topk_rejects_empty_distribution(self):
+        with pytest.raises(QueryError):
+            SimilarityTopKQuery(UncertainAttribute.from_pairs([]), 5)

@@ -1,0 +1,161 @@
+"""Tests for :mod:`repro.core.relation` (the naive reference executor)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalDomain,
+    DomainError,
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    QueryError,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+)
+
+
+@pytest.fixture()
+def problems():
+    return CategoricalDomain(["Brake", "Tires", "Trans", "Suspension", "Exhaust"])
+
+
+@pytest.fixture()
+def cars(problems):
+    """The paper's Table 1(a) complaint relation."""
+    relation = UncertainRelation(problems, name="cars")
+    relation.append(
+        UncertainAttribute.from_labels(problems, {"Brake": 0.5, "Tires": 0.5}),
+        payload="Explorer",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(
+            problems, {"Trans": 0.2, "Suspension": 0.8}
+        ),
+        payload="Camry",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(problems, {"Exhaust": 0.4, "Brake": 0.6}),
+        payload="Civic",
+    )
+    relation.append(
+        UncertainAttribute.from_labels(problems, {"Trans": 1.0}),
+        payload="Caravan",
+    )
+    return relation
+
+
+class TestConstruction:
+    def test_append_returns_dense_tids(self, cars):
+        assert list(cars.tids()) == [0, 1, 2, 3]
+
+    def test_payloads(self, cars):
+        assert cars.payload_of(0) == "Explorer"
+        assert cars.payload_of(3) == "Caravan"
+
+    def test_uda_of(self, cars, problems):
+        assert cars.uda_of(3).probability_of(problems.index_of("Trans")) == 1.0
+
+    def test_out_of_domain_item_rejected(self, problems):
+        relation = UncertainRelation(problems)
+        with pytest.raises(DomainError):
+            relation.append(UncertainAttribute.from_pairs([(9, 1.0)]))
+
+    def test_from_udas(self, problems):
+        udas = [UncertainAttribute.point(i) for i in range(3)]
+        relation = UncertainRelation.from_udas(problems, udas)
+        assert len(relation) == 3
+
+    def test_iteration(self, cars):
+        assert len(list(cars)) == 4
+
+
+class TestSparseMatrix:
+    def test_shape(self, cars, problems):
+        matrix = cars.to_sparse_matrix()
+        assert matrix.shape == (4, len(problems))
+
+    def test_vectorized_probabilities_match_canonical(self, cars):
+        q = UncertainAttribute.from_pairs([(0, 0.7), (2, 0.3)])
+        fast = cars.equality_probabilities(q)
+        slow = [q.equality_probability(cars.uda_of(t)) for t in cars.tids()]
+        assert fast == pytest.approx(slow)
+
+    def test_matrix_invalidated_by_append(self, cars, problems):
+        cars.to_sparse_matrix()
+        cars.append(UncertainAttribute.point(0))
+        assert cars.to_sparse_matrix().shape[0] == 5
+
+
+class TestEqualityExecutors:
+    def test_peq_returns_all_overlapping(self, cars, problems):
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityQuery(brake))
+        assert result.tid_set() == {0, 2}
+
+    def test_peq_scores(self, cars, problems):
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityQuery(brake))
+        scores = {m.tid: m.score for m in result}
+        assert scores[0] == pytest.approx(0.5)
+        assert scores[2] == pytest.approx(0.6)
+
+    def test_petq_threshold_filters(self, cars, problems):
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityThresholdQuery(brake, 0.55))
+        assert result.tid_set() == {2}
+
+    def test_petq_inclusive_threshold(self, cars, problems):
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityThresholdQuery(brake, 0.5))
+        assert result.tid_set() == {0, 2}
+
+    def test_top_k_ordering(self, cars, problems):
+        trans = UncertainAttribute.from_labels(problems, {"Trans": 1.0})
+        result = cars.execute(EqualityTopKQuery(trans, 2))
+        assert result.tids() == [3, 1]
+
+    def test_top_k_excludes_zero_scores(self, cars, problems):
+        trans = UncertainAttribute.from_labels(problems, {"Trans": 1.0})
+        result = cars.execute(EqualityTopKQuery(trans, 10))
+        assert result.tid_set() == {1, 3}
+
+    def test_top_k_tie_break_by_tid(self, problems):
+        relation = UncertainRelation(problems)
+        for _ in range(3):
+            relation.append(
+                UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+            )
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = relation.execute(EqualityTopKQuery(brake, 2))
+        assert result.tids() == [0, 1]
+
+
+class TestSimilarityExecutors:
+    def test_dstq(self, cars):
+        q = cars.uda_of(0)
+        result = cars.execute(SimilarityThresholdQuery(q, 0.0, "l1"))
+        assert result.tid_set() == {0}
+
+    def test_dstq_wide_threshold_returns_all(self, cars):
+        q = cars.uda_of(0)
+        result = cars.execute(SimilarityThresholdQuery(q, 2.1, "l1"))
+        assert result.tid_set() == {0, 1, 2, 3}
+
+    def test_ds_top_k_self_first(self, cars):
+        q = cars.uda_of(1)
+        result = cars.execute(SimilarityTopKQuery(q, 1, "l2"))
+        assert result.tids() == [1]
+
+    def test_unsupported_query_type(self, cars):
+        with pytest.raises(QueryError):
+            cars.execute("not a query")  # type: ignore[arg-type]
+
+
+class TestStats:
+    def test_naive_examines_every_tuple(self, cars, problems):
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityThresholdQuery(brake, 0.5))
+        assert result.stats.candidates_examined == len(cars)

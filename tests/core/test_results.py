@@ -1,0 +1,55 @@
+"""Tests for :mod:`repro.core.results`."""
+
+from repro.core import Match, QueryResult, QueryStats
+
+
+class TestMatch:
+    def test_ordering_by_descending_score(self):
+        low = Match(tid=1, score=0.2)
+        high = Match(tid=2, score=0.8)
+        assert high < low
+
+    def test_tie_broken_by_ascending_tid(self):
+        a = Match(tid=5, score=0.5)
+        b = Match(tid=3, score=0.5)
+        assert b < a
+
+    def test_equality(self):
+        assert Match(tid=1, score=0.5) == Match(tid=1, score=0.5)
+
+
+class TestQueryResult:
+    def test_matches_sorted_on_construction(self):
+        result = QueryResult(
+            [Match(tid=1, score=0.1), Match(tid=2, score=0.9)]
+        )
+        assert result.tids() == [2, 1]
+
+    def test_tid_set(self):
+        result = QueryResult([Match(tid=4, score=0.5), Match(tid=2, score=0.5)])
+        assert result.tid_set() == {2, 4}
+
+    def test_len_and_iter(self):
+        result = QueryResult([Match(tid=1, score=0.5)])
+        assert len(result) == 1
+        assert [m.tid for m in result] == [1]
+
+    def test_empty(self):
+        result = QueryResult([])
+        assert len(result) == 0
+        assert result.tids() == []
+
+
+class TestQueryStats:
+    def test_defaults_zero(self):
+        stats = QueryStats()
+        assert stats.candidates_examined == 0
+        assert stats.random_accesses == 0
+
+    def test_merge_accumulates(self):
+        a = QueryStats(candidates_examined=3, entries_scanned=10)
+        b = QueryStats(candidates_examined=2, nodes_visited=4)
+        a.merge(b)
+        assert a.candidates_examined == 5
+        assert a.entries_scanned == 10
+        assert a.nodes_visited == 4

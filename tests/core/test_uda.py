@@ -1,0 +1,241 @@
+"""Tests for :mod:`repro.core.uda`."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalDomain,
+    DomainError,
+    InvalidDistributionError,
+    UncertainAttribute,
+)
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        uda = UncertainAttribute.from_pairs([(2, 0.4), (0, 0.6)])
+        assert uda.items.tolist() == [0, 2]
+        assert uda.probs.tolist() == pytest.approx([0.6, 0.4])
+
+    def test_from_mapping(self):
+        uda = UncertainAttribute.from_pairs({1: 0.5, 3: 0.5})
+        assert uda.items.tolist() == [1, 3]
+
+    def test_zero_probability_pairs_dropped(self):
+        uda = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.0), (2, 0.5)])
+        assert uda.items.tolist() == [0, 2]
+
+    def test_from_labels_matches_table1(self):
+        problems = CategoricalDomain(["Brake", "Tires", "Trans", "Exhaust"])
+        explorer = UncertainAttribute.from_labels(
+            problems, {"Brake": 0.5, "Tires": 0.5}
+        )
+        assert explorer.probability_of(problems.index_of("Brake")) == pytest.approx(0.5)
+        assert explorer.probability_of(problems.index_of("Trans")) == 0.0
+
+    def test_from_dense(self):
+        uda = UncertainAttribute.from_dense(np.array([0.0, 0.3, 0.0, 0.7]))
+        assert uda.items.tolist() == [1, 3]
+
+    def test_point(self):
+        uda = UncertainAttribute.point(5)
+        assert uda.nnz == 1
+        assert uda.probability_of(5) == 1.0
+        assert uda.total_mass == 1.0
+
+    def test_empty_distribution_allowed(self):
+        uda = UncertainAttribute.from_pairs([])
+        assert uda.nnz == 0
+        assert uda.total_mass == 0.0
+
+    def test_partial_mass_allowed(self):
+        # Footnote 2: "the sum can be < 1 in the case of missing values".
+        uda = UncertainAttribute.from_pairs([(0, 0.3), (1, 0.2)])
+        assert uda.total_mass == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute.from_pairs([(1, 0.5), (1, 0.5)])
+
+    def test_unsorted_items_rejected_in_raw_constructor(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute(np.array([2, 0]), np.array([0.5, 0.5]))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute(np.array([0]), np.array([-0.1]))
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute(np.array([0]), np.array([1.5]))
+
+    def test_mass_above_one_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute.from_pairs([(0, 0.7), (1, 0.7)])
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute(np.array([-1]), np.array([0.5]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute(np.array([0, 1]), np.array([1.0]))
+
+    def test_float32_quantization_at_construction(self):
+        value = 0.1  # not representable in float32
+        uda = UncertainAttribute.from_pairs([(0, value)])
+        assert uda.probs[0] == float(np.float32(value))
+
+
+class TestEqualityProbability:
+    def test_paper_identical_uniform_example(self):
+        # Section 2: u = v = (0.2, 0.2, 0.2, 0.2, 0.2) gives Pr(u=v) = 0.2.
+        uniform = UncertainAttribute.from_pairs(
+            [(i, 0.2) for i in range(5)]
+        )
+        assert uniform.equality_probability(uniform) == pytest.approx(0.2)
+
+    def test_paper_dissimilar_but_more_equal_example(self):
+        # u = (0.6, 0.4, 0, 0, 0), v = (0.4, 0.6, 0, 0, 0): Pr = 0.48,
+        # higher than the identical-uniform pair above.
+        u = UncertainAttribute.from_pairs([(0, 0.6), (1, 0.4)])
+        v = UncertainAttribute.from_pairs([(0, 0.4), (1, 0.6)])
+        assert u.equality_probability(v) == pytest.approx(0.48)
+
+    def test_disjoint_supports(self):
+        u = UncertainAttribute.from_pairs([(0, 1.0)])
+        v = UncertainAttribute.from_pairs([(1, 1.0)])
+        assert u.equality_probability(v) == 0.0
+
+    def test_symmetry(self):
+        u = UncertainAttribute.from_pairs([(0, 0.3), (2, 0.7)])
+        v = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.25), (2, 0.25)])
+        assert u.equality_probability(v) == v.equality_probability(u)
+
+    def test_empty_operand(self):
+        u = UncertainAttribute.from_pairs([])
+        v = UncertainAttribute.from_pairs([(0, 1.0)])
+        assert u.equality_probability(v) == 0.0
+
+    def test_against_dense_dot_product(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            left = rng.dirichlet(np.ones(8))
+            right = rng.dirichlet(np.ones(8))
+            u = UncertainAttribute.from_dense(left)
+            v = UncertainAttribute.from_dense(right)
+            expected = float(np.dot(u.to_dense(8), v.to_dense(8)))
+            assert u.equality_probability(v) == pytest.approx(expected)
+
+    def test_equality_with_arrays_matches(self):
+        u = UncertainAttribute.from_pairs([(0, 0.6), (1, 0.4)])
+        v = UncertainAttribute.from_pairs([(0, 0.4), (1, 0.6)])
+        assert u.equality_with_arrays(v.items, v.probs) == u.equality_probability(v)
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def uda(self):
+        return UncertainAttribute.from_pairs([(1, 0.25), (4, 0.5), (7, 0.25)])
+
+    def test_nnz(self, uda):
+        assert uda.nnz == 3
+        assert len(uda) == 3
+
+    def test_probability_of_absent_item(self, uda):
+        assert uda.probability_of(2) == 0.0
+        assert uda.probability_of(100) == 0.0
+
+    def test_support(self, uda):
+        assert uda.support().tolist() == [1, 4, 7]
+
+    def test_support_is_a_copy(self, uda):
+        support = uda.support()
+        support[0] = 99
+        assert uda.items[0] == 1
+
+    def test_pairs_ascending(self, uda):
+        items = [item for item, _ in uda.pairs()]
+        assert items == sorted(items)
+
+    def test_pairs_by_probability(self, uda):
+        pairs = uda.pairs_by_probability()
+        assert pairs[0] == (4, 0.5)
+        probs = [p for _, p in pairs]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_pairs_by_probability_tie_break_by_item(self):
+        uda = UncertainAttribute.from_pairs([(3, 0.5), (1, 0.5)])
+        assert [item for item, _ in uda.pairs_by_probability()] == [1, 3]
+
+    def test_mode(self, uda):
+        assert uda.mode() == (4, 0.5)
+
+    def test_mode_of_empty_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute.from_pairs([]).mode()
+
+    def test_to_dense(self, uda):
+        dense = uda.to_dense(10)
+        assert dense.shape == (10,)
+        assert dense[4] == 0.5
+        assert dense.sum() == pytest.approx(1.0)
+
+    def test_to_dense_domain_too_small(self, uda):
+        with pytest.raises(DomainError):
+            uda.to_dense(5)
+
+    def test_to_dict(self, uda):
+        assert uda.to_dict() == {1: 0.25, 4: 0.5, 7: 0.25}
+
+    def test_entropy_of_point_is_zero(self):
+        assert UncertainAttribute.point(3).entropy() == pytest.approx(0.0)
+
+    def test_entropy_of_uniform(self):
+        uniform = UncertainAttribute.from_pairs([(i, 0.25) for i in range(4)])
+        assert uniform.entropy() == pytest.approx(np.log(4))
+
+
+class TestTransforms:
+    def test_normalized(self):
+        uda = UncertainAttribute.from_pairs([(0, 0.25), (1, 0.25)])
+        normalized = uda.normalized()
+        assert normalized.total_mass == pytest.approx(1.0)
+        assert normalized.probability_of(0) == pytest.approx(0.5)
+
+    def test_normalize_empty_raises(self):
+        with pytest.raises(InvalidDistributionError):
+            UncertainAttribute.from_pairs([]).normalized()
+
+    def test_sample_respects_support(self):
+        rng = np.random.default_rng(0)
+        uda = UncertainAttribute.from_pairs([(2, 0.5), (5, 0.5)])
+        draws = {uda.sample(rng) for _ in range(50)}
+        assert draws <= {2, 5}
+        assert len(draws) == 2
+
+    def test_sample_requires_full_mass(self):
+        rng = np.random.default_rng(0)
+        partial = UncertainAttribute.from_pairs([(0, 0.5)])
+        with pytest.raises(InvalidDistributionError):
+            partial.sample(rng)
+
+
+class TestEqualityAndHashing:
+    def test_equal_udas(self):
+        a = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+        b = UncertainAttribute.from_pairs([(1, 0.5), (0, 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_probabilities(self):
+        a = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+        b = UncertainAttribute.from_pairs([(0, 0.4), (1, 0.6)])
+        assert a != b
+
+    def test_immutable_arrays(self):
+        uda = UncertainAttribute.from_pairs([(0, 1.0)])
+        with pytest.raises(ValueError):
+            uda.probs[0] = 0.5

@@ -1,0 +1,106 @@
+"""Property-based tests for the UDA model (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import UncertainAttribute
+
+
+@st.composite
+def udas(draw, max_domain=12, allow_empty=False):
+    """Random valid UDAs over a small domain."""
+    domain = draw(st.integers(2, max_domain))
+    min_size = 0 if allow_empty else 1
+    size = draw(st.integers(min_size, domain))
+    items = draw(
+        st.lists(
+            st.integers(0, domain - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    if not items:
+        return UncertainAttribute.from_pairs([])
+    weights = draw(
+        st.lists(
+            st.floats(0.01, 1.0, allow_nan=False),
+            min_size=len(items),
+            max_size=len(items),
+        )
+    )
+    total = sum(weights)
+    mass = draw(st.floats(0.3, 1.0))
+    pairs = [
+        (item, weight / total * mass)
+        for item, weight in zip(items, weights)
+    ]
+    return UncertainAttribute.from_pairs(pairs)
+
+
+@given(udas(), udas())
+def test_equality_probability_is_symmetric(u, v):
+    assert u.equality_probability(v) == v.equality_probability(u)
+
+
+@given(udas(), udas())
+def test_equality_probability_within_bounds(u, v):
+    probability = u.equality_probability(v)
+    assert 0.0 <= probability <= 1.0 + 1e-9
+
+
+@given(udas())
+def test_self_equality_bounded_by_max_probability(u):
+    # Pr(u = u) = sum p_i^2 <= max p_i * sum p_i <= max p_i.
+    assert u.equality_probability(u) <= float(u.probs.max()) + 1e-12
+
+
+@given(udas(), udas())
+def test_equality_matches_dense_dot(u, v):
+    size = int(max(u.items.max(initial=0), v.items.max(initial=0))) + 1
+    expected = float(np.dot(u.to_dense(size), v.to_dense(size)))
+    assert u.equality_probability(v) == pytest.approx(expected, abs=1e-12)
+
+
+@given(udas())
+def test_dense_round_trip(u):
+    size = int(u.items.max(initial=0)) + 1
+    again = UncertainAttribute.from_dense(u.to_dense(size))
+    assert again == u
+
+
+@given(udas())
+def test_pairs_by_probability_is_sorted(u):
+    pairs = u.pairs_by_probability()
+    probs = [p for _, p in pairs]
+    assert probs == sorted(probs, reverse=True)
+    assert sorted(item for item, _ in pairs) == u.items.tolist()
+
+
+@given(udas())
+def test_mass_is_sum_of_pairs(u):
+    assert u.total_mass == pytest.approx(
+        math.fsum(p for _, p in u.pairs()), abs=1e-12
+    )
+
+
+@given(udas())
+def test_normalized_has_unit_mass(u):
+    assert u.normalized().total_mass == pytest.approx(1.0, abs=1e-6)
+
+
+@given(udas())
+def test_float32_quantization_is_idempotent(u):
+    # Re-constructing from the stored probabilities must be lossless:
+    # this is the invariant the on-page layout relies on.
+    again = UncertainAttribute(u.items.copy(), u.probs.copy())
+    assert again == u
+
+
+@given(udas(), udas())
+def test_equality_with_arrays_equals_equality_probability(u, v):
+    assert u.equality_with_arrays(v.items, v.probs) == u.equality_probability(v)

@@ -1,0 +1,142 @@
+"""Windowed equality queries: descriptor, expansion, and all executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CategoricalDomain,
+    QueryError,
+    QueryVector,
+    UncertainAttribute,
+    UncertainRelation,
+    WindowedEqualityQuery,
+)
+from repro.invindex import STRATEGIES, ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+from tests.core.test_uda_properties import udas
+from tests.invindex.test_strategies_properties import relations
+
+
+class TestQueryVector:
+    def test_mass_may_exceed_one(self):
+        vector = QueryVector(np.array([0, 1, 2]), np.array([0.9, 0.9, 0.9]))
+        assert vector.total_mass == pytest.approx(2.7)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            QueryVector(np.array([1, 0]), np.array([0.5, 0.5]))
+        with pytest.raises(Exception):
+            QueryVector(np.array([0]), np.array([0.0]))
+
+    def test_scoring_matches_uda_scoring(self):
+        u = UncertainAttribute.from_pairs([(0, 0.5), (2, 0.5)])
+        vector = QueryVector(u.items, u.probs)
+        v = UncertainAttribute.from_pairs([(0, 0.3), (2, 0.7)])
+        assert vector.equality_probability(v) == u.equality_probability(v)
+
+    def test_pairs_by_probability(self):
+        vector = QueryVector(np.array([0, 1]), np.array([0.2, 1.5]))
+        assert vector.pairs_by_probability()[0] == (1, 1.5)
+
+
+class TestDescriptor:
+    def test_validation(self):
+        q = UncertainAttribute.point(3)
+        with pytest.raises(QueryError):
+            WindowedEqualityQuery(q, 0.0, 1)
+        with pytest.raises(QueryError):
+            WindowedEqualityQuery(q, 0.5, -1)
+        with pytest.raises(QueryError):
+            WindowedEqualityQuery(UncertainAttribute.from_pairs([]), 0.5, 1)
+
+    def test_expansion_window_zero_is_identity(self):
+        q = UncertainAttribute.from_pairs([(2, 0.4), (5, 0.6)])
+        expanded = WindowedEqualityQuery(q, 0.5, 0).expanded()
+        assert expanded.items.tolist() == [2, 5]
+        assert expanded.probs.tolist() == pytest.approx([0.4, 0.6])
+
+    def test_expansion_overlapping_windows_sum(self):
+        q = UncertainAttribute.from_pairs([(2, 0.5), (3, 0.5)])
+        expanded = WindowedEqualityQuery(q, 0.5, 1).expanded()
+        # Item 2 and 3 both cover items 2 and 3; weights sum to 1 there.
+        weights = dict(expanded.pairs())
+        assert weights[2] == pytest.approx(1.0)
+        assert weights[3] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+        assert weights[4] == pytest.approx(0.5)
+
+    def test_expansion_clips_below_zero(self):
+        q = UncertainAttribute.point(0)
+        expanded = WindowedEqualityQuery(q, 0.5, 2).expanded()
+        assert expanded.items.min() == 0
+
+
+class TestExecutors:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(17)
+        domain = CategoricalDomain.of_size(15)
+        relation = UncertainRelation(domain)
+        for _ in range(250):
+            nnz = int(rng.integers(1, 5))
+            items = rng.choice(15, size=nnz, replace=False)
+            probs = rng.dirichlet(np.ones(nnz))
+            relation.append(
+                UncertainAttribute.from_pairs(
+                    list(zip(items.tolist(), probs.tolist()))
+                )
+            )
+        inverted = ProbabilisticInvertedIndex(15)
+        inverted.build(relation)
+        tree = PDRTree(15)
+        tree.build(relation)
+        return relation, inverted, tree
+
+    @pytest.mark.parametrize("window", [0, 1, 4])
+    @pytest.mark.parametrize("threshold", [0.1, 0.5])
+    def test_all_executors_agree(self, setup, window, threshold):
+        relation, inverted, tree = setup
+        q = relation.uda_of(7)
+        query = WindowedEqualityQuery(q, threshold, window)
+        expected = [(m.tid, m.score) for m in relation.execute(query)]
+        assert [(m.tid, m.score) for m in tree.execute(query)] == expected
+        for strategy in STRATEGIES:
+            got = [
+                (m.tid, m.score)
+                for m in inverted.execute(query, strategy=strategy)
+            ]
+            assert got == expected, strategy
+
+    def test_wider_window_never_shrinks_answers(self, setup):
+        relation, _, _ = setup
+        q = relation.uda_of(3)
+        previous: set[int] = set()
+        for window in (0, 1, 2, 4):
+            result = relation.execute(WindowedEqualityQuery(q, 0.2, window))
+            assert previous <= result.tid_set()
+            previous = result.tid_set()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    relation=relations(max_tuples=25),
+    q=udas(max_domain=8),
+    threshold=st.floats(0.01, 1.0),
+    window=st.integers(0, 4),
+)
+def test_windowed_property_agreement(relation, q, threshold, window):
+    query = WindowedEqualityQuery(q, threshold, window)
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    inverted = ProbabilisticInvertedIndex(len(relation.domain))
+    inverted.build(relation)
+    tree = PDRTree(len(relation.domain))
+    tree.build(relation)
+    assert [(m.tid, m.score) for m in tree.execute(query)] == expected
+    for strategy in ("highest_prob_first", "column_pruning", "no_random_access"):
+        got = [
+            (m.tid, m.score) for m in inverted.execute(query, strategy=strategy)
+        ]
+        assert got == expected, strategy

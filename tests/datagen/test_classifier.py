@@ -1,0 +1,65 @@
+"""Tests for :mod:`repro.datagen.classifier`."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core import QueryError
+from repro.datagen import MultinomialNaiveBayes, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        num_docs=600, num_topics=5, vocab_size=80, doc_length=50, seed=4
+    )
+
+
+class TestFit:
+    def test_unfitted_predict_raises(self, corpus):
+        with pytest.raises(QueryError):
+            MultinomialNaiveBayes().predict_proba(corpus.counts)
+
+    def test_label_count_mismatch(self, corpus):
+        with pytest.raises(QueryError):
+            MultinomialNaiveBayes().fit(corpus.counts, corpus.labels[:-1])
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(QueryError):
+            MultinomialNaiveBayes(smoothing=0.0)
+
+    def test_num_classes(self, corpus):
+        classifier = MultinomialNaiveBayes().fit(corpus.counts, corpus.labels)
+        assert classifier.num_classes == 5
+        assert classifier.is_fitted
+
+
+class TestPredictions:
+    @pytest.fixture(scope="class")
+    def classifier(self, corpus):
+        return MultinomialNaiveBayes().fit(
+            corpus.counts[:400], corpus.labels[:400]
+        )
+
+    def test_posteriors_are_distributions(self, classifier, corpus):
+        posteriors = classifier.predict_proba(corpus.counts[400:])
+        assert posteriors.shape == (200, 5)
+        assert (posteriors >= 0).all()
+        assert posteriors.sum(axis=1) == pytest.approx(np.ones(200))
+
+    def test_learns_separable_topics(self, classifier, corpus):
+        predicted = classifier.predict(corpus.counts[400:])
+        accuracy = (predicted == corpus.labels[400:]).mean()
+        assert accuracy > 0.8  # topical corpora are easy for NB
+
+    def test_handles_empty_document(self, classifier):
+        empty = sparse.csr_matrix((1, 80))
+        posterior = classifier.predict_proba(empty)
+        # With no evidence the posterior equals the prior.
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_unseen_class_gets_floor_prior(self):
+        counts = sparse.csr_matrix(np.eye(4, 10))
+        labels = np.array([0, 1, 2, 2])  # class 3 never appears
+        classifier = MultinomialNaiveBayes().fit(counts, labels)
+        assert classifier.num_classes == 3

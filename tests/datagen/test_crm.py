@@ -1,0 +1,71 @@
+"""Tests for :mod:`repro.datagen.crm`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.datagen import crm1_dataset, crm2_dataset
+
+
+@pytest.fixture(scope="module")
+def crm1():
+    return crm1_dataset(num_tuples=800, training_docs=600, seed=1)
+
+
+@pytest.fixture(scope="module")
+def crm2():
+    return crm2_dataset(num_tuples=800, seed=1)
+
+
+class TestCRM1:
+    def test_shape(self, crm1):
+        assert len(crm1) == 800
+        assert len(crm1.domain) == 50
+
+    def test_unit_mass(self, crm1):
+        for tid in range(0, 800, 97):
+            assert crm1.uda_of(tid).total_mass == pytest.approx(1.0, abs=1e-4)
+
+    def test_sparse(self, crm1):
+        mean_nnz = np.mean([crm1.uda_of(t).nnz for t in crm1.tids()])
+        assert mean_nnz < 25  # clearly below the 50-category ceiling
+
+    def test_truncation_respected(self, crm1):
+        for tid in range(0, 800, 131):
+            probs = crm1.uda_of(tid).probs
+            assert (probs >= 0.009).all()  # truncate=0.01 before renorm
+
+    def test_insufficient_training_docs(self):
+        with pytest.raises(QueryError):
+            crm1_dataset(num_tuples=10, training_docs=10)
+
+
+class TestCRM2:
+    def test_shape(self, crm2):
+        assert len(crm2) == 800
+        assert len(crm2.domain) == 50
+
+    def test_dense(self, crm2):
+        mean_nnz = np.mean([crm2.uda_of(t).nnz for t in crm2.tids()])
+        assert mean_nnz > 30
+
+    def test_has_contrast(self, crm2):
+        # Memberships must not be uniform: the mode clearly exceeds 1/50.
+        modes = [crm2.uda_of(t).mode()[1] for t in crm2.tids()]
+        assert np.mean(modes) > 0.05
+
+    def test_unit_mass(self, crm2):
+        for tid in range(0, 800, 97):
+            assert crm2.uda_of(tid).total_mass == pytest.approx(1.0, abs=1e-4)
+
+
+class TestContrastBetweenDatasets:
+    def test_crm1_sparser_than_crm2(self, crm1, crm2):
+        nnz1 = np.mean([crm1.uda_of(t).nnz for t in crm1.tids()])
+        nnz2 = np.mean([crm2.uda_of(t).nnz for t in crm2.tids()])
+        assert nnz1 < nnz2 / 2  # the paper's sparse-vs-dense contrast
+
+    def test_deterministic_by_seed(self):
+        a = crm1_dataset(num_tuples=60, training_docs=200, seed=9)
+        b = crm1_dataset(num_tuples=60, training_docs=200, seed=9)
+        assert all(a.uda_of(t) == b.uda_of(t) for t in a.tids())

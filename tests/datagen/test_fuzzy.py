@@ -1,0 +1,89 @@
+"""Tests for :mod:`repro.datagen.fuzzy`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.datagen import fuzzy_c_means
+
+
+@pytest.fixture()
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    return np.vstack([c + rng.standard_normal((60, 2)) for c in centers])
+
+
+class TestEuclidean:
+    def test_finds_separated_blobs(self, blobs):
+        result = fuzzy_c_means(blobs, 3, seed=1)
+        assert result.memberships.shape == (180, 3)
+        # Clear blobs give crisp memberships.
+        assert result.memberships.max(axis=1).mean() > 0.9
+
+    def test_memberships_are_distributions(self, blobs):
+        result = fuzzy_c_means(blobs, 3, seed=1)
+        assert (result.memberships >= 0).all()
+        assert result.memberships.sum(axis=1) == pytest.approx(np.ones(180))
+
+    def test_larger_fuzzifier_flattens(self, blobs):
+        crisp = fuzzy_c_means(blobs, 3, fuzzifier=1.2, seed=1)
+        flat = fuzzy_c_means(blobs, 3, fuzzifier=4.0, seed=1)
+        assert (
+            flat.memberships.max(axis=1).mean()
+            < crisp.memberships.max(axis=1).mean()
+        )
+
+    def test_deterministic_by_seed(self, blobs):
+        a = fuzzy_c_means(blobs, 3, seed=7)
+        b = fuzzy_c_means(blobs, 3, seed=7)
+        assert np.array_equal(a.memberships, b.memberships)
+
+
+class TestCosine:
+    def test_spherical_clusters(self):
+        rng = np.random.default_rng(2)
+        directions = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        data = np.vstack(
+            [d + 0.05 * rng.standard_normal((40, 3)) for d in directions]
+        )
+        result = fuzzy_c_means(
+            data, 3, fuzzifier=1.5, metric="cosine", init="farthest", seed=3
+        )
+        assert result.memberships.max(axis=1).mean() > 0.8
+
+    def test_centroids_unit_norm(self):
+        rng = np.random.default_rng(4)
+        data = rng.uniform(0.1, 1.0, size=(50, 4))
+        result = fuzzy_c_means(data, 3, metric="cosine", seed=5)
+        assert np.linalg.norm(result.centroids, axis=1) == pytest.approx(
+            np.ones(3)
+        )
+
+
+class TestFarthestInit:
+    def test_seeds_spread_better_than_sample(self, blobs):
+        farthest = fuzzy_c_means(blobs, 3, init="farthest", seed=6)
+        assert farthest.memberships.max(axis=1).mean() > 0.9
+
+
+class TestValidation:
+    def test_bad_dimensionality(self):
+        with pytest.raises(QueryError):
+            fuzzy_c_means(np.zeros(5), 2)
+
+    def test_too_many_clusters(self):
+        with pytest.raises(QueryError):
+            fuzzy_c_means(np.zeros((3, 2)), 5)
+
+    def test_bad_fuzzifier(self, blobs):
+        with pytest.raises(QueryError):
+            fuzzy_c_means(blobs, 3, fuzzifier=1.0)
+
+    def test_bad_metric(self, blobs):
+        with pytest.raises(QueryError):
+            fuzzy_c_means(blobs, 3, metric="hamming")
+
+    def test_bad_init(self, blobs):
+        with pytest.raises(QueryError):
+            fuzzy_c_means(blobs, 3, init="zeros")

@@ -1,0 +1,136 @@
+"""Tests for :mod:`repro.datagen.synthetic`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.datagen import (
+    expected_group_size,
+    gen3_dataset,
+    pairwise_dataset,
+    uniform_dataset,
+)
+
+
+class TestUniform:
+    def test_shape(self):
+        relation = uniform_dataset(num_tuples=200)
+        assert len(relation) == 200
+        assert len(relation.domain) == 5
+
+    def test_every_tuple_is_dense(self):
+        relation = uniform_dataset(num_tuples=50)
+        for tid in relation.tids():
+            assert relation.uda_of(tid).nnz == 5
+
+    def test_unit_mass(self):
+        relation = uniform_dataset(num_tuples=50)
+        for tid in relation.tids():
+            assert relation.uda_of(tid).total_mass == pytest.approx(1.0, abs=1e-5)
+
+    def test_deterministic_by_seed(self):
+        a = uniform_dataset(num_tuples=20, seed=5)
+        b = uniform_dataset(num_tuples=20, seed=5)
+        assert all(a.uda_of(t) == b.uda_of(t) for t in a.tids())
+
+    def test_different_seeds_differ(self):
+        a = uniform_dataset(num_tuples=20, seed=5)
+        b = uniform_dataset(num_tuples=20, seed=6)
+        assert any(a.uda_of(t) != b.uda_of(t) for t in a.tids())
+
+
+class TestPairwise:
+    def test_two_nonzero_items(self):
+        relation = pairwise_dataset(num_tuples=100)
+        for tid in relation.tids():
+            assert relation.uda_of(tid).nnz == 2
+
+    def test_roughly_equal_probabilities(self):
+        relation = pairwise_dataset(num_tuples=100, jitter=0.1)
+        for tid in relation.tids():
+            probs = relation.uda_of(tid).probs
+            assert abs(probs[0] - probs[1]) <= 0.1 + 1e-6
+
+    def test_at_most_five_combinations(self):
+        relation = pairwise_dataset(num_tuples=300)
+        combos = {
+            tuple(relation.uda_of(tid).items.tolist())
+            for tid in relation.tids()
+        }
+        assert len(combos) <= 5
+
+    def test_too_many_combinations_rejected(self):
+        with pytest.raises(QueryError):
+            pairwise_dataset(domain_size=3, num_combinations=5)
+
+
+class TestGen3:
+    def test_shape(self):
+        relation = gen3_dataset(num_tuples=100, domain_size=50)
+        assert len(relation.domain) == 50
+        assert len(relation) == 100
+
+    def test_items_within_domain(self):
+        relation = gen3_dataset(num_tuples=100, domain_size=30)
+        for tid in relation.tids():
+            assert relation.uda_of(tid).items.max() < 30
+
+    def test_group_structure_limits_distinct_supports(self):
+        relation = gen3_dataset(
+            num_tuples=400, domain_size=100, num_groups=10
+        )
+        supports = {
+            tuple(relation.uda_of(tid).items.tolist())
+            for tid in relation.tids()
+        }
+        assert len(supports) <= 10
+
+    def test_expected_group_size_anchors(self):
+        # "from 3 (in domain size 10) to 10 (in domain size 500)".
+        assert expected_group_size(10) == 3
+        assert expected_group_size(500) == 10
+        assert expected_group_size(5) == 3
+        assert expected_group_size(1000) == 10
+
+    def test_expected_group_size_monotone(self):
+        sizes = [expected_group_size(d) for d in (10, 50, 100, 250, 500)]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic_by_seed(self):
+        a = gen3_dataset(num_tuples=30, domain_size=40, seed=2)
+        b = gen3_dataset(num_tuples=30, domain_size=40, seed=2)
+        assert all(a.uda_of(t) == b.uda_of(t) for t in a.tids())
+
+
+class TestZipf:
+    def test_shape_and_nnz(self):
+        from repro.datagen.synthetic import zipf_dataset
+
+        relation = zipf_dataset(num_tuples=200, domain_size=30, nnz=4)
+        assert len(relation) == 200
+        for tid in relation.tids():
+            assert relation.uda_of(tid).nnz == 4
+
+    def test_skew_concentrates_popular_items(self):
+        from repro.datagen.synthetic import zipf_dataset
+
+        flat = zipf_dataset(num_tuples=400, domain_size=30, skew=1.05, seed=1)
+        steep = zipf_dataset(num_tuples=400, domain_size=30, skew=3.0, seed=1)
+
+        def usage_of_top_item(relation):
+            counts = {}
+            for tid in relation.tids():
+                for item in relation.uda_of(tid).items.tolist():
+                    counts[item] = counts.get(item, 0) + 1
+            return max(counts.values())
+
+        assert usage_of_top_item(steep) > usage_of_top_item(flat)
+
+    def test_validation(self):
+        from repro.core import QueryError
+        from repro.datagen.synthetic import zipf_dataset
+
+        with pytest.raises(QueryError):
+            zipf_dataset(skew=1.0)
+        with pytest.raises(QueryError):
+            zipf_dataset(domain_size=3, nnz=5)

@@ -1,0 +1,51 @@
+"""Tests for :mod:`repro.datagen.text`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.datagen import generate_corpus
+
+
+class TestCorpusShape:
+    def test_dimensions(self):
+        corpus = generate_corpus(num_docs=100, num_topics=8, vocab_size=60)
+        assert corpus.counts.shape == (100, 60)
+        assert corpus.topics.shape == (8, 60)
+        assert corpus.topic_weights.shape == (100, 8)
+        assert corpus.num_docs == 100
+        assert corpus.vocab_size == 60
+        assert corpus.num_topics == 8
+
+    def test_document_lengths(self):
+        corpus = generate_corpus(num_docs=50, doc_length=40, num_topics=5, vocab_size=30)
+        lengths = np.asarray(corpus.counts.sum(axis=1)).ravel()
+        assert (lengths == 40).all()
+
+    def test_labels_are_dominant_topics(self):
+        corpus = generate_corpus(num_docs=50, num_topics=5, vocab_size=30)
+        assert (corpus.labels == corpus.topic_weights.argmax(axis=1)).all()
+
+    def test_topic_rows_are_distributions(self):
+        corpus = generate_corpus(num_docs=10, num_topics=5, vocab_size=30)
+        assert corpus.topics.sum(axis=1) == pytest.approx(np.ones(5))
+
+    def test_deterministic_by_seed(self):
+        a = generate_corpus(num_docs=20, num_topics=4, vocab_size=25, seed=3)
+        b = generate_corpus(num_docs=20, num_topics=4, vocab_size=25, seed=3)
+        assert (a.counts != b.counts).nnz == 0
+
+    def test_chunking_does_not_change_output(self):
+        a = generate_corpus(num_docs=30, num_topics=4, vocab_size=25, seed=3, chunk_size=7)
+        b = generate_corpus(num_docs=30, num_topics=4, vocab_size=25, seed=3, chunk_size=1000)
+        assert (a.counts != b.counts).nnz == 0
+
+
+class TestValidation:
+    def test_no_documents_rejected(self):
+        with pytest.raises(QueryError):
+            generate_corpus(num_docs=0)
+
+    def test_single_topic_rejected(self):
+        with pytest.raises(QueryError):
+            generate_corpus(num_docs=5, num_topics=1)

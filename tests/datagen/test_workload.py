@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.datagen.workload`."""
+
+import numpy as np
+import pytest
+
+from repro.core import EqualityThresholdQuery, QueryError, UncertainAttribute
+from repro.datagen import (
+    build_workload,
+    calibrate_threshold,
+    sample_query_udas,
+    uniform_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_dataset(num_tuples=1000, seed=3)
+
+
+class TestSampling:
+    def test_queries_come_from_relation(self, relation):
+        queries = sample_query_udas(relation, 20, seed=1)
+        tuples = {relation.uda_of(t) for t in relation.tids()}
+        assert all(q in tuples for q in queries)
+
+    def test_deterministic(self, relation):
+        assert sample_query_udas(relation, 5, seed=2) == sample_query_udas(
+            relation, 5, seed=2
+        )
+
+    def test_empty_relation_rejected(self):
+        empty = uniform_dataset(num_tuples=1)
+        empty._udas.clear()  # simulate emptiness
+        with pytest.raises(QueryError):
+            sample_query_udas(empty, 1)
+
+
+class TestCalibration:
+    def test_threshold_hits_target_selectivity(self, relation):
+        q = relation.uda_of(0)
+        for selectivity in (0.01, 0.1):
+            threshold, k = calibrate_threshold(relation, q, selectivity)
+            result = relation.execute(EqualityThresholdQuery(q, threshold))
+            achieved = len(result) / len(relation)
+            # Inclusive threshold: at least the target, and close to it.
+            assert achieved >= selectivity - 1e-9
+            assert achieved <= selectivity * 2 + 0.01
+            assert k == max(1, round(selectivity * len(relation)))
+
+    def test_invalid_selectivity(self, relation):
+        q = relation.uda_of(0)
+        with pytest.raises(QueryError):
+            calibrate_threshold(relation, q, 0.0)
+        with pytest.raises(QueryError):
+            calibrate_threshold(relation, q, 1.5)
+
+    def test_unreachable_selectivity(self, relation):
+        # A query disjoint from every tuple has no positive probabilities.
+        q = UncertainAttribute.from_pairs([(4, 1.0)])
+        lonely = uniform_dataset(num_tuples=5, seed=0)
+        for tid in lonely.tids():
+            pass
+        disjoint = UncertainAttribute.from_pairs([(0, 1.0)])
+        relation_small = uniform_dataset(num_tuples=3, seed=1)
+        # Build a tiny relation whose tuples miss item 0 entirely.
+        from repro.core import CategoricalDomain, UncertainRelation
+
+        domain = CategoricalDomain.of_size(5)
+        empty_overlap = UncertainRelation(domain)
+        empty_overlap.append(UncertainAttribute.from_pairs([(1, 1.0)]))
+        with pytest.raises(QueryError):
+            calibrate_threshold(empty_overlap, disjoint, 1.0)
+
+
+class TestWorkload:
+    def test_structure(self, relation):
+        workload = build_workload(
+            relation, selectivities=(0.01, 0.1), queries_per_point=4, seed=2
+        )
+        assert set(workload) == {0.01, 0.1}
+        for selectivity, queries in workload.items():
+            assert len(queries) == 4
+            for calibrated in queries:
+                assert calibrated.selectivity == selectivity
+                assert calibrated.threshold > 0
+                assert calibrated.k >= 1
+
+    def test_query_forms(self, relation):
+        workload = build_workload(
+            relation, selectivities=(0.05,), queries_per_point=1, seed=2
+        )
+        calibrated = workload[0.05][0]
+        assert calibrated.threshold_query().threshold == calibrated.threshold
+        assert calibrated.top_k_query().k == calibrated.k
+
+    def test_deterministic(self, relation):
+        a = build_workload(relation, selectivities=(0.05,), queries_per_point=3, seed=4)
+        b = build_workload(relation, selectivities=(0.05,), queries_per_point=3, seed=4)
+        assert [c.threshold for c in a[0.05]] == [c.threshold for c in b[0.05]]

@@ -1,0 +1,48 @@
+"""Every example script runs to completion and reports agreement."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "All three executors agree: True" in out
+    assert "Civic" in out
+
+
+def test_personnel_join(capsys):
+    out = run_example("personnel_join.py", capsys)
+    assert "Index-accelerated join matches the nested loop: True" in out
+    assert "Jim" in out and "Tom" in out
+
+
+def test_nurse_tracking(capsys):
+    out = run_example("nurse_tracking.py", capsys)
+    assert "PDR-tree answers match the naive scan: True" in out
+
+
+def test_crm_triage_small(capsys):
+    # Patch the scale down so the smoke test stays fast.
+    source = (EXAMPLES / "crm_triage.py").read_text()
+    assert "NUM_TICKETS = 4_000" in source
+    patched = source.replace("NUM_TICKETS = 4_000", "NUM_TICKETS = 600")
+    namespace = {"__name__": "__main__", "__file__": str(EXAMPLES / "crm_triage.py")}
+    exec(compile(patched, "crm_triage.py", "exec"), namespace)
+    out = capsys.readouterr().out
+    assert "page reads" in out
+
+
+def test_ordered_domains(capsys):
+    out = run_example("ordered_domains.py", capsys)
+    assert "Both indexes agree with the naive scan: True" in out

@@ -1,0 +1,151 @@
+"""The paper's running examples, end to end (Table 1, Section 1-2)."""
+
+import pytest
+
+from repro.core import (
+    CategoricalDomain,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+    petj,
+)
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+
+@pytest.fixture()
+def table_1a():
+    """Table 1(a): vehicle complaints with an uncertain Problem field."""
+    problems = CategoricalDomain(
+        ["Brake", "Tires", "Trans", "Suspension", "Exhaust"]
+    )
+    cars = UncertainRelation(problems, name="complaints")
+    rows = [
+        ("Explorer", {"Brake": 0.5, "Tires": 0.5}),
+        ("Camry", {"Trans": 0.2, "Suspension": 0.8}),
+        ("Civic", {"Exhaust": 0.4, "Brake": 0.6}),
+        ("Caravan", {"Trans": 1.0}),
+    ]
+    for make, problem in rows:
+        cars.append(
+            UncertainAttribute.from_labels(problems, problem), payload=make
+        )
+    return problems, cars
+
+
+@pytest.fixture()
+def table_1b():
+    """Table 1(b): personnel planning with an uncertain Department."""
+    departments = CategoricalDomain(
+        ["Shoes", "Sales", "Clothes", "Hardware", "HR"]
+    )
+    employees = UncertainRelation(departments, name="personnel")
+    rows = [
+        ("Jim", {"Shoes": 0.5, "Sales": 0.5}),
+        ("Tom", {"Sales": 0.4, "Clothes": 0.6}),
+        ("Lin", {"Hardware": 0.6, "Sales": 0.4}),
+        ("Nancy", {"HR": 1.0}),
+    ]
+    for name, dept in rows:
+        employees.append(
+            UncertainAttribute.from_labels(departments, dept), payload=name
+        )
+    return departments, employees
+
+
+class TestBrakeProblemQuery:
+    """'Report all the tuples which are highly likely to have a brake
+    problem (i.e., Problem = Brake)' — Section 2."""
+
+    def test_highly_likely_brake_problems(self, table_1a):
+        problems, cars = table_1a
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        result = cars.execute(EqualityThresholdQuery(brake, 0.5))
+        makes = {cars.payload_of(m.tid) for m in result}
+        assert makes == {"Explorer", "Civic"}
+
+    def test_same_answer_through_both_indexes(self, table_1a):
+        problems, cars = table_1a
+        brake = UncertainAttribute.from_labels(problems, {"Brake": 1.0})
+        query = EqualityThresholdQuery(brake, 0.5)
+        expected = cars.execute(query).tid_set()
+        inverted = ProbabilisticInvertedIndex(len(problems))
+        inverted.build(cars)
+        tree = PDRTree(len(problems))
+        tree.build(cars)
+        assert inverted.execute(query).tid_set() == expected
+        assert tree.execute(query).tid_set() == expected
+
+    def test_same_problem_pairs(self, table_1a):
+        """'compute the probability of pairs of cars having the same
+        problem' — Section 2."""
+        problems, cars = table_1a
+        pairs = petj(cars, cars, 0.01)
+        scores = {
+            (cars.payload_of(p.left_tid), cars.payload_of(p.right_tid)): p.score
+            for p in pairs
+        }
+        # Explorer-Civic share Brake: 0.5 * 0.6 = 0.3.
+        assert scores[("Explorer", "Civic")] == pytest.approx(0.3)
+        # Camry-Caravan share Trans: 0.2 * 1.0 = 0.2.
+        assert scores[("Camry", "Caravan")] == pytest.approx(0.2)
+
+
+class TestDepartmentPlacement:
+    """'finding employees which are highly likely to be placed in the
+    Shoes or Clothes department' — Section 2."""
+
+    def test_shoes_or_clothes(self, table_1b):
+        departments, employees = table_1b
+        target = UncertainAttribute.from_labels(
+            departments, {"Shoes": 0.5, "Clothes": 0.5}
+        )
+        result = employees.execute(EqualityThresholdQuery(target, 0.25))
+        names = {employees.payload_of(m.tid) for m in result}
+        assert names == {"Jim", "Tom"}
+
+    def test_same_department_join(self, table_1b):
+        """'which pairs of employees have a given minimum probability of
+        potentially working for the same department' — Definition 4."""
+        departments, employees = table_1b
+        pairs = petj(employees, employees, 0.15)
+        names = {
+            (employees.payload_of(p.left_tid), employees.payload_of(p.right_tid))
+            for p in pairs
+            if p.left_tid < p.right_tid
+        }
+        # Jim-Tom: 0.5 * 0.4 = 0.2; Jim-Lin: 0.5 * 0.4 = 0.2;
+        # Tom-Lin: 0.4 * 0.4 = 0.16; all >= 0.15.
+        assert names == {("Jim", "Tom"), ("Jim", "Lin"), ("Tom", "Lin")}
+
+    def test_most_similar_employee_topk(self, table_1b):
+        departments, employees = table_1b
+        jim = employees.uda_of(0)
+        result = employees.execute(EqualityTopKQuery(jim, 2))
+        names = [employees.payload_of(m.tid) for m in result]
+        assert names[0] == "Jim"  # Jim matches himself best
+        assert names[1] in {"Tom", "Lin"}
+
+
+class TestNurseTrackingScenario:
+    """The introduction's RFID scenario: uncertain nurse locations."""
+
+    def test_probable_room_occupancy(self):
+        rooms = CategoricalDomain([f"Room{i}" for i in range(1, 7)])
+        sightings = UncertainRelation(rooms, name="rfid")
+        sightings.append(
+            UncertainAttribute.from_labels(rooms, {"Room5": 0.7, "Room4": 0.3}),
+            payload="Nurse 10",
+        )
+        sightings.append(
+            UncertainAttribute.from_labels(rooms, {"Room5": 0.4, "Room6": 0.6}),
+            payload="Nurse 11",
+        )
+        sightings.append(
+            UncertainAttribute.from_labels(rooms, {"Room1": 1.0}),
+            payload="Nurse 12",
+        )
+        room5 = UncertainAttribute.from_labels(rooms, {"Room5": 1.0})
+        result = sightings.execute(EqualityThresholdQuery(room5, 0.5))
+        assert {sightings.payload_of(m.tid) for m in result} == {"Nurse 10"}

@@ -1,0 +1,45 @@
+"""Shared fixtures for inverted-index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalDomain, UncertainAttribute, UncertainRelation
+from repro.invindex import ProbabilisticInvertedIndex
+
+
+def random_relation(num_tuples, domain_size, seed, max_nnz=5):
+    rng = np.random.default_rng(seed)
+    domain = CategoricalDomain.of_size(domain_size)
+    relation = UncertainRelation(domain)
+    for _ in range(num_tuples):
+        nnz = int(rng.integers(1, max_nnz + 1))
+        items = rng.choice(domain_size, size=nnz, replace=False)
+        probs = rng.dirichlet(np.ones(nnz))
+        relation.append(
+            UncertainAttribute.from_pairs(
+                list(zip(items.tolist(), probs.tolist()))
+            )
+        )
+    return relation
+
+
+def random_query(domain_size, seed, max_nnz=4):
+    rng = np.random.default_rng(seed)
+    nnz = int(rng.integers(1, max_nnz + 1))
+    items = rng.choice(domain_size, size=nnz, replace=False)
+    probs = rng.dirichlet(np.ones(nnz))
+    return UncertainAttribute.from_pairs(
+        list(zip(items.tolist(), probs.tolist()))
+    )
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(300, 15, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(relation):
+    built = ProbabilisticInvertedIndex(len(relation.domain))
+    built.build(relation)
+    return built

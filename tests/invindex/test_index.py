@@ -1,0 +1,155 @@
+"""Tests for :mod:`repro.invindex.index`."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    KeyNotFoundError,
+    QueryError,
+    SimilarityThresholdQuery,
+    UncertainAttribute,
+)
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.storage import BufferPool, DiskManager
+
+from tests.invindex.conftest import random_relation
+
+
+class TestBuild:
+    def test_build_counts_tuples(self, relation, index):
+        assert index.num_tuples == len(relation)
+
+    def test_posting_lists_only_for_occurring_items(self):
+        relation = random_relation(50, 30, seed=9, max_nnz=2)
+        occurring = set()
+        for tid in relation.tids():
+            occurring.update(relation.uda_of(tid).items.tolist())
+        index = ProbabilisticInvertedIndex(30)
+        index.build(relation)
+        for item in range(30):
+            posting_list = index.posting_list(item)
+            if item in occurring:
+                assert posting_list is not None and len(posting_list) > 0
+            else:
+                assert posting_list is None
+
+    def test_double_build_rejected(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        with pytest.raises(QueryError):
+            index.build(relation)
+
+    def test_domain_size_mismatch(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain) + 5)
+        with pytest.raises(QueryError):
+            index.build(relation)
+
+    def test_invalid_domain_size(self):
+        with pytest.raises(QueryError):
+            ProbabilisticInvertedIndex(0)
+
+
+class TestDynamicMaintenance:
+    def test_insert_then_query(self):
+        index = ProbabilisticInvertedIndex(10)
+        index.insert(0, UncertainAttribute.from_pairs([(1, 0.6), (2, 0.4)]))
+        index.insert(1, UncertainAttribute.from_pairs([(1, 1.0)]))
+        q = UncertainAttribute.from_pairs([(1, 1.0)])
+        result = index.execute(EqualityThresholdQuery(q, 0.5))
+        assert result.tid_set() == {0, 1}
+
+    def test_duplicate_tid_rejected(self):
+        index = ProbabilisticInvertedIndex(10)
+        index.insert(0, UncertainAttribute.point(1))
+        with pytest.raises(QueryError):
+            index.insert(0, UncertainAttribute.point(2))
+
+    def test_delete_removes_from_all_lists(self):
+        index = ProbabilisticInvertedIndex(10)
+        index.insert(0, UncertainAttribute.from_pairs([(1, 0.5), (2, 0.5)]))
+        index.insert(1, UncertainAttribute.from_pairs([(1, 1.0)]))
+        index.delete(0)
+        q = UncertainAttribute.from_pairs([(2, 1.0)])
+        assert index.execute(EqualityThresholdQuery(q, 0.01)).tid_set() == set()
+        q = UncertainAttribute.from_pairs([(1, 1.0)])
+        assert index.execute(EqualityThresholdQuery(q, 0.5)).tid_set() == {1}
+
+    def test_delete_unknown_tid(self):
+        index = ProbabilisticInvertedIndex(10)
+        with pytest.raises(KeyNotFoundError):
+            index.delete(7)
+
+    def test_fetch_uda_round_trip(self, relation, index):
+        for tid in (0, 17, len(relation) - 1):
+            assert index.fetch_uda(tid) == relation.uda_of(tid)
+
+    def test_fetch_unknown_tid(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.fetch_uda(10_000)
+
+
+class TestPoolManagement:
+    def test_pool_swap_propagates(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        fresh = BufferPool(index.disk, capacity=10)
+        index.pool = fresh
+        assert index.pool is fresh
+        # Queries still work through the bounded pool.
+        q = relation.uda_of(0)
+        result = index.execute(EqualityThresholdQuery(q, 0.5))
+        assert len(result) >= 1
+
+    def test_pool_must_share_disk(self, index):
+        with pytest.raises(QueryError):
+            index.pool = BufferPool(DiskManager(), capacity=10)
+
+
+class TestExecuteDispatch:
+    def test_peq_returns_probabilities(self, relation, index):
+        q = relation.uda_of(3)
+        result = index.execute(EqualityQuery(q))
+        naive = relation.execute(EqualityQuery(q))
+        assert result.tid_set() == naive.tid_set()
+
+    def test_unknown_strategy(self, index, relation):
+        q = relation.uda_of(0)
+        with pytest.raises(QueryError):
+            index.execute(EqualityThresholdQuery(q, 0.5), strategy="magic")
+
+    def test_similarity_query_rejected(self, index, relation):
+        q = relation.uda_of(0)
+        with pytest.raises(QueryError):
+            index.execute(SimilarityThresholdQuery(q, 0.5))
+
+
+class TestIOAccounting:
+    def test_queries_cost_io_on_cold_pool(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        index.pool.flush_all()
+        index.pool = BufferPool(index.disk, capacity=100)
+        before = index.disk.stats.snapshot()
+        q = relation.uda_of(0)
+        index.execute(EqualityThresholdQuery(q, 0.3))
+        assert index.disk.stats.delta_since(before).reads > 0
+
+    def test_column_pruning_scans_fewer_entries_than_brute(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        q = relation.uda_of(0)
+        index.pool = BufferPool(index.disk, capacity=100)
+        brute = index.execute(
+            EqualityThresholdQuery(q, 0.99), strategy="inv_index_search"
+        )
+        index.pool = BufferPool(index.disk, capacity=100)
+        pruned = index.execute(
+            EqualityThresholdQuery(q, 0.99), strategy="column_pruning"
+        )
+        # At a 0.99 threshold column pruning touches only list heads
+        # (far fewer postings); its page count may still exceed brute
+        # force's at tiny scale because of candidate random accesses.
+        assert pruned.stats.entries_scanned <= brute.stats.entries_scanned
+        assert pruned.tid_set() == brute.tid_set()

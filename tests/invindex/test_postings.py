@@ -1,0 +1,199 @@
+"""Tests for :mod:`repro.invindex.postings`."""
+
+import numpy as np
+import pytest
+
+from repro.core import KeyNotFoundError
+from repro.invindex import PostingList
+from repro.storage import BufferPool, DiskManager
+
+
+@pytest.fixture()
+def posting_list():
+    disk = DiskManager(page_size=256)
+    return PostingList(BufferPool(disk, capacity=32))
+
+
+class TestUpdates:
+    def test_insert_and_read_all(self, posting_list):
+        posting_list.insert(1, 0.5)
+        posting_list.insert(2, 0.9)
+        posting_list.insert(3, 0.1)
+        tids, probs = posting_list.read_all()
+        assert tids.tolist() == [2, 1, 3]  # descending probability
+        assert probs.tolist() == pytest.approx([0.9, 0.5, 0.1])
+
+    def test_equal_probabilities_ordered_by_tid(self, posting_list):
+        posting_list.insert(9, 0.5)
+        posting_list.insert(4, 0.5)
+        tids, _ = posting_list.read_all()
+        assert tids.tolist() == [4, 9]
+
+    def test_delete(self, posting_list):
+        posting_list.insert(1, 0.5)
+        posting_list.insert(2, 0.75)
+        posting_list.delete(1, 0.5)
+        tids, _ = posting_list.read_all()
+        assert tids.tolist() == [2]
+        assert len(posting_list) == 1
+
+    def test_delete_missing(self, posting_list):
+        with pytest.raises(KeyNotFoundError):
+            posting_list.delete(1, 0.5)
+
+    def test_bulk_build_unsorted_input(self, posting_list):
+        tids = np.array([5, 1, 9, 3])
+        probs = np.array([0.2, 0.9, 0.4, 0.9])
+        posting_list.bulk_build(tids, probs)
+        got_tids, got_probs = posting_list.read_all()
+        assert got_tids.tolist() == [1, 3, 9, 5]
+        assert got_probs.tolist() == pytest.approx([0.9, 0.9, 0.4, 0.2])
+
+
+class TestCursor:
+    def test_cursor_descends(self, posting_list):
+        for tid, prob in enumerate([0.9, 0.7, 0.5, 0.3, 0.1]):
+            posting_list.insert(tid, prob)
+        cursor = posting_list.cursor()
+        seen = []
+        while not cursor.exhausted:
+            seen.append(cursor.pop())
+        assert [p for _, p in seen] == pytest.approx([0.9, 0.7, 0.5, 0.3, 0.1])
+
+    def test_head_prob(self, posting_list):
+        posting_list.insert(0, 0.75)
+        cursor = posting_list.cursor()
+        assert cursor.head_prob() == pytest.approx(0.75)
+        cursor.pop()
+        assert cursor.head_prob() == 0.0
+        assert cursor.exhausted
+
+    def test_peek_does_not_advance(self, posting_list):
+        posting_list.insert(0, 0.5)
+        cursor = posting_list.cursor()
+        assert cursor.peek() == cursor.peek()
+
+    def test_pop_exhausted_raises(self, posting_list):
+        cursor = posting_list.cursor()
+        with pytest.raises(StopIteration):
+            cursor.pop()
+
+    def test_cursor_spans_leaves(self, posting_list):
+        # 256-byte pages hold ~20 postings; insert enough for many leaves.
+        rng = np.random.default_rng(0)
+        probs = rng.uniform(0.01, 1.0, size=150)
+        posting_list.bulk_build(np.arange(150), probs)
+        cursor = posting_list.cursor()
+        seen = []
+        while not cursor.exhausted:
+            seen.append(cursor.pop()[1])
+        assert len(seen) == 150
+        assert seen == sorted(seen, reverse=True)
+
+
+class TestPrefixRead:
+    @pytest.fixture()
+    def filled(self, posting_list):
+        rng = np.random.default_rng(1)
+        probs = rng.uniform(0.0001, 1.0, size=200)
+        posting_list.bulk_build(np.arange(200), probs)
+        return posting_list, probs
+
+    def test_prefix_matches_filter(self, filled):
+        posting_list, probs = filled
+        f32 = probs.astype(np.float32).astype(np.float64)
+        for cutoff in (0.9, 0.5, 0.1):
+            tids, got = posting_list.read_prefix(cutoff)
+            assert (got >= cutoff).all()
+            assert len(got) == int((f32 >= cutoff).sum())
+
+    def test_prefix_reads_fewer_pages_than_full(self, filled):
+        posting_list, _ = filled
+        disk = posting_list.pool.disk
+        posting_list.pool = BufferPool(disk, capacity=32)
+        before = disk.stats.snapshot()
+        posting_list.read_prefix(0.95)
+        prefix_reads = disk.stats.delta_since(before).reads
+        posting_list.pool = BufferPool(disk, capacity=32)
+        before = disk.stats.snapshot()
+        posting_list.read_all()
+        full_reads = disk.stats.delta_since(before).reads
+        assert prefix_reads < full_reads
+
+    def test_negative_cutoff_reads_everything(self, filled):
+        posting_list, _ = filled
+        tids, _ = posting_list.read_prefix(-1.0)
+        assert len(tids) == 200
+
+
+class TestPopRun:
+    def test_pop_run_consumes_current_leaf(self, posting_list):
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0.01, 1.0, size=100)
+        posting_list.bulk_build(np.arange(100), probs)
+        cursor = posting_list.cursor()
+        total = 0
+        runs = 0
+        previous_tail = 2.0
+        while not cursor.exhausted:
+            tids, got = cursor.pop_run()
+            assert len(tids) == len(got) > 0
+            # Runs are internally descending and never overlap upward.
+            assert (got[:-1] >= got[1:] - 1e-12).all()
+            assert got[0] <= previous_tail + 1e-12
+            previous_tail = got[-1]
+            total += len(tids)
+            runs += 1
+        assert total == 100
+        assert runs > 1  # 256-byte pages split 100 postings across leaves
+
+    def test_pop_run_after_partial_pops(self, posting_list):
+        for tid, prob in enumerate([0.9, 0.7, 0.5]):
+            posting_list.insert(tid, prob)
+        cursor = posting_list.cursor()
+        cursor.pop()
+        tids, probs = cursor.pop_run()
+        assert tids.tolist() == [1, 2]
+        assert cursor.exhausted
+
+    def test_pop_run_exhausted_raises(self, posting_list):
+        cursor = posting_list.cursor()
+        with pytest.raises(StopIteration):
+            cursor.pop_run()
+
+
+class TestQuantizationTies:
+    def test_bulk_build_with_probs_that_quantize_equal(self):
+        """Distinct float32 probabilities can share a quantized key
+        prefix; within the tie, tids must ascend (regression test)."""
+        import struct
+
+        disk = DiskManager(page_size=256)
+        posting_list = PostingList(BufferPool(disk, capacity=32))
+        base = np.float32(1e-3)
+        p1 = float(base)
+        p2 = float(np.nextafter(base, np.float32(1.0)))  # distinct f32
+        assert p1 != p2
+        # Descending tid order with ascending probs stresses the sort.
+        tids = np.array([9, 3])
+        probs = np.array([p2, p1])
+        posting_list.bulk_build(tids, probs)
+        got_tids, got_probs = posting_list.read_all()
+        assert set(got_tids.tolist()) == {3, 9}
+        assert len(posting_list) == 2
+
+    def test_many_near_equal_probs(self):
+        disk = DiskManager(page_size=256)
+        posting_list = PostingList(BufferPool(disk, capacity=32))
+        rng = np.random.default_rng(3)
+        # A cloud of probabilities within a few float32 ulps of 1e-3.
+        base = np.float32(1e-3)
+        values = [float(base)] * 0
+        current = base
+        for _ in range(40):
+            values.append(float(current))
+            current = np.nextafter(current, np.float32(1.0))
+        tids = rng.permutation(40)
+        posting_list.bulk_build(tids, np.array(values)[tids])
+        got_tids, _ = posting_list.read_all()
+        assert sorted(got_tids.tolist()) == list(range(40))

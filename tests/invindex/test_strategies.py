@@ -1,0 +1,140 @@
+"""Every search strategy returns exactly the naive executor's answer."""
+
+import pytest
+
+from repro.core import (
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    QueryError,
+    UncertainAttribute,
+)
+from repro.invindex import (
+    STRATEGIES,
+    NoRandomAccess,
+    ProbabilisticInvertedIndex,
+    get_strategy,
+)
+from repro.storage import BufferPool
+
+from tests.invindex.conftest import random_query, random_relation
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+
+
+def matches_of(result):
+    return [(m.tid, m.score) for m in result]
+
+
+class TestRegistry:
+    def test_all_five_strategies_registered(self):
+        assert ALL_STRATEGIES == [
+            "column_pruning",
+            "highest_prob_first",
+            "inv_index_search",
+            "no_random_access",
+            "row_pruning",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_strategy("Highest_Prob_First").name == "highest_prob_first"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(QueryError):
+            get_strategy("linear_scan")
+
+    def test_nra_parameter_validation(self):
+        with pytest.raises(QueryError):
+            NoRandomAccess(fallback=0)
+        with pytest.raises(QueryError):
+            NoRandomAccess(resolve_every=0)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestThresholdAgreement:
+    @pytest.mark.parametrize("tau", [0.01, 0.1, 0.3, 0.7, 0.99])
+    def test_matches_naive(self, relation, index, strategy, tau):
+        for seed in range(5):
+            q = random_query(len(relation.domain), seed=seed * 31)
+            query = EqualityThresholdQuery(q, tau)
+            expected = matches_of(relation.execute(query))
+            index.pool = BufferPool(index.disk, capacity=100)
+            got = matches_of(index.execute(query, strategy=strategy))
+            assert got == expected, f"{strategy} tau={tau} seed={seed}"
+
+    def test_threshold_exactly_at_a_score(self, relation, index, strategy):
+        # Use an existing tuple's self-equality probability as the
+        # threshold: the boundary tuple must be included (>=).
+        q = relation.uda_of(7)
+        boundary = q.equality_probability(relation.uda_of(7))
+        query = EqualityThresholdQuery(q, boundary)
+        expected = matches_of(relation.execute(query))
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = matches_of(index.execute(query, strategy=strategy))
+        assert got == expected
+        assert 7 in {tid for tid, _ in got}
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestTopKAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50, 1000])
+    def test_matches_naive(self, relation, index, strategy, k):
+        for seed in range(4):
+            q = random_query(len(relation.domain), seed=seed * 17 + 2)
+            query = EqualityTopKQuery(q, k)
+            expected = matches_of(relation.execute(query))
+            index.pool = BufferPool(index.disk, capacity=100)
+            got = matches_of(index.execute(query, strategy=strategy))
+            assert got == expected, f"{strategy} k={k} seed={seed}"
+
+    def test_k_larger_than_matches(self, relation, index, strategy):
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        query = EqualityTopKQuery(q, len(relation) * 2)
+        expected = matches_of(relation.execute(query))
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = matches_of(index.execute(query, strategy=strategy))
+        assert got == expected
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestEdgeCases:
+    def test_query_with_unindexed_items(self, relation, index, strategy):
+        # Domain items beyond the relation's occurring set have no lists.
+        q = UncertainAttribute.from_pairs([(14, 0.5), (0, 0.5)])
+        query = EqualityThresholdQuery(q, 0.05)
+        expected = matches_of(relation.execute(query))
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = matches_of(index.execute(query, strategy=strategy))
+        assert got == expected
+
+    def test_impossible_threshold_returns_empty(self, relation, index, strategy):
+        q = random_query(len(relation.domain), seed=3)
+        query = EqualityThresholdQuery(q, 1.0)
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = index.execute(query, strategy=strategy)
+        assert matches_of(got) == matches_of(relation.execute(query))
+
+
+class TestStats:
+    def test_hpf_counts_random_accesses(self, relation, index):
+        q = random_query(len(relation.domain), seed=8)
+        index.pool = BufferPool(index.disk, capacity=100)
+        result = index.execute(
+            EqualityThresholdQuery(q, 0.2), strategy="highest_prob_first"
+        )
+        assert result.stats.random_accesses >= len(result)
+
+    def test_brute_force_needs_no_random_access(self, relation, index):
+        q = random_query(len(relation.domain), seed=8)
+        index.pool = BufferPool(index.disk, capacity=100)
+        result = index.execute(
+            EqualityThresholdQuery(q, 0.2), strategy="inv_index_search"
+        )
+        assert result.stats.random_accesses == 0
+
+    def test_entries_scanned_populated(self, relation, index):
+        q = random_query(len(relation.domain), seed=8)
+        index.pool = BufferPool(index.disk, capacity=100)
+        result = index.execute(
+            EqualityThresholdQuery(q, 0.2), strategy="row_pruning"
+        )
+        assert result.stats.entries_scanned > 0

@@ -1,0 +1,71 @@
+"""Property-based agreement: all strategies == naive, on random inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CategoricalDomain,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+)
+from repro.invindex import STRATEGIES, ProbabilisticInvertedIndex
+from repro.storage import BufferPool
+
+from tests.core.test_uda_properties import udas
+
+
+@st.composite
+def relations(draw, max_tuples=40, domain=8):
+    count = draw(st.integers(1, max_tuples))
+    seeds = draw(
+        st.lists(st.integers(0, 2**16), min_size=count, max_size=count)
+    )
+    relation = UncertainRelation(CategoricalDomain.of_size(domain))
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        nnz = int(rng.integers(1, domain))
+        items = rng.choice(domain, size=nnz, replace=False)
+        probs = rng.dirichlet(np.ones(nnz))
+        relation.append(
+            UncertainAttribute.from_pairs(
+                list(zip(items.tolist(), probs.tolist()))
+            )
+        )
+    return relation
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    relation=relations(),
+    q=udas(max_domain=8),
+    tau=st.floats(0.001, 1.0),
+)
+def test_all_strategies_match_naive_threshold(relation, q, tau):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    query = EqualityThresholdQuery(q, tau)
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    for name in STRATEGIES:
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = [(m.tid, m.score) for m in index.execute(query, strategy=name)]
+        assert got == expected, name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    relation=relations(),
+    q=udas(max_domain=8),
+    k=st.integers(1, 50),
+)
+def test_all_strategies_match_naive_top_k(relation, q, k):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    query = EqualityTopKQuery(q, k)
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    for name in STRATEGIES:
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = [(m.tid, m.score) for m in index.execute(query, strategy=name)]
+        assert got == expected, name

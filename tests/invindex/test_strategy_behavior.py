@@ -1,0 +1,122 @@
+"""Behavioral tests: the strategies' *pruning* actually prunes.
+
+Agreement tests prove correctness; these prove the algorithms do what
+Section 3.1 claims — stop early, skip lists, skip list tails — by
+inspecting work counters on crafted datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalDomain,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+)
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.storage import BufferPool
+
+
+@pytest.fixture(scope="module")
+def skewed_index():
+    """400 tuples over 10 items; item 0's list is long with a sharp head.
+
+    Small pages (512 B, ~42 postings per leaf) make the strategies'
+    leaf-granularity consumption observable: early stopping shows up as
+    unread leaves.
+    """
+    from repro.storage import DiskManager
+
+    rng = np.random.default_rng(23)
+    domain = CategoricalDomain.of_size(10)
+    relation = UncertainRelation(domain)
+    for i in range(400):
+        if i < 8:
+            # Sharp heads: nearly certain about item 0.
+            relation.append(
+                UncertainAttribute.from_pairs([(0, 0.95), (1, 0.05)])
+            )
+        else:
+            # Long tail: item 0 present with small probability.
+            rest = rng.dirichlet(np.ones(3)) * 0.9
+            items = rng.choice(np.arange(1, 10), size=3, replace=False)
+            pairs = [(0, 0.1)] + list(zip(items.tolist(), rest.tolist()))
+            relation.append(UncertainAttribute.from_pairs(pairs))
+    index = ProbabilisticInvertedIndex(10, disk=DiskManager(page_size=512))
+    index.build(relation)
+    return relation, index
+
+
+def run(index, query, strategy):
+    index.pool = BufferPool(index.disk, 100)
+    return index.execute(query, strategy=strategy)
+
+
+class TestEarlyStopping:
+    def test_hpf_stops_before_exhausting_lists(self, skewed_index):
+        relation, index = skewed_index
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        total_postings = 400  # item 0 occurs in every tuple
+        result = run(index, EqualityThresholdQuery(q, 0.9), "highest_prob_first")
+        # Lemma 1 stops the scan once heads drop below 0.9.
+        assert result.stats.entries_scanned < total_postings / 4
+        assert len(result) == 8
+
+    def test_brute_force_scans_everything(self, skewed_index):
+        relation, index = skewed_index
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        result = run(index, EqualityThresholdQuery(q, 0.9), "inv_index_search")
+        assert result.stats.entries_scanned == 400
+
+    def test_column_pruning_skips_list_tails(self, skewed_index):
+        relation, index = skewed_index
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        result = run(index, EqualityThresholdQuery(q, 0.9), "column_pruning")
+        # Only the >= 0.9 prefix of item 0's list is materialized, padded
+        # to page granularity.
+        assert result.stats.entries_scanned < 400
+
+    def test_row_pruning_skips_low_weight_lists(self, skewed_index):
+        relation, index = skewed_index
+        # Item 5's query weight is far below the threshold: its list
+        # cannot create new qualifying tuples and must not be read.
+        q = UncertainAttribute.from_pairs([(0, 0.95), (5, 0.05)])
+        result = run(index, EqualityThresholdQuery(q, 0.8), "row_pruning")
+        assert result.stats.nodes_visited == 1  # only item 0's list
+
+    def test_hpf_topk_stops_early_for_small_k(self, skewed_index):
+        relation, index = skewed_index
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        small = run(index, EqualityTopKQuery(q, 2), "highest_prob_first")
+        large = run(index, EqualityTopKQuery(q, 200), "highest_prob_first")
+        assert small.stats.entries_scanned < large.stats.entries_scanned
+        assert small.stats.random_accesses < large.stats.random_accesses
+
+    def test_nra_discards_with_fewer_random_accesses_than_hpf(self, skewed_index):
+        relation, index = skewed_index
+        q = UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+        hpf = run(index, EqualityThresholdQuery(q, 0.5), "highest_prob_first")
+        nra = run(index, EqualityThresholdQuery(q, 0.5), "no_random_access")
+        # NRA defers verification: it must not random-access more tuples
+        # than HPF verifies eagerly.
+        assert nra.stats.random_accesses <= hpf.stats.random_accesses
+
+
+class TestLemma1Boundary:
+    def test_stopping_rule_keeps_boundary_tuples(self):
+        """A tuple sitting exactly at the stopping bound must be found."""
+        domain = CategoricalDomain.of_size(4)
+        relation = UncertainRelation(domain)
+        # All tuples have identical probability 0.5 on item 0: the bound
+        # equals the threshold for a long run of postings.
+        for _ in range(50):
+            relation.append(
+                UncertainAttribute.from_pairs([(0, 0.5), (1, 0.5)])
+            )
+        index = ProbabilisticInvertedIndex(4)
+        index.build(relation)
+        q = UncertainAttribute.from_pairs([(0, 1.0)])
+        result = run(index, EqualityThresholdQuery(q, 0.5), "highest_prob_first")
+        assert len(result) == 50  # nothing dropped at the boundary

@@ -1,0 +1,156 @@
+"""Tests for :mod:`repro.pdrtree.compression`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import QueryError
+from repro.pdrtree import BoundaryCodec
+
+
+class TestValidation:
+    def test_fold_must_shrink_domain(self):
+        with pytest.raises(QueryError):
+            BoundaryCodec(10, fold_size=10)
+        with pytest.raises(QueryError):
+            BoundaryCodec(10, fold_size=0)
+
+    def test_bits_whitelist(self):
+        with pytest.raises(QueryError):
+            BoundaryCodec(10, bits=3)
+        for bits in (2, 4, 8):
+            assert BoundaryCodec(10, bits=bits).bits == bits
+
+    def test_tags_distinguish_configurations(self):
+        tags = {
+            BoundaryCodec(10).tag,
+            BoundaryCodec(10, fold_size=4).tag,
+            BoundaryCodec(10, bits=2).tag,
+            BoundaryCodec(10, bits=4).tag,
+            BoundaryCodec(10, bits=8).tag,
+            BoundaryCodec(10, fold_size=4, bits=2).tag,
+        }
+        assert len(tags) == 6
+
+    def test_describe(self):
+        assert BoundaryCodec(10).describe() == "raw"
+        assert "fold=4" in BoundaryCodec(10, fold_size=4).describe()
+        assert "bits=2" in BoundaryCodec(10, bits=2).describe()
+
+
+class TestProjection:
+    def test_identity_without_fold(self):
+        codec = BoundaryCodec(10)
+        items = np.array([1, 5])
+        values = np.array([0.3, 0.7])
+        got_items, got_values = codec.project(items, values)
+        assert got_items.tolist() == [1, 5]
+        assert got_values.tolist() == pytest.approx([0.3, 0.7])
+
+    def test_fold_takes_class_maximum(self):
+        codec = BoundaryCodec(10, fold_size=3)
+        # items 1 and 4 both fold to class 1; 5 folds to class 2.
+        items = np.array([1, 4, 5])
+        values = np.array([0.2, 0.6, 0.1])
+        classes, maxima = codec.project(items, values)
+        assert classes.tolist() == [1, 2]
+        assert maxima.tolist() == pytest.approx([0.6, 0.1])
+
+    def test_query_folds_by_sum(self):
+        codec = BoundaryCodec(10, fold_size=3)
+        items = np.array([1, 4, 5])
+        probs = np.array([0.2, 0.6, 0.1])
+        classes, sums = codec.fold_query(items, probs)
+        assert classes.tolist() == [1, 2]
+        assert sums.tolist() == pytest.approx([0.8, 0.1])
+
+    def test_fold_item(self):
+        codec = BoundaryCodec(10, fold_size=3)
+        assert codec.fold_item(7) == 1
+        assert BoundaryCodec(10).fold_item(7) == 7
+
+
+class TestQuantization:
+    def test_paper_example(self):
+        # "a value of 0.62 will be mapped to 0.75" with 2 bits.
+        codec = BoundaryCodec(10, bits=2)
+        assert codec.quantize_up(np.array([0.62])).tolist() == [0.75]
+
+    def test_exact_levels_preserved(self):
+        codec = BoundaryCodec(10, bits=2)
+        values = np.array([0.25, 0.5, 0.75, 1.0])
+        assert codec.quantize_up(values).tolist() == values.tolist()
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_never_underestimates(self, bits):
+        codec = BoundaryCodec(10, bits=bits)
+        values = np.linspace(0.001, 1.0, 777)
+        quantized = codec.quantize_up(values)
+        assert (quantized >= values - 1e-12).all()
+        assert (quantized <= 1.0).all()
+
+    def test_unquantized_float32_rounds_up(self):
+        codec = BoundaryCodec(10)
+        # Values straddling float32 grid points must round toward +inf.
+        values = np.array([0.1, 1 / 3, 0.7, 1e-7])
+        narrowed = codec.quantize_up(values)
+        assert (narrowed >= values).all()
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize(
+        "fold_size,bits",
+        [(None, None), (None, 2), (None, 4), (None, 8), (4, None), (4, 2)],
+    )
+    def test_round_trip_is_quantization(self, fold_size, bits):
+        codec = BoundaryCodec(16, fold_size=fold_size, bits=bits)
+        rng = np.random.default_rng(0)
+        size = codec.space_size
+        items = np.sort(rng.choice(size, size=min(5, size), replace=False))
+        values = rng.uniform(0.01, 1.0, size=len(items))
+        encoded = codec.encode(items, values)
+        assert len(encoded) == codec.encoded_size(len(items))
+        got_items, got_values, end = codec.decode(encoded)
+        assert end == len(encoded)
+        assert got_items.tolist() == items.tolist()
+        assert got_values.tolist() == pytest.approx(
+            codec.quantize_up(values).tolist()
+        )
+
+    def test_encode_decode_idempotent(self):
+        # decode(encode(x)) re-encoded must be byte-identical: boundary
+        # updates must not drift.
+        codec = BoundaryCodec(16, bits=4)
+        items = np.array([0, 3, 9])
+        values = np.array([0.111, 0.5, 0.987])
+        first = codec.encode(items, values)
+        got_items, got_values, _ = codec.decode(first)
+        second = codec.encode(got_items, got_values)
+        assert first == second
+
+    def test_compression_shrinks_encoding(self):
+        raw = BoundaryCodec(100)
+        packed = BoundaryCodec(100, bits=2)
+        assert packed.encoded_size(50) < raw.encoded_size(50)
+
+    def test_empty_boundary(self):
+        codec = BoundaryCodec(10)
+        encoded = codec.encode(np.empty(0, dtype=np.int64), np.empty(0))
+        items, values, _ = codec.decode(encoded)
+        assert len(items) == 0
+        assert len(values) == 0
+
+
+@given(
+    values=st.lists(st.floats(1e-6, 1.0, allow_nan=False), min_size=1, max_size=30),
+    bits=st.sampled_from([None, 2, 4, 8]),
+)
+def test_overestimation_invariant_property(values, bits):
+    """The core soundness property: stored bounds never undershoot."""
+    codec = BoundaryCodec(64, bits=bits)
+    items = np.arange(len(values))
+    array = np.array(values)
+    encoded = codec.encode(items, array)
+    _, decoded, _ = codec.decode(encoded)
+    assert (decoded >= array - 1e-12).all()

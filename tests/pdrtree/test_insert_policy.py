@@ -1,0 +1,92 @@
+"""Tests for :mod:`repro.pdrtree.insert_policy`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.pdrtree import BoundaryVector, choose_child
+from repro.pdrtree.node import ChildEntry
+
+
+def entry(child_id, pairs):
+    items = np.array([i for i, _ in pairs], dtype=np.int64)
+    values = np.array([v for _, v in pairs])
+    return ChildEntry(child_id=child_id, boundary=BoundaryVector(items, values))
+
+
+def vector(pairs):
+    items = np.array([i for i, _ in pairs], dtype=np.int64)
+    values = np.array([v for _, v in pairs])
+    return items, values
+
+
+@pytest.fixture()
+def entries():
+    return [
+        entry(0, [(0, 0.9), (1, 0.9)]),   # big boundary around items 0-1
+        entry(1, [(4, 0.6), (5, 0.6)]),   # boundary around items 4-5
+        entry(2, [(8, 0.2)]),             # small boundary on item 8
+    ]
+
+
+class TestMinArea:
+    def test_prefers_zero_increase(self, entries):
+        items, values = vector([(0, 0.5), (1, 0.5)])  # fits inside child 0
+        assert choose_child(entries, items, values, "min_area", "kl") == 0
+
+    def test_prefers_smallest_growth(self, entries):
+        items, values = vector([(8, 0.3)])  # grows child 2 by 0.1 only
+        assert choose_child(entries, items, values, "min_area", "kl") == 2
+
+    def test_tie_broken_by_smaller_area(self):
+        both_fit = [
+            entry(0, [(0, 0.9), (1, 0.9), (2, 0.9)]),
+            entry(1, [(0, 0.6), (1, 0.6)]),
+        ]
+        items, values = vector([(0, 0.5), (1, 0.5)])
+        assert choose_child(both_fit, items, values, "min_area", "kl") == 1
+
+
+class TestMostSimilar:
+    def test_prefers_matching_shape(self, entries):
+        items, values = vector([(4, 0.5), (5, 0.5)])
+        for divergence in ("l1", "l2", "kl"):
+            assert (
+                choose_child(entries, items, values, "most_similar", divergence)
+                == 1
+            )
+
+    def test_kl_not_fooled_by_saturated_boundary(self):
+        saturated = entry(0, [(i, 1.0) for i in range(10)])
+        matching = entry(1, [(3, 0.7), (4, 0.5)])
+        items, values = vector([(3, 0.6), (4, 0.4)])
+        assert (
+            choose_child([saturated, matching], items, values, "most_similar", "kl")
+            == 1
+        )
+
+
+class TestHybrid:
+    def test_area_increase_is_primary(self, entries):
+        items, values = vector([(0, 0.5), (1, 0.5)])
+        assert choose_child(entries, items, values, "hybrid", "kl") == 0
+
+    def test_similarity_breaks_area_ties(self):
+        both_fit = [
+            entry(0, [(0, 0.9), (1, 0.9)]),      # flat profile
+            entry(1, [(0, 0.9), (1, 0.35)]),     # skewed like the vector
+        ]
+        items, values = vector([(0, 0.9), (1, 0.1)])
+        assert choose_child(both_fit, items, values, "hybrid", "kl") == 1
+
+
+class TestErrors:
+    def test_empty_entries(self):
+        items, values = vector([(0, 1.0)])
+        with pytest.raises(QueryError):
+            choose_child([], items, values, "min_area", "kl")
+
+    def test_unknown_policy(self, entries):
+        items, values = vector([(0, 1.0)])
+        with pytest.raises(QueryError):
+            choose_child(entries, items, values, "random", "kl")

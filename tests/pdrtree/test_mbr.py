@@ -1,0 +1,143 @@
+"""Tests for :mod:`repro.pdrtree.mbr`."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryError
+from repro.pdrtree import BoundaryVector
+from repro.pdrtree.mbr import densify, pairwise_distances, rows_to_rows_distance
+
+
+def sparse(pairs):
+    items = np.array([i for i, _ in pairs], dtype=np.int64)
+    values = np.array([v for _, v in pairs])
+    return items, values
+
+
+class TestBoundaryVector:
+    def test_over_takes_pointwise_max(self):
+        boundary = BoundaryVector.over(
+            [sparse([(0, 0.5), (1, 0.2)]), sparse([(1, 0.9), (3, 0.1)])]
+        )
+        assert boundary.items.tolist() == [0, 1, 3]
+        assert boundary.values.tolist() == pytest.approx([0.5, 0.9, 0.1])
+
+    def test_empty(self):
+        boundary = BoundaryVector.empty()
+        assert len(boundary) == 0
+        assert boundary.area == 0.0
+
+    def test_area_is_l1_measure(self):
+        boundary = BoundaryVector(*sparse([(0, 0.5), (2, 0.75)]))
+        assert boundary.area == pytest.approx(1.25)
+
+    def test_area_increase(self):
+        boundary = BoundaryVector(*sparse([(0, 0.5), (1, 0.5)]))
+        items, values = sparse([(1, 0.7), (2, 0.3)])
+        # item 1 grows by 0.2, item 2 is new at 0.3.
+        assert boundary.area_increase(items, values) == pytest.approx(0.5)
+
+    def test_area_increase_zero_when_dominated(self):
+        boundary = BoundaryVector(*sparse([(0, 0.5), (1, 0.5)]))
+        items, values = sparse([(0, 0.4)])
+        assert boundary.area_increase(items, values) == 0.0
+        assert boundary.dominates(items, values)
+
+    def test_expanded(self):
+        boundary = BoundaryVector(*sparse([(0, 0.5)]))
+        grown = boundary.expanded(*sparse([(1, 0.25)]))
+        assert grown.items.tolist() == [0, 1]
+        # Original unchanged.
+        assert boundary.items.tolist() == [0]
+
+    def test_dot_is_lemma2_bound(self):
+        boundary = BoundaryVector(*sparse([(0, 0.8), (1, 0.6)]))
+        q_items, q_values = sparse([(0, 0.5), (1, 0.5)])
+        assert boundary.dot(q_items, q_values) == pytest.approx(0.7)
+
+    def test_dot_disjoint_is_zero(self):
+        boundary = BoundaryVector(*sparse([(0, 0.8)]))
+        q_items, q_values = sparse([(5, 1.0)])
+        assert boundary.dot(q_items, q_values) == 0.0
+
+    def test_dot_dominates_member_equality(self):
+        rng = np.random.default_rng(0)
+        members = []
+        for _ in range(10):
+            items = np.sort(rng.choice(12, size=4, replace=False))
+            values = rng.dirichlet(np.ones(4))
+            members.append((items, values))
+        boundary = BoundaryVector.over(members)
+        q_items = np.sort(rng.choice(12, size=3, replace=False))
+        q_values = rng.dirichlet(np.ones(3))
+        bound = boundary.dot(q_items, q_values)
+        for items, values in members:
+            dense_member = np.zeros(12)
+            dense_member[items] = values
+            dense_q = np.zeros(12)
+            dense_q[q_items] = q_values
+            assert bound >= float(dense_member @ dense_q) - 1e-12
+
+    def test_distance_to_measures(self):
+        boundary = BoundaryVector(*sparse([(0, 0.5), (1, 0.5)]))
+        items, values = sparse([(0, 0.5), (1, 0.5)])
+        assert boundary.distance_to(items, values, "l1") == 0.0
+        assert boundary.distance_to(items, values, "l2") == 0.0
+        assert boundary.distance_to(items, values, "kl") == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_distance_unknown_divergence(self):
+        boundary = BoundaryVector(*sparse([(0, 1.0)]))
+        with pytest.raises(QueryError):
+            boundary.distance_to(*sparse([(0, 1.0)]), "cosine")
+
+    def test_kl_distance_normalizes_boundary(self):
+        # A saturated boundary must not look "closer" just for being big.
+        small = BoundaryVector(*sparse([(0, 0.5), (1, 0.5)]))
+        saturated = BoundaryVector(*sparse([(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]))
+        items, values = sparse([(0, 0.5), (1, 0.5)])
+        assert small.distance_to(items, values, "kl") < saturated.distance_to(
+            items, values, "kl"
+        )
+
+
+class TestDenseHelpers:
+    def test_densify(self):
+        matrix, union = densify(
+            [sparse([(2, 0.5), (7, 0.5)]), sparse([(2, 1.0)])]
+        )
+        assert union.tolist() == [2, 7]
+        assert matrix.tolist() == [[0.5, 0.5], [1.0, 0.0]]
+
+    def test_densify_empty(self):
+        matrix, union = densify([])
+        assert matrix.shape == (0, 0)
+
+    @pytest.mark.parametrize("divergence", ["l1", "l2", "kl"])
+    def test_pairwise_zero_diagonal(self, divergence):
+        rng = np.random.default_rng(1)
+        matrix = rng.dirichlet(np.ones(5), size=6)
+        distances = pairwise_distances(matrix, divergence)
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-9)
+
+    @pytest.mark.parametrize("divergence", ["l1", "l2", "kl"])
+    def test_pairwise_symmetric(self, divergence):
+        rng = np.random.default_rng(2)
+        matrix = rng.dirichlet(np.ones(5), size=6)
+        distances = pairwise_distances(matrix, divergence)
+        assert np.allclose(distances, distances.T, atol=1e-9)
+
+    def test_rows_to_rows_matches_pairwise_for_l1(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.dirichlet(np.ones(4), size=5)
+        assert np.allclose(
+            rows_to_rows_distance(matrix, matrix, "l1"),
+            pairwise_distances(matrix, "l1"),
+        )
+
+    def test_unknown_divergence(self):
+        with pytest.raises(QueryError):
+            pairwise_distances(np.zeros((2, 2)), "js")
+        with pytest.raises(QueryError):
+            rows_to_rows_distance(np.zeros((2, 2)), np.zeros((2, 2)), "js")

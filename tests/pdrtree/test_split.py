@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.pdrtree.split`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import QueryError
+from repro.pdrtree import MAX_FRACTION, split_objects
+
+
+def sparse(pairs):
+    items = np.array([i for i, _ in pairs], dtype=np.int64)
+    values = np.array([v for _, v in pairs])
+    return items, values
+
+
+def two_blob_objects(count_a=6, count_b=6):
+    """Two obvious clusters: mass on item 0/1 vs mass on item 8/9."""
+    objects = []
+    for i in range(count_a):
+        objects.append(sparse([(0, 0.6 + 0.01 * i), (1, 0.4 - 0.01 * i)]))
+    for i in range(count_b):
+        objects.append(sparse([(8, 0.5 + 0.01 * i), (9, 0.5 - 0.01 * i)]))
+    return objects
+
+
+@pytest.mark.parametrize("strategy", ["top_down", "bottom_up"])
+@pytest.mark.parametrize("divergence", ["l1", "l2", "kl"])
+class TestBothStrategies:
+    def test_partition_is_complete_and_disjoint(self, strategy, divergence):
+        objects = two_blob_objects()
+        group_a, group_b = split_objects(objects, strategy, divergence)
+        assert sorted(group_a + group_b) == list(range(len(objects)))
+        assert not set(group_a) & set(group_b)
+        assert group_a and group_b
+
+    def test_separates_obvious_clusters(self, strategy, divergence):
+        objects = two_blob_objects()
+        group_a, group_b = split_objects(objects, strategy, divergence)
+        blobs = [set(range(6)), set(range(6, 12))]
+        assert {frozenset(group_a), frozenset(group_b)} == {
+            frozenset(blobs[0]),
+            frozenset(blobs[1]),
+        }
+
+    def test_occupancy_cap(self, strategy, divergence):
+        # One outlier plus a tight blob: neither side may take > 3/4.
+        objects = [sparse([(9, 1.0)])] + [
+            sparse([(0, 0.5), (1, 0.5)]) for _ in range(15)
+        ]
+        group_a, group_b = split_objects(objects, strategy, divergence)
+        cap = int(MAX_FRACTION * len(objects))
+        assert len(group_a) <= cap
+        assert len(group_b) <= cap
+
+    def test_two_objects(self, strategy, divergence):
+        objects = [sparse([(0, 1.0)]), sparse([(1, 1.0)])]
+        group_a, group_b = split_objects(objects, strategy, divergence)
+        assert len(group_a) == len(group_b) == 1
+
+
+class TestEdgeCases:
+    def test_single_object_rejected(self):
+        with pytest.raises(QueryError):
+            split_objects([sparse([(0, 1.0)])], "top_down", "l1")
+
+    def test_unknown_strategy(self):
+        objects = [sparse([(0, 1.0)]), sparse([(1, 1.0)])]
+        with pytest.raises(QueryError):
+            split_objects(objects, "sideways", "l1")
+
+    def test_identical_objects_fall_back_to_halves(self):
+        objects = [sparse([(0, 0.5), (1, 0.5)]) for _ in range(8)]
+        group_a, group_b = split_objects(objects, "top_down", "l1")
+        assert sorted(group_a + group_b) == list(range(8))
+        assert group_a and group_b
+
+
+@given(
+    count=st.integers(2, 24),
+    strategy=st.sampled_from(["top_down", "bottom_up"]),
+    divergence=st.sampled_from(["l1", "l2", "kl"]),
+    seed=st.integers(0, 1000),
+)
+def test_split_invariants_on_random_objects(count, strategy, divergence, seed):
+    rng = np.random.default_rng(seed)
+    objects = []
+    for _ in range(count):
+        nnz = int(rng.integers(1, 5))
+        items = np.sort(rng.choice(10, size=nnz, replace=False))
+        values = rng.dirichlet(np.ones(nnz))
+        objects.append((items.astype(np.int64), values))
+    group_a, group_b = split_objects(objects, strategy, divergence)
+    assert sorted(group_a + group_b) == list(range(count))
+    assert group_a and group_b
+    cap = max(1, min(count - 1, int(MAX_FRACTION * count)))
+    assert len(group_a) <= cap
+    assert len(group_b) <= cap

@@ -1,0 +1,233 @@
+"""Tests for :mod:`repro.pdrtree.tree`."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    KeyNotFoundError,
+    QueryError,
+    RecordTooLargeError,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    UncertainAttribute,
+)
+from repro.pdrtree import PDRTree, PDRTreeConfig
+from repro.storage import BufferPool, DiskManager
+
+from tests.invindex.conftest import random_query, random_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(300, 15, seed=21)
+
+
+@pytest.fixture(scope="module")
+def tree(relation):
+    built = PDRTree(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+def matches_of(result):
+    return [(m.tid, m.score) for m in result]
+
+
+class TestConfig:
+    def test_defaults_are_paper_winners(self):
+        config = PDRTreeConfig()
+        assert config.split_strategy == "bottom_up"
+        assert config.divergence == "kl"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"insert_policy": "nope"},
+            {"split_strategy": "nope"},
+            {"divergence": "cosine"},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(QueryError):
+            PDRTreeConfig(**kwargs)
+
+
+class TestBuild:
+    def test_counts(self, relation, tree):
+        assert tree.num_tuples == len(relation)
+        assert tree.height >= 2  # 300 tuples do not fit one page
+
+    def test_double_build_rejected(self, relation, tree):
+        with pytest.raises(QueryError):
+            tree.build(relation)
+
+    def test_duplicate_tid_rejected(self):
+        tree = PDRTree(10)
+        tree.insert(0, UncertainAttribute.point(1))
+        with pytest.raises(QueryError):
+            tree.insert(0, UncertainAttribute.point(1))
+
+    def test_record_too_large(self):
+        tree = PDRTree(10, disk=DiskManager(page_size=64))
+        huge = UncertainAttribute.from_pairs([(i, 0.1) for i in range(10)])
+        with pytest.raises(RecordTooLargeError):
+            tree.insert(0, huge)
+
+    def test_domain_mismatch(self, relation):
+        tree = PDRTree(len(relation.domain) + 1)
+        with pytest.raises(QueryError):
+            tree.build(relation)
+
+
+class TestThresholdAgreement:
+    @pytest.mark.parametrize("tau", [0.01, 0.1, 0.3, 0.7, 0.99])
+    def test_matches_naive(self, relation, tree, tau):
+        for seed in range(5):
+            q = random_query(len(relation.domain), seed=seed * 13)
+            query = EqualityThresholdQuery(q, tau)
+            expected = matches_of(relation.execute(query))
+            tree.pool = BufferPool(tree.disk, capacity=100)
+            assert matches_of(tree.execute(query)) == expected
+
+    def test_boundary_threshold(self, relation, tree):
+        q = relation.uda_of(11)
+        boundary = q.equality_probability(relation.uda_of(11))
+        query = EqualityThresholdQuery(q, boundary)
+        expected = matches_of(relation.execute(query))
+        tree.pool = BufferPool(tree.disk, capacity=100)
+        got = matches_of(tree.execute(query))
+        assert got == expected
+        assert 11 in {tid for tid, _ in got}
+
+    def test_peq(self, relation, tree):
+        q = relation.uda_of(5)
+        expected = relation.execute(EqualityQuery(q)).tid_set()
+        tree.pool = BufferPool(tree.disk, capacity=100)
+        assert tree.execute(EqualityQuery(q)).tid_set() == expected
+
+
+class TestTopKAgreement:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50, 1000])
+    def test_matches_naive(self, relation, tree, k):
+        for seed in range(4):
+            q = random_query(len(relation.domain), seed=seed * 19 + 1)
+            query = EqualityTopKQuery(q, k)
+            expected = matches_of(relation.execute(query))
+            tree.pool = BufferPool(tree.disk, capacity=100)
+            assert matches_of(tree.execute(query)) == expected
+
+
+class TestSimilarityAgreement:
+    @pytest.mark.parametrize("divergence", ["l1", "l2", "kl"])
+    @pytest.mark.parametrize("threshold", [0.1, 0.5, 1.2])
+    def test_dstq_matches_naive(self, relation, tree, divergence, threshold):
+        q = relation.uda_of(2)
+        query = SimilarityThresholdQuery(q, threshold, divergence)
+        expected = relation.execute(query).tid_set()
+        tree.pool = BufferPool(tree.disk, capacity=100)
+        assert tree.execute(query).tid_set() == expected
+
+    @pytest.mark.parametrize("divergence", ["l1", "l2", "kl"])
+    def test_ds_top_k_matches_naive(self, relation, tree, divergence):
+        q = relation.uda_of(9)
+        query = SimilarityTopKQuery(q, 7, divergence)
+        expected = matches_of(relation.execute(query))
+        tree.pool = BufferPool(tree.disk, capacity=100)
+        assert matches_of(tree.execute(query)) == expected
+
+
+class TestConfigurationsAgree:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PDRTreeConfig(split_strategy="top_down"),
+            PDRTreeConfig(divergence="l1", insert_policy="min_area"),
+            PDRTreeConfig(divergence="l2", insert_policy="most_similar"),
+            PDRTreeConfig(fold_size=6),
+            PDRTreeConfig(bits=2),
+            PDRTreeConfig(fold_size=5, bits=4, split_strategy="top_down"),
+        ],
+        ids=lambda c: f"{c.split_strategy}-{c.divergence}-{c.insert_policy}-f{c.fold_size}-b{c.bits}",
+    )
+    def test_every_config_returns_naive_answers(self, relation, config):
+        tree = PDRTree(len(relation.domain), config=config)
+        tree.build(relation)
+        for seed in range(3):
+            q = random_query(len(relation.domain), seed=seed + 40)
+            for tau in (0.05, 0.4):
+                query = EqualityThresholdQuery(q, tau)
+                assert matches_of(tree.execute(query)) == matches_of(
+                    relation.execute(query)
+                )
+            query = EqualityTopKQuery(q, 9)
+            assert matches_of(tree.execute(query)) == matches_of(
+                relation.execute(query)
+            )
+
+
+class TestDelete:
+    def test_delete_removes_from_answers(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        victim = 42
+        tree.delete(victim)
+        q = relation.uda_of(victim)
+        result = tree.execute(EqualityThresholdQuery(q, 0.001))
+        assert victim not in result.tid_set()
+        assert tree.num_tuples == len(relation) - 1
+
+    def test_delete_unknown(self, relation):
+        tree = PDRTree(len(relation.domain))
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(0)
+
+    def test_remaining_answers_still_exact(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        removed = set(range(0, 300, 7))
+        for tid in removed:
+            tree.delete(tid)
+        q = random_query(len(relation.domain), seed=99)
+        query = EqualityThresholdQuery(q, 0.05)
+        expected = {
+            m.tid for m in relation.execute(query) if m.tid not in removed
+        }
+        assert tree.execute(query).tid_set() == expected
+
+
+class TestPoolManagement:
+    def test_pool_must_share_disk(self, tree):
+        with pytest.raises(QueryError):
+            tree.pool = BufferPool(DiskManager(), capacity=10)
+
+    def test_queries_cost_io_on_cold_pool(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        tree.pool.flush_all()
+        tree.pool = BufferPool(tree.disk, capacity=100)
+        before = tree.disk.stats.snapshot()
+        q = relation.uda_of(0)
+        tree.execute(EqualityThresholdQuery(q, 0.2))
+        assert tree.disk.stats.delta_since(before).reads > 0
+
+    def test_selective_query_reads_fewer_pages_than_sweep(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        tree.pool.flush_all()
+        q = relation.uda_of(0)
+        tree.pool = BufferPool(tree.disk, capacity=200)
+        before = tree.disk.stats.snapshot()
+        tree.execute(EqualityThresholdQuery(q, 0.9))
+        selective = tree.disk.stats.delta_since(before).reads
+        tree.pool = BufferPool(tree.disk, capacity=200)
+        before = tree.disk.stats.snapshot()
+        tree.execute(EqualityThresholdQuery(q, 0.0001))
+        sweep = tree.disk.stats.delta_since(before).reads
+        assert selective < sweep
+
+    def test_unsupported_query_type(self, tree):
+        with pytest.raises(QueryError):
+            tree.execute("select *")  # type: ignore[arg-type]

@@ -1,0 +1,48 @@
+"""Property-based agreement: PDR-tree == naive executor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EqualityThresholdQuery, EqualityTopKQuery
+from repro.pdrtree import PDRTree, PDRTreeConfig
+
+from tests.core.test_uda_properties import udas
+from tests.invindex.test_strategies_properties import relations
+
+CONFIGS = [
+    PDRTreeConfig(),
+    PDRTreeConfig(split_strategy="top_down", divergence="l1"),
+    PDRTreeConfig(fold_size=4, bits=2),
+]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    relation=relations(max_tuples=30),
+    q=udas(max_domain=8),
+    tau=st.floats(0.001, 1.0),
+    config_index=st.integers(0, len(CONFIGS) - 1),
+)
+def test_pdr_threshold_matches_naive(relation, q, tau, config_index):
+    tree = PDRTree(len(relation.domain), config=CONFIGS[config_index])
+    tree.build(relation)
+    query = EqualityThresholdQuery(q, tau)
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    got = [(m.tid, m.score) for m in tree.execute(query)]
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    relation=relations(max_tuples=30),
+    q=udas(max_domain=8),
+    k=st.integers(1, 40),
+    config_index=st.integers(0, len(CONFIGS) - 1),
+)
+def test_pdr_top_k_matches_naive(relation, q, k, config_index):
+    tree = PDRTree(len(relation.domain), config=CONFIGS[config_index])
+    tree.build(relation)
+    query = EqualityTopKQuery(q, k)
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    got = [(m.tid, m.score) for m in tree.execute(query)]
+    assert got == expected

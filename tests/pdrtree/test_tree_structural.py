@@ -1,0 +1,167 @@
+"""Structural stress tests: deep trees, internal splits, insert retries.
+
+Small pages and wide domains force the paths that ordinary workloads
+rarely hit: internal-node splits, boundary-growth overflow (the
+split-and-retry loop in ``insert``), and byte-budget rebalancing of
+variable-width records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EqualityThresholdQuery, EqualityTopKQuery, UncertainAttribute
+from repro.pdrtree import PDRTree, PDRTreeConfig
+from repro.pdrtree.node import PDR_INTERNAL, node_kind
+from repro.storage import BufferPool, DiskManager
+
+
+def random_relation_wide(num_tuples, domain_size, seed, nnz_range=(1, 6)):
+    from repro.core import CategoricalDomain, UncertainRelation
+
+    rng = np.random.default_rng(seed)
+    relation = UncertainRelation(CategoricalDomain.of_size(domain_size))
+    for _ in range(num_tuples):
+        nnz = int(rng.integers(*nnz_range))
+        items = rng.choice(domain_size, size=nnz, replace=False)
+        probs = rng.dirichlet(np.ones(nnz))
+        relation.append(
+            UncertainAttribute.from_pairs(
+                list(zip(items.tolist(), probs.tolist()))
+            )
+        )
+    return relation
+
+
+class TestDeepTrees:
+    @pytest.mark.parametrize("split", ["top_down", "bottom_up"])
+    def test_small_pages_build_deep_and_stay_exact(self, split):
+        relation = random_relation_wide(400, 30, seed=3)
+        tree = PDRTree(
+            30,
+            disk=DiskManager(page_size=512),
+            config=PDRTreeConfig(split_strategy=split),
+        )
+        tree.build(relation)
+        assert tree.height >= 3  # tiny pages force a deep tree
+        for seed in range(4):
+            rng = np.random.default_rng(seed + 50)
+            items = rng.choice(30, size=3, replace=False)
+            probs = rng.dirichlet(np.ones(3))
+            q = UncertainAttribute.from_pairs(
+                list(zip(items.tolist(), probs.tolist()))
+            )
+            for tau in (0.03, 0.3):
+                query = EqualityThresholdQuery(q, tau)
+                expected = [(m.tid, m.score) for m in relation.execute(query)]
+                got = [(m.tid, m.score) for m in tree.execute(query)]
+                assert got == expected
+            query = EqualityTopKQuery(q, 11)
+            assert [(m.tid, m.score) for m in tree.execute(query)] == [
+                (m.tid, m.score) for m in relation.execute(query)
+            ]
+
+    def test_wide_domain_forces_internal_splits(self):
+        # Raw boundaries over a wide domain make internal entries fat;
+        # internal nodes overflow quickly and must split repeatedly.
+        relation = random_relation_wide(300, 120, seed=5, nnz_range=(3, 9))
+        tree = PDRTree(120, disk=DiskManager(page_size=4096))
+        tree.build(relation)
+        internal_pages = 0
+        stack = [tree.root_page_id]
+        while stack:
+            page = tree.pool.fetch_page(stack.pop())
+            if node_kind(page) == PDR_INTERNAL:
+                internal_pages += 1
+                stack.extend(
+                    entry.child_id for entry in tree._get_internal(page.page_id)
+                )
+        assert internal_pages >= 3
+        q = relation.uda_of(0)
+        query = EqualityThresholdQuery(q, 0.05)
+        assert tree.execute(query).tid_set() == relation.execute(query).tid_set()
+
+    def test_variable_width_records_rebalance(self):
+        # Mix tiny and fat UDAs so count-balanced splits overflow bytes.
+        from repro.core import CategoricalDomain, UncertainRelation
+
+        rng = np.random.default_rng(9)
+        relation = UncertainRelation(CategoricalDomain.of_size(40))
+        for i in range(200):
+            if i % 3 == 0:
+                nnz = 20  # fat record
+            else:
+                nnz = 1
+            items = rng.choice(40, size=nnz, replace=False)
+            probs = rng.dirichlet(np.ones(nnz))
+            relation.append(
+                UncertainAttribute.from_pairs(
+                    list(zip(items.tolist(), probs.tolist()))
+                )
+            )
+        tree = PDRTree(40, disk=DiskManager(page_size=1024))
+        tree.build(relation)
+        q = relation.uda_of(3)
+        query = EqualityThresholdQuery(q, 0.02)
+        assert tree.execute(query).tid_set() == relation.execute(query).tid_set()
+
+    def test_infeasible_geometry_raises_actionable_error(self):
+        # Two raw 120-item boundaries cannot share a 1 KB page: the tree
+        # must say so and point at compression, not corrupt itself.
+        from repro.core import RecordTooLargeError
+
+        relation = random_relation_wide(300, 120, seed=5, nnz_range=(3, 9))
+        tree = PDRTree(120, disk=DiskManager(page_size=1024))
+        with pytest.raises(RecordTooLargeError, match="compression"):
+            tree.build(relation)
+
+    def test_compression_rescues_infeasible_geometry(self):
+        # The same workload builds fine once boundaries are folded.
+        relation = random_relation_wide(300, 120, seed=5, nnz_range=(3, 9))
+        tree = PDRTree(
+            120,
+            disk=DiskManager(page_size=1024),
+            config=PDRTreeConfig(fold_size=16, bits=2),
+        )
+        tree.build(relation)
+        q = relation.uda_of(0)
+        query = EqualityThresholdQuery(q, 0.05)
+        assert tree.execute(query).tid_set() == relation.execute(query).tid_set()
+
+    def test_interleaved_inserts_deletes_deep_tree(self):
+        relation = random_relation_wide(300, 25, seed=11)
+        tree = PDRTree(25, disk=DiskManager(page_size=512))
+        removed = set()
+        for tid in relation.tids():
+            tree.insert(tid, relation.uda_of(tid))
+            if tid % 10 == 9:
+                victim = tid - 5
+                tree.delete(victim)
+                removed.add(victim)
+        q = relation.uda_of(2)
+        query = EqualityThresholdQuery(q, 0.05)
+        expected = {
+            m.tid for m in relation.execute(query) if m.tid not in removed
+        }
+        assert tree.execute(query).tid_set() == expected
+
+    def test_compressed_deep_tree(self):
+        relation = random_relation_wide(300, 100, seed=13, nnz_range=(3, 8))
+        tree = PDRTree(
+            100,
+            disk=DiskManager(page_size=1024),
+            config=PDRTreeConfig(fold_size=16, bits=2),
+        )
+        tree.build(relation)
+        q = relation.uda_of(7)
+        for tau in (0.02, 0.2):
+            query = EqualityThresholdQuery(q, tau)
+            assert tree.execute(query).tid_set() == relation.execute(query).tid_set()
+
+    def test_pool_bounded_queries_on_deep_tree(self):
+        relation = random_relation_wide(400, 30, seed=17)
+        tree = PDRTree(30, disk=DiskManager(page_size=512))
+        tree.build(relation)
+        tree.pool = BufferPool(tree.disk, capacity=4)  # brutal pool
+        q = relation.uda_of(1)
+        query = EqualityThresholdQuery(q, 0.05)
+        assert tree.execute(query).tid_set() == relation.execute(query).tid_set()

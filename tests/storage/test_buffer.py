@@ -1,0 +1,158 @@
+"""Tests for :mod:`repro.storage.buffer` (clock replacement)."""
+
+import pytest
+
+from repro.core import BufferPoolError
+from repro.storage import BufferPool, DiskManager
+
+
+@pytest.fixture()
+def disk():
+    return DiskManager(page_size=64)
+
+
+def fill_disk(disk, count):
+    return [disk.allocate_page() for _ in range(count)]
+
+
+class TestBasics:
+    def test_capacity_validation(self, disk):
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, capacity=0)
+
+    def test_miss_then_hit(self, disk):
+        (pid,) = fill_disk(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pid)
+        pool.fetch_page(pid)
+        assert pool.misses == 1
+        assert pool.hits == 1
+        assert pool.hit_ratio == 0.5
+
+    def test_miss_costs_one_physical_read(self, disk):
+        (pid,) = fill_disk(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        before = disk.stats.snapshot()
+        pool.fetch_page(pid)
+        pool.fetch_page(pid)
+        pool.fetch_page(pid)
+        assert disk.stats.delta_since(before).reads == 1
+
+    def test_new_page_needs_no_read(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        before = disk.stats.snapshot()
+        page = pool.new_page()
+        assert disk.stats.delta_since(before).reads == 0
+        assert pool.is_resident(page.page_id)
+
+    def test_capacity_never_exceeded(self, disk):
+        pids = fill_disk(disk, 10)
+        pool = BufferPool(disk, capacity=3)
+        for pid in pids:
+            pool.fetch_page(pid)
+        assert pool.num_resident <= 3
+
+
+class TestEviction:
+    def test_clock_prefers_unreferenced(self, disk):
+        pids = fill_disk(disk, 4)
+        pool = BufferPool(disk, capacity=3)
+        pool.fetch_page(pids[0])
+        pool.fetch_page(pids[1])
+        pool.fetch_page(pids[2])
+        # Re-reference page 0 so its second-chance bit is set again.
+        pool.fetch_page(pids[0])
+        pool.fetch_page(pids[3])  # forces an eviction
+        assert pool.num_resident == 3
+        assert pool.is_resident(pids[3])
+
+    def test_dirty_eviction_writes_back(self, disk):
+        pids = fill_disk(disk, 4)
+        pool = BufferPool(disk, capacity=2)
+        page = pool.fetch_page(pids[0])
+        page.write_u8(0, 0x7F)
+        pool.mark_dirty(pids[0])
+        before = disk.stats.snapshot()
+        pool.fetch_page(pids[1])
+        pool.fetch_page(pids[2])
+        pool.fetch_page(pids[3])
+        assert disk.stats.delta_since(before).writes >= 1
+        # The modified byte survived eviction.
+        fresh = BufferPool(disk, capacity=2)
+        assert fresh.fetch_page(pids[0]).read_u8(0) == 0x7F
+
+    def test_clean_eviction_writes_nothing(self, disk):
+        pids = fill_disk(disk, 4)
+        pool = BufferPool(disk, capacity=2)
+        before = disk.stats.snapshot()
+        for pid in pids:
+            pool.fetch_page(pid)
+        assert disk.stats.delta_since(before).writes == 0
+
+    def test_pinned_pages_survive(self, disk):
+        pids = fill_disk(disk, 5)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pids[0], pin=True)
+        for pid in pids[1:]:
+            pool.fetch_page(pid)
+        assert pool.is_resident(pids[0])
+
+    def test_all_pinned_raises(self, disk):
+        pids = fill_disk(disk, 3)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pids[0], pin=True)
+        pool.fetch_page(pids[1], pin=True)
+        with pytest.raises(BufferPoolError, match="pinned"):
+            pool.fetch_page(pids[2])
+
+    def test_unpin_allows_eviction(self, disk):
+        pids = fill_disk(disk, 3)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pids[0], pin=True)
+        pool.fetch_page(pids[1])
+        pool.unpin_page(pids[0])
+        pool.fetch_page(pids[2])  # must not raise
+        assert pool.num_resident == 2
+
+
+class TestErrors:
+    def test_mark_dirty_nonresident(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError):
+            pool.mark_dirty(0)
+
+    def test_unpin_nonresident(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError):
+            pool.unpin_page(0)
+
+    def test_unpin_unpinned(self, disk):
+        (pid,) = fill_disk(disk, 1)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pid)
+        with pytest.raises(BufferPoolError):
+            pool.unpin_page(pid)
+
+    def test_flush_nonresident(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError):
+            pool.flush_page(0)
+
+
+class TestFlush:
+    def test_flush_all_persists_dirty_pages(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        page.write_u8(3, 9)
+        pool.mark_dirty(page.page_id)
+        pool.flush_all()
+        assert disk.read_page(page.page_id).read_u8(3) == 9
+
+    def test_flush_clears_dirty_bit(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        pool.mark_dirty(page.page_id)
+        pool.flush_page(page.page_id)
+        before = disk.stats.snapshot()
+        pool.flush_page(page.page_id)  # second flush: nothing to write
+        assert disk.stats.delta_since(before).writes == 0

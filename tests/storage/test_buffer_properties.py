@@ -1,0 +1,40 @@
+"""Property-based tests: the buffer pool against a trivial model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool, DiskManager
+
+
+@given(
+    capacity=st.integers(1, 8),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["fetch", "write", "flush"]), st.integers(0, 15)),
+        max_size=80,
+    ),
+)
+def test_buffer_pool_matches_direct_disk_model(capacity, operations):
+    """Random fetch/write/flush traffic: pool contents always equal the
+    model's, residency never exceeds capacity."""
+    disk = DiskManager(page_size=16)
+    pids = [disk.allocate_page() for _ in range(16)]
+    pool = BufferPool(disk, capacity=capacity)
+    model = {pid: bytearray(16) for pid in pids}
+    counter = 0
+    for op, slot in operations:
+        pid = pids[slot]
+        if op == "fetch":
+            page = pool.fetch_page(pid)
+            assert bytes(page.data) == bytes(model[pid])
+        elif op == "write":
+            counter = (counter + 1) % 251
+            page = pool.fetch_page(pid)
+            page.write_u8(0, counter)
+            pool.mark_dirty(pid)
+            model[pid][0] = counter
+        else:
+            pool.flush_all()
+        assert pool.num_resident <= capacity
+    pool.flush_all()
+    for pid in pids:
+        assert bytes(disk.read_page(pid).data) == bytes(model[pid])

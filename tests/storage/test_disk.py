@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.storage.disk`."""
+
+import pytest
+
+from repro.core import PageError
+from repro.storage import DiskManager, Page
+
+
+class TestAllocation:
+    def test_sequential_ids(self):
+        disk = DiskManager()
+        assert disk.allocate_page() == 0
+        assert disk.allocate_page() == 1
+        assert disk.num_pages == 2
+
+    def test_allocation_counted(self):
+        disk = DiskManager()
+        disk.allocate_page()
+        assert disk.stats.allocations == 1
+        assert disk.stats.reads == 0
+
+    def test_new_page_is_zeroed(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        page = disk.read_page(pid)
+        assert bytes(page.data) == bytes(64)
+
+    def test_deallocate(self):
+        disk = DiskManager()
+        pid = disk.allocate_page()
+        disk.deallocate_page(pid)
+        assert disk.num_pages == 0
+        with pytest.raises(PageError):
+            disk.read_page(pid)
+
+    def test_deallocate_unknown(self):
+        with pytest.raises(PageError):
+            DiskManager().deallocate_page(5)
+
+
+class TestIO:
+    def test_write_then_read(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        page = Page(pid, bytearray(b"x" * 64), size=64)
+        disk.write_page(page)
+        assert bytes(disk.read_page(pid).data) == b"x" * 64
+
+    def test_read_returns_private_copy(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        first = disk.read_page(pid)
+        first.write_u8(0, 0xFF)
+        second = disk.read_page(pid)
+        assert second.read_u8(0) == 0
+
+    def test_io_counters(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        disk.read_page(pid)
+        disk.read_page(pid)
+        disk.write_page(Page(pid, bytearray(64), size=64))
+        assert disk.stats.reads == 2
+        assert disk.stats.writes == 1
+        assert disk.stats.total == 3
+
+    def test_read_unknown_page(self):
+        with pytest.raises(PageError):
+            DiskManager().read_page(42)
+
+    def test_write_unknown_page(self):
+        with pytest.raises(PageError):
+            DiskManager().write_page(Page(42))
+
+    def test_write_wrong_size(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        with pytest.raises(PageError):
+            disk.write_page(Page(pid, bytearray(32), size=32))
+
+    def test_snapshot_delta(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        before = disk.stats.snapshot()
+        disk.read_page(pid)
+        delta = disk.stats.delta_since(before)
+        assert delta.reads == 1
+        assert delta.writes == 0
+
+    def test_size_in_bytes(self):
+        disk = DiskManager(page_size=128)
+        disk.allocate_page()
+        disk.allocate_page()
+        assert disk.size_in_bytes == 256

@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.storage.heapfile`."""
+
+import pytest
+
+from repro.core import PageError, RecordTooLargeError
+from repro.storage import BufferPool, DiskManager, HeapFile
+
+
+@pytest.fixture()
+def heap():
+    disk = DiskManager(page_size=256)
+    return HeapFile(BufferPool(disk, capacity=8))
+
+
+class TestAppendGet:
+    def test_round_trip(self, heap):
+        rid = heap.append(b"hello world")
+        assert heap.get(rid) == b"hello world"
+
+    def test_many_records_multiple_pages(self, heap):
+        records = [bytes([i % 251]) * (20 + i % 50) for i in range(60)]
+        rids = [heap.append(record) for record in records]
+        assert heap.num_pages > 1
+        for rid, record in zip(rids, records):
+            assert heap.get(rid) == record
+
+    def test_record_too_large(self, heap):
+        with pytest.raises(RecordTooLargeError):
+            heap.append(b"x" * 300)
+
+    def test_max_size_record_fits(self, heap):
+        # page 256 - header 4 - one slot 4 = 248 bytes available.
+        rid = heap.append(b"y" * 248)
+        assert heap.get(rid) == b"y" * 248
+
+    def test_bad_slot(self, heap):
+        rid = heap.append(b"data")
+        with pytest.raises(PageError):
+            heap.get((rid[0], 99))
+
+    def test_empty_record(self, heap):
+        rid = heap.append(b"")
+        assert heap.get(rid) == b""
+
+
+class TestScan:
+    def test_scan_in_append_order(self, heap):
+        records = [f"record-{i}".encode() for i in range(25)]
+        rids = [heap.append(record) for record in records]
+        scanned = list(heap.scan())
+        assert [rid for rid, _ in scanned] == rids
+        assert [data for _, data in scanned] == records
+
+    def test_scan_empty(self, heap):
+        assert list(heap.scan()) == []
+
+
+class TestPersistence:
+    def test_survives_pool_replacement(self):
+        disk = DiskManager(page_size=256)
+        heap = HeapFile(BufferPool(disk, capacity=8))
+        rids = [heap.append(f"r{i}".encode()) for i in range(40)]
+        heap.flush()
+        # A fresh bounded pool re-reads everything from disk.
+        heap.pool = BufferPool(disk, capacity=2)
+        for i, rid in enumerate(rids):
+            assert heap.get(rid) == f"r{i}".encode()
+
+    def test_random_access_costs_at_most_one_read(self):
+        disk = DiskManager(page_size=256)
+        heap = HeapFile(BufferPool(disk, capacity=8))
+        rids = [heap.append(bytes(30)) for _ in range(40)]
+        heap.flush()
+        heap.pool = BufferPool(disk, capacity=4)
+        before = disk.stats.snapshot()
+        heap.get(rids[0])
+        assert disk.stats.delta_since(before).reads == 1
+        before = disk.stats.snapshot()
+        heap.get(rids[0])  # buffered now
+        assert disk.stats.delta_since(before).reads == 0

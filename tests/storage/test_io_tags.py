@@ -1,0 +1,80 @@
+"""Per-component I/O attribution (allocation tags)."""
+
+import pytest
+
+from repro.bench import IndexUnderTest, measure_query
+from repro.core import EqualityThresholdQuery, PageError
+from repro.datagen import uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+from repro.storage import BufferPool, DiskManager
+
+
+class TestDiskTags:
+    def test_tag_recorded_at_allocation(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page(tag="postings")
+        assert disk.tag_of(pid) == "postings"
+
+    def test_default_tag(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        assert disk.tag_of(pid) == "untagged"
+
+    def test_unknown_page(self):
+        with pytest.raises(PageError):
+            DiskManager().tag_of(7)
+
+    def test_reads_attributed(self):
+        disk = DiskManager(page_size=64)
+        a = disk.allocate_page(tag="alpha")
+        b = disk.allocate_page(tag="beta")
+        disk.read_page(a)
+        disk.read_page(a)
+        disk.read_page(b)
+        assert disk.snapshot_tags() == {"alpha": 2, "beta": 1}
+
+    def test_buffer_pool_passes_tag(self):
+        disk = DiskManager(page_size=64)
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page(tag="gamma")
+        assert disk.tag_of(page.page_id) == "gamma"
+
+    def test_deallocation_drops_tag(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page(tag="alpha")
+        disk.deallocate_page(pid)
+        with pytest.raises(PageError):
+            disk.tag_of(pid)
+
+
+class TestQueryBreakdown:
+    @pytest.fixture(scope="class")
+    def relation(self):
+        return uniform_dataset(num_tuples=600, seed=4)
+
+    def test_inverted_breakdown_separates_lists_and_tuples(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        under_test = IndexUnderTest("Inv", index, "highest_prob_first")
+        q = relation.uda_of(0)
+        measurement = measure_query(under_test, EqualityThresholdQuery(q, 0.3))
+        assert set(measurement.reads_by_tag) <= {"postings", "tuples"}
+        assert measurement.reads_by_tag.get("postings", 0) > 0
+        assert sum(measurement.reads_by_tag.values()) == measurement.reads
+
+    def test_brute_force_touches_no_tuple_pages(self, relation):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        under_test = IndexUnderTest("Inv", index, "inv_index_search")
+        q = relation.uda_of(0)
+        measurement = measure_query(under_test, EqualityThresholdQuery(q, 0.3))
+        assert "tuples" not in measurement.reads_by_tag
+
+    def test_pdr_reads_only_tree_pages(self, relation):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        under_test = IndexUnderTest("PDR", tree)
+        q = relation.uda_of(0)
+        measurement = measure_query(under_test, EqualityThresholdQuery(q, 0.3))
+        assert set(measurement.reads_by_tag) == {"pdr-node"}

@@ -1,0 +1,75 @@
+"""Tests for :mod:`repro.storage.page`."""
+
+import pytest
+
+from repro.core import PageError
+from repro.storage import DEFAULT_PAGE_SIZE, Page
+
+
+class TestConstruction:
+    def test_default_is_zeroed_8k(self):
+        page = Page(0)
+        assert page.size == DEFAULT_PAGE_SIZE == 8192
+        assert bytes(page.data) == bytes(8192)
+
+    def test_custom_size(self):
+        assert Page(0, size=512).size == 512
+
+    def test_existing_buffer(self):
+        data = bytearray(b"\x01" * 256)
+        page = Page(3, data, size=256)
+        assert page.read_u8(0) == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(PageError):
+            Page(0, bytearray(10), size=20)
+
+
+class TestTypedAccessors:
+    @pytest.fixture()
+    def page(self):
+        return Page(0, size=256)
+
+    @pytest.mark.parametrize(
+        "writer,reader,value",
+        [
+            ("write_u8", "read_u8", 0xAB),
+            ("write_u16", "read_u16", 0xBEEF),
+            ("write_u32", "read_u32", 0xDEADBEEF),
+            ("write_u64", "read_u64", 0x0123456789ABCDEF),
+        ],
+    )
+    def test_integer_round_trip(self, page, writer, reader, value):
+        getattr(page, writer)(16, value)
+        assert getattr(page, reader)(16) == value
+
+    def test_f32_round_trip(self, page):
+        page.write_f32(8, 0.25)
+        assert page.read_f32(8) == 0.25
+
+    def test_f64_round_trip(self, page):
+        page.write_f64(8, 0.1)
+        assert page.read_f64(8) == 0.1
+
+    def test_bytes_round_trip(self, page):
+        page.write_bytes(100, b"hello")
+        assert page.read_bytes(100, 5) == b"hello"
+
+    def test_read_bytes_overrun(self, page):
+        with pytest.raises(PageError):
+            page.read_bytes(250, 10)
+
+    def test_write_bytes_overrun(self, page):
+        with pytest.raises(PageError):
+            page.write_bytes(250, b"0123456789")
+
+    def test_zero(self, page):
+        page.write_bytes(0, b"\xff" * 256)
+        page.zero()
+        assert bytes(page.data) == bytes(256)
+
+    def test_adjacent_fields_do_not_clobber(self, page):
+        page.write_u32(0, 1)
+        page.write_u32(4, 2)
+        assert page.read_u32(0) == 1
+        assert page.read_u32(4) == 2

@@ -1,0 +1,138 @@
+"""Tests for :mod:`repro.storage.serialization`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SerializationError
+from repro.storage.serialization import (
+    POSTING_ENTRY_SIZE,
+    decode_heap_record,
+    decode_posting_key,
+    decode_posting_leaf,
+    decode_posting_value,
+    decode_uda_payload,
+    encode_heap_record,
+    encode_posting_key,
+    encode_posting_value,
+    encode_uda_payload,
+    heap_record_size,
+    quantize_prob,
+    uda_payload_size,
+)
+
+
+class TestUdaPayload:
+    def test_round_trip(self):
+        items = np.array([1, 5, 9], dtype=np.int64)
+        probs = np.array([0.25, 0.5, 0.25], dtype=np.float64)
+        payload = encode_uda_payload(items, probs)
+        assert len(payload) == uda_payload_size(3)
+        pairs, end = decode_uda_payload(payload)
+        assert end == len(payload)
+        assert pairs["item"].tolist() == [1, 5, 9]
+        assert pairs["prob"].tolist() == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_empty_payload(self):
+        payload = encode_uda_payload(np.empty(0, dtype=np.int64), np.empty(0))
+        pairs, end = decode_uda_payload(payload)
+        assert len(pairs) == 0
+        assert end == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(SerializationError):
+            encode_uda_payload(np.array([1, 2]), np.array([0.5]))
+
+    def test_truncated_buffer(self):
+        payload = encode_uda_payload(np.array([1]), np.array([1.0]))
+        with pytest.raises(SerializationError):
+            decode_uda_payload(payload[:-2])
+
+    def test_decode_at_offset(self):
+        payload = encode_uda_payload(np.array([3]), np.array([1.0]))
+        buffer = b"\x00" * 7 + payload
+        pairs, end = decode_uda_payload(buffer, offset=7)
+        assert pairs["item"].tolist() == [3]
+        assert end == len(buffer)
+
+
+class TestHeapRecord:
+    def test_round_trip(self):
+        record = encode_heap_record(
+            42, np.array([0, 2], dtype=np.int64), np.array([0.5, 0.5])
+        )
+        assert len(record) == heap_record_size(2)
+        tid, pairs, end = decode_heap_record(record)
+        assert tid == 42
+        assert pairs["item"].tolist() == [0, 2]
+        assert end == len(record)
+
+
+class TestPostingKeys:
+    def test_descending_probability_order(self):
+        high = encode_posting_key(0.9, 5)
+        low = encode_posting_key(0.1, 5)
+        assert high < low  # byte order == descending probability
+
+    def test_tid_breaks_ties_ascending(self):
+        first = encode_posting_key(0.5, 3)
+        second = encode_posting_key(0.5, 7)
+        assert first < second
+
+    def test_round_trip(self):
+        prob, tid = decode_posting_key(encode_posting_key(0.625, 99))
+        assert tid == 99
+        assert prob == pytest.approx(0.625, abs=1e-9)
+
+    def test_quantize_bounds(self):
+        assert quantize_prob(0.0) == 0
+        assert quantize_prob(1.0) == 0xFFFFFFFF
+        with pytest.raises(SerializationError):
+            quantize_prob(1.5)
+        with pytest.raises(SerializationError):
+            quantize_prob(-0.1)
+
+    def test_value_round_trip(self):
+        value = np.float32(0.3)
+        assert decode_posting_value(encode_posting_value(float(value))) == value
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 1.0, allow_nan=False, width=32),
+                st.integers(0, 2**31),
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_byte_order_equals_logical_order(self, postings):
+        keys = [encode_posting_key(p, t) for p, t in postings]
+        logical = sorted(
+            range(len(postings)),
+            key=lambda i: (-quantize_prob(postings[i][0]), postings[i][1]),
+        )
+        byte_order = sorted(range(len(postings)), key=lambda i: keys[i])
+        assert byte_order == logical
+
+
+class TestPostingLeafDecode:
+    def test_round_trip(self):
+        entries = [(0.9, 1), (0.5, 2), (0.25, 3)]
+        run = b"".join(
+            encode_posting_key(p, t) + encode_posting_value(p)
+            for p, t in entries
+        )
+        tids, probs = decode_posting_leaf(run)
+        assert tids.tolist() == [1, 2, 3]
+        assert probs.tolist() == pytest.approx([0.9, 0.5, 0.25])
+
+    def test_invalid_length(self):
+        with pytest.raises(SerializationError):
+            decode_posting_leaf(b"\x00" * (POSTING_ENTRY_SIZE + 1))
+
+    def test_empty_run(self):
+        tids, probs = decode_posting_leaf(b"")
+        assert len(tids) == 0
+        assert len(probs) == 0

@@ -1,0 +1,72 @@
+"""The public API surface: exports exist, are documented, and cohere."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.storage",
+    "repro.btree",
+    "repro.invindex",
+    "repro.pdrtree",
+    "repro.datagen",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_is_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "symbol",
+    [
+        "CategoricalDomain",
+        "UncertainAttribute",
+        "UncertainRelation",
+        "EqualityThresholdQuery",
+        "EqualityTopKQuery",
+        "petj",
+        "pej_top_k",
+        "dstj",
+    ],
+)
+def test_headline_symbols_at_top_level(symbol):
+    assert hasattr(repro, symbol)
+
+
+def test_public_classes_are_documented():
+    from repro.invindex import ProbabilisticInvertedIndex
+    from repro.pdrtree import PDRTree
+
+    for cls in (
+        repro.UncertainAttribute,
+        repro.UncertainRelation,
+        ProbabilisticInvertedIndex,
+        PDRTree,
+    ):
+        assert cls.__doc__
+        public_methods = [
+            attr
+            for attr in vars(cls).values()
+            if callable(attr) and not attr.__name__.startswith("_")
+        ]
+        for method in public_methods:
+            assert method.__doc__, f"{cls.__name__}.{method.__name__} undocumented"
