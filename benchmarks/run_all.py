@@ -1,39 +1,130 @@
 #!/usr/bin/env python
-"""Run every experiment at a chosen scale and save the series tables.
+"""Run every experiment at a chosen scale and save tables + JSON.
 
 Usage::
 
-    REPRO_SCALE=default python benchmarks/run_all.py [results_dir]
+    python benchmarks/run_all.py [results_dir] [--scale quick|default|paper]
+                                 [--jobs N] [--experiments fig4 fig10 ...]
 
-This is the driver used to produce the numbers recorded in
-EXPERIMENTS.md; ``pytest benchmarks/ --benchmark-only`` runs the same
-experiments through pytest-benchmark instead.
+Experiments fan out across ``--jobs`` worker processes (default: the
+``REPRO_JOBS`` environment variable, else one per CPU); measured I/O is
+bit-identical for every jobs count, so parallelism is purely a wall-clock
+lever.  For each experiment the driver writes:
+
+* ``<name>.txt`` — the aligned series table (the paper figure as rows);
+* ``BENCH_<name>.json`` — machine-readable series (per-point mean I/O,
+  per-tag breakdown, cache hit rates) plus the experiment's wall-clock;
+
+and a run-level ``BENCH_summary.json`` with the total wall-clock and
+configuration, so the perf trajectory is tracked across PRs.
+
+``REPRO_SCALE`` is honoured when ``--scale`` is omitted;
+``pytest benchmarks/ --benchmark-only`` runs the same experiments through
+pytest-benchmark instead.
 """
 
-import sys
+import argparse
+import json
+import os
 import time
 from pathlib import Path
 
-from repro.bench import ALL_EXPERIMENTS, ExperimentScale, format_result
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    ExperimentScale,
+    format_result,
+    resolve_jobs,
+    result_to_dict,
+    run_experiments,
+)
+from repro.storage.buffer import DECODED_CACHE_ENV
+
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
 
 
-def main() -> None:
-    scale = ExperimentScale.from_env()
-    results_dir = Path(
-        sys.argv[1] if len(sys.argv) > 1 else "benchmarks/results"
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the full experiment suite and save tables + JSON."
     )
+    parser.add_argument(
+        "results_dir",
+        nargs="?",
+        type=Path,
+        default=Path("benchmarks/results"),
+        help="output directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="dataset/workload scale (default: REPRO_SCALE or quick)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or the CPU count; "
+        "1 runs inline)",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="subset of experiments to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = (
+        _SCALES[args.scale]() if args.scale else ExperimentScale.from_env()
+    )
+    jobs = resolve_jobs(args.jobs)
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    results_dir = args.results_dir
     results_dir.mkdir(parents=True, exist_ok=True)
-    print(f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
-          f"qpp={scale.queries_per_point}")
-    for name, experiment in ALL_EXPERIMENTS.items():
-        started = time.time()
-        result = experiment(scale)
-        elapsed = time.time() - started
+    print(
+        f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
+        f"qpp={scale.queries_per_point}  jobs={jobs}"
+    )
+
+    started = time.perf_counter()
+    summary = {
+        "jobs": jobs,
+        "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
+        "scale": {
+            "crm_tuples": scale.crm_tuples,
+            "synth_tuples": scale.synth_tuples,
+            "queries_per_point": scale.queries_per_point,
+        },
+        "experiments": {},
+    }
+    for name, result, elapsed in run_experiments(names, scale, jobs):
         table = format_result(result)
         print(table)
         print(f"[{name}: {elapsed:.1f}s]\n", flush=True)
         (results_dir / f"{name}.txt").write_text(table + "\n")
+        payload = result_to_dict(result)
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        summary["experiments"][name] = round(elapsed, 3)
+    summary["total_wall_clock_seconds"] = round(
+        time.perf_counter() - started, 3
+    )
+    (results_dir / "BENCH_summary.json").write_text(
+        json.dumps(summary, indent=2) + "\n"
+    )
+    print(
+        f"total: {summary['total_wall_clock_seconds']:.1f}s "
+        f"({jobs} job{'s' if jobs != 1 else ''})"
+    )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

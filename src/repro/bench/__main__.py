@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
+from repro.bench.parallel import run_experiments
 from repro.bench.reporting import format_result
 
 _SCALES = {
@@ -50,6 +50,13 @@ def main(argv: list[str] | None = None) -> int:
         help="directory to write the series tables into",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or the CPU count; "
+        "1 runs inline)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -72,12 +79,10 @@ def main(argv: list[str] | None = None) -> int:
             f"(choose from {', '.join(ALL_EXPERIMENTS)})"
         )
     scale = _SCALES[args.scale]()
-    for name in names:
-        started = time.time()
-        result = ALL_EXPERIMENTS[name](scale)
+    for name, result, elapsed in run_experiments(names, scale, args.jobs):
         table = format_result(result)
         print(table)
-        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        print(f"[{name}: {elapsed:.1f}s]\n")
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(table + "\n")

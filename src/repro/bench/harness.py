@@ -51,6 +51,23 @@ class Measurement:
     #: Physical reads attributed per component ("postings", "tuples",
     #: "pdr-node", ...) — the breakdown behind the total.
     reads_by_tag: dict[str, int] = field(default_factory=dict)
+    #: Buffer-pool fetch counters for the query's fresh pool.  Wall-clock
+    #: telemetry only; the I/O numbers above are the paper's metric.
+    pool_hits: int = 0
+    pool_misses: int = 0
+    #: Decoded-object cache counters (see repro.storage.cache).
+    decoded_hits: int = 0
+    decoded_misses: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    @property
+    def decoded_hit_rate(self) -> float:
+        total = self.decoded_hits + self.decoded_misses
+        return self.decoded_hits / total if total else 0.0
 
 
 @dataclass
@@ -61,6 +78,11 @@ class SeriesPoint:
     mean_reads: float
     num_queries: int
     mean_result_size: float
+    #: Mean per-tag read breakdown over the point's queries.
+    mean_reads_by_tag: dict[str, float] = field(default_factory=dict)
+    #: Mean cache telemetry (wall-clock side; not part of the I/O model).
+    mean_pool_hit_rate: float = 0.0
+    mean_decoded_hit_rate: float = 0.0
 
 
 @dataclass
@@ -95,7 +117,8 @@ def measure_query(
 ) -> Measurement:
     """Run one query with a fresh buffer pool; return its physical reads."""
     index = under_test.index
-    index.pool = BufferPool(index.disk, pool_size)
+    pool = BufferPool(index.disk, pool_size)
+    index.pool = pool
     before = index.disk.stats.snapshot()
     tags_before = index.disk.snapshot_tags()
     result = under_test.execute(query)
@@ -107,7 +130,13 @@ def measure_query(
         if tags_after[tag] != tags_before.get(tag, 0)
     }
     return Measurement(
-        reads=delta.reads, result_size=len(result), reads_by_tag=breakdown
+        reads=delta.reads,
+        result_size=len(result),
+        reads_by_tag=breakdown,
+        pool_hits=pool.hits,
+        pool_misses=pool.misses,
+        decoded_hits=pool.decoded.hits,
+        decoded_misses=pool.decoded.misses,
     )
 
 
@@ -132,9 +161,16 @@ def measure_point(
         else:
             query = calibrated.top_k_query()
         measurements.append(measure_query(under_test, query, pool_size))
+    tags = sorted({tag for m in measurements for tag in m.reads_by_tag})
     return SeriesPoint(
         x=x,
         mean_reads=mean(m.reads for m in measurements),
         num_queries=len(measurements),
         mean_result_size=mean(m.result_size for m in measurements),
+        mean_reads_by_tag={
+            tag: mean(m.reads_by_tag.get(tag, 0) for m in measurements)
+            for tag in tags
+        },
+        mean_pool_hit_rate=mean(m.pool_hit_rate for m in measurements),
+        mean_decoded_hit_rate=mean(m.decoded_hit_rate for m in measurements),
     )

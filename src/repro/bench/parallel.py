@@ -1,0 +1,98 @@
+"""Process-pool parallel experiment runner.
+
+Every measured query already runs against its own fresh buffer pool
+(:func:`repro.bench.harness.measure_query`) over a deterministically
+seeded dataset, so whole experiments are embarrassingly parallel: fanning
+them out across worker processes changes wall-clock only, never the
+simulated I/O counts.  Determinism is preserved by construction —
+
+* each experiment is self-contained (its own disk, indexes, and seeded
+  workload; nothing is shared across experiments but read-only caches),
+* workers receive the experiment *name* and rebuild everything from the
+  same seeds, and
+* results are merged in submission order, so the output is byte-identical
+  for any ``--jobs`` value.
+
+``--jobs 1`` (or ``REPRO_JOBS=1``) runs inline in this process, which
+also lets consecutive experiments share the module-level dataset/index
+caches of :mod:`repro.bench.experiments` — the sequential fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterator
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
+from repro.bench.harness import ExperimentResult
+from repro.core.exceptions import QueryError
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count from the argument, env, or CPU count.
+
+    ``None`` falls back to ``REPRO_JOBS``; an unset/``auto``/``0`` value
+    means one worker per CPU.  The result is always >= 1.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip().lower()
+        if raw in ("", "auto", "0"):
+            return os.cpu_count() or 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise QueryError(
+                f"{JOBS_ENV} must be an integer or 'auto', got {raw!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise QueryError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _run_one(name: str, scale: ExperimentScale) -> tuple[ExperimentResult, float]:
+    """Run one experiment by name; returns (result, wall-clock seconds).
+
+    Module-level so worker processes can unpickle it; the experiment
+    callable itself is looked up in the worker, keeping the payload to a
+    name plus the (frozen, picklable) scale.
+    """
+    started = time.perf_counter()
+    result = ALL_EXPERIMENTS[name](scale)
+    return result, time.perf_counter() - started
+
+
+def run_experiments(
+    names: list[str],
+    scale: ExperimentScale,
+    jobs: int | None = None,
+) -> Iterator[tuple[str, ExperimentResult, float]]:
+    """Run experiments, yielding ``(name, result, elapsed)`` per experiment.
+
+    Results are always yielded in the order of ``names`` regardless of
+    worker completion order, so any downstream report is deterministic.
+    ``elapsed`` is the experiment's own wall-clock (inside its worker),
+    not the end-to-end latency.
+    """
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise QueryError(f"unknown experiment(s): {', '.join(unknown)}")
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(names) <= 1:
+        for name in names:
+            result, elapsed = _run_one(name, scale)
+            yield name, result, elapsed
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as executor:
+        futures = [
+            executor.submit(_run_one, name, scale) for name in names
+        ]
+        for name, future in zip(names, futures):
+            result, elapsed = future.result()
+            yield name, result, elapsed

@@ -1,10 +1,14 @@
-"""Text rendering of experiment results.
+"""Rendering of experiment results: aligned text tables and JSON.
 
 The benchmarks print each figure as an aligned table — one row per
 x-position, one column per series — mirroring the series the paper plots.
+:func:`result_to_dict` produces the machine-readable form written to
+``BENCH_<name>.json`` so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
+
+from statistics import mean
 
 from repro.bench.harness import ExperimentResult
 
@@ -35,13 +39,72 @@ def format_result(result: ExperimentResult, precision: int = 1) -> str:
         )
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))
+    footer = _hit_rate_footer(result)
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)
+
+
+def _hit_rate_footer(result: ExperimentResult) -> str:
+    """Per-series cache telemetry line, or "" when none was recorded.
+
+    Hit rates are wall-clock telemetry, not part of the simulated I/O
+    model, so the footer only appears when some point carries them
+    (results built before the counters existed render unchanged).
+    """
+    parts = []
+    for name in sorted(result.series):
+        points = result.series[name]
+        if not any(
+            p.mean_pool_hit_rate or p.mean_decoded_hit_rate for p in points
+        ):
+            continue
+        pool_rate = mean(p.mean_pool_hit_rate for p in points)
+        decoded_rate = mean(p.mean_decoded_hit_rate for p in points)
+        parts.append(
+            f"{name}: pool {pool_rate:.0%}, decoded {decoded_rate:.0%}"
+        )
+    if not parts:
+        return ""
+    return "(cache hit rates) " + "; ".join(parts)
 
 
 def _format_x(x: float) -> str:
     if x == int(x) and abs(x) >= 1:
         return str(int(x))
     return f"{x:g}"
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable form of an :class:`ExperimentResult`.
+
+    The ``x`` / ``mean_reads`` / ``mean_reads_by_tag`` / ``num_queries`` /
+    ``mean_result_size`` fields are deterministic (identical cache on/off
+    and across ``--jobs`` counts); the hit-rate fields are wall-clock
+    telemetry and legitimately vary with cache configuration.
+    """
+    return {
+        "name": result.name,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "series": {
+            name: [
+                {
+                    "x": point.x,
+                    "mean_reads": point.mean_reads,
+                    "num_queries": point.num_queries,
+                    "mean_result_size": point.mean_result_size,
+                    "mean_reads_by_tag": dict(
+                        sorted(point.mean_reads_by_tag.items())
+                    ),
+                    "mean_pool_hit_rate": point.mean_pool_hit_rate,
+                    "mean_decoded_hit_rate": point.mean_decoded_hit_rate,
+                }
+                for point in sorted(points, key=lambda p: p.x)
+            ]
+            for name, points in sorted(result.series.items())
+        },
+    }
 
 
 def comparison_summary(

@@ -102,6 +102,10 @@ class LeafView:
         """All records as one contiguous byte run (for bulk decoding)."""
         return bytes(self.page.data[_HEADER_SIZE : self._offset(self.count)])
 
+    def records_view(self) -> memoryview:
+        """Zero-copy window over the records (valid until the next write)."""
+        return self.page.view(_HEADER_SIZE, self.count * self.record_size)
+
     def bisect_left(self, key: bytes) -> int:
         """First index whose key is >= ``key``."""
         lo, hi = 0, self.count
@@ -123,6 +127,7 @@ class LeafView:
         )
         self.page.data[start : start + self.key_size] = key
         self.page.data[start + self.key_size : start + self.record_size] = value
+        self.page.bump_version()
         self.count = count + 1
 
     def remove_at(self, index: int) -> None:
@@ -133,6 +138,7 @@ class LeafView:
         self.page.data[start : end - self.record_size] = self.page.data[
             start + self.record_size : end
         ]
+        self.page.bump_version()
         self.count = count - 1
 
     def append_record(self, key: bytes, value: bytes) -> None:
@@ -140,6 +146,7 @@ class LeafView:
         offset = self._offset(self.count)
         self.page.data[offset : offset + self.key_size] = key
         self.page.data[offset + self.key_size : offset + self.record_size] = value
+        self.page.bump_version()
         self.count = self.count + 1
 
     def take_upper_half(self, into: "LeafView") -> bytes:
@@ -155,6 +162,7 @@ class LeafView:
         end = self._offset(count)
         moved = self.page.data[start:end]
         into.page.data[_HEADER_SIZE : _HEADER_SIZE + len(moved)] = moved
+        into.page.bump_version()
         into.count = count - split
         self.count = split
         return bytes(moved[: self.key_size])
@@ -218,6 +226,7 @@ class InternalView:
         else:
             offset = self._offset(index - 1) + self.key_size
             _U32.pack_into(self.page.data, offset, page_id)
+            self.page.bump_version()
 
     def child_index_for(self, key: bytes) -> int:
         """Index of the child whose subtree may contain ``key``.
@@ -244,6 +253,7 @@ class InternalView:
         )
         self.page.data[start : start + self.key_size] = key
         _U32.pack_into(self.page.data, start + self.key_size, right_child)
+        self.page.bump_version()
         self.count = count + 1
 
     def append_entry(self, key: bytes, right_child: int) -> None:
@@ -251,6 +261,7 @@ class InternalView:
         offset = self._offset(self.count)
         self.page.data[offset : offset + self.key_size] = key
         _U32.pack_into(self.page.data, offset + self.key_size, right_child)
+        self.page.bump_version()
         self.count = self.count + 1
 
     def remove_entry(self, index: int) -> None:
@@ -261,6 +272,7 @@ class InternalView:
         self.page.data[start : end - self.entry_size] = self.page.data[
             start + self.entry_size : end
         ]
+        self.page.bump_version()
         self.count = count - 1
 
     def split_into(self, into: "InternalView") -> bytes:
@@ -282,3 +294,56 @@ class InternalView:
 def node_type(page: Page) -> int:
     """Read the node-type tag of a formatted tree page."""
     return page.read_u8(0)
+
+
+# -- decoded forms (for the DecodedCache) ------------------------------------
+#
+# The view classes above re-parse the page bytes on every access, which is
+# free in the paper's I/O model but not in wall-clock.  The tree's read
+# paths instead cache these fully materialized forms, keyed by the page's
+# (id, version) in the pool's DecodedCache.  They hold independent ``bytes``
+# objects (never the live page buffer), so they stay valid after the page
+# is rewritten or evicted.
+
+
+def decode_internal_node(
+    page: Page, key_size: int
+) -> tuple[list[bytes], list[int]]:
+    """Decode an internal page into ``(separator keys, child page ids)``.
+
+    ``len(children) == len(keys) + 1`` and ``bisect_right(keys, key)`` is
+    the descent index, matching :meth:`InternalView.child_index_for`
+    (which descends after the last separator <= key).
+    """
+    count = page.read_u16(2)
+    entry_size = key_size + _CHILD_SIZE
+    buf = page.view(4, _CHILD_SIZE + count * entry_size)
+    children = [_U32.unpack_from(buf, 0)[0]]
+    keys = []
+    offset = _CHILD_SIZE
+    for _ in range(count):
+        keys.append(bytes(buf[offset : offset + key_size]))
+        children.append(_U32.unpack_from(buf, offset + key_size)[0])
+        offset += entry_size
+    return keys, children
+
+
+def decode_leaf_node(
+    page: Page, key_size: int, value_size: int
+) -> tuple[list[bytes], list[bytes], int]:
+    """Decode a leaf page into ``(keys, values, next_leaf)``.
+
+    ``bisect_left(keys, key)`` matches :meth:`LeafView.bisect_left`.
+    """
+    count = page.read_u16(2)
+    next_leaf = page.read_u32(4)
+    record_size = key_size + value_size
+    buf = page.view(_HEADER_SIZE, count * record_size)
+    keys = []
+    values = []
+    offset = 0
+    for _ in range(count):
+        keys.append(bytes(buf[offset : offset + key_size]))
+        values.append(bytes(buf[offset + key_size : offset + record_size]))
+        offset += record_size
+    return keys, values, next_leaf

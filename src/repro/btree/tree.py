@@ -21,6 +21,7 @@ experiment workloads are build-once/query-many, matching the paper's.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Iterator
 
 from repro.core.exceptions import (
@@ -28,9 +29,20 @@ from repro.core.exceptions import (
     KeyNotFoundError,
     TreeError,
 )
-from repro.btree.node import INTERNAL, InternalView, LeafView, node_type
+from repro.btree.node import (
+    INTERNAL,
+    InternalView,
+    LeafView,
+    decode_internal_node,
+    decode_leaf_node,
+    node_type,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.page import INVALID_PAGE_ID, Page
+
+#: DecodedCache kinds for this tree's node decodings.
+INTERNAL_KIND = "btree-internal"
+LEAF_KIND = "btree-leaf"
 
 
 class BPlusTree:
@@ -127,70 +139,90 @@ class BPlusTree:
                 f"key of {len(key)} bytes; tree expects {self.key_size}"
             )
 
+    # -- decoded node access -------------------------------------------------
+
+    def _decode_internal(self, page: Page) -> tuple[list[bytes], list[int]]:
+        return decode_internal_node(page, self.key_size)
+
+    def _decode_leaf(self, page: Page) -> tuple[list[bytes], list[bytes], int]:
+        return decode_leaf_node(page, self.key_size, self.value_size)
+
+    def _decoded_internal(self, page: Page) -> tuple[list[bytes], list[int]]:
+        return self.pool.decoded.get_or_decode(
+            INTERNAL_KIND, page, self._decode_internal
+        )
+
+    def _decoded_leaf(self, page: Page) -> tuple[list[bytes], list[bytes], int]:
+        return self.pool.decoded.get_or_decode(LEAF_KIND, page, self._decode_leaf)
+
     # -- search ----------------------------------------------------------------
 
-    def _descend_to_leaf(self, key: bytes) -> tuple[LeafView, list[int]]:
-        """Walk from the root to the leaf for ``key``.
+    def _descend_to_leaf_page(self, key: bytes) -> tuple[Page, list[int]]:
+        """Walk from the root to the leaf page for ``key``.
 
-        Returns the leaf view and the page-id path (root first, leaf last).
+        Returns the leaf page and the page-id path (root first, leaf
+        last).  Internal nodes are routed through the decoded cache;
+        each level still costs exactly one ``fetch_page``.
         """
         path = []
         page = self.pool.fetch_page(self.root_page_id)
         path.append(page.page_id)
         while node_type(page) == INTERNAL:
-            internal = self._internal(page)
-            child = internal.child_at(internal.child_index_for(key))
-            page = self.pool.fetch_page(child)
+            keys, children = self._decoded_internal(page)
+            page = self.pool.fetch_page(children[bisect_right(keys, key)])
             path.append(page.page_id)
+        return page, path
+
+    def _descend_to_leaf(self, key: bytes) -> tuple[LeafView, list[int]]:
+        """Like :meth:`_descend_to_leaf_page` but returning a mutable view."""
+        page, path = self._descend_to_leaf_page(key)
         return self._leaf(page), path
 
     def search(self, key: bytes) -> bytes | None:
         """Return the value stored under ``key``, or None."""
         self._check_key(key)
-        leaf, _ = self._descend_to_leaf(key)
-        index = leaf.bisect_left(key)
-        if index < leaf.count and leaf.key_at(index) == key:
-            return leaf.value_at(index)
+        page, _ = self._descend_to_leaf_page(key)
+        keys, values, _ = self._decoded_leaf(page)
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return values[index]
         return None
 
     def _leftmost_leaf_id(self) -> int:
         page = self.pool.fetch_page(self.root_page_id)
         while node_type(page) == INTERNAL:
-            page = self.pool.fetch_page(self._internal(page).child_at(0))
+            _, children = self._decoded_internal(page)
+            page = self.pool.fetch_page(children[0])
         return page.page_id
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Iterate all records in ascending key order."""
-        page_id = self._leftmost_leaf_id()
-        visited = set()
-        while page_id != INVALID_PAGE_ID:
-            if page_id in visited:
-                raise TreeError(f"leaf chain cycles at page {page_id}")
-            visited.add(page_id)
-            leaf = self._leaf(self.pool.fetch_page(page_id))
-            for i in range(leaf.count):
-                yield leaf.key_at(i), leaf.value_at(i)
-            page_id = leaf.next_leaf
+        for page in self.iter_leaf_pages():
+            keys, values, _ = self._decoded_leaf(page)
+            yield from zip(keys, values)
 
     def items_from(self, key: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Iterate records with key >= ``key`` in ascending order."""
         self._check_key(key)
-        leaf, _ = self._descend_to_leaf(key)
-        index = leaf.bisect_left(key)
+        page, _ = self._descend_to_leaf_page(key)
+        keys, values, next_leaf = self._decoded_leaf(page)
+        index = bisect_left(keys, key)
         while True:
-            for i in range(index, leaf.count):
-                yield leaf.key_at(i), leaf.value_at(i)
-            if leaf.next_leaf == INVALID_PAGE_ID:
+            for i in range(index, len(keys)):
+                yield keys[i], values[i]
+            if next_leaf == INVALID_PAGE_ID:
                 return
-            leaf = self._leaf(self.pool.fetch_page(leaf.next_leaf))
+            page = self.pool.fetch_page(next_leaf)
+            keys, values, next_leaf = self._decoded_leaf(page)
             index = 0
 
-    def iter_leaf_runs(self) -> Iterator[bytes]:
-        """Yield each leaf's packed records (for vectorized decoding).
+    def iter_leaf_pages(self) -> Iterator[Page]:
+        """Yield each leaf's page, left to right (one fetch per leaf).
 
-        Visiting one leaf costs one page fetch; decoding the returned run
-        is free.  This is the scan primitive the inverted-index search
-        strategies use.
+        The chain is followed via the on-page next-leaf header, with no
+        record decoding, so callers choose their own decoded form — the
+        posting lists cache numpy arrays, :meth:`items` caches
+        key/value lists — and pay for exactly one of them.
         """
         page_id = self._leftmost_leaf_id()
         visited = set()
@@ -198,9 +230,19 @@ class BPlusTree:
             if page_id in visited:
                 raise TreeError(f"leaf chain cycles at page {page_id}")
             visited.add(page_id)
-            leaf = self._leaf(self.pool.fetch_page(page_id))
-            yield leaf.records_bytes()
-            page_id = leaf.next_leaf
+            page = self.pool.fetch_page(page_id)
+            yield page
+            page_id = page.read_u32(4)
+
+    def iter_leaf_runs(self) -> Iterator[bytes]:
+        """Yield each leaf's packed records (for vectorized decoding).
+
+        Visiting one leaf costs one page fetch; decoding the returned run
+        is free.  Kept for callers that want raw bytes; cache-aware
+        scans should prefer :meth:`iter_leaf_pages`.
+        """
+        for page in self.iter_leaf_pages():
+            yield self._leaf(page).records_bytes()
 
     # -- insert -------------------------------------------------------------------
 

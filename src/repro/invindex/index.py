@@ -165,7 +165,9 @@ class ProbabilisticInvertedIndex:
             rid = self._rid_of_tid[tid]
         except KeyError:
             raise KeyNotFoundError(f"tid {tid} not in index") from None
-        stored_tid, pairs, _ = decode_heap_record(self._heap.get(rid))
+        # Zero-copy read; the .astype calls below copy out of the page
+        # buffer before any other fetch can touch it.
+        stored_tid, pairs, _ = decode_heap_record(self._heap.get_view(rid))
         if stored_tid != tid:
             raise KeyNotFoundError(
                 f"tuple list corrupted: rid of tid {tid} holds {stored_tid}"

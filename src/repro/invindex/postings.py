@@ -21,14 +21,25 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.btree import BPlusTree
+from repro.btree.node import LeafView
 from repro.core.exceptions import KeyNotFoundError
 from repro.storage.buffer import BufferPool
+from repro.storage.page import Page
 from repro.storage.serialization import (
     POSTING_KEY_SIZE,
     decode_posting_leaf,
     encode_posting_key,
     encode_posting_value,
 )
+
+#: DecodedCache kind for a posting leaf's ``(tids, probs)`` array pair.
+POSTING_LEAF_KIND = "posting-leaf"
+
+
+def _decode_leaf_arrays(page: Page) -> tuple[np.ndarray, np.ndarray]:
+    """Decode a posting leaf page into independent ``(tids, probs)`` arrays."""
+    leaf = LeafView(page, POSTING_KEY_SIZE, 4)
+    return decode_posting_leaf(leaf.records_view())
 
 
 class PostingList:
@@ -115,7 +126,20 @@ class PostingList:
 
     def cursor(self) -> "PostingCursor":
         """A cursor positioned at the head (highest probability)."""
-        return PostingCursor(self._tree)
+        return PostingCursor(self)
+
+    def iter_leaf_arrays(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield each leaf's ``(tids, probs)`` pair, head to tail.
+
+        One page fetch per leaf; the arrays come from the pool's decoded
+        cache and are shared across scans — callers must not mutate them
+        (mask/slice instead).
+        """
+        decoded = self._tree.pool.decoded
+        for page in self._tree.iter_leaf_pages():
+            yield decoded.get_or_decode(
+                POSTING_LEAF_KIND, page, _decode_leaf_arrays
+            )
 
     def read_all(self) -> tuple[np.ndarray, np.ndarray]:
         """Read the entire list; returns ``(tids, probs)`` descending.
@@ -125,8 +149,7 @@ class PostingList:
         """
         tid_runs = []
         prob_runs = []
-        for run in self._tree.iter_leaf_runs():
-            tids, probs = decode_posting_leaf(run)
+        for tids, probs in self.iter_leaf_arrays():
             tid_runs.append(tids)
             prob_runs.append(probs)
         if not tid_runs:
@@ -143,8 +166,7 @@ class PostingList:
         """
         tid_runs = []
         prob_runs = []
-        for run in self._tree.iter_leaf_runs():
-            tids, probs = decode_posting_leaf(run)
+        for tids, probs in self.iter_leaf_arrays():
             if len(probs) == 0:
                 continue
             keep = probs >= min_prob
@@ -163,14 +185,14 @@ class PostingCursor:
     The cursor exposes the probability at its current position
     (:meth:`head_prob`) — the ``p'`` of the paper's stopping criteria —
     and advances one posting at a time.  Leaf pages are fetched lazily,
-    one per :attr:`~repro.btree.BPlusTree.iter_leaf_runs` step, so I/O is
-    only paid for the prefix actually consumed.
+    one per :meth:`PostingList.iter_leaf_arrays` step, so I/O is only
+    paid for the prefix actually consumed.
     """
 
     __slots__ = ("_runs", "_tids", "_probs", "_pos", "exhausted")
 
-    def __init__(self, tree: BPlusTree) -> None:
-        self._runs = tree.iter_leaf_runs()
+    def __init__(self, posting_list: PostingList) -> None:
+        self._runs = posting_list.iter_leaf_arrays()
         self._tids: np.ndarray | None = None
         self._probs: np.ndarray | None = None
         self._pos = 0
@@ -183,13 +205,12 @@ class PostingCursor:
             self._tids is None or self._pos >= len(self._tids)
         ):
             try:
-                run = next(self._runs)
+                self._tids, self._probs = next(self._runs)
             except StopIteration:
                 self.exhausted = True
                 self._tids = None
                 self._probs = None
                 return
-            self._tids, self._probs = decode_posting_leaf(run)
             self._pos = 0
 
     def head_prob(self) -> float:

@@ -124,7 +124,8 @@ def decode_leaf(page: Page) -> list[LeafEntry]:
     count = page.read_u16(2)
     entries = []
     offset = LEAF_HEADER_SIZE
-    buffer = bytes(page.data)
+    # Zero-copy window; .astype below materializes independent arrays.
+    buffer = page.view()
     for _ in range(count):
         tid, npairs = _LEAF_RECORD_HEADER.unpack_from(buffer, offset)
         offset += _LEAF_RECORD_HEADER.size
@@ -178,7 +179,8 @@ def decode_internal(page: Page, codec: BoundaryCodec) -> list[ChildEntry]:
     count = page.read_u16(2)
     entries = []
     offset = INTERNAL_HEADER_SIZE
-    buffer = bytes(page.data)
+    # Zero-copy window; codec.decode materializes via .astype copies.
+    buffer = page.view()
     for _ in range(count):
         (child_id,) = _CHILD.unpack_from(buffer, offset)
         offset += _CHILD.size

@@ -76,6 +76,10 @@ from repro.storage.disk import DiskManager
 #: Safety margin for floating-point pruning bounds (never affects scores).
 EPSILON = 1e-10
 
+#: DecodedCache kinds for PDR node decodings.
+LEAF_KIND = "pdr-leaf"
+INTERNAL_KIND = "pdr-internal"
+
 
 @dataclass(frozen=True)
 class PDRTreeConfig:
@@ -129,44 +133,46 @@ class PDRTree:
         self.height = 1
         self.num_tuples = 0
         self._leaf_of_tid: dict[int, int] = {}
-        # Decoded-node caches: pure CPU memoization of page decoding.
-        # They never bypass the buffer pool (every access still fetches
-        # the page, so I/O accounting is unaffected) and are updated on
-        # every write this tree makes — it is the only writer.
-        self._leaf_cache: dict[int, list[LeafEntry]] = {}
-        self._internal_cache: dict[int, list[ChildEntry]] = {}
 
     # -- cached node access ----------------------------------------------------
+    #
+    # Decoded nodes live in the pool's DecodedCache, keyed by the page's
+    # (id, version).  The cache never bypasses the buffer pool — every
+    # access still fetches the page, so I/O accounting is unaffected —
+    # and writers re-prime it after each encode (this tree is the only
+    # writer), so version bumps strand stale entries rather than losing
+    # the decode work.
 
     def _get_leaf(self, page_id: int) -> list[LeafEntry]:
         page = self._pool.fetch_page(page_id)
-        entries = self._leaf_cache.get(page_id)
-        if entries is None:
-            entries = decode_leaf(page)
-            self._leaf_cache[page_id] = entries
-        return entries
+        return self._pool.decoded.get_or_decode(LEAF_KIND, page, decode_leaf)
 
     def _put_leaf(self, page_id: int, entries: list[LeafEntry]) -> None:
         page = self._pool.fetch_page(page_id)
         encode_leaf(page, self.codec, entries)
         self._pool.mark_dirty(page_id)
-        self._leaf_cache[page_id] = entries
-        self._internal_cache.pop(page_id, None)
+        self._pool.decoded.put(LEAF_KIND, page, entries)
 
     def _get_internal(self, page_id: int) -> list[ChildEntry]:
         page = self._pool.fetch_page(page_id)
-        entries = self._internal_cache.get(page_id)
-        if entries is None:
-            entries = decode_internal(page, self.codec)
-            self._internal_cache[page_id] = entries
-        return entries
+        return self._pool.decoded.get_or_decode(
+            INTERNAL_KIND, page, self._decode_internal
+        )
+
+    def _decode_internal(self, page) -> list[ChildEntry]:
+        return decode_internal(page, self.codec)
 
     def _put_internal(self, page_id: int, entries: list[ChildEntry]) -> None:
         page = self._pool.fetch_page(page_id)
         encode_internal(page, self.codec, entries)
         self._pool.mark_dirty(page_id)
-        self._internal_cache[page_id] = entries
-        self._leaf_cache.pop(page_id, None)
+        # Prime with the *decoded* entries, not the originals: lossy
+        # codecs (discretization) round boundaries on encode, and every
+        # reader — cached or not — must see exactly the on-page values,
+        # or pruning decisions would depend on the cache being enabled.
+        self._pool.decoded.put(
+            INTERNAL_KIND, page, self._decode_internal(page)
+        )
 
     # -- buffering ------------------------------------------------------------
 
@@ -267,14 +273,18 @@ class PDRTree:
                 chosen = entries[index]
             path.append((page_id, index))
             page_id = chosen.child_id
-        # Fast path: append the record in place when it fits.
+        # Fast path: append the record in place when it fits.  The decoded
+        # entry list is popped before the write (which bumps the page
+        # version) and re-primed under the new version afterwards, so the
+        # decode work survives the append.
         if leaf_used_bytes(page) + entry.encoded_size <= page.size:
+            cached = self._pool.decoded.pop(LEAF_KIND, page)
             appended = append_leaf_record(page, entry)
             assert appended
             self._pool.mark_dirty(page_id)
-            cached = self._leaf_cache.get(page_id)
             if cached is not None:
                 cached.append(entry)
+                self._pool.decoded.put(LEAF_KIND, page, cached)
             self._leaf_of_tid[entry.tid] = page_id
         else:
             self._split_leaf(page_id, self._get_leaf(page_id) + [entry], path)
@@ -646,8 +656,6 @@ class PDRTree:
         tree.root_page_id = int(metadata["root_page_id"])
         tree.height = int(metadata["height"])
         tree.num_tuples = int(metadata["num_tuples"])
-        tree._leaf_cache = {}
-        tree._internal_cache = {}
         tree._leaf_of_tid = {}
         stack = [tree.root_page_id]
         while stack:

@@ -6,17 +6,21 @@ assumes: 8 KB pages, a disk whose physical reads/writes are counted, a
 UDA records and posting entries.
 """
 
-from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
+from repro.storage.buffer import DECODED_CACHE_ENV, DEFAULT_POOL_SIZE, BufferPool
+from repro.storage.cache import DEFAULT_ENTRIES_PER_FRAME, DecodedCache
 from repro.storage.disk import DiskManager
 from repro.storage.heapfile import HeapFile, Rid
 from repro.storage.page import DEFAULT_PAGE_SIZE, INVALID_PAGE_ID, Page
 from repro.storage.stats import IOSnapshot, IOStatistics
 
 __all__ = [
+    "DECODED_CACHE_ENV",
+    "DEFAULT_ENTRIES_PER_FRAME",
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_POOL_SIZE",
     "INVALID_PAGE_ID",
     "BufferPool",
+    "DecodedCache",
     "DiskManager",
     "HeapFile",
     "IOSnapshot",

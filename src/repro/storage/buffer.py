@@ -7,18 +7,50 @@ a bounded set of frames over a :class:`~repro.storage.disk.DiskManager`;
 a hit costs no I/O, a miss costs one physical read, and evicting a dirty
 frame costs one physical write.
 
+Each pool also owns a :class:`~repro.storage.cache.DecodedCache` of the
+decoded (Python-object) form of its resident pages; see
+:mod:`repro.storage.cache` for the invariants.  The decoded cache affects
+wall-clock only — it is consulted *after* ``fetch_page``, so simulated
+I/O counts are identical with it enabled or disabled.  Its capacity
+defaults to ``DEFAULT_ENTRIES_PER_FRAME`` x the pool capacity and can be
+overridden with the ``REPRO_DECODED_CACHE`` environment variable
+(``0`` or ``off`` disables it; any other integer sets the entry count).
+
 Queries in the experiment harness each run against a fresh pool (see
 :mod:`repro.bench.harness`), exactly like the paper's per-query allocation.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.core.exceptions import BufferPoolError
+from repro.storage.cache import DEFAULT_ENTRIES_PER_FRAME, DecodedCache
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
 
 #: The paper's per-query buffer allocation, in frames.
 DEFAULT_POOL_SIZE = 100
+
+#: Environment variable overriding the decoded-cache capacity.
+DECODED_CACHE_ENV = "REPRO_DECODED_CACHE"
+
+
+def _decoded_capacity_from_env(pool_capacity: int) -> int:
+    raw = os.environ.get(DECODED_CACHE_ENV, "").strip().lower()
+    if raw in ("", "on", "default"):
+        return DEFAULT_ENTRIES_PER_FRAME * pool_capacity
+    if raw in ("off", "false", "no", "disabled"):
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise BufferPoolError(
+            f"{DECODED_CACHE_ENV} must be an integer or 'off', got {raw!r}"
+        ) from None
+    if value < 0:
+        raise BufferPoolError(f"{DECODED_CACHE_ENV} must be >= 0, got {value}")
+    return value
 
 
 class _Frame:
@@ -42,13 +74,27 @@ class BufferPool:
         The disk whose pages are cached.
     capacity:
         Maximum number of resident frames (the paper uses 100).
+    decoded_capacity:
+        Entry budget for the owned :class:`DecodedCache`; ``0`` disables
+        decoded caching.  ``None`` (the default) consults the
+        ``REPRO_DECODED_CACHE`` environment variable, falling back to
+        ``DEFAULT_ENTRIES_PER_FRAME * capacity``.
     """
 
-    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_SIZE) -> None:
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_POOL_SIZE,
+        *,
+        decoded_capacity: int | None = None,
+    ) -> None:
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
         self.disk = disk
         self.capacity = capacity
+        if decoded_capacity is None:
+            decoded_capacity = _decoded_capacity_from_env(capacity)
+        self.decoded = DecodedCache(decoded_capacity)
         self._frames: dict[int, _Frame] = {}
         self._clock_order: list[int] = []
         self._clock_hand = 0
@@ -140,8 +186,7 @@ class BufferPool:
         for _ in range(max_steps):
             if self._clock_hand >= len(self._clock_order):
                 self._clock_hand = 0
-            page_id = self._clock_order[self._clock_hand]
-            frame = self._frames[page_id]
+            frame = self._frames[self._clock_order[self._clock_hand]]
             if frame.pin_count > 0:
                 self._clock_hand += 1
                 continue
@@ -149,21 +194,28 @@ class BufferPool:
                 frame.referenced = False
                 self._clock_hand += 1
                 continue
-            self._evict(page_id)
+            self._evict_at_hand()
             return
         raise BufferPoolError(
             "buffer pool exhausted: every frame is pinned "
             f"(capacity={self.capacity})"
         )
 
-    def _evict(self, page_id: int) -> None:
+    def _evict_at_hand(self) -> None:
+        """Evict the page under the clock hand.
+
+        Popping exactly at the hand (rather than searching the clock list
+        for the victim) keeps the hand pointing at the victim's successor
+        without any index arithmetic, so repeated evict/refetch cycles
+        can neither grow the clock list nor skew the hand.
+        """
+        page_id = self._clock_order.pop(self._clock_hand)
         frame = self._frames.pop(page_id)
         if frame.dirty:
             self.disk.write_page(frame.page)
-        index = self._clock_order.index(page_id)
-        self._clock_order.pop(index)
-        if index < self._clock_hand:
-            self._clock_hand -= 1
+        self.decoded.evict_page(page_id)
+        if self._clock_hand >= len(self._clock_order):
+            self._clock_hand = 0
 
     # -- introspection ----------------------------------------------------------------
 
@@ -181,6 +233,33 @@ class BufferPool:
         """Fraction of fetches served without physical I/O."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if frame/clock bookkeeping diverged.
+
+        Exercised by the property tests: after any sequence of
+        fetch/new/pin/unpin/flush operations the clock list must be a
+        permutation of the resident set, the hand must address it (or be
+        0 when empty), and residency must respect capacity.
+        """
+        assert len(self._frames) <= self.capacity, "capacity exceeded"
+        assert len(self._clock_order) == len(self._frames), (
+            "clock list length diverged from resident frames"
+        )
+        assert set(self._clock_order) == set(self._frames), (
+            "clock list is not a permutation of the resident set"
+        )
+        assert len(set(self._clock_order)) == len(self._clock_order), (
+            "duplicate page ids in clock list"
+        )
+        if self._clock_order:
+            assert 0 <= self._clock_hand < len(self._clock_order), (
+                f"clock hand {self._clock_hand} outside "
+                f"[0, {len(self._clock_order)})"
+            )
+        else:
+            assert self._clock_hand == 0, "hand nonzero on empty clock"
+        self.decoded.check_invariants()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,193 @@
+"""Decoded-object cache: memoized node/posting decodings keyed by version.
+
+The paper's cost model (Section 4) counts only physical page I/O, so
+re-decoding a resident page's bytes into Python objects on every access
+is free in the model but dominates real wall-clock time.  The
+:class:`DecodedCache` sits between the buffer pool and the index layers
+and memoizes the *decoded* form of a page — a B+-tree node, a PDR-tree
+node, or a posting-leaf array pair — under ``(kind, page_id, version)``.
+
+Correctness rests on three invariants:
+
+1. **Version keying.**  Every write to a :class:`~repro.storage.page.Page`
+   bumps its :attr:`~repro.storage.page.Page.version`, so a stale decoding
+   can never be returned for modified bytes — the lookup key simply no
+   longer matches.
+2. **Eviction with the frame.**  The owning
+   :class:`~repro.storage.buffer.BufferPool` drops all of a page's entries
+   when its frame is evicted (:meth:`DecodedCache.evict_page`), so a page
+   re-read from disk (a fresh ``Page`` at version 0) cannot alias a
+   decoding of the previous incarnation.
+3. **No I/O bypass.**  Callers must fetch the page through the buffer
+   pool *before* consulting the cache (:meth:`DecodedCache.get` /
+   :meth:`DecodedCache.get_or_decode` take the fetched page), so
+   simulated read counts are bit-identical with the cache on or off.
+
+Cached values are shared, so decoders must return objects that do not
+alias the live page buffer (materialize with ``bytes(...)`` or
+``ndarray.astype``) and callers must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.storage.page import Page
+
+#: Decoded entries retained per buffer-pool frame by default.  Each page
+#: has at most a handful of live decodings (one per kind), so a small
+#: multiple of the pool capacity keeps every resident page's decodings
+#: warm plus some slack for version churn.
+DEFAULT_ENTRIES_PER_FRAME = 4
+
+
+class DecodedCache:
+    """A bounded LRU of decoded page objects keyed by ``(kind, page_id, version)``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached decodings.  ``0`` disables the cache
+        entirely: every lookup misses and nothing is stored, which is the
+        baseline configuration the I/O-equivalence tests compare against.
+    """
+
+    __slots__ = ("capacity", "_entries", "_page_keys", "hits", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, int, int], Any] = OrderedDict()
+        # page_id -> set of keys currently cached for that page, so that
+        # frame eviction is O(entries for that page), not O(cache).
+        self._page_keys: dict[int, set[tuple[str, int, int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, kind: str, page: Page) -> Any | None:
+        """Return the cached decoding of ``page`` at its current version."""
+        if not self.capacity:
+            self.misses += 1
+            return None
+        key = (kind, page.page_id, page.version)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def get_or_decode(
+        self, kind: str, page: Page, decode: Callable[[Page], Any]
+    ) -> Any:
+        """Return the cached decoding, running ``decode(page)`` on a miss.
+
+        The decoded value is stored (evicting LRU entries past capacity)
+        and returned.  ``decode`` must not return ``None`` — the cache
+        uses ``None`` as its miss sentinel.
+        """
+        value = self.get(kind, page)
+        if value is None:
+            value = decode(page)
+            self.put(kind, page, value)
+        return value
+
+    # -- insertion / removal -----------------------------------------------
+
+    def put(self, kind: str, page: Page, value: Any) -> None:
+        """Cache ``value`` as the decoding of ``page`` at its current version.
+
+        Any entry for the same ``(kind, page_id)`` at an older version is
+        dropped immediately (it can never be hit again).
+        """
+        if not self.capacity or value is None:
+            return
+        key = (kind, page.page_id, page.version)
+        keys = self._page_keys.setdefault(page.page_id, set())
+        # Drop superseded versions of this (kind, page) pair.
+        for stale in [k for k in keys if k[0] == kind and k[2] != page.version]:
+            keys.discard(stale)
+            self._entries.pop(stale, None)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        keys.add(key)
+        while len(self._entries) > self.capacity:
+            old_key, _ = self._entries.popitem(last=False)
+            old_page_keys = self._page_keys.get(old_key[1])
+            if old_page_keys is not None:
+                old_page_keys.discard(old_key)
+                if not old_page_keys:
+                    del self._page_keys[old_key[1]]
+
+    def pop(self, kind: str, page: Page) -> Any | None:
+        """Remove and return the decoding of ``page`` at its current version.
+
+        Used by writers that mutate a decoded object in place: pop before
+        the page write, re-``put`` after, so the cache never holds an
+        object mid-mutation under a stale key.
+        """
+        if not self.capacity:
+            return None
+        key = (kind, page.page_id, page.version)
+        value = self._entries.pop(key, None)
+        if value is not None:
+            keys = self._page_keys.get(page.page_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._page_keys[page.page_id]
+        return value
+
+    def evict_page(self, page_id: int) -> None:
+        """Drop every cached decoding of ``page_id`` (any kind, any version).
+
+        Called by the buffer pool when the page's frame is evicted: the
+        next fetch constructs a fresh ``Page`` whose version restarts at
+        0, so entries from the previous residency must not survive.
+        """
+        keys = self._page_keys.pop(page_id, None)
+        if keys:
+            for key in keys:
+                self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+        self._page_keys.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the internal indexes disagree."""
+        assert len(self._entries) <= max(self.capacity, 0)
+        indexed = {key for keys in self._page_keys.values() for key in keys}
+        assert indexed == set(self._entries), (
+            "page-key index out of sync with entries"
+        )
+        for page_id, keys in self._page_keys.items():
+            assert keys, f"empty key set retained for page {page_id}"
+            assert all(k[1] == page_id for k in keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedCache(capacity={self.capacity}, entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -124,6 +124,25 @@ class HeapFile:
         record_length = page.read_u16(slot_offset + 2)
         return page.read_bytes(record_offset, record_length)
 
+    def get_view(self, rid: Rid) -> memoryview:
+        """Zero-copy view of the record at ``rid``.
+
+        The view aliases the live page buffer: decode it (materializing
+        any derived arrays) before the next fetch that could evict or
+        rewrite the page.
+        """
+        page_id, slot = rid
+        page = self.pool.fetch_page(page_id)
+        num_slots = page.read_u16(0)
+        if not 0 <= slot < num_slots:
+            raise PageError(
+                f"rid ({page_id}, {slot}): page has only {num_slots} slots"
+            )
+        slot_offset = page.size - _SLOT_SIZE * (slot + 1)
+        record_offset = page.read_u16(slot_offset)
+        record_length = page.read_u16(slot_offset + 2)
+        return page.view(record_offset, record_length)
+
     def scan(self) -> Iterator[tuple[Rid, bytes]]:
         """Iterate over every record in file order (a full scan)."""
         for page_id in self._page_ids:

@@ -6,6 +6,14 @@ are conducted with page size of 8 KB", Section 4).  A :class:`Page` is a
 thin wrapper over a ``bytearray`` with typed read/write helpers; it knows
 its own id but nothing about buffering or persistence (see
 :mod:`repro.storage.disk` and :mod:`repro.storage.buffer` for those).
+
+Every page carries a monotonically increasing :attr:`Page.version`,
+bumped by every typed write (and by :meth:`Page.bump_version` for callers
+that splice :attr:`Page.data` directly).  The version is what makes the
+decoded-object cache (:mod:`repro.storage.cache`) safe: a decoded node is
+memoized under ``(page_id, version)``, so any write naturally strands the
+stale entry.  :meth:`Page.view` is the zero-copy read path decoders use
+instead of slicing ``data`` into fresh ``bytes``.
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ class Page:
         Page size in bytes; must match ``len(data)`` when ``data`` is given.
     """
 
-    __slots__ = ("page_id", "data", "size")
+    __slots__ = ("page_id", "data", "size", "version")
 
     def __init__(
         self,
@@ -59,6 +67,38 @@ class Page:
         self.page_id = page_id
         self.data = data
         self.size = size
+        self.version = 0
+
+    # -- versioning --------------------------------------------------------
+
+    def bump_version(self) -> None:
+        """Record a modification of :attr:`data`.
+
+        Typed writes bump automatically; callers that splice ``data``
+        directly (the B+-tree node views) must call this themselves so
+        that decoded-object cache entries keyed by ``(page_id, version)``
+        cannot outlive the bytes they were decoded from.
+        """
+        self.version += 1
+
+    # -- zero-copy reads ---------------------------------------------------
+
+    def view(self, offset: int = 0, length: int | None = None) -> memoryview:
+        """A zero-copy read-only window over the page bytes.
+
+        Decoders should prefer this over slicing :attr:`data` (which
+        copies); anything decoded from the view must be materialized
+        (``bytes(...)``, ``ndarray.astype``, ...) before the page is next
+        written, since the view aliases the live buffer.
+        """
+        if length is None:
+            length = self.size - offset
+        if offset < 0 or offset + length > self.size:
+            raise PageError(
+                f"page {self.page_id}: view of {length} bytes at offset "
+                f"{offset} overruns the {self.size}-byte page"
+            )
+        return memoryview(self.data)[offset : offset + length]
 
     # -- unsigned integers -------------------------------------------------
 
@@ -67,24 +107,28 @@ class Page:
 
     def write_u8(self, offset: int, value: int) -> None:
         _U8.pack_into(self.data, offset, value)
+        self.version += 1
 
     def read_u16(self, offset: int) -> int:
         return _U16.unpack_from(self.data, offset)[0]
 
     def write_u16(self, offset: int, value: int) -> None:
         _U16.pack_into(self.data, offset, value)
+        self.version += 1
 
     def read_u32(self, offset: int) -> int:
         return _U32.unpack_from(self.data, offset)[0]
 
     def write_u32(self, offset: int, value: int) -> None:
         _U32.pack_into(self.data, offset, value)
+        self.version += 1
 
     def read_u64(self, offset: int) -> int:
         return _U64.unpack_from(self.data, offset)[0]
 
     def write_u64(self, offset: int, value: int) -> None:
         _U64.pack_into(self.data, offset, value)
+        self.version += 1
 
     # -- floats ------------------------------------------------------------
 
@@ -93,12 +137,14 @@ class Page:
 
     def write_f32(self, offset: int, value: float) -> None:
         _F32.pack_into(self.data, offset, value)
+        self.version += 1
 
     def read_f64(self, offset: int) -> float:
         return _F64.unpack_from(self.data, offset)[0]
 
     def write_f64(self, offset: int, value: float) -> None:
         _F64.pack_into(self.data, offset, value)
+        self.version += 1
 
     # -- raw bytes ---------------------------------------------------------
 
@@ -117,10 +163,15 @@ class Page:
                 f"{offset} overruns the {self.size}-byte page"
             )
         self.data[offset : offset + len(value)] = value
+        self.version += 1
 
     def zero(self) -> None:
         """Reset the entire page to zero bytes."""
         self.data[:] = bytes(self.size)
+        self.version += 1
 
     def __repr__(self) -> str:
-        return f"Page(id={self.page_id}, size={self.size})"
+        return (
+            f"Page(id={self.page_id}, size={self.size}, "
+            f"version={self.version})"
+        )

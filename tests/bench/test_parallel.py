@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.bench.parallel` (the process-pool runner)."""
+
+import os
+
+import pytest
+
+from repro.bench import ExperimentScale, resolve_jobs, result_to_dict, run_experiments
+from repro.bench.parallel import JOBS_ENV
+from repro.core import QueryError
+
+MICRO = ExperimentScale(
+    crm_tuples=200,
+    synth_tuples=300,
+    queries_per_point=2,
+    selectivities=(0.05,),
+    fig8_sizes=(100,),
+    fig9_domains=(10,),
+)
+
+#: Two cheap experiments exercising both index families.
+NAMES = ["fig10", "abl_buffer"]
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    @pytest.mark.parametrize("raw", ["", "auto", "0"])
+    def test_auto_means_cpu_count(self, monkeypatch, raw):
+        monkeypatch.setenv(JOBS_ENV, raw)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_unset_env_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_explicit_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(QueryError):
+            resolve_jobs(None)
+
+    def test_negative_raises(self):
+        with pytest.raises(QueryError):
+            resolve_jobs(-2)
+
+
+class TestRunExperiments:
+    def test_unknown_name_raises_before_running(self):
+        with pytest.raises(QueryError, match="fig99"):
+            list(run_experiments(["fig99"], MICRO, jobs=1))
+
+    def test_sequential_vs_parallel_identical_io(self):
+        """jobs=1 and jobs=2 must agree on every deterministic field —
+        the whole point of the runner's design."""
+        sequential = list(run_experiments(NAMES, MICRO, jobs=1))
+        parallel = list(run_experiments(NAMES, MICRO, jobs=2))
+        # Submission-order merge: names come back in the order given.
+        assert [name for name, _, _ in sequential] == NAMES
+        assert [name for name, _, _ in parallel] == NAMES
+        for (_, seq_result, _), (_, par_result, _) in zip(sequential, parallel):
+            seq = result_to_dict(seq_result)
+            par = result_to_dict(par_result)
+            # Hit rates are deterministic too, so whole dicts must match.
+            assert seq == par
+
+    def test_elapsed_is_positive(self):
+        [(name, result, elapsed)] = list(
+            run_experiments(["fig10"], MICRO, jobs=1)
+        )
+        assert name == "fig10"
+        assert elapsed > 0
+        assert result.series

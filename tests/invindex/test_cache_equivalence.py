@@ -1,0 +1,83 @@
+"""The decoded cache must never change what a query reads or returns.
+
+Every inverted-index strategy is executed twice over the same on-disk
+image — once through a pool with the decoded cache disabled, once with
+it enabled — and the result set, the scores, the total simulated reads,
+and the per-tag read breakdown must match exactly.  A second round runs
+after inserts (which bump page versions) to cover invalidation.
+"""
+
+import pytest
+
+from repro.core import EqualityThresholdQuery, EqualityTopKQuery
+from repro.invindex import STRATEGIES, ProbabilisticInvertedIndex
+from repro.storage import BufferPool
+
+from tests.invindex.conftest import random_query, random_relation
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+
+
+def run_measured(index, query, strategy, decoded_capacity):
+    """Execute through a fresh pool; return (matches, reads, reads_by_tag)."""
+    index.pool = BufferPool(
+        index.disk, capacity=100, decoded_capacity=decoded_capacity
+    )
+    stats_before = index.disk.stats.snapshot()
+    tags_before = index.disk.snapshot_tags()
+    result = index.execute(query, strategy=strategy)
+    reads = index.disk.stats.delta_since(stats_before).reads
+    tags_after = index.disk.snapshot_tags()
+    by_tag = {
+        tag: tags_after[tag] - tags_before.get(tag, 0)
+        for tag in tags_after
+        if tags_after[tag] != tags_before.get(tag, 0)
+    }
+    return [(m.tid, m.score) for m in result], reads, by_tag
+
+
+def assert_equivalent(index, query, strategy):
+    matches_off, reads_off, tags_off = run_measured(index, query, strategy, 0)
+    matches_on, reads_on, tags_on = run_measured(index, query, strategy, 400)
+    assert matches_on == matches_off, strategy
+    assert reads_on == reads_off, strategy
+    assert tags_on == tags_off, strategy
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(300, 15, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(relation):
+    built = ProbabilisticInvertedIndex(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestFreshIndex:
+    def test_threshold_query(self, relation, index, strategy):
+        for seed in range(4):
+            q = random_query(len(relation.domain), seed=seed * 17)
+            assert_equivalent(
+                index, EqualityThresholdQuery(q, 0.1), strategy
+            )
+
+    def test_top_k_query(self, relation, index, strategy):
+        q = random_query(len(relation.domain), seed=99)
+        assert_equivalent(index, EqualityTopKQuery(q, 10), strategy)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+def test_after_inserts(relation, strategy):
+    """Inserts bump page versions; cached decodings must not go stale."""
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    extra = random_relation(40, 15, seed=77)
+    for tid in range(len(relation), len(relation) + len(extra)):
+        index.insert(tid, extra.uda_of(tid - len(relation)))
+    for seed in range(3):
+        q = random_query(len(relation.domain), seed=seed * 13 + 1)
+        assert_equivalent(index, EqualityThresholdQuery(q, 0.05), strategy)

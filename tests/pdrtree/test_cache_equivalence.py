@@ -1,0 +1,123 @@
+"""PDR-tree answers and simulated reads are identical cache on/off.
+
+Mirrors ``tests/invindex/test_cache_equivalence.py``: the decoded-node
+cache is a pure memoization layer, so result sets, scores, total reads,
+and the per-tag read breakdown may not move when it is switched on —
+including after inserts that bump page versions and split nodes.
+"""
+
+import pytest
+
+from repro.core import EqualityThresholdQuery, EqualityTopKQuery
+from repro.pdrtree import PDRTree, PDRTreeConfig
+from repro.storage import BufferPool
+
+from tests.invindex.conftest import random_query, random_relation
+
+
+def run_measured(tree, query, decoded_capacity):
+    tree.pool = BufferPool(
+        tree.disk, capacity=100, decoded_capacity=decoded_capacity
+    )
+    stats_before = tree.disk.stats.snapshot()
+    tags_before = tree.disk.snapshot_tags()
+    result = tree.execute(query)
+    reads = tree.disk.stats.delta_since(stats_before).reads
+    tags_after = tree.disk.snapshot_tags()
+    by_tag = {
+        tag: tags_after[tag] - tags_before.get(tag, 0)
+        for tag in tags_after
+        if tags_after[tag] != tags_before.get(tag, 0)
+    }
+    return [(m.tid, m.score) for m in result], reads, by_tag
+
+
+def assert_equivalent(tree, query):
+    matches_off, reads_off, tags_off = run_measured(tree, query, 0)
+    matches_on, reads_on, tags_on = run_measured(tree, query, 400)
+    assert matches_on == matches_off
+    assert reads_on == reads_off
+    assert tags_on == tags_off
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(300, 15, seed=21)
+
+
+@pytest.fixture(scope="module")
+def tree(relation):
+    built = PDRTree(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+class TestFreshTree:
+    @pytest.mark.parametrize("tau", [0.05, 0.2, 0.6])
+    def test_threshold_query(self, relation, tree, tau):
+        for seed in range(4):
+            q = random_query(len(relation.domain), seed=seed * 19)
+            assert_equivalent(tree, EqualityThresholdQuery(q, tau))
+
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_top_k_query(self, relation, tree, k):
+        q = random_query(len(relation.domain), seed=123)
+        assert_equivalent(tree, EqualityTopKQuery(q, k))
+
+
+@pytest.mark.parametrize(
+    "fold_size,bits",
+    [(None, 4), (4, None), (4, 2)],
+    ids=["bits4", "fold4", "fold4+bits2"],
+)
+def test_lossy_codecs(relation, fold_size, bits):
+    """Discretizing codecs round boundaries on encode; readers must see
+    the on-page values whether or not the decode was cached, or pruning
+    (and hence reads) would depend on the cache setting."""
+    config = PDRTreeConfig(fold_size=fold_size, bits=bits)
+    tree = PDRTree(len(relation.domain), config=config)
+    tree.build(relation)
+    for seed in range(3):
+        q = random_query(len(relation.domain), seed=seed * 7)
+        assert_equivalent(tree, EqualityThresholdQuery(q, 0.1))
+        assert_equivalent(tree, EqualityTopKQuery(q, 10))
+
+
+@pytest.mark.parametrize(
+    "fold_size,bits",
+    [(None, None), (4, 2)],
+    ids=["lossless", "fold4+bits2"],
+)
+def test_build_produces_identical_disk_image(relation, fold_size, bits):
+    """The decoded cache must not steer build-time decisions either: a
+    build with the cache on and a build with it off must write byte-for-
+    byte identical trees (same splits, same boundaries)."""
+    from repro.storage import DiskManager
+
+    config = PDRTreeConfig(fold_size=fold_size, bits=bits)
+    images = []
+    for decoded_capacity in (16384, 0):
+        disk = DiskManager()
+        pool = BufferPool(disk, 4096, decoded_capacity=decoded_capacity)
+        tree = PDRTree(len(relation.domain), disk=disk, pool=pool, config=config)
+        tree.build(relation)
+        extra = random_relation(30, 15, seed=9)
+        for tid in range(len(relation), len(relation) + len(extra)):
+            tree.insert(tid, extra.uda_of(tid - len(relation)))
+        pool.flush_all()
+        images.append(
+            [bytes(disk.read_page(pid).data) for pid in range(disk.num_pages)]
+        )
+    assert images[0] == images[1]
+
+
+def test_after_inserts(relation):
+    tree = PDRTree(len(relation.domain))
+    tree.build(relation)
+    extra = random_relation(60, 15, seed=42)
+    for tid in range(len(relation), len(relation) + len(extra)):
+        tree.insert(tid, extra.uda_of(tid - len(relation)))
+    for seed in range(3):
+        q = random_query(len(relation.domain), seed=seed * 11 + 3)
+        assert_equivalent(tree, EqualityThresholdQuery(q, 0.05))
+        assert_equivalent(tree, EqualityTopKQuery(q, 10))

@@ -139,6 +139,49 @@ class TestErrors:
             pool.flush_page(0)
 
 
+class TestClockBookkeeping:
+    def test_invariants_hold_through_heavy_eviction(self, disk):
+        pids = fill_disk(disk, 12)
+        pool = BufferPool(disk, capacity=3)
+        for _ in range(3):
+            for pid in pids:
+                pool.fetch_page(pid)
+                pool.check_invariants()
+
+    def test_clock_order_never_grows_past_capacity(self, disk):
+        pids = fill_disk(disk, 20)
+        pool = BufferPool(disk, capacity=4)
+        for pid in pids:
+            pool.fetch_page(pid)
+        assert len(pool._clock_order) == pool.num_resident == 4
+        assert set(pool._clock_order) == set(pool._frames)
+
+    def test_refetch_after_eviction_keeps_clock_consistent(self, disk):
+        pids = fill_disk(disk, 4)
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pids[0])
+        pool.fetch_page(pids[1])
+        pool.fetch_page(pids[2])  # evicts one of the first two
+        pool.fetch_page(pids[0])  # refetch — may or may not be resident
+        pool.fetch_page(pids[3])
+        pool.check_invariants()
+        assert pool.num_resident == 2
+
+    def test_invariants_with_pins_and_unpins(self, disk):
+        pids = fill_disk(disk, 6)
+        pool = BufferPool(disk, capacity=3)
+        pool.fetch_page(pids[0], pin=True)
+        pool.fetch_page(pids[1])
+        pool.fetch_page(pids[2])
+        pool.check_invariants()
+        pool.fetch_page(pids[3])
+        pool.check_invariants()
+        pool.unpin_page(pids[0])
+        pool.fetch_page(pids[4])
+        pool.fetch_page(pids[5])
+        pool.check_invariants()
+
+
 class TestFlush:
     def test_flush_all_persists_dirty_pages(self, disk):
         pool = BufferPool(disk, capacity=4)

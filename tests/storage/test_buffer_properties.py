@@ -38,3 +38,48 @@ def test_buffer_pool_matches_direct_disk_model(capacity, operations):
     pool.flush_all()
     for pid in pids:
         assert bytes(disk.read_page(pid).data) == bytes(model[pid])
+
+
+@given(
+    capacity=st.integers(1, 6),
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["fetch", "pin", "unpin", "write", "flush"]),
+            st.integers(0, 11),
+        ),
+        max_size=120,
+    ),
+)
+def test_clock_bookkeeping_invariants(capacity, operations):
+    """Random fetch/pin/unpin/write/flush traffic (which drives random
+    evict/refetch cycles underneath): the frame table, the clock order
+    list, and the capacity bound must stay mutually consistent after
+    every operation."""
+    disk = DiskManager(page_size=16)
+    pids = [disk.allocate_page() for _ in range(12)]
+    pool = BufferPool(disk, capacity=capacity)
+    pinned = set()
+    for op, slot in operations:
+        pid = pids[slot]
+        if op == "fetch":
+            if len(pinned) < capacity or pid in pinned:
+                pool.fetch_page(pid)
+        elif op == "pin":
+            if pid not in pinned and len(pinned) < capacity:
+                pool.fetch_page(pid, pin=True)
+                pinned.add(pid)
+        elif op == "unpin":
+            if pid in pinned:
+                pool.unpin_page(pid)
+                pinned.discard(pid)
+        elif op == "write":
+            if len(pinned) < capacity or pid in pinned:
+                page = pool.fetch_page(pid)
+                page.write_u8(0, slot)
+                pool.mark_dirty(pid)
+        else:
+            pool.flush_all()
+        pool.check_invariants()
+        assert pool.num_resident <= capacity
+        for resident_pid in pinned:
+            assert pool.is_resident(resident_pid)

@@ -1,0 +1,180 @@
+"""Tests for :mod:`repro.storage.cache` (the decoded-object cache)."""
+
+import pytest
+
+from repro.storage import BufferPool, DecodedCache, DiskManager, Page
+
+
+def make_page(page_id=1, size=64):
+    return Page(page_id, size=size)
+
+
+class TestBasics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DecodedCache(-1)
+
+    def test_miss_then_hit(self):
+        cache = DecodedCache(4)
+        page = make_page()
+        calls = []
+
+        def decode(p):
+            calls.append(p.page_id)
+            return ["decoded"]
+
+        first = cache.get_or_decode("kind", page, decode)
+        second = cache.get_or_decode("kind", page, decode)
+        assert first is second
+        assert calls == [1]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_kinds_are_independent(self):
+        cache = DecodedCache(4)
+        page = make_page()
+        cache.put("a", page, [1])
+        cache.put("b", page, [2])
+        assert cache.get("a", page) == [1]
+        assert cache.get("b", page) == [2]
+
+    def test_capacity_zero_disables(self):
+        cache = DecodedCache(0)
+        page = make_page()
+        assert not cache.enabled
+        cache.put("kind", page, ["value"])
+        assert cache.get("kind", page) is None
+        assert len(cache) == 0
+        calls = []
+        cache.get_or_decode("kind", page, lambda p: calls.append(1) or [1])
+        cache.get_or_decode("kind", page, lambda p: calls.append(1) or [1])
+        assert len(calls) == 2  # decoded every time, never stored
+
+
+class TestVersionKeying:
+    def test_write_strands_stale_entry(self):
+        cache = DecodedCache(4)
+        page = make_page()
+        cache.put("kind", page, ["old"])
+        page.write_u8(0, 7)  # bumps the version
+        assert cache.get("kind", page) is None
+
+    def test_put_drops_superseded_version(self):
+        cache = DecodedCache(4)
+        page = make_page()
+        cache.put("kind", page, ["v0"])
+        page.write_u8(0, 7)
+        cache.put("kind", page, ["v1"])
+        assert cache.get("kind", page) == ["v1"]
+        assert len(cache) == 1  # the v0 entry did not linger
+        cache.check_invariants()
+
+    def test_pop_then_reput_across_a_write(self):
+        cache = DecodedCache(4)
+        page = make_page()
+        cache.put("kind", page, ["entries"])
+        value = cache.pop("kind", page)
+        assert value == ["entries"]
+        assert cache.get("kind", page) is None
+        page.write_u8(0, 1)
+        value.append("new")
+        cache.put("kind", page, value)
+        assert cache.get("kind", page) == ["entries", "new"]
+
+
+class TestEviction:
+    def test_lru_past_capacity(self):
+        cache = DecodedCache(2)
+        pages = [make_page(i) for i in range(3)]
+        for page in pages:
+            cache.put("kind", page, [page.page_id])
+        assert cache.get("kind", pages[0]) is None  # oldest evicted
+        assert cache.get("kind", pages[1]) == [1]
+        assert cache.get("kind", pages[2]) == [2]
+        cache.check_invariants()
+
+    def test_hit_refreshes_recency(self):
+        cache = DecodedCache(2)
+        pages = [make_page(i) for i in range(3)]
+        cache.put("kind", pages[0], [0])
+        cache.put("kind", pages[1], [1])
+        cache.get("kind", pages[0])  # page 0 is now most recent
+        cache.put("kind", pages[2], [2])
+        assert cache.get("kind", pages[0]) == [0]
+        assert cache.get("kind", pages[1]) is None
+
+    def test_evict_page_drops_all_kinds_and_versions(self):
+        cache = DecodedCache(8)
+        page = make_page(5)
+        cache.put("a", page, [1])
+        cache.put("b", page, [2])
+        other = make_page(6)
+        cache.put("a", other, [3])
+        cache.evict_page(5)
+        assert cache.get("a", page) is None
+        assert cache.get("b", page) is None
+        assert cache.get("a", other) == [3]
+        cache.check_invariants()
+
+    def test_clear(self):
+        cache = DecodedCache(8)
+        cache.put("a", make_page(1), [1])
+        cache.clear()
+        assert len(cache) == 0
+        cache.check_invariants()
+
+
+class TestPoolIntegration:
+    def test_pool_owns_a_cache_with_default_capacity(self):
+        disk = DiskManager(page_size=64)
+        pool = BufferPool(disk, capacity=10, decoded_capacity=None)
+        assert pool.decoded.capacity >= 10
+
+    def test_env_knob_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODED_CACHE", "off")
+        disk = DiskManager(page_size=64)
+        pool = BufferPool(disk, capacity=10)
+        assert not pool.decoded.enabled
+
+    def test_env_knob_sets_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODED_CACHE", "7")
+        disk = DiskManager(page_size=64)
+        pool = BufferPool(disk, capacity=10)
+        assert pool.decoded.capacity == 7
+
+    def test_explicit_capacity_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODED_CACHE", "7")
+        disk = DiskManager(page_size=64)
+        pool = BufferPool(disk, capacity=10, decoded_capacity=3)
+        assert pool.decoded.capacity == 3
+
+    def test_frame_eviction_drops_decoded_entries(self):
+        disk = DiskManager(page_size=64)
+        pids = [disk.allocate_page() for _ in range(4)]
+        pool = BufferPool(disk, capacity=2, decoded_capacity=16)
+        for pid in pids[:2]:
+            page = pool.fetch_page(pid)
+            pool.decoded.put("kind", page, [pid])
+        # Fill the pool past capacity: both original frames get evicted.
+        pool.fetch_page(pids[2])
+        pool.fetch_page(pids[3])
+        pool.check_invariants()
+        for pid in pids[:2]:
+            page = pool.fetch_page(pid)  # re-read: a fresh version-0 Page
+            assert pool.decoded.get("kind", page) is None
+
+    def test_reread_page_cannot_alias_previous_incarnation(self):
+        """Evict a page, rewrite it via a second pool, re-read it: the
+        decoded cache must not serve the stale decoding (ABA hazard)."""
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        pool = BufferPool(disk, capacity=1, decoded_capacity=16)
+        page = pool.fetch_page(pid)
+        pool.decoded.put("kind", page, ["stale"])
+        other_pid = disk.allocate_page()
+        pool.fetch_page(other_pid)  # evicts pid (and its decoded entries)
+        writer = BufferPool(disk, capacity=1, decoded_capacity=0)
+        writer.fetch_page(pid).write_u8(0, 9)
+        writer.flush_all()
+        fresh = pool.fetch_page(pid)  # version 0 again — but entry is gone
+        assert pool.decoded.get("kind", fresh) is None

@@ -73,3 +73,67 @@ class TestTypedAccessors:
         page.write_u32(4, 2)
         assert page.read_u32(0) == 1
         assert page.read_u32(4) == 2
+
+
+class TestVersioning:
+    @pytest.fixture()
+    def page(self):
+        return Page(0, size=256)
+
+    def test_fresh_page_is_version_zero(self, page):
+        assert page.version == 0
+
+    @pytest.mark.parametrize(
+        "write",
+        [
+            lambda p: p.write_u8(0, 1),
+            lambda p: p.write_u16(0, 1),
+            lambda p: p.write_u32(0, 1),
+            lambda p: p.write_u64(0, 1),
+            lambda p: p.write_f32(0, 1.0),
+            lambda p: p.write_f64(0, 1.0),
+            lambda p: p.write_bytes(0, b"x"),
+            lambda p: p.zero(),
+            lambda p: p.bump_version(),
+        ],
+    )
+    def test_every_write_bumps(self, page, write):
+        before = page.version
+        write(page)
+        assert page.version == before + 1
+
+    def test_reads_do_not_bump(self, page):
+        page.read_u32(0)
+        page.read_bytes(0, 16)
+        page.view(0, 16)
+        assert page.version == 0
+
+    def test_versions_are_monotonic(self, page):
+        versions = []
+        for i in range(5):
+            page.write_u8(0, i)
+            versions.append(page.version)
+        assert versions == sorted(set(versions))
+
+
+class TestView:
+    def test_view_is_zero_copy(self):
+        page = Page(0, size=64)
+        page.write_bytes(8, b"abcdef")
+        view = page.view(8, 6)
+        assert bytes(view) == b"abcdef"
+        # The view aliases the live buffer: a later write shows through.
+        page.write_bytes(8, b"ABCDEF")
+        assert bytes(view) == b"ABCDEF"
+
+    def test_view_defaults_to_whole_page(self):
+        page = Page(0, size=64)
+        assert len(page.view()) == 64
+        assert len(page.view(16)) == 48
+
+    def test_view_overrun_rejected(self):
+        page = Page(0, size=64)
+        with pytest.raises(PageError):
+            page.view(60, 10)
+        with pytest.raises(PageError):
+            page.view(-1, 4)
