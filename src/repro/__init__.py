@@ -46,6 +46,7 @@ from repro.core import (
     EqualityTopKQuery,
     InvalidDistributionError,
     JoinPair,
+    JoinResult,
     Match,
     Query,
     QueryError,
@@ -82,6 +83,7 @@ __all__ = [
     "IOStatistics",
     "InvalidDistributionError",
     "JoinPair",
+    "JoinResult",
     "Match",
     "Query",
     "QueryError",

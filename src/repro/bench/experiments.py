@@ -550,15 +550,27 @@ def ablation_join(scale: ExperimentScale | None = None) -> ExperimentResult:
         ):
             index.pool = BufferPool(index.disk, scale.pool_size)
             before = index.disk.stats.snapshot()
-            pairs = petj(outer, relation, threshold, right_index=index)
-            reads = index.disk.stats.delta_since(before).reads
+            join = petj(outer, relation, threshold, right_index=index)
+            delta = index.disk.stats.delta_since(before)
             result.add_point(
                 f"{name}-Thres",
                 SeriesPoint(
                     x=threshold,
-                    mean_reads=reads / sample,
+                    mean_reads=delta.reads / sample,
                     num_queries=sample,
-                    mean_result_size=len(pairs) / sample,
+                    mean_result_size=len(join) / sample,
+                    total_checksum_failures=delta.checksum_failures,
+                    total_faults_injected=delta.faults_injected,
+                    # The merged per-probe work counters the join used to
+                    # drop (kept out of mean_reads_by_tag, whose committed
+                    # baseline for this experiment is empty).
+                    probe_stats={
+                        "num_probes": join.num_probes,
+                        "candidates_examined": join.stats.candidates_examined,
+                        "entries_scanned": join.stats.entries_scanned,
+                        "nodes_visited": join.stats.nodes_visited,
+                        "random_accesses": join.stats.random_accesses,
+                    },
                 ),
             )
     return result

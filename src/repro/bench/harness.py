@@ -58,6 +58,11 @@ class Measurement:
     #: Decoded-object cache counters (see repro.storage.cache).
     decoded_hits: int = 0
     decoded_misses: int = 0
+    #: Fault-tolerance telemetry (zero unless REPRO_FAULT_* injection is
+    #: active; failed read attempts are never counted in ``reads``).
+    checksum_failures: int = 0
+    retries: int = 0
+    faults_injected: int = 0
 
     @property
     def pool_hit_rate(self) -> float:
@@ -83,6 +88,14 @@ class SeriesPoint:
     #: Mean cache telemetry (wall-clock side; not part of the I/O model).
     mean_pool_hit_rate: float = 0.0
     mean_decoded_hit_rate: float = 0.0
+    #: Fault-tolerance telemetry summed over the point's queries (zero
+    #: without injection, so deterministic benchmark fields are unchanged).
+    total_checksum_failures: int = 0
+    total_retries: int = 0
+    total_faults_injected: int = 0
+    #: Merged inner-probe work counters for join experiments (empty for
+    #: plain select experiments).
+    probe_stats: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -137,6 +150,9 @@ def measure_query(
         pool_misses=pool.misses,
         decoded_hits=pool.decoded.hits,
         decoded_misses=pool.decoded.misses,
+        checksum_failures=delta.checksum_failures,
+        retries=pool.retries,
+        faults_injected=delta.faults_injected,
     )
 
 
@@ -173,4 +189,7 @@ def measure_point(
         },
         mean_pool_hit_rate=mean(m.pool_hit_rate for m in measurements),
         mean_decoded_hit_rate=mean(m.decoded_hit_rate for m in measurements),
+        total_checksum_failures=sum(m.checksum_failures for m in measurements),
+        total_retries=sum(m.retries for m in measurements),
+        total_faults_injected=sum(m.faults_injected for m in measurements),
     )

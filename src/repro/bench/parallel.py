@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.harness import ExperimentResult
 from repro.core.exceptions import QueryError
+from repro.storage.faults import FaultPlan, active_plan, fault_plan
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -56,16 +57,26 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _run_one(name: str, scale: ExperimentScale) -> tuple[ExperimentResult, float]:
+def _run_one(
+    name: str,
+    scale: ExperimentScale,
+    plan: FaultPlan | None = None,
+) -> tuple[ExperimentResult, float]:
     """Run one experiment by name; returns (result, wall-clock seconds).
 
     Module-level so worker processes can unpickle it; the experiment
     callable itself is looked up in the worker, keeping the payload to a
-    name plus the (frozen, picklable) scale.
+    name plus the (frozen, picklable) scale and fault plan.  The plan is
+    passed *by value* rather than re-read from the environment so workers
+    inject identical fault sequences regardless of fork/spawn semantics;
+    the override is scoped so inline runs don't leak it into the caller.
     """
-    started = time.perf_counter()
-    result = ALL_EXPERIMENTS[name](scale)
-    return result, time.perf_counter() - started
+    if plan is None:
+        plan = active_plan()
+    with fault_plan(plan):
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](scale)
+        return result, time.perf_counter() - started
 
 
 def run_experiments(
@@ -84,14 +95,15 @@ def run_experiments(
     if unknown:
         raise QueryError(f"unknown experiment(s): {', '.join(unknown)}")
     jobs = resolve_jobs(jobs)
+    plan = active_plan()  # resolve once; ship the same plan to every worker
     if jobs == 1 or len(names) <= 1:
         for name in names:
-            result, elapsed = _run_one(name, scale)
+            result, elapsed = _run_one(name, scale, plan)
             yield name, result, elapsed
         return
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as executor:
         futures = [
-            executor.submit(_run_one, name, scale) for name in names
+            executor.submit(_run_one, name, scale, plan) for name in names
         ]
         for name, future in zip(names, futures):
             result, elapsed = future.result()

@@ -42,7 +42,33 @@ def format_result(result: ExperimentResult, precision: int = 1) -> str:
     footer = _hit_rate_footer(result)
     if footer:
         lines.append(footer)
+    fault_footer = _fault_footer(result)
+    if fault_footer:
+        lines.append(fault_footer)
     return "\n".join(lines)
+
+
+def _fault_footer(result: ExperimentResult) -> str:
+    """Per-series fault-telemetry line, or "" when no faults occurred.
+
+    Only renders under active fault injection, so zero-fault runs produce
+    byte-identical reports to builds that predate the counters.
+    """
+    parts = []
+    for name in sorted(result.series):
+        points = result.series[name]
+        injected = sum(p.total_faults_injected for p in points)
+        failures = sum(p.total_checksum_failures for p in points)
+        retries = sum(p.total_retries for p in points)
+        if not (injected or failures or retries):
+            continue
+        parts.append(
+            f"{name}: {injected} injected, {failures} checksum failures, "
+            f"{retries} retries"
+        )
+    if not parts:
+        return ""
+    return "(faults) " + "; ".join(parts)
 
 
 def _hit_rate_footer(result: ExperimentResult) -> str:
@@ -81,25 +107,40 @@ def result_to_dict(result: ExperimentResult) -> dict:
     The ``x`` / ``mean_reads`` / ``mean_reads_by_tag`` / ``num_queries`` /
     ``mean_result_size`` fields are deterministic (identical cache on/off
     and across ``--jobs`` counts); the hit-rate fields are wall-clock
-    telemetry and legitimately vary with cache configuration.
+    telemetry and legitimately vary with cache configuration.  Fault
+    telemetry and join probe stats are emitted only when present, so
+    zero-fault select runs serialize exactly as before.
     """
+
+    def point_dict(point) -> dict:
+        entry = {
+            "x": point.x,
+            "mean_reads": point.mean_reads,
+            "num_queries": point.num_queries,
+            "mean_result_size": point.mean_result_size,
+            "mean_reads_by_tag": dict(sorted(point.mean_reads_by_tag.items())),
+            "mean_pool_hit_rate": point.mean_pool_hit_rate,
+            "mean_decoded_hit_rate": point.mean_decoded_hit_rate,
+        }
+        if (
+            point.total_faults_injected
+            or point.total_checksum_failures
+            or point.total_retries
+        ):
+            entry["total_checksum_failures"] = point.total_checksum_failures
+            entry["total_retries"] = point.total_retries
+            entry["total_faults_injected"] = point.total_faults_injected
+        if point.probe_stats:
+            entry["probe_stats"] = dict(sorted(point.probe_stats.items()))
+        return entry
+
     return {
         "name": result.name,
         "x_label": result.x_label,
         "y_label": result.y_label,
         "series": {
             name: [
-                {
-                    "x": point.x,
-                    "mean_reads": point.mean_reads,
-                    "num_queries": point.num_queries,
-                    "mean_result_size": point.mean_result_size,
-                    "mean_reads_by_tag": dict(
-                        sorted(point.mean_reads_by_tag.items())
-                    ),
-                    "mean_pool_hit_rate": point.mean_pool_hit_rate,
-                    "mean_decoded_hit_rate": point.mean_decoded_hit_rate,
-                }
+                point_dict(point)
                 for point in sorted(points, key=lambda p: p.x)
             ]
             for name, points in sorted(result.series.items())

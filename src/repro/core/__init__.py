@@ -23,7 +23,7 @@ from repro.core.exceptions import (
     StorageError,
     TreeError,
 )
-from repro.core.joins import JoinPair, dstj, pej_top_k, petj
+from repro.core.joins import JoinPair, JoinResult, dstj, pej_top_k, petj
 from repro.core.queries import (
     EqualityQuery,
     EqualityThresholdQuery,
@@ -48,6 +48,7 @@ __all__ = [
     "EqualityTopKQuery",
     "InvalidDistributionError",
     "JoinPair",
+    "JoinResult",
     "Match",
     "PageError",
     "Query",

@@ -36,6 +36,34 @@ class PageError(StorageError):
     """A page id is unknown, or page data has an invalid size/layout."""
 
 
+class ChecksumError(StorageError):
+    """A page's bytes do not match its stored CRC32 checksum.
+
+    Raised on every read of a corrupted page — whether the corruption is
+    transient (in-flight bit rot, retryable) or persistent (a torn
+    write).  The buffer pool retries a bounded number of times; if the
+    corruption persists the error propagates, so a damaged page can
+    never be silently served.
+    """
+
+
+class TransientReadError(StorageError):
+    """An injected, retryable read failure (see :mod:`repro.storage.faults`).
+
+    Models a device read error that succeeds on retry.  The buffer pool
+    absorbs these with bounded retry-with-backoff.
+    """
+
+
+class RecoveryError(StorageError):
+    """A persisted index image is damaged beyond automatic repair.
+
+    Raised on attach when corruption reaches the authoritative record
+    store (the inverted index's tuple list, a PDR-tree leaf), i.e. when
+    rebuilding the derived structures cannot restore a correct index.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool cannot satisfy a request.
 

@@ -30,7 +30,7 @@ from repro.core.queries import (
     SimilarityThresholdQuery,
 )
 from repro.core.relation import UncertainRelation
-from repro.core.results import QueryResult
+from repro.core.results import QueryResult, QueryStats
 
 
 class QueryExecutor(Protocol):
@@ -55,32 +55,64 @@ class JoinPair:
         )
 
 
+@dataclass
+class JoinResult:
+    """Qualifying pairs plus the work done probing the inner side.
+
+    ``stats`` is every probe's :class:`QueryStats` merged via
+    :meth:`QueryStats.merge` — without it, index-nested-loop join
+    experiments would report zero I/O for the inner side.  The class
+    behaves as a sequence of :class:`JoinPair`, so code that only wants
+    the pairs can iterate/index it directly.
+    """
+
+    pairs: list[JoinPair]
+    stats: QueryStats = field(default_factory=QueryStats)
+    #: Number of inner-side probes performed (one per outer tuple).
+    num_probes: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+
 def petj(
     left: UncertainRelation,
     right: UncertainRelation,
     threshold: float,
     right_index: QueryExecutor | None = None,
-) -> list[JoinPair]:
+) -> JoinResult:
     """Probabilistic equality threshold join (Definition 6).
 
-    Returns all pairs with ``Pr(r.a = s.b) >= threshold``, sorted by
-    descending probability.  When ``right_index`` is given, each outer
-    tuple probes it with a PETQ; otherwise the inner relation's naive
-    executor is used.
+    Returns a :class:`JoinResult` with all pairs satisfying
+    ``Pr(r.a = s.b) >= threshold`` sorted by descending probability,
+    plus the merged per-probe statistics.  When ``right_index`` is
+    given, each outer tuple probes it with a PETQ; otherwise the inner
+    relation's naive executor is used.
     """
     if not 0.0 < threshold <= 1.0:
         raise QueryError(f"join threshold must lie in (0, 1], got {threshold}")
     inner: QueryExecutor = right_index if right_index is not None else right
     pairs: list[JoinPair] = []
+    stats = QueryStats()
+    num_probes = 0
     for left_tid in left.tids():
         probe = EqualityThresholdQuery(left.uda_of(left_tid), threshold)
-        for match in inner.execute(probe):
+        result = inner.execute(probe)
+        stats.merge(result.stats)
+        num_probes += 1
+        for match in result:
             pairs.append(
                 JoinPair(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
                 )
             )
-    return sorted(pairs)
+    return JoinResult(sorted(pairs), stats, num_probes)
 
 
 def pej_top_k(
@@ -88,19 +120,25 @@ def pej_top_k(
     right: UncertainRelation,
     k: int,
     right_index: QueryExecutor | None = None,
-) -> list[JoinPair]:
+) -> JoinResult:
     """PEJ-top-k: the ``k`` pairs with the highest equality probability.
 
     Every globally top-k pair lies within its outer tuple's local top-k,
     so probing each outer tuple with a top-k query and merging is exact.
+    Returns a :class:`JoinResult` with the merged per-probe statistics.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     inner: QueryExecutor = right_index if right_index is not None else right
     pairs: list[JoinPair] = []
+    stats = QueryStats()
+    num_probes = 0
     for left_tid in left.tids():
         probe = EqualityTopKQuery(left.uda_of(left_tid), k)
-        for match in inner.execute(probe):
+        result = inner.execute(probe)
+        stats.merge(result.stats)
+        num_probes += 1
+        for match in result:
             pairs.append(
                 JoinPair(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
@@ -108,7 +146,7 @@ def pej_top_k(
             )
         pairs.sort()
         del pairs[k:]
-    return pairs
+    return JoinResult(pairs, stats, num_probes)
 
 
 def dstj(
@@ -117,26 +155,32 @@ def dstj(
     threshold: float,
     divergence: str = "l1",
     right_index: QueryExecutor | None = None,
-) -> list[JoinPair]:
+) -> JoinResult:
     """Distributional-similarity threshold join.
 
-    Returns all pairs with ``F(r.a, s.b) <= threshold`` sorted by
-    ascending divergence.  The returned ``score`` is the *negated*
-    divergence so that JoinPair ordering (descending score) presents the
-    most similar pairs first.
+    Returns a :class:`JoinResult` with all pairs satisfying
+    ``F(r.a, s.b) <= threshold`` sorted by ascending divergence, plus
+    the merged per-probe statistics.  The returned ``score`` is the
+    *negated* divergence so that JoinPair ordering (descending score)
+    presents the most similar pairs first.
     """
     if threshold < 0.0:
         raise QueryError(f"DSTJ threshold must be >= 0, got {threshold}")
     inner: QueryExecutor = right_index if right_index is not None else right
     pairs: list[JoinPair] = []
+    stats = QueryStats()
+    num_probes = 0
     for left_tid in left.tids():
         probe = SimilarityThresholdQuery(
             left.uda_of(left_tid), threshold, divergence
         )
-        for match in inner.execute(probe):
+        result = inner.execute(probe)
+        stats.merge(result.stats)
+        num_probes += 1
+        for match in result:
             pairs.append(
                 JoinPair(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
                 )
             )
-    return sorted(pairs)
+    return JoinResult(sorted(pairs), stats, num_probes)

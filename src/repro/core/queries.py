@@ -155,15 +155,28 @@ class WindowedEqualityQuery:
         if self.window < 0:
             raise QueryError(f"window must be >= 0, got {self.window}")
 
-    def expanded(self) -> QueryVector:
-        """The window-expanded weight vector."""
+    def expanded(self, domain_size: int | None = None) -> QueryVector:
+        """The window-expanded weight vector.
+
+        ``domain_size`` clamps the span on the high side, mirroring the
+        clamp at 0 on the low side: a window reaching past the last
+        domain item must not emit weights for items outside the domain
+        (executors would crash or, worse, silently score phantom items).
+        """
         low = int(self.q.items.min()) - self.window
         high = int(self.q.items.max()) + self.window
+        if domain_size is not None:
+            if int(self.q.items.max()) >= domain_size:
+                raise QueryError(
+                    f"query item {int(self.q.items.max())} outside domain "
+                    f"of size {domain_size}"
+                )
+            high = min(high, domain_size - 1)
         span = np.arange(max(low, 0), high + 1, dtype=np.int64)
         weights = np.zeros(len(span))
         for item, prob in self.q.pairs():
             start = max(item - self.window, 0) - span[0]
-            end = item + self.window + 1 - span[0]
+            end = min(item + self.window, span[-1]) + 1 - span[0]
             weights[max(start, 0) : end] += prob
         keep = weights > 0.0
         return QueryVector(span[keep], weights[keep])

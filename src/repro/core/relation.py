@@ -161,7 +161,7 @@ class UncertainRelation:
         raise QueryError(f"unsupported query type: {type(query).__name__}")
 
     def _windowed(self, query: WindowedEqualityQuery) -> QueryResult:
-        weights = query.expanded()
+        weights = query.expanded(len(self.domain))
         stats = QueryStats(candidates_examined=len(self._udas))
         matches = []
         for tid, uda in enumerate(self._udas):

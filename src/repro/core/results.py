@@ -35,6 +35,13 @@ class QueryStats:
     nodes_visited: int = 0
     #: Random accesses to the tuple store.
     random_accesses: int = 0
+    #: Page reads that failed CRC verification (fault-tolerance telemetry;
+    #: zero unless :mod:`repro.storage.faults` injection is active).
+    checksum_failures: int = 0
+    #: Page reads repeated by the buffer pool after a transient fault.
+    retries: int = 0
+    #: Faults injected by the storage layer while answering the query.
+    faults_injected: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another executor's counters into this one."""
@@ -42,6 +49,9 @@ class QueryStats:
         self.entries_scanned += other.entries_scanned
         self.nodes_visited += other.nodes_visited
         self.random_accesses += other.random_accesses
+        self.checksum_failures += other.checksum_failures
+        self.retries += other.retries
+        self.faults_injected += other.faults_injected
 
 
 @dataclass

@@ -79,6 +79,8 @@ class ProbabilisticInvertedIndex:
         self._heap = HeapFile(self._pool, tag="tuples")
         self._rid_of_tid: dict[int, Rid] = {}
         self.num_tuples = 0
+        #: Whether the last :meth:`load` had to rebuild derived structures.
+        self.recovered = False
 
     # -- buffering ------------------------------------------------------------
 
@@ -203,7 +205,9 @@ class ProbabilisticInvertedIndex:
         if isinstance(query, WindowedEqualityQuery):
             # Ordered-domain windowed equality: the expanded weight
             # vector turns the query into a plain threshold search.
-            return runner.threshold(self, query.expanded(), query.threshold)
+            return runner.threshold(
+                self, query.expanded(self.domain_size), query.threshold
+            )
         raise QueryError(
             "the inverted index answers equality queries; got "
             f"{type(query).__name__}"
@@ -233,32 +237,86 @@ class ProbabilisticInvertedIndex:
         save_disk_to_path(path, self.disk, metadata)
 
     @classmethod
-    def load(cls, path) -> "ProbabilisticInvertedIndex":
-        """Reopen an index persisted with :meth:`save`."""
-        from repro.storage.persistence import load_disk_from_path
+    def load(cls, path, *, recover: bool = True) -> "ProbabilisticInvertedIndex":
+        """Reopen an index persisted with :meth:`save`.
 
-        disk, metadata = load_disk_from_path(path)
+        The image is checksum-scanned on attach.  A damaged image (torn
+        pages, truncation) is recovered transparently when ``recover``
+        is true: the tuple list (heap) is the ground truth, so corrupt
+        posting pages are dropped and every posting list is rebuilt from
+        a heap scan.  Damage *to the heap itself* — or ``recover=False``
+        with any damage — raises
+        :class:`~repro.core.exceptions.RecoveryError`: a wrong answer is
+        never silently served.  :attr:`recovered` records which path ran.
+        """
+        from repro.core.exceptions import RecoveryError
+        from repro.storage.persistence import scan_disk_from_path
+
+        disk, metadata, report = scan_disk_from_path(path)
         if metadata.get("kind") != "inverted":
             raise QueryError(
                 f"{path} holds a {metadata.get('kind')!r} structure, "
                 "not an inverted index"
             )
+        if not report.clean and not recover:
+            raise RecoveryError(
+                f"{path} is damaged (corrupt pages "
+                f"{report.corrupt_page_ids}, truncated={report.truncated}) "
+                "and recovery is disabled"
+            )
         index = cls.__new__(cls)
         index.domain_size = int(metadata["domain_size"])
         index.disk = disk
         index._pool = BufferPool(disk, 4096)
-        index._heap = HeapFile.attach(index._pool, metadata["heap"], tag="tuples")
-        index._lists = {
-            int(item): PostingList.attach(index._pool, state)
-            for item, state in metadata["lists"].items()
-        }
-        index._rid_of_tid = {}
-        for rid, record in index._heap.scan():
-            tid, _, _ = decode_heap_record(record)
-            index._rid_of_tid[tid] = rid
+        index.recovered = not report.clean
+        heap_state = metadata["heap"]
+        if not report.clean:
+            heap_pages = set(heap_state["page_ids"])
+            damaged_heap = heap_pages & set(report.corrupt_page_ids)
+            missing_heap = heap_pages - disk._pages.keys()
+            if damaged_heap or missing_heap:
+                raise RecoveryError(
+                    f"{path}: tuple list damaged beyond repair "
+                    f"(corrupt heap pages {sorted(damaged_heap)}, "
+                    f"missing heap pages {sorted(missing_heap)})"
+                )
+            # Posting pages are derived data: drop every non-heap page
+            # (including the corrupt ones) and rebuild below.
+            for page_id in list(disk._pages.keys() - heap_pages):
+                disk.deallocate_page(page_id)
+        index._heap = HeapFile.attach(index._pool, heap_state, tag="tuples")
+        if report.clean:
+            index._lists = {
+                int(item): PostingList.attach(index._pool, state)
+                for item, state in metadata["lists"].items()
+            }
+            index._rid_of_tid = {}
+            for rid, record in index._heap.scan():
+                tid, _, _ = decode_heap_record(record)
+                index._rid_of_tid[tid] = rid
+        else:
+            index._lists = {}
+            index._rid_of_tid = {}
+            per_item: dict[int, list[tuple[int, float]]] = {}
+            for rid, record in index._heap.scan():
+                tid, pairs, _ = decode_heap_record(record)
+                index._rid_of_tid[tid] = rid
+                for item, prob in zip(
+                    pairs["item"].tolist(), pairs["prob"].tolist()
+                ):
+                    per_item.setdefault(int(item), []).append((tid, prob))
+            for item in sorted(per_item):
+                tids, probs = zip(*per_item[item])
+                posting_list = PostingList(index._pool)
+                posting_list.bulk_build(
+                    np.asarray(tids, dtype=np.int64),
+                    np.asarray(probs, dtype=np.float64),
+                )
+                index._lists[item] = posting_list
+            index._pool.flush_all()
         index.num_tuples = int(metadata["num_tuples"])
         if index.num_tuples != len(index._rid_of_tid):
-            raise QueryError(
+            raise RecoveryError(
                 f"{path} is corrupt: catalog says {index.num_tuples} "
                 f"tuples, tuple list holds {len(index._rid_of_tid)}"
             )

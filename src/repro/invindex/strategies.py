@@ -477,6 +477,11 @@ class NoRandomAccess(SearchStrategy):
         partial: dict[int, float] = {}
         seen_in: dict[int, int] = {}  # tid -> bitmask of consumed lists
         confirmed: set[int] = set()
+        # Tombstones: tids proven unable to qualify.  Without these, a
+        # discarded tid reappearing in a not-yet-consumed list would be
+        # re-admitted with a fresh mask and reset partial score, then
+        # pointlessly random-accessed in the verification pass.
+        discarded: set[int] = set()
         discovering = True
         since_resolve = self.resolve_every  # force an initial pass
         while True:
@@ -506,6 +511,7 @@ class NoRandomAccess(SearchStrategy):
                 for tid in resolved:
                     del seen_in[tid]
                     del partial[tid]
+                    discarded.add(tid)
                 unresolved = len(seen_in) - len(confirmed)
                 if not discovering and unresolved <= self.fallback:
                     break
@@ -520,8 +526,8 @@ class NoRandomAccess(SearchStrategy):
             for tid, prob in zip(run_tids.tolist(), run_probs.tolist()):
                 mask = seen_in.get(tid)
                 if mask is None:
-                    if not discovering:
-                        continue  # new tuples can no longer qualify
+                    if not discovering or tid in discarded:
+                        continue  # new tuples / tombstones cannot qualify
                     seen_in[tid] = bit
                     partial[tid] = q_prob * prob
                 elif not mask & bit:

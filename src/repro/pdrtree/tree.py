@@ -133,6 +133,8 @@ class PDRTree:
         self.height = 1
         self.num_tuples = 0
         self._leaf_of_tid: dict[int, int] = {}
+        #: Whether the last :meth:`load` had to rebuild from leaf pages.
+        self.recovered = False
 
     # -- cached node access ----------------------------------------------------
     #
@@ -449,7 +451,7 @@ class PDRTree:
         if isinstance(query, WindowedEqualityQuery):
             # Lemma 2 holds for any non-negative weight vector, so the
             # expanded windowed query prunes like ordinary PETQ.
-            return self._petq(query.expanded(), query.threshold)
+            return self._petq(query.expanded(self.domain_size), query.threshold)
         raise QueryError(f"unsupported query type: {type(query).__name__}")
 
     def _petq(self, q: UncertainAttribute, tau: float) -> QueryResult:
@@ -610,17 +612,24 @@ class PDRTree:
         """Persist the tree (pages plus catalog) to ``path``.
 
         The tid -> leaf directory is rebuilt by a tree walk on load, so
-        the catalog stays small.
+        the catalog stays small.  The set of leaf page ids *is* saved:
+        leaves are the tree's ground truth, and recovery (see
+        :meth:`load`) must be able to find them without trusting the
+        internal pages that may be the very thing that is damaged.
         """
         from repro.storage.persistence import save_disk_to_path
 
         self._pool.flush_all()
+        leaf_page_ids = set(self._leaf_of_tid.values())
+        if self.height == 1:
+            leaf_page_ids.add(self.root_page_id)  # the (maybe empty) root leaf
         metadata = {
             "kind": "pdr-tree",
             "domain_size": self.domain_size,
             "num_tuples": self.num_tuples,
             "root_page_id": self.root_page_id,
             "height": self.height,
+            "leaf_page_ids": sorted(leaf_page_ids),
             "config": {
                 "insert_policy": self.config.insert_policy,
                 "split_strategy": self.config.split_strategy,
@@ -632,17 +641,35 @@ class PDRTree:
         save_disk_to_path(path, self.disk, metadata)
 
     @classmethod
-    def load(cls, path) -> "PDRTree":
-        """Reopen a tree persisted with :meth:`save`."""
-        from repro.storage.persistence import load_disk_from_path
+    def load(cls, path, *, recover: bool = True) -> "PDRTree":
+        """Reopen a tree persisted with :meth:`save`.
 
-        disk, metadata = load_disk_from_path(path)
+        The image is checksum-scanned on attach.  When damage is
+        confined to internal pages (and ``recover`` is true), a fresh
+        tree is rebuilt by re-inserting every entry from the intact leaf
+        pages.  Damage to any leaf page — or ``recover=False`` with any
+        damage — raises
+        :class:`~repro.core.exceptions.RecoveryError`: a wrong answer is
+        never silently served.  :attr:`recovered` records which path ran.
+        """
+        from repro.core.exceptions import RecoveryError
+        from repro.storage.persistence import scan_disk_from_path
+
+        disk, metadata, report = scan_disk_from_path(path)
         if metadata.get("kind") != "pdr-tree":
             raise QueryError(
                 f"{path} holds a {metadata.get('kind')!r} structure, "
                 "not a PDR-tree"
             )
         config = PDRTreeConfig(**metadata["config"])
+        if not report.clean:
+            if not recover:
+                raise RecoveryError(
+                    f"{path} is damaged (corrupt pages "
+                    f"{report.corrupt_page_ids}, "
+                    f"truncated={report.truncated}) and recovery is disabled"
+                )
+            return cls._recover(path, disk, metadata, report, config)
         tree = cls.__new__(cls)
         tree.domain_size = int(metadata["domain_size"])
         tree.config = config
@@ -656,6 +683,7 @@ class PDRTree:
         tree.root_page_id = int(metadata["root_page_id"])
         tree.height = int(metadata["height"])
         tree.num_tuples = int(metadata["num_tuples"])
+        tree.recovered = False
         tree._leaf_of_tid = {}
         stack = [tree.root_page_id]
         while stack:
@@ -673,6 +701,47 @@ class PDRTree:
                 f"{path} is corrupt: catalog says {tree.num_tuples} "
                 f"tuples, leaves hold {len(tree._leaf_of_tid)}"
             )
+        return tree
+
+    @classmethod
+    def _recover(
+        cls, path, disk, metadata: dict, report, config: "PDRTreeConfig"
+    ) -> "PDRTree":
+        """Rebuild a tree from the intact leaves of a damaged image."""
+        from repro.core.exceptions import RecoveryError
+        from repro.pdrtree.node import decode_leaf as _decode_leaf
+
+        leaf_page_ids = metadata.get("leaf_page_ids")
+        if leaf_page_ids is None:
+            raise RecoveryError(
+                f"{path}: image predates leaf tracking; cannot locate "
+                "the authoritative leaf pages to rebuild from"
+            )
+        leaf_pages = set(int(pid) for pid in leaf_page_ids)
+        damaged = leaf_pages & set(report.corrupt_page_ids)
+        missing = leaf_pages - disk._pages.keys()
+        if damaged or missing:
+            raise RecoveryError(
+                f"{path}: leaf pages damaged beyond repair "
+                f"(corrupt {sorted(damaged)}, missing {sorted(missing)})"
+            )
+        # Internal pages are derived data: pull every entry off the
+        # intact leaves, then rebuild a fresh tree by re-insertion.
+        salvage_pool = BufferPool(disk, 4096)
+        entries = []
+        for page_id in sorted(leaf_pages):
+            page = salvage_pool.fetch_page(page_id)
+            entries.extend(_decode_leaf(page))
+        if int(metadata["num_tuples"]) != len(entries):
+            raise RecoveryError(
+                f"{path} is corrupt: catalog says {metadata['num_tuples']} "
+                f"tuples, intact leaves hold {len(entries)}"
+            )
+        tree = cls(int(metadata["domain_size"]), config=config)
+        for entry in entries:
+            tree.insert(entry.tid, UncertainAttribute(entry.items, entry.probs))
+        tree._pool.flush_all()
+        tree.recovered = True
         return tree
 
     def __repr__(self) -> str:

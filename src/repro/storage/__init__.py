@@ -3,14 +3,31 @@
 This package provides the storage layer the paper's evaluation implicitly
 assumes: 8 KB pages, a disk whose physical reads/writes are counted, a
 100-frame clock-replacement buffer pool per query, and the byte layouts of
-UDA records and posting entries.
+UDA records and posting entries.  Every page carries an out-of-band CRC32
+checksum, and :mod:`repro.storage.faults` can inject seeded device faults
+to exercise the detection and recovery machinery (see
+``docs/fault-model.md``).
 """
 
-from repro.storage.buffer import DECODED_CACHE_ENV, DEFAULT_POOL_SIZE, BufferPool
+from repro.storage.buffer import (
+    DECODED_CACHE_ENV,
+    DEFAULT_POOL_SIZE,
+    MAX_READ_RETRIES,
+    BufferPool,
+)
 from repro.storage.cache import DEFAULT_ENTRIES_PER_FRAME, DecodedCache
-from repro.storage.disk import DiskManager
+from repro.storage.disk import DiskManager, page_checksum
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyDisk,
+    active_plan,
+    fault_plan,
+    set_active_plan,
+)
 from repro.storage.heapfile import HeapFile, Rid
 from repro.storage.page import DEFAULT_PAGE_SIZE, INVALID_PAGE_ID, Page
+from repro.storage.persistence import ScanReport, scan_disk, scan_disk_from_path
 from repro.storage.stats import IOSnapshot, IOStatistics
 
 __all__ = [
@@ -19,12 +36,23 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "DEFAULT_POOL_SIZE",
     "INVALID_PAGE_ID",
+    "MAX_READ_RETRIES",
     "BufferPool",
     "DecodedCache",
     "DiskManager",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyDisk",
     "HeapFile",
     "IOSnapshot",
     "IOStatistics",
     "Page",
     "Rid",
+    "ScanReport",
+    "active_plan",
+    "fault_plan",
+    "page_checksum",
+    "scan_disk",
+    "scan_disk_from_path",
+    "set_active_plan",
 ]

@@ -23,8 +23,13 @@ Queries in the experiment harness each run against a fresh pool (see
 from __future__ import annotations
 
 import os
+import time
 
-from repro.core.exceptions import BufferPoolError
+from repro.core.exceptions import (
+    BufferPoolError,
+    ChecksumError,
+    TransientReadError,
+)
 from repro.storage.cache import DEFAULT_ENTRIES_PER_FRAME, DecodedCache
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
@@ -34,6 +39,14 @@ DEFAULT_POOL_SIZE = 100
 
 #: Environment variable overriding the decoded-cache capacity.
 DECODED_CACHE_ENV = "REPRO_DECODED_CACHE"
+
+#: Maximum read retries after a transient fault before giving up.
+MAX_READ_RETRIES = 3
+
+#: Base of the exponential backoff between retries, in seconds.  Kept tiny:
+#: wall-clock is not the metric (DESIGN.md), the backoff exists to model the
+#: policy, and retries only ever happen under injected faults.
+RETRY_BACKOFF_BASE = 0.0005
 
 
 def _decoded_capacity_from_env(pool_capacity: int) -> int:
@@ -100,8 +113,32 @@ class BufferPool:
         self._clock_hand = 0
         self.hits = 0
         self.misses = 0
+        #: Read attempts repeated after a transient fault (telemetry).
+        self.retries = 0
 
     # -- page access ----------------------------------------------------------
+
+    def _read_with_retry(self, page_id: int) -> Page:
+        """Read ``page_id`` from disk, absorbing transient faults.
+
+        Retries up to :data:`MAX_READ_RETRIES` times with exponential
+        backoff after a :class:`TransientReadError` (injected device
+        error) or :class:`ChecksumError` (in-flight bit rot — the stored
+        bytes may still be intact).  Persistent corruption (a torn write)
+        fails every attempt, so the final error propagates: a damaged
+        page is never silently served.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.disk.read_page(page_id)
+            except (TransientReadError, ChecksumError):
+                if attempt >= MAX_READ_RETRIES:
+                    raise
+                if RETRY_BACKOFF_BASE > 0:
+                    time.sleep(RETRY_BACKOFF_BASE * (2**attempt))
+                attempt += 1
+                self.retries += 1
 
     def fetch_page(self, page_id: int, *, pin: bool = False) -> Page:
         """Return the page, reading it from disk if not resident.
@@ -117,7 +154,7 @@ class BufferPool:
         else:
             self.misses += 1
             self._ensure_free_frame()
-            frame = _Frame(self.disk.read_page(page_id))
+            frame = _Frame(self._read_with_retry(page_id))
             self._frames[page_id] = frame
             self._clock_order.append(page_id)
         if pin:

@@ -1,4 +1,4 @@
-"""Simulated disk with physical-I/O accounting.
+"""Simulated disk with physical-I/O accounting and page checksums.
 
 The paper measures index performance as the number of disk I/O operations
 per query.  We reproduce that metric with an in-memory "disk": a mapping
@@ -9,13 +9,36 @@ is deliberately *not* the metric — see DESIGN.md, "Substitutions".
 A :class:`DiskManager` is shared by everything belonging to one index
 structure (its tree pages, posting pages, heap pages, ...), so the
 per-query read delta is exactly the paper's y-axis.
+
+Integrity
+---------
+Every page carries a CRC32 checksum, recomputed on each write and
+verified on each read.  Checksums are stored *out-of-band* (a side table
+keyed by page id, mirroring the sector-metadata area of a real device),
+so page payload capacity — and therefore every simulated I/O count — is
+exactly what it was without them.  A mismatch raises
+:class:`~repro.core.exceptions.ChecksumError` *before* the read is
+counted: only successful, verified page transfers contribute to the
+paper's metric.  Fault injection (see :mod:`repro.storage.faults`) hooks
+into both paths to exercise the detection machinery.
 """
 
 from __future__ import annotations
 
-from repro.core.exceptions import PageError
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.core.exceptions import ChecksumError, PageError
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.stats import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports disk)
+    from repro.storage.faults import FaultPlan
+
+
+def page_checksum(data: bytes) -> int:
+    """The CRC32 checksum of a page's bytes (unsigned 32-bit)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class DiskManager:
@@ -25,16 +48,34 @@ class DiskManager:
     ----------
     page_size:
         Size of every page in bytes (default 8 KB, as in the paper).
+    fault_plan:
+        Fault-injection plan for this disk.  ``None`` (the default)
+        consults :func:`repro.storage.faults.active_plan`, which resolves
+        to the process-wide override or the ``REPRO_FAULT_*`` environment
+        knobs; pass a plan with all rates zero to force a clean disk
+        regardless of the environment.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
         self.page_size = page_size
         self.stats = IOStatistics()
         self._pages: dict[int, bytes] = {}
+        #: Out-of-band CRC32 of each page's *intended* bytes.  Lives beside
+        #: the payload (like a device's sector metadata), so it consumes no
+        #: page capacity and no simulated I/O.
+        self._checksums: dict[int, int] = {}
         self._tags: dict[int, str] = {}
         self._next_page_id = 0
         #: Physical reads attributed to each allocation tag.
         self.reads_by_tag: dict[str, int] = {}
+        # Imported lazily: faults.py subclasses DiskManager.
+        from repro.storage.faults import FaultInjector, active_plan
+
+        self.faults = FaultInjector(fault_plan if fault_plan is not None else active_plan())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -48,7 +89,9 @@ class DiskManager:
         """
         page_id = self._next_page_id
         self._next_page_id += 1
-        self._pages[page_id] = bytes(self.page_size)
+        data = bytes(self.page_size)
+        self._pages[page_id] = data
+        self._checksums[page_id] = page_checksum(data)
         self._tags[page_id] = tag
         self.stats.record_allocation()
         return page_id
@@ -69,23 +112,66 @@ class DiskManager:
         if page_id not in self._pages:
             raise PageError(f"cannot deallocate unknown page {page_id}")
         del self._pages[page_id]
+        self._checksums.pop(page_id, None)
         self._tags.pop(page_id, None)
+
+    # -- integrity ----------------------------------------------------------
+
+    def checksum_of(self, page_id: int) -> int:
+        """The stored (intended) CRC32 of ``page_id``; no I/O is counted."""
+        try:
+            return self._checksums[page_id]
+        except KeyError:
+            raise PageError(f"unknown page {page_id}") from None
+
+    def verify_page(self, page_id: int) -> bool:
+        """Whether ``page_id``'s stored bytes match its stored checksum.
+
+        An offline integrity probe (recovery scans, tests): reads nothing
+        through the counted path and never raises on mismatch.
+        """
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageError(f"unknown page {page_id}") from None
+        return page_checksum(data) == self._checksums[page_id]
 
     # -- physical I/O ---------------------------------------------------------
 
     def read_page(self, page_id: int) -> Page:
-        """Physically read ``page_id``; counts one read (and its tag)."""
+        """Physically read and verify ``page_id``; counts one read (and tag).
+
+        Raises :class:`~repro.core.exceptions.TransientReadError` on an
+        injected device error and
+        :class:`~repro.core.exceptions.ChecksumError` when the returned
+        bytes fail CRC verification (in-flight bit rot, or a torn write
+        persisted earlier).  Failed attempts are *not* counted as reads.
+        """
         try:
             data = self._pages[page_id]
         except KeyError:
             raise PageError(f"read of unknown page {page_id}") from None
+        self.faults.before_read(page_id, self.stats)
+        data = self.faults.maybe_rot(data, self.stats)
+        if page_checksum(data) != self._checksums[page_id]:
+            self.stats.record_checksum_failure()
+            raise ChecksumError(
+                f"page {page_id}: CRC32 mismatch "
+                f"(stored 0x{self._checksums[page_id]:08x}, "
+                f"read 0x{page_checksum(data):08x})"
+            )
         self.stats.record_read()
         tag = self._tags.get(page_id, "untagged")
         self.reads_by_tag[tag] = self.reads_by_tag.get(tag, 0) + 1
         return Page(page_id, bytearray(data), size=self.page_size)
 
     def write_page(self, page: Page) -> None:
-        """Physically write ``page``; counts one write."""
+        """Physically write ``page``; counts one write.
+
+        The checksum of the *intended* bytes is always recorded; an
+        injected torn write may persist only a prefix of them, leaving a
+        page whose every later read fails verification.
+        """
         if page.page_id not in self._pages:
             raise PageError(f"write of unknown page {page.page_id}")
         if len(page.data) != self.page_size:
@@ -93,7 +179,12 @@ class DiskManager:
                 f"page {page.page_id}: buffer is {len(page.data)} bytes, "
                 f"expected {self.page_size}"
             )
-        self._pages[page.page_id] = bytes(page.data)
+        intended = bytes(page.data)
+        stored = self.faults.maybe_tear(
+            intended, self._pages[page.page_id], self.stats
+        )
+        self._pages[page.page_id] = stored
+        self._checksums[page.page_id] = page_checksum(intended)
         self.stats.record_write()
 
     # -- introspection --------------------------------------------------------

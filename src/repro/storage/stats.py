@@ -5,6 +5,14 @@ query* (Section 4).  :class:`IOStatistics` is a plain counter bundle that the
 :class:`~repro.storage.disk.DiskManager` increments on every physical page
 access; :class:`IOSnapshot` captures a point-in-time copy so a harness can
 compute per-query deltas with :meth:`IOStatistics.delta_since`.
+
+Beyond the paper's reads/writes, the bundle carries fault-tolerance
+telemetry: ``checksum_failures`` (reads that failed CRC verification) and
+``faults_injected`` (operations perturbed by
+:mod:`repro.storage.faults`).  Failed read *attempts* are deliberately not
+counted as reads — the paper's metric counts successful page transfers —
+so the simulated I/O numbers are identical with fault injection disabled
+or set to zero rates.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ class IOSnapshot:
     reads: int
     writes: int
     allocations: int
+    checksum_failures: int = 0
+    faults_injected: int = 0
 
     @property
     def total(self) -> int:
@@ -29,12 +39,20 @@ class IOSnapshot:
 class IOStatistics:
     """Mutable read/write/allocation counters for one simulated disk."""
 
-    __slots__ = ("reads", "writes", "allocations")
+    __slots__ = (
+        "reads",
+        "writes",
+        "allocations",
+        "checksum_failures",
+        "faults_injected",
+    )
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
         self.allocations = 0
+        self.checksum_failures = 0
+        self.faults_injected = 0
 
     def record_read(self, count: int = 1) -> None:
         """Count ``count`` physical page reads."""
@@ -48,15 +66,31 @@ class IOStatistics:
         """Count ``count`` page allocations."""
         self.allocations += count
 
+    def record_checksum_failure(self, count: int = 1) -> None:
+        """Count ``count`` reads whose CRC verification failed."""
+        self.checksum_failures += count
+
+    def record_fault(self, count: int = 1) -> None:
+        """Count ``count`` injected faults (read errors, torn writes, rot)."""
+        self.faults_injected += count
+
     def reset(self) -> None:
         """Zero every counter."""
         self.reads = 0
         self.writes = 0
         self.allocations = 0
+        self.checksum_failures = 0
+        self.faults_injected = 0
 
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
-        return IOSnapshot(self.reads, self.writes, self.allocations)
+        return IOSnapshot(
+            self.reads,
+            self.writes,
+            self.allocations,
+            self.checksum_failures,
+            self.faults_injected,
+        )
 
     def delta_since(self, snapshot: IOSnapshot) -> IOSnapshot:
         """Return counters accumulated since ``snapshot`` was taken."""
@@ -64,6 +98,8 @@ class IOStatistics:
             reads=self.reads - snapshot.reads,
             writes=self.writes - snapshot.writes,
             allocations=self.allocations - snapshot.allocations,
+            checksum_failures=self.checksum_failures - snapshot.checksum_failures,
+            faults_injected=self.faults_injected - snapshot.faults_injected,
         )
 
     @property

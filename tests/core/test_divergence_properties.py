@@ -60,5 +60,9 @@ def test_kl_non_negative_for_normalized_inputs(u, v):
     u = u.normalized()
     v = v.normalized()
     # The epsilon floor can only *increase* KL (it shrinks v where v=0),
-    # so the Gibbs lower bound of 0 still holds up to float error.
-    assert kl_divergence(u, v) >= -1e-9
+    # so the Gibbs lower bound of 0 holds up to float error.  The
+    # tolerance must absorb float32 re-quantization: the UncertainAttribute
+    # constructor rounds normalized() output back to float32, leaving the
+    # masses ~1e-7 away from 1, which lets true KL dip to about -1e-7 per
+    # term even though sparse_kl itself is exact.
+    assert kl_divergence(u, v) >= -2e-6

@@ -169,3 +169,45 @@ class TestRandomizedAgreement:
             assert [(p.left_tid, p.right_tid, p.score) for p in indexed] == [
                 (p.left_tid, p.right_tid, p.score) for p in nested
             ]
+
+
+class TestJoinResultStats:
+    def test_num_probes_counts_outer_tuples(self, employees):
+        join = petj(employees, employees, 0.2)
+        assert join.num_probes == len(employees)
+
+    def test_indexed_join_reports_inner_work(self, employees, departments):
+        index = ProbabilisticInvertedIndex(len(departments))
+        index.build(employees)
+        join = petj(employees, employees, 0.2, right_index=index)
+        # Four probes against a real index must have scanned postings.
+        assert join.num_probes == 4
+        assert join.stats.entries_scanned > 0
+        assert join.stats.nodes_visited > 0
+
+    def test_stats_are_merged_per_probe_sums(self, employees, departments):
+        index = ProbabilisticInvertedIndex(len(departments))
+        index.build(employees)
+        from repro.core import EqualityThresholdQuery, QueryStats
+
+        expected = QueryStats()
+        for tid in employees.tids():
+            probe = EqualityThresholdQuery(employees.uda_of(tid), 0.2)
+            expected.merge(index.execute(probe).stats)
+        join = petj(employees, employees, 0.2, right_index=index)
+        assert join.stats == expected
+
+    def test_result_is_a_sequence_of_pairs(self, employees):
+        join = petj(employees, employees, 0.2)
+        assert len(join) == len(join.pairs)
+        assert list(join) == join.pairs
+        assert join[0] == join.pairs[0]
+
+    def test_top_k_and_dstj_also_carry_stats(self, employees, departments):
+        index = ProbabilisticInvertedIndex(len(departments))
+        index.build(employees)
+        top = pej_top_k(employees, employees, 3, right_index=index)
+        assert top.num_probes == 4
+        assert top.stats.entries_scanned > 0
+        sim = dstj(employees, employees, 1.5)
+        assert sim.num_probes == 4

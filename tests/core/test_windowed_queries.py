@@ -73,6 +73,35 @@ class TestDescriptor:
         expanded = WindowedEqualityQuery(q, 0.5, 2).expanded()
         assert expanded.items.min() == 0
 
+    def test_expansion_clamps_at_high_edge(self):
+        # A window reaching past the last domain item must not emit
+        # weights for phantom items beyond the domain.
+        q = UncertainAttribute.point(9)
+        expanded = WindowedEqualityQuery(q, 0.5, 3).expanded(domain_size=10)
+        assert expanded.items.max() == 9
+        assert expanded.items.min() == 6
+        assert dict(expanded.pairs()) == pytest.approx(
+            {6: 1.0, 7: 1.0, 8: 1.0, 9: 1.0}
+        )
+
+    def test_expansion_clamps_both_edges(self):
+        # Window covers the whole (small) domain from both sides.
+        q = UncertainAttribute.from_pairs([(0, 0.25), (3, 0.75)])
+        expanded = WindowedEqualityQuery(q, 0.5, 10).expanded(domain_size=4)
+        assert expanded.items.tolist() == [0, 1, 2, 3]
+        assert expanded.probs.tolist() == pytest.approx([1.0] * 4)
+
+    def test_expansion_unclamped_without_domain_size(self):
+        # Backwards-compatible: no domain size means no high-side clamp.
+        q = UncertainAttribute.point(9)
+        expanded = WindowedEqualityQuery(q, 0.5, 3).expanded()
+        assert expanded.items.max() == 12
+
+    def test_query_item_outside_domain_rejected(self):
+        q = UncertainAttribute.point(10)
+        with pytest.raises(QueryError, match="outside domain"):
+            WindowedEqualityQuery(q, 0.5, 1).expanded(domain_size=10)
+
 
 class TestExecutors:
     @pytest.fixture(scope="class")
@@ -102,6 +131,24 @@ class TestExecutors:
         q = relation.uda_of(7)
         query = WindowedEqualityQuery(q, threshold, window)
         expected = [(m.tid, m.score) for m in relation.execute(query)]
+        assert [(m.tid, m.score) for m in tree.execute(query)] == expected
+        for strategy in STRATEGIES:
+            got = [
+                (m.tid, m.score)
+                for m in inverted.execute(query, strategy=strategy)
+            ]
+            assert got == expected, strategy
+
+    @pytest.mark.parametrize("edge_item", [0, 14])
+    def test_all_executors_agree_at_domain_edges(self, setup, edge_item):
+        # The window spills past a domain edge (item 0 on the low side,
+        # item 14 on the high side of the 15-item domain); every executor
+        # must clamp identically rather than crash or score phantoms.
+        relation, inverted, tree = setup
+        q = UncertainAttribute.from_pairs([(edge_item, 1.0)])
+        query = WindowedEqualityQuery(q, 0.1, 4)
+        expected = [(m.tid, m.score) for m in relation.execute(query)]
+        assert expected, "edge query should match something"
         assert [(m.tid, m.score) for m in tree.execute(query)] == expected
         for strategy in STRATEGIES:
             got = [

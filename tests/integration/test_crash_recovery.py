@@ -1,0 +1,302 @@
+"""Kill-point crash-recovery harness.
+
+Simulates a crash mid-flush at *every* page boundary of an index save:
+the on-disk image is truncated after each whole page record (and, for
+good measure, mid-record), then reattached.  The contract under test is
+the recovery guarantee of ``docs/fault-model.md``:
+
+* reattach either **recovers** (answers exactly match the naive
+  executor) or **fails loudly** with ``RecoveryError``;
+* it never returns wrong answers.
+
+A second battery tears individual pages (correct length, corrupted
+bytes — what a torn sector write leaves behind) instead of truncating.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import UncertainRelation
+from repro.core.exceptions import RecoveryError, ReproError
+from repro.core.queries import EqualityThresholdQuery, EqualityTopKQuery
+from repro.datagen import uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+from repro.storage.persistence import MAGIC
+
+_U32 = struct.Struct("<I")
+
+
+def page_record_offsets(image: bytes, page_size: int) -> list[int]:
+    """Byte offsets of each page record in a v2 image (plus the end)."""
+    assert image[: len(MAGIC)] == MAGIC
+    cursor = len(MAGIC) + 4  # magic + page size
+    (metadata_length,) = _U32.unpack_from(image, cursor)
+    cursor += 4 + metadata_length
+    (num_pages,) = _U32.unpack_from(image, cursor)
+    cursor += 4
+    record = 4 + 4 + page_size
+    offsets = [cursor + i * record for i in range(num_pages + 1)]
+    assert offsets[-1] == len(image)
+    return offsets
+
+
+def reference_answers(relation: UncertainRelation, queries):
+    return [
+        {(m.tid, round(m.score, 9)) for m in relation.execute(query)}
+        for query in queries
+    ]
+
+
+def check_recovered_or_loud(loader, relation, queries, expected):
+    """Attach via ``loader``; demand exact answers or a loud failure.
+
+    Returns (recovered, failed_loudly) for aggregate assertions.
+    """
+    try:
+        reopened = loader()
+    except RecoveryError:
+        return False, True
+    answers = [
+        {(m.tid, round(m.score, 9)) for m in reopened.execute(query)}
+        for query in queries
+    ]
+    assert answers == expected, "recovered index disagrees with naive executor"
+    return True, False
+
+
+@pytest.fixture(scope="module")
+def relation():
+    # Large enough that the PDR-tree grows internal nodes (height 2) and
+    # the inverted index spreads across multiple heap and posting pages.
+    return uniform_dataset(num_tuples=400, seed=29)
+
+
+@pytest.fixture(scope="module")
+def queries(relation):
+    qs = []
+    for tid in (0, 7, 42):
+        q = relation.uda_of(tid)
+        qs.append(EqualityThresholdQuery(q, 0.15))
+        qs.append(EqualityTopKQuery(q, 5))
+    return qs
+
+
+class TestKillPointsInvertedIndex:
+    def test_crash_at_every_page_boundary(self, relation, queries, tmp_path):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        path = tmp_path / "index.reprodb"
+        index.save(path)
+        image = path.read_bytes()
+        expected = reference_answers(relation, queries)
+        offsets = page_record_offsets(image, index.disk.page_size)
+        recovered = loud = 0
+        for kill_point in offsets:
+            torn = tmp_path / "torn.reprodb"
+            torn.write_bytes(image[:kill_point])
+            ok, failed = check_recovered_or_loud(
+                lambda: ProbabilisticInvertedIndex.load(torn),
+                relation,
+                queries,
+                expected,
+            )
+            recovered += ok
+            loud += failed
+        # The harness must have exercised both outcomes: early kill
+        # points lose heap pages (loud), late ones only posting pages
+        # (recovered); the final offset is the complete image.
+        assert recovered >= 1 and loud >= 1
+        assert recovered + loud == len(offsets)
+
+    def test_crash_mid_record(self, relation, queries, tmp_path):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        path = tmp_path / "index.reprodb"
+        index.save(path)
+        image = path.read_bytes()
+        expected = reference_answers(relation, queries)
+        offsets = page_record_offsets(image, index.disk.page_size)
+        for kill_point in offsets[1:]:
+            torn = tmp_path / "torn.reprodb"
+            torn.write_bytes(image[: kill_point - 17])  # mid-record
+            check_recovered_or_loud(
+                lambda: ProbabilisticInvertedIndex.load(torn),
+                relation,
+                queries,
+                expected,
+            )
+
+    def test_torn_posting_page_recovers(self, relation, queries, tmp_path):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        path = tmp_path / "index.reprodb"
+        index.save(path)
+        image = bytearray(path.read_bytes())
+        expected = reference_answers(relation, queries)
+        heap_pages = set(index._heap.state()["page_ids"])
+        offsets = page_record_offsets(bytes(image), index.disk.page_size)
+        recovered_count = 0
+        for start in offsets[:-1]:
+            (page_id,) = _U32.unpack_from(image, start)
+            if page_id in heap_pages:
+                continue
+            torn = bytearray(image)
+            torn[start + 8 + 20] ^= 0xFF  # corrupt the payload
+            torn_path = tmp_path / "torn.reprodb"
+            torn_path.write_bytes(bytes(torn))
+            reopened = ProbabilisticInvertedIndex.load(torn_path)
+            assert reopened.recovered
+            answers = [
+                {(m.tid, round(m.score, 9)) for m in reopened.execute(query)}
+                for query in queries
+            ]
+            assert answers == expected
+            recovered_count += 1
+        assert recovered_count >= 1
+
+    def test_torn_heap_page_fails_loudly(self, relation, tmp_path):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        path = tmp_path / "index.reprodb"
+        index.save(path)
+        image = bytearray(path.read_bytes())
+        heap_pages = set(index._heap.state()["page_ids"])
+        offsets = page_record_offsets(bytes(image), index.disk.page_size)
+        checked = 0
+        for start in offsets[:-1]:
+            (page_id,) = _U32.unpack_from(image, start)
+            if page_id not in heap_pages:
+                continue
+            torn = bytearray(image)
+            torn[start + 8 + 20] ^= 0xFF
+            torn_path = tmp_path / "torn.reprodb"
+            torn_path.write_bytes(bytes(torn))
+            with pytest.raises(RecoveryError):
+                ProbabilisticInvertedIndex.load(torn_path)
+            checked += 1
+        assert checked >= 1
+
+    def test_recovery_disabled_fails_loudly(self, relation, tmp_path):
+        index = ProbabilisticInvertedIndex(len(relation.domain))
+        index.build(relation)
+        path = tmp_path / "index.reprodb"
+        index.save(path)
+        image = path.read_bytes()
+        torn = tmp_path / "torn.reprodb"
+        torn.write_bytes(image[:-13])
+        with pytest.raises(RecoveryError):
+            ProbabilisticInvertedIndex.load(torn, recover=False)
+
+
+class TestKillPointsPDRTree:
+    def test_crash_at_every_page_boundary(self, relation, queries, tmp_path):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        path = tmp_path / "tree.reprodb"
+        tree.save(path)
+        image = path.read_bytes()
+        expected = reference_answers(relation, queries)
+        offsets = page_record_offsets(image, tree.disk.page_size)
+        recovered = loud = 0
+        for kill_point in offsets:
+            torn = tmp_path / "torn.reprodb"
+            torn.write_bytes(image[:kill_point])
+            ok, failed = check_recovered_or_loud(
+                lambda: PDRTree.load(torn), relation, queries, expected
+            )
+            recovered += ok
+            loud += failed
+        assert recovered >= 1  # at minimum, the complete image
+        assert recovered + loud == len(offsets)
+
+    def test_torn_internal_page_recovers(self, relation, queries, tmp_path):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        assert tree.height > 1, "dataset too small to grow internal nodes"
+        path = tmp_path / "tree.reprodb"
+        tree.save(path)
+        image = bytearray(path.read_bytes())
+        expected = reference_answers(relation, queries)
+        leaf_pages = set(tree._leaf_of_tid.values())
+        offsets = page_record_offsets(bytes(image), tree.disk.page_size)
+        recovered_count = 0
+        for start in offsets[:-1]:
+            (page_id,) = _U32.unpack_from(image, start)
+            if page_id in leaf_pages:
+                continue
+            torn = bytearray(image)
+            torn[start + 8 + 20] ^= 0xFF
+            torn_path = tmp_path / "torn.reprodb"
+            torn_path.write_bytes(bytes(torn))
+            reopened = PDRTree.load(torn_path)
+            assert reopened.recovered
+            answers = [
+                {(m.tid, round(m.score, 9)) for m in reopened.execute(query)}
+                for query in queries
+            ]
+            assert answers == expected
+            recovered_count += 1
+        assert recovered_count >= 1
+
+    def test_torn_leaf_page_fails_loudly(self, relation, tmp_path):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        path = tmp_path / "tree.reprodb"
+        tree.save(path)
+        image = bytearray(path.read_bytes())
+        leaf_pages = set(tree._leaf_of_tid.values())
+        offsets = page_record_offsets(bytes(image), tree.disk.page_size)
+        checked = 0
+        for start in offsets[:-1]:
+            (page_id,) = _U32.unpack_from(image, start)
+            if page_id not in leaf_pages:
+                continue
+            torn = bytearray(image)
+            torn[start + 8 + 20] ^= 0xFF
+            torn_path = tmp_path / "torn.reprodb"
+            torn_path.write_bytes(bytes(torn))
+            with pytest.raises(RecoveryError):
+                PDRTree.load(torn_path)
+            checked += 1
+            if checked >= 5:  # a sample of leaves is enough
+                break
+        assert checked >= 1
+
+    def test_recovery_disabled_fails_loudly(self, relation, tmp_path):
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        path = tmp_path / "tree.reprodb"
+        tree.save(path)
+        torn = tmp_path / "torn.reprodb"
+        torn.write_bytes(path.read_bytes()[:-13])
+        with pytest.raises(RecoveryError):
+            PDRTree.load(torn, recover=False)
+
+    def test_never_wrong_only_loud(self, relation, queries, tmp_path):
+        """Sweep byte-level corruption across the image: every attach
+        either matches the oracle or raises a repro error — never both
+        silently wrong and silently fine."""
+        tree = PDRTree(len(relation.domain))
+        tree.build(relation)
+        path = tmp_path / "tree.reprodb"
+        tree.save(path)
+        image = bytearray(path.read_bytes())
+        expected = reference_answers(relation, queries)
+        offsets = page_record_offsets(bytes(image), tree.disk.page_size)
+        stride = max(1, len(offsets[:-1]) // 6)
+        for start in offsets[:-1][::stride]:
+            torn = bytearray(image)
+            torn[start + 8 + 5] ^= 0x55
+            torn_path = tmp_path / "torn.reprodb"
+            torn_path.write_bytes(bytes(torn))
+            try:
+                reopened = PDRTree.load(torn_path)
+            except ReproError:
+                continue  # loud is acceptable
+            answers = [
+                {(m.tid, round(m.score, 9)) for m in reopened.execute(query)}
+                for query in queries
+            ]
+            assert answers == expected

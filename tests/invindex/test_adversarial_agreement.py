@@ -1,0 +1,136 @@
+"""Adversarial agreement: all five strategies == naive on nasty inputs.
+
+The generic property tests draw well-behaved relations (dirichlet masses
+summing to 1, no duplicates).  This battery deliberately generates the
+inputs the pruning arguments are most fragile against:
+
+* **mass-deficient UDAs** — total mass well below 1 on both the data and
+  the query side (the paper allows missing mass; bounds relying on
+  "masses sum to one" would over-prune);
+* **duplicate tuples** — exact score ties at top-k boundaries, where an
+  unstable cut drops the wrong tid;
+* **single-posting lists** — items appearing in exactly one tuple, the
+  degenerate cursor case (exhausted after one run);
+* **windowed queries whose expanded QueryVector has mass > 1** — weights
+  are no longer a probability distribution, so any bound assuming
+  ``sum w <= 1`` is simply wrong.
+
+Agreement is exact: identical (tid, score) sequences, including order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CategoricalDomain,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    UncertainAttribute,
+    UncertainRelation,
+    WindowedEqualityQuery,
+)
+from repro.invindex import STRATEGIES, ProbabilisticInvertedIndex
+from repro.storage import BufferPool
+
+DOMAIN = 8
+
+
+def _random_uda(rng: np.random.Generator, kind: str) -> UncertainAttribute:
+    if kind == "point":
+        return UncertainAttribute.point(int(rng.integers(DOMAIN)))
+    if kind == "lonely":
+        # Single item, deficient mass: a one-entry posting list whose
+        # probability is far from 1.
+        return UncertainAttribute.from_pairs(
+            [(int(rng.integers(DOMAIN)), float(rng.uniform(0.05, 0.6)))]
+        )
+    nnz = int(rng.integers(2, DOMAIN))
+    items = rng.choice(DOMAIN, size=nnz, replace=False)
+    probs = rng.dirichlet(np.ones(nnz))
+    if kind == "deficient":
+        probs = probs * rng.uniform(0.2, 0.9)
+    return UncertainAttribute.from_pairs(
+        list(zip(items.tolist(), probs.tolist()))
+    )
+
+
+@st.composite
+def adversarial_relations(draw, max_tuples=30):
+    seed = draw(st.integers(0, 2**16))
+    count = draw(st.integers(2, max_tuples))
+    rng = np.random.default_rng(seed)
+    relation = UncertainRelation(CategoricalDomain.of_size(DOMAIN))
+    udas: list[UncertainAttribute] = []
+    for _ in range(count):
+        kind = rng.choice(["point", "lonely", "deficient", "full", "dup"])
+        if kind == "dup" and udas:
+            # Exact duplicate of an earlier tuple: guaranteed score tie.
+            uda = udas[int(rng.integers(len(udas)))]
+        else:
+            uda = _random_uda(rng, str(kind))
+        udas.append(uda)
+        relation.append(uda)
+    return relation
+
+
+@st.composite
+def adversarial_queries(draw):
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    kind = rng.choice(["point", "lonely", "deficient", "full"])
+    return _random_uda(rng, str(kind))
+
+
+def _assert_agreement(relation, index, query):
+    expected = [(m.tid, m.score) for m in relation.execute(query)]
+    for name in STRATEGIES:
+        index.pool = BufferPool(index.disk, capacity=100)
+        got = [(m.tid, m.score) for m in index.execute(query, strategy=name)]
+        assert got == expected, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    relation=adversarial_relations(),
+    q=adversarial_queries(),
+    tau=st.floats(0.001, 1.0),
+)
+def test_threshold_agreement_on_adversarial_inputs(relation, q, tau):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    _assert_agreement(relation, index, EqualityThresholdQuery(q, tau))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    relation=adversarial_relations(),
+    q=adversarial_queries(),
+    k=st.integers(1, 32),
+)
+def test_top_k_agreement_with_boundary_ties(relation, q, k):
+    # Duplicate tuples make exact ties likely; ``k`` frequently lands on
+    # a tie boundary, where an unstable cut would drop the wrong tid.
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    _assert_agreement(relation, index, EqualityTopKQuery(q, k))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    relation=adversarial_relations(),
+    seed=st.integers(0, 2**16),
+    tau=st.floats(0.001, 1.0),
+    window=st.integers(1, 4),
+)
+def test_windowed_agreement_with_supra_unit_mass(relation, seed, tau, window):
+    # Adjacent query items + a window make the expanded weight vector's
+    # mass exceed 1 — the regime where distribution-shaped bounds break.
+    rng = np.random.default_rng(seed)
+    anchor = int(rng.integers(DOMAIN - 1))
+    q = UncertainAttribute.from_pairs([(anchor, 0.5), (anchor + 1, 0.5)])
+    query = WindowedEqualityQuery(q, tau, window)
+    assert query.expanded(DOMAIN).total_mass > 1.0
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    _assert_agreement(relation, index, query)

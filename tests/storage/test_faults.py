@@ -1,0 +1,214 @@
+"""Tests for :mod:`repro.storage.faults` and page checksum verification."""
+
+import pytest
+
+from repro.core.exceptions import (
+    ChecksumError,
+    QueryError,
+    TransientReadError,
+)
+from repro.storage import (
+    MAX_READ_RETRIES,
+    BufferPool,
+    DiskManager,
+    FaultPlan,
+    FaultyDisk,
+    Page,
+    fault_plan,
+    page_checksum,
+)
+from repro.storage.faults import (
+    FAULT_BIT_ROT_ENV,
+    FAULT_READ_ERROR_ENV,
+    FAULT_SEED_ENV,
+    FAULT_TORN_WRITE_ENV,
+    active_plan,
+)
+
+
+def write_marker(disk: DiskManager, page_id: int, marker: bytes) -> None:
+    page = Page(page_id, size=disk.page_size)
+    page.data[: len(marker)] = marker
+    disk.write_page(page)
+
+
+class TestFaultPlan:
+    def test_defaults_are_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_any_positive_rate_enables(self):
+        assert FaultPlan(bit_rot_rate=0.1).enabled
+        assert FaultPlan(read_error_rate=0.1).enabled
+        assert FaultPlan(torn_write_rate=0.1).enabled
+
+    def test_rates_validated(self):
+        with pytest.raises(QueryError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(QueryError):
+            FaultPlan(bit_rot_rate=-0.1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SEED_ENV, "42")
+        monkeypatch.setenv(FAULT_READ_ERROR_ENV, "0.25")
+        monkeypatch.setenv(FAULT_TORN_WRITE_ENV, "0.5")
+        monkeypatch.setenv(FAULT_BIT_ROT_ENV, "0.125")
+        plan = FaultPlan.from_env()
+        assert plan == FaultPlan(42, 0.25, 0.5, 0.125)
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(FAULT_READ_ERROR_ENV, "often")
+        with pytest.raises(QueryError):
+            FaultPlan.from_env()
+
+    def test_active_plan_prefers_override(self, monkeypatch):
+        monkeypatch.setenv(FAULT_BIT_ROT_ENV, "0.5")
+        override = FaultPlan(seed=7)
+        with fault_plan(override):
+            assert active_plan() is override
+        assert active_plan().bit_rot_rate == 0.5
+
+
+class TestChecksums:
+    def test_fresh_page_verifies(self):
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        assert disk.verify_page(page_id)
+        assert disk.checksum_of(page_id) == page_checksum(bytes(disk.page_size))
+
+    def test_write_recomputes_checksum(self):
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        write_marker(disk, page_id, b"hello")
+        assert disk.verify_page(page_id)
+        assert disk.read_page(page_id).data[:5] == b"hello"
+
+    def test_out_of_band_corruption_detected(self):
+        # Corrupt the stored bytes directly (bypassing write_page, like a
+        # medium error): every read must raise, never return bad bytes.
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        write_marker(disk, page_id, b"hello")
+        tampered = bytearray(disk._pages[page_id])
+        tampered[0] ^= 0xFF
+        disk._pages[page_id] = bytes(tampered)
+        with pytest.raises(ChecksumError):
+            disk.read_page(page_id)
+        assert not disk.verify_page(page_id)
+        assert disk.stats.checksum_failures == 1
+
+    def test_failed_read_not_counted(self):
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        disk._pages[page_id] = b"\xff" * disk.page_size
+        with pytest.raises(ChecksumError):
+            disk.read_page(page_id)
+        assert disk.stats.reads == 0
+        assert disk.reads_by_tag == {}
+
+
+class TestInjection:
+    def test_read_error_raises_transient(self):
+        disk = FaultyDisk(FaultPlan(seed=1, read_error_rate=1.0))
+        page_id = disk.allocate_page()
+        with pytest.raises(TransientReadError):
+            disk.read_page(page_id)
+        assert disk.stats.faults_injected == 1
+        assert disk.stats.reads == 0
+
+    def test_bit_rot_caught_by_checksum_and_store_intact(self):
+        disk = FaultyDisk(FaultPlan(seed=1, bit_rot_rate=1.0))
+        page_id = disk.allocate_page()
+        write_marker(disk, page_id, b"payload")
+        with pytest.raises(ChecksumError):
+            disk.read_page(page_id)
+        # The rot hit the in-flight copy only; a clean retry succeeds.
+        disk.faults.plan = FaultPlan()
+        assert disk.read_page(page_id).data[:7] == b"payload"
+
+    def test_torn_write_fails_persistently(self):
+        disk = FaultyDisk(FaultPlan(seed=3, torn_write_rate=1.0))
+        page_id = disk.allocate_page()
+        # Non-constant full-page payload: any tear point changes the bytes.
+        write_marker(
+            disk, page_id, bytes(i % 251 + 1 for i in range(disk.page_size))
+        )
+        for _ in range(3):
+            with pytest.raises(ChecksumError):
+                disk.read_page(page_id)
+        assert not disk.verify_page(page_id)
+
+    def test_same_seed_same_fault_sequence(self):
+        outcomes = []
+        for _ in range(2):
+            disk = FaultyDisk(FaultPlan(seed=9, read_error_rate=0.3))
+            page_id = disk.allocate_page()
+            run = []
+            for _ in range(50):
+                try:
+                    disk.read_page(page_id)
+                    run.append(True)
+                except TransientReadError:
+                    run.append(False)
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert False in outcomes[0] and True in outcomes[0]
+
+    def test_transient_faults_leave_read_counts_unchanged(self):
+        # The paper's metric counts successful page transfers; a plan of
+        # transient faults must not perturb it.
+        clean = DiskManager(fault_plan=FaultPlan())
+        faulty = FaultyDisk(FaultPlan(seed=5, read_error_rate=0.2, bit_rot_rate=0.1))
+        for disk in (clean, faulty):
+            page_id = disk.allocate_page()
+            write_marker(disk, page_id, b"data")
+            pool = BufferPool(disk, 10)
+            for _ in range(25):
+                pool.fetch_page(page_id)
+            # Re-fetch through fresh pools to force physical reads.
+            for _ in range(4):
+                pool = BufferPool(disk, 10)
+                pool.fetch_page(page_id)
+        assert clean.stats.reads == faulty.stats.reads
+        assert faulty.stats.faults_injected > 0
+
+
+class TestBufferRetry:
+    def test_retry_absorbs_intermittent_faults(self):
+        disk = FaultyDisk(FaultPlan(seed=2, read_error_rate=0.4))
+        page_id = disk.allocate_page()
+        write_marker(disk, page_id, b"resilient")
+        survived = 0
+        for _ in range(30):
+            pool = BufferPool(disk, 4)
+            page = pool.fetch_page(page_id)
+            assert page.data[:9] == b"resilient"
+            survived += 1
+        assert survived == 30
+        assert disk.stats.faults_injected > 0
+
+    def test_retries_counted(self):
+        disk = FaultyDisk(FaultPlan(seed=2, read_error_rate=0.4))
+        page_id = disk.allocate_page()
+        total_retries = 0
+        for _ in range(30):
+            pool = BufferPool(disk, 4)
+            pool.fetch_page(page_id)
+            total_retries += pool.retries
+        assert total_retries > 0
+        assert total_retries == disk.stats.faults_injected
+
+    def test_persistent_corruption_propagates(self):
+        disk = DiskManager(fault_plan=FaultPlan())
+        page_id = disk.allocate_page()
+        disk._pages[page_id] = b"\xee" * disk.page_size  # medium error
+        pool = BufferPool(disk, 4)
+        with pytest.raises(ChecksumError):
+            pool.fetch_page(page_id)
+        assert pool.retries == MAX_READ_RETRIES
+
+    def test_env_plan_reaches_new_disks(self, monkeypatch):
+        monkeypatch.setenv(FAULT_READ_ERROR_ENV, "1.0")
+        disk = DiskManager()
+        page_id = disk.allocate_page()
+        with pytest.raises(TransientReadError):
+            disk.read_page(page_id)
