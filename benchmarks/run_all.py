@@ -37,6 +37,8 @@ from repro.bench import (
     result_to_dict,
     run_experiments,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_ENV, resolve_trace_path
 from repro.storage.buffer import DECODED_CACHE_ENV
 
 _SCALES = {
@@ -77,6 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME",
         help="subset of experiments to run (default: all)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a measurement-scoped JSONL query trace to PATH "
+        f"(default: the {TRACE_ENV} environment variable, else off)",
+    )
     args = parser.parse_args(argv)
 
     scale = (
@@ -91,6 +101,10 @@ def main(argv: list[str] | None = None) -> int:
         f"qpp={scale.queries_per_point}  jobs={jobs}"
     )
 
+    trace_path = resolve_trace_path(
+        str(args.trace) if args.trace is not None else None
+    )
+    metrics = MetricsRegistry()
     started = time.perf_counter()
     summary = {
         "jobs": jobs,
@@ -102,7 +116,9 @@ def main(argv: list[str] | None = None) -> int:
         },
         "experiments": {},
     }
-    for name, result, elapsed in run_experiments(names, scale, jobs):
+    for name, result, elapsed in run_experiments(
+        names, scale, jobs, trace_path=trace_path, metrics=metrics
+    ):
         table = format_result(result)
         print(table)
         print(f"[{name}: {elapsed:.1f}s]\n", flush=True)
@@ -116,9 +132,17 @@ def main(argv: list[str] | None = None) -> int:
     summary["total_wall_clock_seconds"] = round(
         time.perf_counter() - started, 3
     )
+    # Measurement-scoped event counters for the whole run (identical for
+    # any --jobs value).  compare_io only reads BENCH_<name>.json point
+    # fields, so adding this to the summary cannot perturb I/O diffs.
+    summary["metrics"] = metrics.snapshot()
+    if trace_path is not None:
+        summary["trace"] = str(trace_path)
     (results_dir / "BENCH_summary.json").write_text(
         json.dumps(summary, indent=2) + "\n"
     )
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
     print(
         f"total: {summary['total_wall_clock_seconds']:.1f}s "
         f"({jobs} job{'s' if jobs != 1 else ''})"

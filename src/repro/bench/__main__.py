@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.parallel import run_experiments
 from repro.bench.reporting import format_result
+from repro.obs.trace import TRACE_ENV, resolve_trace_path
 
 _SCALES = {
     "quick": ExperimentScale.quick,
@@ -57,6 +58,14 @@ def main(argv: list[str] | None = None) -> int:
         "1 runs inline)",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a measurement-scoped JSONL query trace to PATH "
+        f"(default: the {TRACE_ENV} environment variable, else off)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -79,13 +88,20 @@ def main(argv: list[str] | None = None) -> int:
             f"(choose from {', '.join(ALL_EXPERIMENTS)})"
         )
     scale = _SCALES[args.scale]()
-    for name, result, elapsed in run_experiments(names, scale, args.jobs):
+    trace_path = resolve_trace_path(
+        str(args.trace) if args.trace is not None else None
+    )
+    for name, result, elapsed in run_experiments(
+        names, scale, args.jobs, trace_path=trace_path
+    ):
         table = format_result(result)
         print(table)
         print(f"[{name}: {elapsed:.1f}s]\n")
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(table + "\n")
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
     return 0
 
 

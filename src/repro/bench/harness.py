@@ -20,6 +20,8 @@ from repro.core.queries import Query
 from repro.core.results import QueryResult
 from repro.datagen.workload import CalibratedQuery
 from repro.invindex.index import ProbabilisticInvertedIndex
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS, hit_rate
 from repro.pdrtree.tree import PDRTree
 from repro.storage.buffer import DEFAULT_POOL_SIZE, BufferPool
 
@@ -51,8 +53,10 @@ class Measurement:
     #: Physical reads attributed per component ("postings", "tuples",
     #: "pdr-node", ...) — the breakdown behind the total.
     reads_by_tag: dict[str, int] = field(default_factory=dict)
-    #: Buffer-pool fetch counters for the query's fresh pool.  Wall-clock
-    #: telemetry only; the I/O numbers above are the paper's metric.
+    #: Buffer-pool fetch counters for the query's fresh pool, sourced from
+    #: the :data:`repro.obs.metrics.METRICS` delta over the execution.
+    #: Wall-clock telemetry only; the I/O numbers above are the paper's
+    #: metric.
     pool_hits: int = 0
     pool_misses: int = 0
     #: Decoded-object cache counters (see repro.storage.cache).
@@ -63,16 +67,22 @@ class Measurement:
     checksum_failures: int = 0
     retries: int = 0
     faults_injected: int = 0
+    #: The full metrics delta of this query execution — the per-kind
+    #: event histogram the trace of the same execution would show.
+    metrics: dict[str, int] = field(default_factory=dict)
+    #: Why the executor stopped consuming input (None for executors
+    #: without an early-stop decision; see ``QueryStats.stop_reason``).
+    stop_reason: str | None = None
 
     @property
     def pool_hit_rate(self) -> float:
-        total = self.pool_hits + self.pool_misses
-        return self.pool_hits / total if total else 0.0
+        """Zero-safe pool hit ratio (0.0 when the query fetched nothing)."""
+        return hit_rate(self.pool_hits, self.pool_misses)
 
     @property
     def decoded_hit_rate(self) -> float:
-        total = self.decoded_hits + self.decoded_misses
-        return self.decoded_hits / total if total else 0.0
+        """Zero-safe decoded-cache hit ratio (0.0 with no lookups)."""
+        return hit_rate(self.decoded_hits, self.decoded_misses)
 
 
 @dataclass
@@ -128,14 +138,52 @@ def measure_query(
     query: Query,
     pool_size: int = DEFAULT_POOL_SIZE,
 ) -> Measurement:
-    """Run one query with a fresh buffer pool; return its physical reads."""
+    """Run one query with a fresh buffer pool; return its physical reads.
+
+    Observability: the measurement is scoped *after* the pool swap (the
+    old pool's flush is setup cost, not query cost) — the
+    :data:`~repro.obs.metrics.METRICS` snapshot taken here makes the
+    returned :attr:`Measurement.metrics` delta exactly this query's event
+    histogram.  Under a benchmark run with ``--trace``, the installed
+    :class:`~repro.obs.trace.BenchCollector`'s tracer is activated around
+    ``execute`` only, so index builds and dataset generation (which may
+    be skipped by per-process caches) never appear in the trace.
+    """
     index = under_test.index
     pool = BufferPool(index.disk, pool_size)
     index.pool = pool
+    collector = _trace.BENCH_COLLECTOR
+    tracer = _trace.ACTIVE
+    bench_tracer = None
+    if tracer is None and collector is not None:
+        bench_tracer = collector.tracer
+    emit = tracer if tracer is not None else bench_tracer
+    metrics_before = METRICS.snapshot()
     before = index.disk.stats.snapshot()
     tags_before = index.disk.snapshot_tags()
-    result = under_test.execute(query)
+    if emit is not None:
+        emit.event(
+            "measure.begin",
+            index=under_test.name,
+            query=type(query).__name__,
+            pool_size=pool_size,
+        )
+    if bench_tracer is not None:
+        with _trace.tracing(bench_tracer):
+            result = under_test.execute(query)
+    else:
+        result = under_test.execute(query)
     delta = index.disk.stats.delta_since(before)
+    metrics_delta = METRICS.delta_since(metrics_before)
+    if emit is not None:
+        emit.event(
+            "measure.end",
+            index=under_test.name,
+            reads=delta.reads,
+            matches=len(result),
+        )
+    if collector is not None:
+        collector.metrics.merge(metrics_delta)
     tags_after = index.disk.snapshot_tags()
     breakdown = {
         tag: tags_after[tag] - tags_before.get(tag, 0)
@@ -146,13 +194,15 @@ def measure_query(
         reads=delta.reads,
         result_size=len(result),
         reads_by_tag=breakdown,
-        pool_hits=pool.hits,
-        pool_misses=pool.misses,
-        decoded_hits=pool.decoded.hits,
-        decoded_misses=pool.decoded.misses,
+        pool_hits=metrics_delta.get("pool.hit", 0),
+        pool_misses=metrics_delta.get("pool.miss", 0),
+        decoded_hits=metrics_delta.get("decoded.hit", 0),
+        decoded_misses=metrics_delta.get("decoded.miss", 0),
         checksum_failures=delta.checksum_failures,
         retries=pool.retries,
         faults_injected=delta.faults_injected,
+        metrics=metrics_delta,
+        stop_reason=result.stats.stop_reason,
     )
 
 

@@ -28,6 +28,9 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.harness import ExperimentResult
 from repro.core.exceptions import QueryError
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import BenchCollector, MemorySink, Tracer
 from repro.storage.faults import FaultPlan, active_plan, fault_plan
 
 #: Environment variable supplying the default worker count.
@@ -61,8 +64,15 @@ def _run_one(
     name: str,
     scale: ExperimentScale,
     plan: FaultPlan | None = None,
-) -> tuple[ExperimentResult, float]:
-    """Run one experiment by name; returns (result, wall-clock seconds).
+    trace: bool = False,
+) -> tuple[ExperimentResult, float, list[str] | None, dict[str, int]]:
+    """Run one experiment by name.
+
+    Returns ``(result, elapsed_seconds, trace_lines, metrics_snapshot)``.
+    ``trace_lines`` is the experiment's canonical JSONL trace (``None``
+    when ``trace`` is false); ``metrics_snapshot`` is the measurement-
+    scoped counter delta collected by the installed
+    :class:`~repro.obs.trace.BenchCollector`.
 
     Module-level so worker processes can unpickle it; the experiment
     callable itself is looked up in the worker, keeping the payload to a
@@ -70,19 +80,37 @@ def _run_one(
     passed *by value* rather than re-read from the environment so workers
     inject identical fault sequences regardless of fork/spawn semantics;
     the override is scoped so inline runs don't leak it into the caller.
+    The collector's tracer is activated only around measured queries (see
+    :func:`repro.bench.harness.measure_query`), so the trace — like the
+    metrics — is byte-identical whether the experiment ran inline against
+    warm per-process caches or in a cold worker.  The experiment
+    begin/end markers deliberately carry no timing fields.
     """
     if plan is None:
         plan = active_plan()
-    with fault_plan(plan):
+    collector = BenchCollector(Tracer(MemorySink()) if trace else None)
+    with fault_plan(plan), _trace.bench_collection(collector):
+        if collector.tracer is not None:
+            collector.tracer.event("experiment.begin", name=name)
         started = time.perf_counter()
         result = ALL_EXPERIMENTS[name](scale)
-        return result, time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        if collector.tracer is not None:
+            collector.tracer.event("experiment.end", name=name)
+    lines = (
+        collector.tracer.sink.jsonl_lines()
+        if collector.tracer is not None
+        else None
+    )
+    return result, elapsed, lines, collector.metrics.snapshot()
 
 
 def run_experiments(
     names: list[str],
     scale: ExperimentScale,
     jobs: int | None = None,
+    trace_path=None,
+    metrics: MetricsRegistry | None = None,
 ) -> Iterator[tuple[str, ExperimentResult, float]]:
     """Run experiments, yielding ``(name, result, elapsed)`` per experiment.
 
@@ -90,21 +118,48 @@ def run_experiments(
     worker completion order, so any downstream report is deterministic.
     ``elapsed`` is the experiment's own wall-clock (inside its worker),
     not the end-to-end latency.
+
+    ``trace_path`` enables measurement-scoped tracing: each experiment's
+    JSONL records are appended to the file in submission order, making
+    the file byte-identical for any ``jobs`` value.  ``metrics``, when
+    given, accumulates every experiment's measurement-scoped counter
+    snapshot (a caller-owned registry — the workers' process-global
+    counters are not otherwise visible to this process).
     """
     unknown = [name for name in names if name not in ALL_EXPERIMENTS]
     if unknown:
         raise QueryError(f"unknown experiment(s): {', '.join(unknown)}")
     jobs = resolve_jobs(jobs)
     plan = active_plan()  # resolve once; ship the same plan to every worker
-    if jobs == 1 or len(names) <= 1:
-        for name in names:
-            result, elapsed = _run_one(name, scale, plan)
-            yield name, result, elapsed
-        return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as executor:
-        futures = [
-            executor.submit(_run_one, name, scale, plan) for name in names
-        ]
-        for name, future in zip(names, futures):
-            result, elapsed = future.result()
-            yield name, result, elapsed
+    trace = trace_path is not None
+    trace_file = open(trace_path, "w", encoding="utf-8") if trace else None
+
+    def absorb(lines: list[str] | None, snapshot: dict[str, int]) -> None:
+        if trace_file is not None and lines is not None:
+            trace_file.writelines(line + "\n" for line in lines)
+        if metrics is not None:
+            metrics.merge(snapshot)
+
+    try:
+        if jobs == 1 or len(names) <= 1:
+            for name in names:
+                result, elapsed, lines, snapshot = _run_one(
+                    name, scale, plan, trace
+                )
+                absorb(lines, snapshot)
+                yield name, result, elapsed
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(names))
+        ) as executor:
+            futures = [
+                executor.submit(_run_one, name, scale, plan, trace)
+                for name in names
+            ]
+            for name, future in zip(names, futures):
+                result, elapsed, lines, snapshot = future.result()
+                absorb(lines, snapshot)
+                yield name, result, elapsed
+    finally:
+        if trace_file is not None:
+            trace_file.close()

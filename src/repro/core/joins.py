@@ -31,6 +31,8 @@ from repro.core.queries import (
 )
 from repro.core.relation import UncertainRelation
 from repro.core.results import QueryResult, QueryStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 
 
 class QueryExecutor(Protocol):
@@ -81,6 +83,29 @@ class JoinResult:
         return self.pairs[index]
 
 
+def _join_begin(join_kind: str, **fields) -> None:
+    METRICS.inc("join.begin")
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event("join.begin", join_kind=join_kind, **fields)
+
+
+def _join_probe(left_tid: int) -> None:
+    METRICS.inc("join.probe")
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event("join.probe", left_tid=left_tid)
+
+
+def _join_end(join_kind: str, pairs: int, probes: int) -> None:
+    METRICS.inc("join.end")
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event(
+            "join.end", join_kind=join_kind, pairs=pairs, probes=probes
+        )
+
+
 def petj(
     left: UncertainRelation,
     right: UncertainRelation,
@@ -98,10 +123,12 @@ def petj(
     if not 0.0 < threshold <= 1.0:
         raise QueryError(f"join threshold must lie in (0, 1], got {threshold}")
     inner: QueryExecutor = right_index if right_index is not None else right
+    _join_begin("petj", threshold=threshold)
     pairs: list[JoinPair] = []
     stats = QueryStats()
     num_probes = 0
     for left_tid in left.tids():
+        _join_probe(left_tid)
         probe = EqualityThresholdQuery(left.uda_of(left_tid), threshold)
         result = inner.execute(probe)
         stats.merge(result.stats)
@@ -112,6 +139,7 @@ def petj(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
                 )
             )
+    _join_end("petj", pairs=len(pairs), probes=num_probes)
     return JoinResult(sorted(pairs), stats, num_probes)
 
 
@@ -130,10 +158,12 @@ def pej_top_k(
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     inner: QueryExecutor = right_index if right_index is not None else right
+    _join_begin("pej_top_k", k=k)
     pairs: list[JoinPair] = []
     stats = QueryStats()
     num_probes = 0
     for left_tid in left.tids():
+        _join_probe(left_tid)
         probe = EqualityTopKQuery(left.uda_of(left_tid), k)
         result = inner.execute(probe)
         stats.merge(result.stats)
@@ -146,6 +176,7 @@ def pej_top_k(
             )
         pairs.sort()
         del pairs[k:]
+    _join_end("pej_top_k", pairs=len(pairs), probes=num_probes)
     return JoinResult(pairs, stats, num_probes)
 
 
@@ -167,10 +198,12 @@ def dstj(
     if threshold < 0.0:
         raise QueryError(f"DSTJ threshold must be >= 0, got {threshold}")
     inner: QueryExecutor = right_index if right_index is not None else right
+    _join_begin("dstj", threshold=threshold)
     pairs: list[JoinPair] = []
     stats = QueryStats()
     num_probes = 0
     for left_tid in left.tids():
+        _join_probe(left_tid)
         probe = SimilarityThresholdQuery(
             left.uda_of(left_tid), threshold, divergence
         )
@@ -183,4 +216,5 @@ def dstj(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
                 )
             )
+    _join_end("dstj", pairs=len(pairs), probes=num_probes)
     return JoinResult(sorted(pairs), stats, num_probes)

@@ -42,6 +42,11 @@ class QueryStats:
     retries: int = 0
     #: Faults injected by the storage layer while answering the query.
     faults_injected: int = 0
+    #: Why the executor stopped consuming input ("lemma1", "row_cutoff",
+    #: "exhausted", "scan_complete", ...; see
+    #: :func:`repro.invindex.strategies._stop`).  ``None`` for executors
+    #: that have no early-stop decision to attribute.
+    stop_reason: str | None = None
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another executor's counters into this one."""
@@ -52,6 +57,10 @@ class QueryStats:
         self.checksum_failures += other.checksum_failures
         self.retries += other.retries
         self.faults_injected += other.faults_injected
+        # The first attributed stop reason wins: for joins, that is the
+        # outer structure's own decision, not a later probe's.
+        if self.stop_reason is None:
+            self.stop_reason = other.stop_reason
 
 
 @dataclass

@@ -192,8 +192,29 @@ class ProbabilisticInvertedIndex:
         :data:`repro.invindex.strategies.STRATEGIES`.
         """
         from repro.invindex.strategies import get_strategy
+        from repro.obs import trace as _trace
 
         runner = get_strategy(strategy)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "query.begin",
+                structure="inv-index",
+                query=type(query).__name__,
+                strategy=runner.name,
+            )
+        result = self._execute_with(runner, query)
+        if tracer is not None:
+            tracer.event(
+                "query.end",
+                structure="inv-index",
+                strategy=runner.name,
+                matches=len(result),
+            )
+        return result
+
+    def _execute_with(self, runner, query: Query) -> QueryResult:
+        """Dispatch ``query`` to the right entry point of ``runner``."""
         if isinstance(query, EqualityThresholdQuery):
             return runner.threshold(self, query.q, query.threshold)
         if isinstance(query, EqualityTopKQuery):

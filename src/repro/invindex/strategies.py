@@ -51,12 +51,44 @@ from repro.core.results import Match, QueryResult, QueryStats
 from repro.core.uda import MASS_TOLERANCE, UncertainAttribute
 from repro.invindex.index import ProbabilisticInvertedIndex
 from repro.invindex.postings import PostingCursor
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 
 #: Safety margin absorbing float error in pruning bounds (never in scores).
 EPSILON = 1e-10
 
 #: Allowance for total tuple mass, which may exceed 1 by MASS_TOLERANCE.
 _MASS_BOUND = 1.0 + MASS_TOLERANCE
+
+
+def _begin(
+    strategy: str, mode: str, *, tau: float | None = None, k: int | None = None
+) -> None:
+    """Trace the start of one strategy execution (trace-only, no counter)."""
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        fields: dict[str, float | int] = {}
+        if tau is not None:
+            fields["tau"] = tau
+        if k is not None:
+            fields["k"] = k
+        tracer.event("strategy.begin", strategy=strategy, mode=mode, **fields)
+
+
+def _stop(stats: QueryStats, strategy: str, reason: str, **fields) -> None:
+    """Record why a strategy stopped consuming postings.
+
+    The reason lands in three places: ``stats.stop_reason`` (threaded to
+    :class:`~repro.bench.harness.Measurement`), the always-on
+    ``strategy.stop.<reason>`` counter, and — when tracing — a
+    ``strategy.stop`` record carrying the decision's bound/threshold, so
+    the invariant tests can check Lemma 1 *at the point of use*.
+    """
+    stats.stop_reason = reason
+    METRICS.inc("strategy.stop." + reason)
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event("strategy.stop", strategy=strategy, reason=reason, **fields)
 
 
 class _Verifier:
@@ -80,6 +112,10 @@ class _Verifier:
             return cached
         self._stats.random_accesses += 1
         self._stats.candidates_examined += 1
+        METRICS.inc("verify.random_access")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("verify.random_access", tid=tid)
         items, probs = self._index.fetch_uda_arrays(tid)
         probability = self._q.equality_with_arrays(items, probs)
         self._cache[tid] = probability
@@ -117,6 +153,27 @@ class _CursorSet:
             q_prob * cursor.head_prob()
             for q_prob, cursor in zip(self.q_probs, self.cursors)
         )
+
+    def pop_run(self, j: int):
+        """Consume cursor ``j``'s next run, tracing the advance.
+
+        The traced ``head_prob`` is the head *before* the pop — the
+        probability level the stopping rules reasoned about when they
+        chose to keep scanning this list.
+        """
+        cursor = self.cursors[j]
+        tracer = _trace.ACTIVE
+        head = cursor.head_prob() if tracer is not None else 0.0
+        tids, probs = cursor.pop_run()
+        METRICS.inc("cursor.advance")
+        if tracer is not None:
+            tracer.event(
+                "cursor.advance",
+                item=self.items[j],
+                count=len(tids),
+                head_prob=head,
+            )
+        return tids, probs
 
     def most_promising(self) -> int | None:
         """Index of the live cursor maximizing ``q.p_j * p'_j``."""
@@ -198,7 +255,9 @@ class InvIndexSearch(SearchStrategy):
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
+        _begin(self.name, "threshold", tau=tau)
         scores = self._gather(index, q, stats)
+        _stop(stats, self.name, "scan_complete")
         matches = [
             Match(tid=tid, score=score)
             for tid, score in scores.items()
@@ -208,7 +267,9 @@ class InvIndexSearch(SearchStrategy):
 
     def top_k(self, index, q, k):
         stats = QueryStats()
+        _begin(self.name, "top_k", k=k)
         scores = self._gather(index, q, stats)
+        _stop(stats, self.name, "scan_complete")
         matches = sorted(
             Match(tid=tid, score=score)
             for tid, score in scores.items()
@@ -234,21 +295,25 @@ class HighestProbFirst(SearchStrategy):
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
+        _begin(self.name, "threshold", tau=tau)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
         matches: list[Match] = []
         seen: set[int] = set()
         while True:
-            if cursors.bound() < tau - EPSILON:
+            bound = cursors.bound()
+            if bound < tau - EPSILON:
+                _stop(stats, self.name, "lemma1", bound=bound, tau=tau)
                 break
             j = cursors.most_promising()
             if j is None:
+                _stop(stats, self.name, "exhausted")
                 break
             # Consume the most promising list at leaf granularity (the
             # page is read whole anyway); the Lemma 1 stopping argument
             # is insensitive to batch size.
-            tids, _ = cursors.cursors[j].pop_run()
+            tids, _ = cursors.pop_run(j)
             stats.entries_scanned += len(tids)
             for tid in tids.tolist():
                 if tid in seen:
@@ -261,6 +326,7 @@ class HighestProbFirst(SearchStrategy):
 
     def top_k(self, index, q, k):
         stats = QueryStats()
+        _begin(self.name, "top_k", k=k)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
@@ -269,12 +335,16 @@ class HighestProbFirst(SearchStrategy):
         while True:
             # Dynamic threshold: the k-th best exact score so far.
             tau_k = found[k - 1].score if len(found) >= k else 0.0
-            if len(found) >= k and cursors.bound() < tau_k - EPSILON:
-                break
+            if len(found) >= k:
+                bound = cursors.bound()
+                if bound < tau_k - EPSILON:
+                    _stop(stats, self.name, "lemma1", bound=bound, tau=tau_k)
+                    break
             j = cursors.most_promising()
             if j is None:
+                _stop(stats, self.name, "exhausted")
                 break
-            tids, _ = cursors.cursors[j].pop_run()
+            tids, _ = cursors.pop_run(j)
             stats.entries_scanned += len(tids)
             for tid in tids.tolist():
                 if tid in seen:
@@ -304,13 +374,23 @@ class RowPruning(SearchStrategy):
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
+        _begin(self.name, "threshold", tau=tau)
         verifier = _Verifier(index, q, stats)
         cutoff = tau / _MASS_BOUND - EPSILON
         matches: list[Match] = []
         seen: set[int] = set()
         for item, q_prob in q.pairs_by_probability():
             if q_prob < cutoff:
-                break  # pairs are in descending q_prob order
+                # Pairs are in descending q_prob order; no later list can
+                # introduce a tuple scoring q_prob * mass >= tau.
+                _stop(
+                    stats,
+                    self.name,
+                    "row_cutoff",
+                    bound=q_prob * _MASS_BOUND,
+                    tau=tau,
+                )
+                break
             posting_list = index.posting_list(item)
             if posting_list is None:
                 continue
@@ -324,18 +404,29 @@ class RowPruning(SearchStrategy):
                 score = verifier.score(tid)
                 if score >= tau:
                     matches.append(Match(tid=tid, score=score))
+        else:
+            _stop(stats, self.name, "exhausted")
         return QueryResult(matches, stats)
 
     def top_k(self, index, q, k):
         """Examine candidate lists eagerly, raising the threshold as we go."""
         stats = QueryStats()
+        _begin(self.name, "top_k", k=k)
         verifier = _Verifier(index, q, stats)
         found: list[Match] = []
         seen: set[int] = set()
         for item, q_prob in q.pairs_by_probability():
             tau_k = found[k - 1].score if len(found) >= k else 0.0
             if len(found) >= k and q_prob * _MASS_BOUND < tau_k - EPSILON:
-                break  # no unseen tuple in this or later lists can qualify
+                # No unseen tuple in this or later lists can qualify.
+                _stop(
+                    stats,
+                    self.name,
+                    "row_cutoff",
+                    bound=q_prob * _MASS_BOUND,
+                    tau=tau_k,
+                )
+                break
             posting_list = index.posting_list(item)
             if posting_list is None:
                 continue
@@ -350,6 +441,8 @@ class RowPruning(SearchStrategy):
                 if score > 0.0:
                     found.append(Match(tid=tid, score=score))
             found.sort()
+        else:
+            _stop(stats, self.name, "exhausted")
         return QueryResult(found[:k], stats)
 
 
@@ -369,6 +462,7 @@ class ColumnPruning(SearchStrategy):
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
+        _begin(self.name, "threshold", tau=tau)
         verifier = _Verifier(index, q, stats)
         cutoff = tau / max(q.total_mass, EPSILON) - EPSILON
         matches: list[Match] = []
@@ -387,6 +481,9 @@ class ColumnPruning(SearchStrategy):
                 score = verifier.score(tid)
                 if score >= tau:
                     matches.append(Match(tid=tid, score=score))
+        # Every list was visited (to its prefix cutoff); there is no
+        # early-stop decision to attribute.
+        _stop(stats, self.name, "scan_complete")
         return QueryResult(matches, stats)
 
     def top_k(self, index, q, k):
@@ -394,6 +491,7 @@ class ColumnPruning(SearchStrategy):
         once its head probability falls below the dynamic per-list cutoff
         ("more conducive to top-k queries")."""
         stats = QueryStats()
+        _begin(self.name, "top_k", k=k)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
@@ -411,7 +509,7 @@ class ColumnPruning(SearchStrategy):
                 if cursor.exhausted or cursor.head_prob() < cutoff:
                     live[j] = False
                     continue
-                run_tids, run_probs = cursor.pop_run()
+                run_tids, run_probs = cursors.pop_run(j)
                 # Entries below the cutoff cannot introduce new top-k
                 # tuples via this list (their maximal common probability
                 # lies above the cutoff in some other list, where they
@@ -430,6 +528,10 @@ class ColumnPruning(SearchStrategy):
                 found.sort()
             if not advanced:
                 break
+        if any(not cursor.exhausted for cursor in cursors.cursors):
+            _stop(stats, self.name, "column_cutoff")
+        else:
+            _stop(stats, self.name, "exhausted")
         return QueryResult(found[:k], stats)
 
 
@@ -470,6 +572,7 @@ class NoRandomAccess(SearchStrategy):
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
+        _begin(self.name, "threshold", tau=tau)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
@@ -513,12 +616,25 @@ class NoRandomAccess(SearchStrategy):
                     del partial[tid]
                     discarded.add(tid)
                 unresolved = len(seen_in) - len(confirmed)
+                METRICS.inc("nra.resolve")
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.event(
+                        "nra.resolve",
+                        discarded=len(resolved),
+                        confirmed=len(confirmed),
+                        unresolved=unresolved,
+                    )
                 if not discovering and unresolved <= self.fallback:
+                    _stop(
+                        stats, self.name, "nra_fallback", unresolved=unresolved
+                    )
                     break
             j = cursors.most_promising()
             if j is None:
+                _stop(stats, self.name, "exhausted")
                 break
-            run_tids, run_probs = cursors.cursors[j].pop_run()
+            run_tids, run_probs = cursors.pop_run(j)
             stats.entries_scanned += len(run_tids)
             since_resolve += len(run_tids)
             bit = 1 << j
@@ -550,6 +666,7 @@ class NoRandomAccess(SearchStrategy):
         whose upper bound reaches it.
         """
         stats = QueryStats()
+        _begin(self.name, "top_k", k=k)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
@@ -568,11 +685,19 @@ class NoRandomAccess(SearchStrategy):
                 if len(partial) >= k:
                     tau_k = sorted(partial.values(), reverse=True)[k - 1]
                     if unseen_bound < tau_k - EPSILON:
+                        _stop(
+                            stats,
+                            self.name,
+                            "lemma1",
+                            bound=unseen_bound,
+                            tau=tau_k,
+                        )
                         break
             j = cursors.most_promising()
             if j is None:
+                _stop(stats, self.name, "exhausted")
                 break
-            run_tids, run_probs = cursors.cursors[j].pop_run()
+            run_tids, run_probs = cursors.pop_run(j)
             stats.entries_scanned += len(run_tids)
             since_check += len(run_tids)
             bit = 1 << j

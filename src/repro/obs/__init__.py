@@ -1,0 +1,59 @@
+"""Observability: query tracing and always-on counter metrics.
+
+Two halves, with very different cost models:
+
+* :mod:`repro.obs.metrics` — the process-global :data:`METRICS`
+  registry of monotonic counters, incremented unconditionally by the
+  instrumented hot paths.  One dict op per event; no I/O; cannot
+  perturb the paper's simulated read counts.
+* :mod:`repro.obs.trace` — typed event records to pluggable sinks,
+  **off by default**.  Hot paths guard on ``ACTIVE is not None`` and
+  allocate nothing when tracing is disabled.
+
+See ``docs/observability.md`` for the record schema and the
+instrumentation discipline.
+"""
+
+from repro.obs.metrics import METRICS, MetricsRegistry, hit_rate
+from repro.obs.schema import (
+    SCHEMA,
+    TraceSchemaError,
+    validate_jsonl,
+    validate_record,
+    validate_records,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    BenchCollector,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    active_tracer,
+    bench_collection,
+    encode_record,
+    resolve_trace_path,
+    tracing,
+    tracing_to_path,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "hit_rate",
+    "SCHEMA",
+    "TraceSchemaError",
+    "validate_jsonl",
+    "validate_record",
+    "validate_records",
+    "TRACE_ENV",
+    "BenchCollector",
+    "JsonlSink",
+    "MemorySink",
+    "Tracer",
+    "active_tracer",
+    "bench_collection",
+    "encode_record",
+    "resolve_trace_path",
+    "tracing",
+    "tracing_to_path",
+]

@@ -1,0 +1,91 @@
+"""Counter-only metrics: the always-on half of the observability layer.
+
+A :class:`MetricsRegistry` is a flat bag of named monotonic counters.
+Unlike tracing (:mod:`repro.obs.trace`), which is off unless a sink is
+installed, the process-global :data:`METRICS` registry is *always*
+incremented by the instrumented hot paths — an increment is one dict
+operation, allocates nothing after the first occurrence of a name, and
+performs no I/O, so it cannot perturb the paper's simulated I/O counts.
+
+The registry mirrors the snapshot/delta discipline of
+:class:`repro.storage.stats.IOStatistics`: a harness snapshots before an
+operation and reads the delta after, so concurrent accumulation by other
+components in the same process never leaks into a measurement (see
+:func:`repro.bench.harness.measure_query`).
+
+Counter names are dotted event kinds ("pool.hit", "disk.read",
+"cursor.advance", ...) — the same vocabulary as the trace record schema
+(:mod:`repro.obs.schema`), with decision events suffixed by their
+outcome ("strategy.stop.lemma1", "pdr.verdict.prune"), so a metrics
+delta reads as the per-kind histogram of the trace the same execution
+would have emitted.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """A flat registry of named monotonic counters."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    # -- accumulation -------------------------------------------------------
+
+    def inc(self, name: str, count: int = 1) -> None:
+        """Add ``count`` to the named counter (creating it at zero)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + count
+
+    def merge(self, delta: dict[str, int]) -> None:
+        """Accumulate a snapshot/delta dict into this registry."""
+        counters = self._counters
+        for name, count in delta.items():
+            counters[name] = counters.get(name, 0) + count
+
+    # -- reading ------------------------------------------------------------
+
+    def get(self, name: str) -> int:
+        """The counter's current value (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A sorted point-in-time copy of every nonzero counter."""
+        return {
+            name: self._counters[name] for name in sorted(self._counters)
+        }
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counters accumulated since ``snapshot`` (nonzero entries only)."""
+        delta = {}
+        for name in sorted(self._counters):
+            diff = self._counters[name] - snapshot.get(name, 0)
+            if diff:
+                delta[name] = diff
+        return delta
+
+    def hit_rate(self, hit_name: str, miss_name: str) -> float:
+        """Zero-safe ratio ``hits / (hits + misses)`` of two counters."""
+        return hit_rate(self.get(hit_name), self.get(miss_name))
+
+    def reset(self) -> None:
+        """Drop every counter."""
+        self._counters.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._counters)} counters)"
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Zero-safe hit ratio: 0.0 when there were no accesses at all."""
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+#: The process-global registry every instrumented hot path increments.
+METRICS = MetricsRegistry()

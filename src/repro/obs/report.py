@@ -1,0 +1,134 @@
+"""Pretty-print and validate JSONL query traces.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report trace.jsonl
+    PYTHONPATH=src python -m repro.obs.report --validate-only trace.jsonl
+
+Validates every record against the published schema
+(:mod:`repro.obs.schema`) and prints a human-oriented summary: record
+histogram, physical reads by page tag, cache hit rates, and strategy
+early-stop reasons.  Exits nonzero if the trace is malformed, so CI can
+use it as a schema gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable, Iterator
+
+from repro.obs.metrics import hit_rate
+from repro.obs.schema import TraceSchemaError, validate_record
+
+
+def iter_jsonl(path) -> Iterator[dict[str, Any]]:
+    """Yield records from a JSONL trace file (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+
+
+def summarize(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a record stream into a summary dict.
+
+    Each record is validated as it streams through; the summary of an
+    invalid trace is a :class:`TraceSchemaError`, not a number.
+    """
+    kinds: dict[str, int] = {}
+    reads_by_tag: dict[str, int] = {}
+    stop_reasons: dict[str, int] = {}
+    queries: dict[str, int] = {}
+    for record in records:
+        validate_record(record)
+        kind = record["kind"]
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "disk.read":
+            tag = record["tag"]
+            reads_by_tag[tag] = reads_by_tag.get(tag, 0) + 1
+        elif kind == "strategy.stop":
+            key = f"{record['strategy']}:{record['reason']}"
+            stop_reasons[key] = stop_reasons.get(key, 0) + 1
+        elif kind == "query.begin":
+            label = record["structure"]
+            if "strategy" in record:
+                label = f"{label}/{record['strategy']}"
+            queries[label] = queries.get(label, 0) + 1
+    return {
+        "records": sum(kinds.values()),
+        "kinds": dict(sorted(kinds.items())),
+        "queries": dict(sorted(queries.items())),
+        "reads_by_tag": dict(sorted(reads_by_tag.items())),
+        "stop_reasons": dict(sorted(stop_reasons.items())),
+        "pool_hit_rate": hit_rate(
+            kinds.get("pool.hit", 0), kinds.get("pool.miss", 0)
+        ),
+        "decoded_hit_rate": hit_rate(
+            kinds.get("decoded.hit", 0), kinds.get("decoded.miss", 0)
+        ),
+    }
+
+
+def _print_table(title: str, rows: dict[str, int], out) -> None:
+    if not rows:
+        return
+    print(f"\n{title}", file=out)
+    width = max(len(name) for name in rows)
+    for name, count in rows.items():
+        print(f"  {name:<{width}}  {count}", file=out)
+
+
+def render(summary: dict[str, Any], out=None) -> None:
+    """Print a summary dict as aligned tables."""
+    out = out if out is not None else sys.stdout
+    print(f"records: {summary['records']}", file=out)
+    print(f"pool hit rate:    {summary['pool_hit_rate']:.3f}", file=out)
+    print(f"decoded hit rate: {summary['decoded_hit_rate']:.3f}", file=out)
+    _print_table("record kinds:", summary["kinds"], out)
+    _print_table("queries by structure:", summary["queries"], out)
+    _print_table("disk reads by tag:", summary["reads_by_tag"], out)
+    _print_table("strategy stop reasons:", summary["stop_reasons"], out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.report",
+        description="Validate and summarize a JSONL query trace.",
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="check the schema and print only the record count",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+    try:
+        summary = summarize(iter_jsonl(args.trace))
+    except (TraceSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.validate_only:
+        print(f"{args.trace}: {summary['records']} records, schema OK")
+    elif args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        render(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Query tracing: typed event records, pluggable sinks, scoped activation.
+
+The paper's whole evaluation is the number of page I/Os per query; this
+module makes that number *auditable* instead of trusted.  A
+:class:`Tracer` emits flat dict records (``{"seq": n, "kind": ..., ...}``)
+describing every buffer-pool hit/miss/evict, physical disk read/write,
+decoded-cache lookup, posting-cursor advance, early-stop decision, and
+PDR-tree prune/descend verdict, into one of two sinks:
+
+* :class:`MemorySink` — an in-process record list, used by the
+  trace-driven invariant tests (``tests/obs/``);
+* :class:`JsonlSink` — one canonical JSON object per line
+  (``sort_keys``, compact separators, no timestamps), so a trace of a
+  seeded workload is *byte-identical* across runs and ``--jobs`` counts.
+
+Tracing is **off by default and zero-overhead when off**: instrumented
+code checks the module global :data:`ACTIVE` for ``None`` before
+building any record — there is no no-op tracer object and no event
+allocation on the disabled path.  (The counter-only
+:data:`repro.obs.metrics.METRICS` registry stays on regardless; see
+:mod:`repro.obs.metrics`.)
+
+Activation is scoped, never ambient:
+
+* ``with tracing(tracer): ...`` installs a tracer for a block;
+* ``with tracing_to_path(path): ...`` does the same with a JSONL file;
+* the benchmark harness installs a per-experiment
+  :class:`BenchCollector` (``--trace`` / ``REPRO_TRACE``), which
+  activates the tracer only around each *measured* query — builds and
+  cache-warmup are never traced, which is what keeps bench traces
+  deterministic across worker counts and module-level dataset caches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Environment variable naming a JSONL file for benchmark traces.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def encode_record(record: dict[str, Any]) -> str:
+    """The canonical JSONL encoding of one trace record (no newline).
+
+    Keys are sorted and separators compact so that equal records encode
+    to equal bytes — the determinism tests compare whole files.
+    """
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+class MemorySink:
+    """An in-process sink: records accumulate in a plain list."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    # -- test/replay helpers -------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """Every record of one event kind, in emission order."""
+        return [r for r in self.records if r["kind"] == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of records of one event kind."""
+        return sum(1 for r in self.records if r["kind"] == kind)
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of record kinds."""
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            kind = record["kind"]
+            histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram
+
+    def jsonl_lines(self) -> list[str]:
+        """Canonical JSONL encoding of every record (no newlines)."""
+        return [encode_record(record) for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink:
+    """A sink writing one canonical JSON object per line to a text file."""
+
+    __slots__ = ("_fh",)
+
+    def __init__(self, fh: TextIO) -> None:
+        self._fh = fh
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._fh.write(encode_record(record) + "\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+
+class Tracer:
+    """Emits sequenced event records into one sink.
+
+    ``seq`` is a per-tracer monotonic counter starting at 1; records
+    carry no timestamps or process ids, so a trace is a pure function of
+    the traced execution.
+    """
+
+    __slots__ = ("sink", "seq")
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self.seq = 0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one record.  Only call through an ``is not None`` guard."""
+        self.seq += 1
+        record: dict[str, Any] = {"seq": self.seq, "kind": kind}
+        record.update(fields)
+        self.sink.write(record)
+
+
+#: The installed tracer, or None (the common case).  Hot paths read this
+#: directly (``trace.ACTIVE``) and skip all event work when it is None.
+ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The currently installed tracer, if any."""
+    return ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the active tracer for the block (re-entrant)."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        ACTIVE = previous
+
+
+@contextmanager
+def tracing_to_path(path) -> Iterator[Tracer]:
+    """Trace the block to a JSONL file at ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        with tracing(Tracer(JsonlSink(fh))) as tracer:
+            yield tracer
+
+
+def resolve_trace_path(arg: str | None = None) -> str | None:
+    """Resolve a trace destination: explicit argument, else ``REPRO_TRACE``."""
+    if arg:
+        return arg
+    env = os.environ.get(TRACE_ENV, "").strip()
+    return env or None
+
+
+# ---------------------------------------------------------------------------
+# Benchmark collection (measurement-scoped tracing + metrics)
+# ---------------------------------------------------------------------------
+
+class BenchCollector:
+    """Per-experiment collector the bench runner installs.
+
+    ``tracer`` (optional) receives events only while a measured query is
+    executing — :func:`repro.bench.harness.measure_query` activates it
+    around ``execute`` — so index builds and dataset generation never
+    pollute the trace.  ``metrics`` accumulates each measured query's
+    :data:`~repro.obs.metrics.METRICS` delta, giving a measurement-scoped
+    registry that is identical across ``--jobs`` counts and cache warmth.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
+
+
+#: The installed bench collector, or None outside benchmark runs.
+BENCH_COLLECTOR: BenchCollector | None = None
+
+
+@contextmanager
+def bench_collection(collector: BenchCollector) -> Iterator[BenchCollector]:
+    """Install ``collector`` for the block (used by the parallel runner)."""
+    global BENCH_COLLECTOR
+    previous = BENCH_COLLECTOR
+    BENCH_COLLECTOR = collector
+    try:
+        yield collector
+    finally:
+        BENCH_COLLECTOR = previous

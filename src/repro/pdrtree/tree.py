@@ -51,6 +51,8 @@ from repro.core.queries import (
 from repro.core.relation import UncertainRelation
 from repro.core.results import Match, QueryResult, QueryStats
 from repro.core.uda import UncertainAttribute
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 from repro.pdrtree.compression import BoundaryCodec
 from repro.pdrtree.insert_policy import INSERT_POLICIES, choose_child
 from repro.pdrtree.mbr import BoundaryVector
@@ -438,6 +440,22 @@ class PDRTree:
 
     def execute(self, query: Query) -> QueryResult:
         """Answer any query descriptor of :mod:`repro.core.queries`."""
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "query.begin",
+                structure="pdr-tree",
+                query=type(query).__name__,
+            )
+        result = self._dispatch(query)
+        if tracer is not None:
+            tracer.event(
+                "query.end", structure="pdr-tree", matches=len(result)
+            )
+        return result
+
+    def _dispatch(self, query: Query) -> QueryResult:
+        """Route ``query`` to the matching traversal."""
         if isinstance(query, EqualityThresholdQuery):
             return self._petq(query.q, query.threshold)
         if isinstance(query, EqualityTopKQuery):
@@ -459,15 +477,36 @@ class PDRTree:
         stats = QueryStats()
         q_items, q_values = self.codec.fold_query(q.items, q.probs)
         matches: list[Match] = []
+        tracer = _trace.ACTIVE
         stack = [self.root_page_id]
         while stack:
             page_id = stack.pop()
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
-            if node_kind(page) == PDR_INTERNAL:
+            kind = node_kind(page)
+            METRICS.inc("pdr.visit")
+            if tracer is not None:
+                tracer.event(
+                    "pdr.visit",
+                    page_id=page_id,
+                    node="internal" if kind == PDR_INTERNAL else "leaf",
+                )
+            if kind == PDR_INTERNAL:
                 for entry in self._get_internal(page_id):
                     bound = entry.boundary.dot(q_items, q_values)
-                    if bound >= tau - EPSILON:
+                    descend = bound >= tau - EPSILON
+                    METRICS.inc(
+                        "pdr.verdict.descend" if descend else "pdr.verdict.prune"
+                    )
+                    if tracer is not None:
+                        tracer.event(
+                            "pdr.verdict",
+                            child=entry.child_id,
+                            bound=bound,
+                            tau=tau,
+                            verdict="descend" if descend else "prune",
+                        )
+                    if descend:
                         stack.append(entry.child_id)
             else:
                 for entry in self._get_leaf(page_id):
@@ -486,16 +525,46 @@ class PDRTree:
         def visit(page_id: int) -> None:
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
-            if node_kind(page) == PDR_INTERNAL:
+            kind = node_kind(page)
+            METRICS.inc("pdr.visit")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "pdr.visit",
+                    page_id=page_id,
+                    node="internal" if kind == PDR_INTERNAL else "leaf",
+                )
+            if kind == PDR_INTERNAL:
                 scored = [
                     (entry.boundary.dot(q_items, q_values), entry.child_id)
                     for entry in self._get_internal(page_id)
                 ]
                 scored.sort(key=lambda pair: -pair[0])
-                for bound, child_id in scored:
+                for idx, (bound, child_id) in enumerate(scored):
                     tau_k = found[k - 1].score if len(found) >= k else 0.0
                     if len(found) >= k and bound < tau_k - EPSILON:
-                        break  # bounds descend: siblings prune too
+                        # Bounds descend: this sibling and every later one
+                        # prune under the threshold frozen at this moment.
+                        METRICS.inc("pdr.verdict.prune", len(scored) - idx)
+                        if tracer is not None:
+                            for later_bound, later_child in scored[idx:]:
+                                tracer.event(
+                                    "pdr.verdict",
+                                    child=later_child,
+                                    bound=later_bound,
+                                    tau=tau_k,
+                                    verdict="prune",
+                                )
+                        break
+                    METRICS.inc("pdr.verdict.descend")
+                    if tracer is not None:
+                        tracer.event(
+                            "pdr.verdict",
+                            child=child_id,
+                            bound=bound,
+                            tau=tau_k,
+                            verdict="descend",
+                        )
                     visit(child_id)
             else:
                 for entry in self._get_leaf(page_id):
@@ -546,11 +615,20 @@ class PDRTree:
         folded = np.array([self.codec.fold_item(int(i)) for i in q.items])
         matches: list[Match] = []
         stack = [self.root_page_id]
+        tracer = _trace.ACTIVE
         while stack:
             page_id = stack.pop()
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
-            if node_kind(page) == PDR_INTERNAL:
+            kind = node_kind(page)
+            METRICS.inc("pdr.visit")
+            if tracer is not None:
+                tracer.event(
+                    "pdr.visit",
+                    page_id=page_id,
+                    node="internal" if kind == PDR_INTERNAL else "leaf",
+                )
+            if kind == PDR_INTERNAL:
                 for entry in self._get_internal(page_id):
                     bound = self._similarity_bound(
                         entry.boundary, q.items, q.probs, folded,
@@ -577,7 +655,16 @@ class PDRTree:
         def visit(page_id: int) -> None:
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
-            if node_kind(page) == PDR_INTERNAL:
+            kind = node_kind(page)
+            METRICS.inc("pdr.visit")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "pdr.visit",
+                    page_id=page_id,
+                    node="internal" if kind == PDR_INTERNAL else "leaf",
+                )
+            if kind == PDR_INTERNAL:
                 scored = [
                     (
                         self._similarity_bound(

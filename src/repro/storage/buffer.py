@@ -30,6 +30,8 @@ from repro.core.exceptions import (
     ChecksumError,
     TransientReadError,
 )
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 from repro.storage.cache import DEFAULT_ENTRIES_PER_FRAME, DecodedCache
 from repro.storage.disk import DiskManager
 from repro.storage.page import Page
@@ -139,6 +141,10 @@ class BufferPool:
                     time.sleep(RETRY_BACKOFF_BASE * (2**attempt))
                 attempt += 1
                 self.retries += 1
+                METRICS.inc("pool.retry")
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.event("pool.retry", page_id=page_id, attempt=attempt)
 
     def fetch_page(self, page_id: int, *, pin: bool = False) -> Page:
         """Return the page, reading it from disk if not resident.
@@ -150,9 +156,17 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.hits += 1
+            METRICS.inc("pool.hit")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("pool.hit", page_id=page_id)
             frame.referenced = True
         else:
             self.misses += 1
+            METRICS.inc("pool.miss")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("pool.miss", page_id=page_id)
             self._ensure_free_frame()
             frame = _Frame(self._read_with_retry(page_id))
             self._frames[page_id] = frame
@@ -248,6 +262,10 @@ class BufferPool:
         """
         page_id = self._clock_order.pop(self._clock_hand)
         frame = self._frames.pop(page_id)
+        METRICS.inc("pool.evict")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("pool.evict", page_id=page_id, dirty=frame.dirty)
         if frame.dirty:
             self.disk.write_page(frame.page)
         self.decoded.evict_page(page_id)

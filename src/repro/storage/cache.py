@@ -33,6 +33,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 from repro.storage.page import Page
 
 #: Decoded entries retained per buffer-pool frame by default.  Each page
@@ -79,13 +81,29 @@ class DecodedCache:
         """Return the cached decoding of ``page`` at its current version."""
         if not self.capacity:
             self.misses += 1
+            METRICS.inc("decoded.miss")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "decoded.miss", decode_kind=kind, page_id=page.page_id
+                )
             return None
         key = (kind, page.page_id, page.version)
         value = self._entries.get(key)
         if value is None:
             self.misses += 1
+            METRICS.inc("decoded.miss")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "decoded.miss", decode_kind=kind, page_id=page.page_id
+                )
             return None
         self.hits += 1
+        METRICS.inc("decoded.hit")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("decoded.hit", decode_kind=kind, page_id=page.page_id)
         self._entries.move_to_end(key)
         return value
 

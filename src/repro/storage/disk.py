@@ -29,6 +29,8 @@ import zlib
 from typing import TYPE_CHECKING
 
 from repro.core.exceptions import ChecksumError, PageError
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.stats import IOStatistics
 
@@ -155,6 +157,10 @@ class DiskManager:
         data = self.faults.maybe_rot(data, self.stats)
         if page_checksum(data) != self._checksums[page_id]:
             self.stats.record_checksum_failure()
+            METRICS.inc("disk.checksum_failure")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event("disk.checksum_failure", page_id=page_id)
             raise ChecksumError(
                 f"page {page_id}: CRC32 mismatch "
                 f"(stored 0x{self._checksums[page_id]:08x}, "
@@ -163,6 +169,10 @@ class DiskManager:
         self.stats.record_read()
         tag = self._tags.get(page_id, "untagged")
         self.reads_by_tag[tag] = self.reads_by_tag.get(tag, 0) + 1
+        METRICS.inc("disk.read")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("disk.read", page_id=page_id, tag=tag)
         return Page(page_id, bytearray(data), size=self.page_size)
 
     def write_page(self, page: Page) -> None:
@@ -186,6 +196,10 @@ class DiskManager:
         self._pages[page.page_id] = stored
         self._checksums[page.page_id] = page_checksum(intended)
         self.stats.record_write()
+        METRICS.inc("disk.write")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("disk.write", page_id=page.page_id)
 
     # -- introspection --------------------------------------------------------
 

@@ -1,0 +1,79 @@
+"""Golden I/O regression: rerun pinned figures against committed results.
+
+The repo commits the quick-scale ``benchmarks/results/BENCH_*.json``
+files; the paper's cost model fully determines their per-point read
+counts, so a rerun at the same scale must reproduce them bit-for-bit.
+This test reruns the two cheapest experiments (one per index family)
+and diffs them against the committed goldens through the same
+``compare_io`` machinery CI uses — an accidental change to the I/O
+model fails here before it reaches a benchmark run.
+"""
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentScale, result_to_dict, run_experiments
+from repro.storage import FaultPlan, fault_plan
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "benchmarks" / "results"
+
+#: Cheap experiments covering both index families (PDR-tree, inverted
+#: index) — the same pair the CI determinism job smoke-runs.
+PINNED = ("fig10", "abl_buffer")
+
+
+def _load_compare_io():
+    path = REPO_ROOT / "benchmarks" / "compare_io.py"
+    spec = importlib.util.spec_from_file_location("bench_compare_io", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _golden_scale_is_quick() -> bool:
+    summary_path = GOLDEN_DIR / "BENCH_summary.json"
+    if not summary_path.exists():
+        return False
+    recorded = json.loads(summary_path.read_text()).get("scale", {})
+    quick = ExperimentScale.quick()
+    return recorded == {
+        "crm_tuples": quick.crm_tuples,
+        "synth_tuples": quick.synth_tuples,
+        "queries_per_point": quick.queries_per_point,
+    }
+
+
+@pytest.mark.parametrize("name", PINNED)
+def test_rerun_reproduces_committed_golden(tmp_path, name):
+    golden_file = GOLDEN_DIR / f"BENCH_{name}.json"
+    if not golden_file.exists():
+        pytest.skip(f"no committed golden for {name}")
+    if not _golden_scale_is_quick():
+        pytest.skip("committed goldens were not produced at quick scale")
+
+    with fault_plan(FaultPlan()):
+        [(_, result, _)] = list(
+            run_experiments([name], ExperimentScale.quick(), jobs=1)
+        )
+
+    fresh_dir = tmp_path / "fresh"
+    pinned_dir = tmp_path / "golden"
+    fresh_dir.mkdir()
+    pinned_dir.mkdir()
+    (fresh_dir / golden_file.name).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
+    # Only the rerun experiment goes into the comparison directory:
+    # compare_io treats a file-set asymmetry as a divergence.
+    shutil.copy(golden_file, pinned_dir / golden_file.name)
+
+    compare_io = _load_compare_io()
+    problems = compare_io.compare_dirs(pinned_dir, fresh_dir)
+    assert problems == [], "\n".join(problems)

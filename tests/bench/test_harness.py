@@ -5,6 +5,7 @@ import pytest
 from repro.bench import (
     ExperimentResult,
     IndexUnderTest,
+    Measurement,
     SeriesPoint,
     comparison_summary,
     format_result,
@@ -67,6 +68,36 @@ class TestMeasureQuery:
         q = relation.uda_of(0)
         with pytest.raises(QueryError):
             measure_query(under_test, EqualityThresholdQuery(q, 0.2))
+
+
+class TestMeasurementHitRates:
+    def test_zero_access_hit_rates_are_zero_not_an_error(self):
+        """A query that touches no pages must report 0.0, not divide."""
+        measurement = Measurement(reads=0, result_size=0)
+        assert measurement.pool_hit_rate == 0.0
+        assert measurement.decoded_hit_rate == 0.0
+
+    def test_hit_rate_ratio(self):
+        measurement = Measurement(
+            reads=1, result_size=0,
+            pool_hits=3, pool_misses=1,
+            decoded_hits=1, decoded_misses=3,
+        )
+        assert measurement.pool_hit_rate == pytest.approx(0.75)
+        assert measurement.decoded_hit_rate == pytest.approx(0.25)
+
+    def test_counters_sourced_from_metrics_delta(self, relation, inverted):
+        """Hit/miss fields come from the METRICS delta, not ad-hoc
+        counters, so they agree with the metrics histogram and with the
+        physical read count."""
+        under_test = IndexUnderTest("Inv", inverted, "inv_index_search")
+        q = relation.uda_of(0)
+        m = measure_query(under_test, EqualityThresholdQuery(q, 0.2))
+        assert m.pool_misses == m.metrics.get("pool.miss", 0)
+        assert m.pool_hits == m.metrics.get("pool.hit", 0)
+        assert m.pool_misses == m.reads
+        assert m.stop_reason == "scan_complete"
+        assert m.metrics.get("strategy.stop.scan_complete", 0) == 1
 
 
 class TestMeasurePoint:

@@ -81,6 +81,53 @@ class TestRunExperiments:
             # Hit rates are deterministic too, so whole dicts must match.
             assert seq == par
 
+    def test_trace_and_metrics_deterministic_across_jobs(self, tmp_path):
+        """Same seeds, same workload: the JSONL trace must be
+        byte-identical and the measurement-scoped counters equal whether
+        experiments run inline or across worker processes."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.schema import validate_jsonl
+        from repro.storage import FaultPlan, fault_plan
+
+        trace_j1 = tmp_path / "trace_j1.jsonl"
+        trace_j2 = tmp_path / "trace_j2.jsonl"
+        metrics_j1 = MetricsRegistry()
+        metrics_j2 = MetricsRegistry()
+        with fault_plan(FaultPlan()):
+            list(
+                run_experiments(
+                    NAMES, MICRO, jobs=1,
+                    trace_path=trace_j1, metrics=metrics_j1,
+                )
+            )
+            list(
+                run_experiments(
+                    NAMES, MICRO, jobs=2,
+                    trace_path=trace_j2, metrics=metrics_j2,
+                )
+            )
+        assert trace_j1.stat().st_size > 0
+        assert trace_j1.read_bytes() == trace_j2.read_bytes()
+        assert metrics_j1.snapshot() == metrics_j2.snapshot()
+        assert metrics_j1.snapshot() != {}
+        # The merged trace must also be schema-clean end to end.
+        assert validate_jsonl(trace_j1) > 0
+
+    def test_untraced_run_accepts_metrics_registry(self):
+        """Counters flow back even with tracing off (no trace_path)."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.storage import FaultPlan, fault_plan
+
+        metrics = MetricsRegistry()
+        with fault_plan(FaultPlan()):
+            list(
+                run_experiments(
+                    ["fig10"], MICRO, jobs=1, metrics=metrics
+                )
+            )
+        assert metrics.get("pool.miss") > 0
+        assert metrics.get("disk.read") == metrics.get("pool.miss")
+
     def test_elapsed_is_positive(self):
         [(name, result, elapsed)] = list(
             run_experiments(["fig10"], MICRO, jobs=1)

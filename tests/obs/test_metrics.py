@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.obs.metrics` (the counter registry)."""
+
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry, hit_rate
+
+
+class TestMetricsRegistry:
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().get("never.incremented") == 0
+
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit")
+        registry.inc("pool.hit")
+        assert registry.get("pool.hit") == 2
+
+    def test_inc_with_count(self):
+        registry = MetricsRegistry()
+        registry.inc("disk.read", 5)
+        assert registry.get("disk.read") == 5
+
+    def test_snapshot_is_a_sorted_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("b.second")
+        registry.inc("a.first")
+        snap = registry.snapshot()
+        assert list(snap) == ["a.first", "b.second"]
+        registry.inc("a.first")  # mutating the registry must not alter snap
+        assert snap["a.first"] == 1
+
+    def test_delta_since_reports_only_changes(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit", 3)
+        registry.inc("pool.miss", 1)
+        snap = registry.snapshot()
+        registry.inc("pool.hit", 2)
+        registry.inc("disk.read")
+        assert registry.delta_since(snap) == {"disk.read": 1, "pool.hit": 2}
+
+    def test_delta_since_empty_when_unchanged(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit")
+        assert registry.delta_since(registry.snapshot()) == {}
+
+    def test_merge_accumulates_a_delta(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit", 2)
+        registry.merge({"pool.hit": 3, "pool.miss": 1})
+        assert registry.get("pool.hit") == 5
+        assert registry.get("pool.miss") == 1
+
+    def test_merge_of_delta_reconstructs_the_other_registry(self):
+        source = MetricsRegistry()
+        source.inc("disk.read", 7)
+        source.inc("pool.evict", 2)
+        target = MetricsRegistry()
+        target.merge(source.delta_since({}))
+        assert target.snapshot() == source.snapshot()
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit")
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+    def test_len_and_repr(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("b")
+        assert len(registry) == 2
+        assert "2 counters" in repr(registry)
+
+    def test_registry_hit_rate(self):
+        registry = MetricsRegistry()
+        registry.inc("pool.hit", 3)
+        registry.inc("pool.miss", 1)
+        assert registry.hit_rate("pool.hit", "pool.miss") == pytest.approx(0.75)
+
+    def test_registry_hit_rate_zero_access(self):
+        assert MetricsRegistry().hit_rate("pool.hit", "pool.miss") == 0.0
+
+
+class TestHitRateFunction:
+    def test_zero_accesses_is_zero_not_an_error(self):
+        assert hit_rate(0, 0) == 0.0
+
+    def test_all_hits(self):
+        assert hit_rate(10, 0) == 1.0
+
+    def test_all_misses(self):
+        assert hit_rate(0, 10) == 0.0
+
+    def test_ratio(self):
+        assert hit_rate(1, 3) == pytest.approx(0.25)
+
+
+def test_global_registry_exists():
+    assert isinstance(METRICS, MetricsRegistry)

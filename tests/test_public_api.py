@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.pdrtree",
     "repro.datagen",
     "repro.bench",
+    "repro.obs",
 ]
 
 
