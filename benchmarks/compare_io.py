@@ -39,9 +39,44 @@ def _io_view(payload: dict) -> dict:
     }
 
 
+#: BENCH_summary.json keys that identify the execution protocol.  Reads
+#: are only comparable between runs with the same protocol: a batched run
+#: (batch > 1) legally reads fewer pages, and kernel mode is recorded so
+#: a hypothetical divergence can be attributed.  Older result dirs
+#: predate these keys; a missing key is compatible with anything.
+PROTOCOL_KEYS = ("kernel", "batch")
+
+
+def _protocol_view(results_dir: Path) -> dict:
+    """The declared execution protocol of a result dir (may be empty)."""
+    summary = results_dir / "BENCH_summary.json"
+    if not summary.exists():
+        return {}
+    payload = json.loads(summary.read_text())
+    return {
+        key: payload[key] for key in PROTOCOL_KEYS if key in payload
+    }
+
+
 def compare_dirs(dir_a: Path, dir_b: Path) -> list[str]:
     """Return human-readable divergences between two result directories."""
     problems = []
+    protocol_a = _protocol_view(dir_a)
+    protocol_b = _protocol_view(dir_b)
+    for key in PROTOCOL_KEYS:
+        if (
+            key in protocol_a
+            and key in protocol_b
+            and protocol_a[key] != protocol_b[key]
+        ):
+            problems.append(
+                f"refusing to diff: {key} differs "
+                f"({dir_a}: {protocol_a[key]!r}, {dir_b}: {protocol_b[key]!r}) "
+                "— I/O numbers are only comparable under one execution "
+                "protocol"
+            )
+    if problems:
+        return problems
     files_a = {p.name for p in dir_a.glob("BENCH_*.json")}
     files_b = {p.name for p in dir_b.glob("BENCH_*.json")}
     files_a.discard("BENCH_summary.json")

@@ -37,6 +37,8 @@ from repro.bench import (
     result_to_dict,
     run_experiments,
 )
+from repro.core.kernels import kernel_mode
+from repro.exec import resolve_batch
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TRACE_ENV, resolve_trace_path
 from repro.storage.buffer import DECODED_CACHE_ENV
@@ -87,18 +89,27 @@ def main(argv: list[str] | None = None) -> int:
         help="write a measurement-scoped JSONL query trace to PATH "
         f"(default: the {TRACE_ENV} environment variable, else off)",
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queries per buffer pool (default: REPRO_BATCH or 1)",
+    )
     args = parser.parse_args(argv)
 
     scale = (
         _SCALES[args.scale]() if args.scale else ExperimentScale.from_env()
     )
     jobs = resolve_jobs(args.jobs)
+    batch = resolve_batch(args.batch)
     names = args.experiments or list(ALL_EXPERIMENTS)
     results_dir = args.results_dir
     results_dir.mkdir(parents=True, exist_ok=True)
     print(
         f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
-        f"qpp={scale.queries_per_point}  jobs={jobs}"
+        f"qpp={scale.queries_per_point}  jobs={jobs}  "
+        f"kernel={kernel_mode()}  batch={batch}"
     )
 
     trace_path = resolve_trace_path(
@@ -106,8 +117,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics = MetricsRegistry()
     started = time.perf_counter()
+    # kernel + batch identify the execution protocol; compare_io refuses
+    # to diff result dirs whose protocols conflict (batch > 1 legally
+    # lowers reads, so cross-protocol diffs are apples to oranges).
     summary = {
         "jobs": jobs,
+        "kernel": kernel_mode(),
+        "batch": batch,
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,
@@ -117,7 +133,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": {},
     }
     for name, result, elapsed in run_experiments(
-        names, scale, jobs, trace_path=trace_path, metrics=metrics
+        names, scale, jobs, trace_path=trace_path, metrics=metrics, batch=batch
     ):
         table = format_result(result)
         print(table)

@@ -66,6 +66,15 @@ def main(argv: list[str] | None = None) -> int:
         f"(default: the {TRACE_ENV} environment variable, else off)",
     )
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queries per buffer pool (default: REPRO_BATCH or 1; "
+        "1 is the paper's per-query protocol, >1 amortizes each pool "
+        "over the batch via repro.exec.BatchExecutor)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -92,7 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         str(args.trace) if args.trace is not None else None
     )
     for name, result, elapsed in run_experiments(
-        names, scale, args.jobs, trace_path=trace_path
+        names, scale, args.jobs, trace_path=trace_path, batch=args.batch
     ):
         table = format_result(result)
         print(table)

@@ -212,20 +212,36 @@ def measure_point(
     kind: str,
     x: float,
     pool_size: int = DEFAULT_POOL_SIZE,
+    batch_size: int | None = None,
 ) -> SeriesPoint:
     """Mean I/O of one workload point (one selectivity, one query kind).
 
     ``kind`` is ``"threshold"`` (PETQ) or ``"topk"`` (PEQ-top-k).
+
+    ``batch_size`` selects the execution protocol (``None`` consults
+    ``REPRO_BATCH`` via :func:`repro.exec.resolve_batch`): 1 is the
+    paper's per-query regime — fresh pool per query — and larger values
+    run the point through :class:`~repro.exec.BatchExecutor`, amortizing
+    each batch's pool across its queries (answers identical, reads
+    lower; see ``docs/batch-execution.md``).
     """
+    from repro.exec import resolve_batch
+
     if kind not in ("threshold", "topk"):
         raise QueryError(f"kind must be threshold or topk, got {kind!r}")
+    query_list: list[Query] = [
+        calibrated.threshold_query()
+        if kind == "threshold"
+        else calibrated.top_k_query()
+        for calibrated in queries
+    ]
+    batch = resolve_batch(batch_size)
+    if batch > 1:
+        return _measure_point_batched(
+            under_test, query_list, x, pool_size, batch
+        )
     measurements = []
-    for calibrated in queries:
-        query: Query
-        if kind == "threshold":
-            query = calibrated.threshold_query()
-        else:
-            query = calibrated.top_k_query()
+    for query in query_list:
         measurements.append(measure_query(under_test, query, pool_size))
     tags = sorted({tag for m in measurements for tag in m.reads_by_tag})
     return SeriesPoint(
@@ -242,4 +258,72 @@ def measure_point(
         total_checksum_failures=sum(m.checksum_failures for m in measurements),
         total_retries=sum(m.retries for m in measurements),
         total_faults_injected=sum(m.faults_injected for m in measurements),
+    )
+
+
+def _measure_point_batched(
+    under_test: IndexUnderTest,
+    query_list: list[Query],
+    x: float,
+    pool_size: int,
+    batch: int,
+) -> SeriesPoint:
+    """One workload point through the batch executor.
+
+    The observability scoping mirrors :func:`measure_query`, but around
+    the whole point: one METRICS / disk-stats / tag delta covers every
+    batch, and per-query read attribution is deliberately not attempted
+    (pools are shared within a batch, so a page read "belongs" to the
+    whole batch; the point reports the amortized mean).
+    """
+    from repro.exec import BatchExecutor
+
+    index = under_test.index
+    executor = BatchExecutor(
+        index,
+        strategy=under_test.strategy
+        if isinstance(index, ProbabilisticInvertedIndex)
+        else None,
+        pool_size=pool_size,
+        batch_size=batch,
+    )
+    collector = _trace.BENCH_COLLECTOR
+    tracer = _trace.ACTIVE
+    bench_tracer = None
+    if tracer is None and collector is not None:
+        bench_tracer = collector.tracer
+    metrics_before = METRICS.snapshot()
+    before = index.disk.stats.snapshot()
+    tags_before = index.disk.snapshot_tags()
+    if bench_tracer is not None:
+        with _trace.tracing(bench_tracer):
+            results = executor.run(query_list)
+    else:
+        results = executor.run(query_list)
+    delta = index.disk.stats.delta_since(before)
+    metrics_delta = METRICS.delta_since(metrics_before)
+    if collector is not None:
+        collector.metrics.merge(metrics_delta)
+    tags_after = index.disk.snapshot_tags()
+    n = len(query_list)
+    return SeriesPoint(
+        x=x,
+        mean_reads=delta.reads / n,
+        num_queries=n,
+        mean_result_size=mean(len(result) for result in results),
+        mean_reads_by_tag={
+            tag: (tags_after[tag] - tags_before.get(tag, 0)) / n
+            for tag in tags_after
+            if tags_after[tag] != tags_before.get(tag, 0)
+        },
+        mean_pool_hit_rate=hit_rate(
+            metrics_delta.get("pool.hit", 0), metrics_delta.get("pool.miss", 0)
+        ),
+        mean_decoded_hit_rate=hit_rate(
+            metrics_delta.get("decoded.hit", 0),
+            metrics_delta.get("decoded.miss", 0),
+        ),
+        total_checksum_failures=delta.checksum_failures,
+        total_retries=metrics_delta.get("pool.retry", 0),
+        total_faults_injected=delta.faults_injected,
     )

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.harness import ExperimentResult
 from repro.core.exceptions import QueryError
+from repro.exec import batch_override, resolve_batch
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import BenchCollector, MemorySink, Tracer
@@ -65,6 +66,7 @@ def _run_one(
     scale: ExperimentScale,
     plan: FaultPlan | None = None,
     trace: bool = False,
+    batch: int | None = None,
 ) -> tuple[ExperimentResult, float, list[str] | None, dict[str, int]]:
     """Run one experiment by name.
 
@@ -88,8 +90,12 @@ def _run_one(
     """
     if plan is None:
         plan = active_plan()
+    if batch is None:
+        batch = resolve_batch()
     collector = BenchCollector(Tracer(MemorySink()) if trace else None)
-    with fault_plan(plan), _trace.bench_collection(collector):
+    with fault_plan(plan), batch_override(batch), _trace.bench_collection(
+        collector
+    ):
         if collector.tracer is not None:
             collector.tracer.event("experiment.begin", name=name)
         started = time.perf_counter()
@@ -111,6 +117,7 @@ def run_experiments(
     jobs: int | None = None,
     trace_path=None,
     metrics: MetricsRegistry | None = None,
+    batch: int | None = None,
 ) -> Iterator[tuple[str, ExperimentResult, float]]:
     """Run experiments, yielding ``(name, result, elapsed)`` per experiment.
 
@@ -131,6 +138,7 @@ def run_experiments(
         raise QueryError(f"unknown experiment(s): {', '.join(unknown)}")
     jobs = resolve_jobs(jobs)
     plan = active_plan()  # resolve once; ship the same plan to every worker
+    batch = resolve_batch(batch)  # likewise shipped by value
     trace = trace_path is not None
     trace_file = open(trace_path, "w", encoding="utf-8") if trace else None
 
@@ -144,7 +152,7 @@ def run_experiments(
         if jobs == 1 or len(names) <= 1:
             for name in names:
                 result, elapsed, lines, snapshot = _run_one(
-                    name, scale, plan, trace
+                    name, scale, plan, trace, batch
                 )
                 absorb(lines, snapshot)
                 yield name, result, elapsed
@@ -153,7 +161,7 @@ def run_experiments(
             max_workers=min(jobs, len(names))
         ) as executor:
             futures = [
-                executor.submit(_run_one, name, scale, plan, trace)
+                executor.submit(_run_one, name, scale, plan, trace, batch)
                 for name in names
             ]
             for name, future in zip(names, futures):

@@ -195,6 +195,22 @@ class BPlusTree:
             page = self.pool.fetch_page(children[0])
         return page.page_id
 
+    def leftmost_path_ids(self) -> list[int]:
+        """Page-id path root -> leftmost leaf (the pages a fresh cursor reads).
+
+        Used by the batch executor to pin-ahead exactly the pages a
+        descending scan is guaranteed to touch first.  Costs the same
+        fetches as opening a cursor would.
+        """
+        path = []
+        page = self.pool.fetch_page(self.root_page_id)
+        path.append(page.page_id)
+        while node_type(page) == INTERNAL:
+            _, children = self._decoded_internal(page)
+            page = self.pool.fetch_page(children[0])
+            path.append(page.page_id)
+        return path
+
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Iterate all records in ascending key order."""
         for page in self.iter_leaf_pages():

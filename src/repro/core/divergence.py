@@ -122,6 +122,19 @@ def symmetric_kl(u: UncertainAttribute, v: UncertainAttribute) -> float:
     return 0.5 * (kl_divergence(u, v) + kl_divergence(v, u))
 
 
+def sparse_symmetric_kl(
+    u_items: np.ndarray,
+    u_values: np.ndarray,
+    v_items: np.ndarray,
+    v_values: np.ndarray,
+) -> float:
+    """Symmetrized KL over sparse vectors, ``(KL(u,v) + KL(v,u)) / 2``."""
+    return 0.5 * (
+        sparse_kl(u_items, u_values, v_items, v_values)
+        + sparse_kl(v_items, v_values, u_items, u_values)
+    )
+
+
 #: Registry of divergence measures by name, as used throughout the library
 #: and in the Figure 4 experiment.
 DIVERGENCES: dict[str, DivergenceFn] = {
@@ -131,6 +144,18 @@ DIVERGENCES: dict[str, DivergenceFn] = {
     "symmetric_kl": symmetric_kl,
 }
 
+#: Sparse-vector counterparts of :data:`DIVERGENCES`, keyed identically.
+#: Each UDA-level measure is a thin wrapper over its sparse function, so
+#: calling the sparse form on ``(u.items, u.probs, v.items, v.probs)``
+#: returns the bit-identical float — the DSTQ leaf loops rely on this to
+#: score decoded entry arrays without building UDA objects.
+SPARSE_DIVERGENCES: dict[str, Callable[..., float]] = {
+    "l1": sparse_l1,
+    "l2": sparse_l2,
+    "kl": sparse_kl,
+    "symmetric_kl": sparse_symmetric_kl,
+}
+
 
 def get_divergence(name: str) -> DivergenceFn:
     """Look up a divergence measure by name (case-insensitive)."""
@@ -138,6 +163,17 @@ def get_divergence(name: str) -> DivergenceFn:
         return DIVERGENCES[name.lower()]
     except KeyError:
         known = ", ".join(sorted(DIVERGENCES))
+        raise QueryError(
+            f"unknown divergence {name!r}; expected one of: {known}"
+        ) from None
+
+
+def get_sparse_divergence(name: str) -> Callable[..., float]:
+    """Look up the sparse-vector form of a divergence (case-insensitive)."""
+    try:
+        return SPARSE_DIVERGENCES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(SPARSE_DIVERGENCES))
         raise QueryError(
             f"unknown divergence {name!r}; expected one of: {known}"
         ) from None

@@ -1,0 +1,317 @@
+"""Vectorized scoring kernels (and the scalar/vectorized mode switch).
+
+The search strategies decode posting pages into NumPy arrays, but the
+seed implementation immediately fell back to per-posting Python loops
+(``tids.tolist()``).  This module provides block-wise replacements that
+are *bit-identical* to the scalar bookkeeping they replace:
+
+* :func:`exact_scores` — grouped score accumulation.  Scores everywhere
+  in the library are correctly rounded sums (``math.fsum``) of the
+  per-list products, so the kernel groups products by tid and applies
+  ``fsum`` per group (with a direct-assignment fast path for tids that
+  occur in exactly one list).  A naive ``np.add.at`` would accumulate
+  with sequential rounding and break bit-identity.
+* :class:`SeenFilter` — sorted-array membership replacing the
+  ``if tid in seen`` hot loop, preserving first-encounter order (the
+  order determines random-access order and therefore counted page
+  reads).
+* :func:`masked_lacks` — per-candidate NRA "lack" bounds via a
+  per-unique-bitmask ``fsum`` lookup table, exactly matching the scalar
+  per-candidate ``fsum``.
+* :class:`CandidatePool` — insertion-ordered NRA candidate store with
+  vectorized run updates (bitmask bookkeeping, tombstones).
+* :func:`kth_largest` / :func:`top_k_matches` — selection without
+  arithmetic (``np.partition``), so thresholds and tie-breaks are the
+  exact values the scalar ``sorted(...)`` code would produce.
+
+The ``REPRO_KERNEL`` environment variable selects the implementation
+(``vectorized`` is the default; ``scalar`` keeps the seed code paths
+alive for the differential test suite), and :func:`kernel_override`
+scopes a choice to a block of code.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+
+#: Environment variable selecting the kernel implementation.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognized kernel modes.
+KERNEL_MODES = ("vectorized", "scalar")
+
+#: Process-local override installed by :func:`kernel_override`.
+_OVERRIDE: str | None = None
+
+
+def kernel_mode() -> str:
+    """The active kernel mode: override, else ``REPRO_KERNEL``, else vectorized."""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    raw = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if raw in ("", "default", "on"):
+        return "vectorized"
+    if raw not in KERNEL_MODES:
+        raise QueryError(
+            f"{KERNEL_ENV} must be one of {KERNEL_MODES}, got {raw!r}"
+        )
+    return raw
+
+
+def vectorized() -> bool:
+    """Whether the vectorized kernels are active."""
+    return kernel_mode() == "vectorized"
+
+
+@contextmanager
+def kernel_override(mode: str):
+    """Scope a kernel mode to a block (used by tests and worker processes)."""
+    global _OVERRIDE
+    if mode not in KERNEL_MODES:
+        raise QueryError(
+            f"kernel mode must be one of {KERNEL_MODES}, got {mode!r}"
+        )
+    previous = _OVERRIDE
+    _OVERRIDE = mode
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous
+
+
+# ---------------------------------------------------------------------------
+# Exact grouped accumulation
+# ---------------------------------------------------------------------------
+
+def exact_scores(
+    tid_runs: list[np.ndarray], weighted_runs: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group per-list products by tid and sum each group with ``fsum``.
+
+    Returns ``(unique_tids_ascending, scores)``.  Bit-identical to the
+    scalar ``dict`` accumulation because ``math.fsum`` is correctly
+    rounded (order-independent) and a one-element ``fsum`` returns its
+    argument unchanged — so tids contributed by a single list (the
+    common case) take a direct-assignment fast path.
+    """
+    if not tid_runs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    tids = np.concatenate(tid_runs)
+    products = np.concatenate(weighted_runs)
+    order = np.argsort(tids, kind="stable")
+    tids = tids[order]
+    products = products[order]
+    unique, starts, counts = np.unique(
+        tids, return_index=True, return_counts=True
+    )
+    scores = np.empty(len(unique), dtype=np.float64)
+    single = counts == 1
+    scores[single] = products[starts[single]]
+    for i in np.nonzero(~single)[0].tolist():
+        start = starts[i]
+        scores[i] = math.fsum(products[start : start + counts[i]].tolist())
+    return unique, scores
+
+
+# ---------------------------------------------------------------------------
+# First-encounter filtering
+# ---------------------------------------------------------------------------
+
+class SeenFilter:
+    """Vectorized replacement for the ``if tid in seen`` dedup loop.
+
+    :meth:`admit` returns the run's never-seen tids *in run order*
+    (first occurrence wins within a run), and marks them seen.  The
+    run order matters: it is the order candidates are random-accessed,
+    which determines buffer-pool eviction patterns and therefore the
+    counted page reads.
+    """
+
+    __slots__ = ("_sorted",)
+
+    def __init__(self) -> None:
+        self._sorted = np.empty(0, dtype=np.int64)
+
+    def admit(self, tids: np.ndarray) -> np.ndarray:
+        if len(tids) == 0:
+            return tids
+        if len(self._sorted):
+            positions = np.minimum(
+                np.searchsorted(self._sorted, tids), len(self._sorted) - 1
+            )
+            novel_mask = self._sorted[positions] != tids
+            fresh = tids[novel_mask]
+        else:
+            fresh = tids
+        if len(fresh) == 0:
+            return fresh
+        unique, first = np.unique(fresh, return_index=True)
+        if len(unique) != len(fresh):
+            fresh = fresh[np.sort(first)]
+        self._sorted = np.union1d(self._sorted, unique)
+        return fresh
+
+
+# ---------------------------------------------------------------------------
+# NRA bookkeeping
+# ---------------------------------------------------------------------------
+
+def masked_lacks(masks: np.ndarray, terms: list[float]) -> np.ndarray:
+    """Per-candidate "lack" bounds: ``fsum(terms[j] for j not in mask)``.
+
+    Candidates sharing a bitmask share a lack value, so the ``fsum`` is
+    evaluated once per *unique* mask (a handful per resolve pass) and
+    scattered back — exactly the scalar per-candidate sum.
+    """
+    if len(masks) == 0:
+        return np.empty(0, dtype=np.float64)
+    unique, inverse = np.unique(masks, return_inverse=True)
+    num_lists = len(terms)
+    table = np.empty(len(unique), dtype=np.float64)
+    for u, mask in enumerate(unique.tolist()):
+        table[u] = math.fsum(
+            terms[j] for j in range(num_lists) if not mask >> j & 1
+        )
+    return table[inverse]
+
+
+class CandidatePool:
+    """Insertion-ordered NRA candidate store with vectorized run updates.
+
+    Mirrors the scalar dict bookkeeping of ``NoRandomAccess`` exactly:
+    candidates keep their admission order (the verification-pass order),
+    a discarded candidate is a tombstone that never revives, and within
+    one run the first occurrence of a tid wins.  Requires tids unique
+    within each run for the fancy-indexed ``+=`` (guaranteed by the
+    in-order dedup applied here).
+
+    Masks are held as int64 bitmasks, so at most 62 lists are supported;
+    callers fall back to the scalar path beyond that.
+    """
+
+    #: Highest list index representable in the int64 bitmask.
+    MAX_LISTS = 62
+
+    __slots__ = (
+        "tids",
+        "partial",
+        "masks",
+        "alive",
+        "confirmed",
+        "_sorted_tids",
+        "_sorted_slots",
+    )
+
+    def __init__(self) -> None:
+        self.tids = np.empty(0, dtype=np.int64)
+        self.partial = np.empty(0, dtype=np.float64)
+        self.masks = np.empty(0, dtype=np.int64)
+        self.alive = np.empty(0, dtype=np.bool_)
+        self.confirmed = np.empty(0, dtype=np.bool_)
+        self._sorted_tids = np.empty(0, dtype=np.int64)
+        self._sorted_slots = np.empty(0, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of live candidates (tombstones excluded)."""
+        return int(self.alive.sum())
+
+    def update_run(
+        self,
+        run_tids: np.ndarray,
+        run_probs: np.ndarray,
+        j: int,
+        q_prob: float,
+        admit: bool,
+    ) -> None:
+        """Fold one posting run from list ``j`` into the pool.
+
+        ``admit`` mirrors the scalar ``discovering`` flag: when false,
+        never-seen tids are ignored (they can no longer qualify).
+        """
+        if len(run_tids) == 0:
+            return
+        unique, first = np.unique(run_tids, return_index=True)
+        if len(unique) != len(run_tids):
+            keep = np.sort(first)
+            run_tids = run_tids[keep]
+            run_probs = run_probs[keep]
+        products = q_prob * run_probs
+        bit = np.int64(1) << np.int64(j)
+        if len(self._sorted_tids):
+            positions = np.minimum(
+                np.searchsorted(self._sorted_tids, run_tids),
+                len(self._sorted_tids) - 1,
+            )
+            found = self._sorted_tids[positions] == run_tids
+            slots = self._sorted_slots[positions[found]]
+            update = self.alive[slots] & ((self.masks[slots] & bit) == 0)
+            hit = slots[update]
+            self.partial[hit] += products[found][update]
+            self.masks[hit] |= bit
+        else:
+            found = np.zeros(len(run_tids), dtype=np.bool_)
+        if not admit:
+            return
+        fresh = run_tids[~found]
+        if len(fresh) == 0:
+            return
+        base = len(self.tids)
+        self.tids = np.concatenate([self.tids, fresh])
+        self.partial = np.concatenate([self.partial, products[~found]])
+        self.masks = np.concatenate(
+            [self.masks, np.full(len(fresh), bit, dtype=np.int64)]
+        )
+        self.alive = np.concatenate(
+            [self.alive, np.ones(len(fresh), dtype=np.bool_)]
+        )
+        self.confirmed = np.concatenate(
+            [self.confirmed, np.zeros(len(fresh), dtype=np.bool_)]
+        )
+        new_slots = np.arange(base, base + len(fresh), dtype=np.int64)
+        merged_tids = np.concatenate([self._sorted_tids, fresh])
+        merged_slots = np.concatenate([self._sorted_slots, new_slots])
+        order = np.argsort(merged_tids, kind="stable")
+        self._sorted_tids = merged_tids[order]
+        self._sorted_slots = merged_slots[order]
+
+    def live_tids(self) -> list[int]:
+        """Live candidate tids in admission order (the verification order)."""
+        return self.tids[self.alive].tolist()
+
+
+# ---------------------------------------------------------------------------
+# Exact selection
+# ---------------------------------------------------------------------------
+
+def kth_largest(values: np.ndarray, k: int) -> float:
+    """The k-th largest value — ``sorted(values, reverse=True)[k-1]``."""
+    position = len(values) - k
+    return float(np.partition(values, position)[position])
+
+
+def top_k_matches(
+    tids: np.ndarray, scores: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the top ``k`` by ``(score desc, tid asc)``, exact under ties.
+
+    ``np.partition`` preselects the candidates that can reach the k-th
+    score (selection only, no arithmetic), then a lexsort applies the
+    library's canonical ``Match`` ordering.
+    """
+    n = len(scores)
+    if n == 0 or k < 1:
+        return np.empty(0, dtype=np.int64)
+    if k < n:
+        kth = np.partition(scores, n - k)[n - k]
+        candidates = np.nonzero(scores >= kth)[0]
+    else:
+        candidates = np.arange(n)
+    order = np.lexsort((tids[candidates], -scores[candidates]))[:k]
+    return candidates[order]

@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.divergence import DivergenceFn, get_divergence
+from repro.core.divergence import (
+    DivergenceFn,
+    get_divergence,
+    get_sparse_divergence,
+)
 from repro.core.exceptions import QueryError
 from repro.core.uda import QueryVector, UncertainAttribute
 
@@ -91,6 +95,7 @@ class SimilarityThresholdQuery:
     threshold: float
     divergence: str = "l1"
     _fn: DivergenceFn = field(init=False, repr=False, compare=False)
+    _sparse_fn: DivergenceFn = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.q.nnz == 0:
@@ -100,10 +105,22 @@ class SimilarityThresholdQuery:
                 f"DSTQ threshold must be >= 0, got {self.threshold}"
             )
         object.__setattr__(self, "_fn", get_divergence(self.divergence))
+        object.__setattr__(
+            self, "_sparse_fn", get_sparse_divergence(self.divergence)
+        )
 
     def distance(self, other: UncertainAttribute) -> float:
         """Divergence from the query distribution to ``other``."""
         return self._fn(self.q, other)
+
+    def distance_arrays(self, items: np.ndarray, probs: np.ndarray) -> float:
+        """:meth:`distance` on a raw sparse vector, skipping UDA wrapping.
+
+        Bit-identical to ``distance(UncertainAttribute(items, probs))``
+        because every UDA-level divergence delegates to its sparse form
+        on exactly these arrays.
+        """
+        return self._sparse_fn(self.q.items, self.q.probs, items, probs)
 
 
 @dataclass(frozen=True)
@@ -114,6 +131,7 @@ class SimilarityTopKQuery:
     k: int
     divergence: str = "l1"
     _fn: DivergenceFn = field(init=False, repr=False, compare=False)
+    _sparse_fn: DivergenceFn = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.q.nnz == 0:
@@ -121,10 +139,22 @@ class SimilarityTopKQuery:
         if self.k < 1:
             raise QueryError(f"k must be >= 1, got {self.k}")
         object.__setattr__(self, "_fn", get_divergence(self.divergence))
+        object.__setattr__(
+            self, "_sparse_fn", get_sparse_divergence(self.divergence)
+        )
 
     def distance(self, other: UncertainAttribute) -> float:
         """Divergence from the query distribution to ``other``."""
         return self._fn(self.q, other)
+
+    def distance_arrays(self, items: np.ndarray, probs: np.ndarray) -> float:
+        """:meth:`distance` on a raw sparse vector, skipping UDA wrapping.
+
+        Bit-identical to ``distance(UncertainAttribute(items, probs))``
+        because every UDA-level divergence delegates to its sparse form
+        on exactly these arrays.
+        """
+        return self._sparse_fn(self.q.items, self.q.probs, items, probs)
 
 
 @dataclass(frozen=True)

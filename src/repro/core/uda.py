@@ -20,6 +20,7 @@ from collections.abc import Iterable, Iterator, Mapping
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.domain import CategoricalDomain
 from repro.core.exceptions import DomainError, InvalidDistributionError
 
@@ -49,6 +50,31 @@ def sparse_dot_fsum(
     return math.fsum((left_values[left_pos] * right_values[right_pos]).tolist())
 
 
+class _DenseScorer:
+    """Dense gather replacement for repeated sparse dots against one side.
+
+    Scoring a query against thousands of candidates recomputes the same
+    sorted-array intersection each time.  This table trades the
+    intersection for one gather: items outside the query's support (or
+    beyond it — ``take`` clips onto a trailing guard zero) contribute a
+    product of exactly ``+0.0``, and ``math.fsum`` is the *correctly
+    rounded* sum of its inputs, so appending exact zeros cannot change
+    the result — the score stays bit-identical to
+    :func:`sparse_dot_fsum`.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, items: np.ndarray, values: np.ndarray) -> None:
+        table = np.zeros(int(items[-1]) + 2)
+        table[items] = values
+        self._table = table
+
+    def score(self, items: np.ndarray, values: np.ndarray) -> float:
+        products = self._table.take(items, mode="clip") * values
+        return math.fsum(products.tolist())
+
+
 class QueryVector:
     """A sparse non-negative weight vector used as a query.
 
@@ -59,7 +85,7 @@ class QueryVector:
     exceed one.  Search strategies accept either type.
     """
 
-    __slots__ = ("items", "probs")
+    __slots__ = ("items", "probs", "_scorer")
 
     def __init__(self, items: np.ndarray, probs: np.ndarray) -> None:
         items = np.asarray(items, dtype=np.int64)
@@ -80,6 +106,7 @@ class QueryVector:
         probs.setflags(write=False)
         self.items = items
         self.probs = probs
+        self._scorer: _DenseScorer | None = None
 
     @property
     def nnz(self) -> int:
@@ -102,7 +129,19 @@ class QueryVector:
         return [(int(self.items[i]), float(self.probs[i])) for i in order]
 
     def equality_with_arrays(self, items: np.ndarray, probs: np.ndarray) -> float:
-        """Canonical weighted score against raw sparse arrays."""
+        """Canonical weighted score against raw sparse arrays.
+
+        The kernel mode is consulted once per instance (the env lookup is
+        too costly for a per-candidate loop); a scorer built under the
+        vectorized mode keeps serving if the mode later flips mid-object,
+        which is safe because both paths are bit-identical.
+        """
+        scorer = self._scorer
+        if scorer is not None:
+            return scorer.score(items, probs)
+        if kernels.vectorized() and self.nnz:
+            self._scorer = _DenseScorer(self.items, self.probs)
+            return self._scorer.score(items, probs)
         return sparse_dot_fsum(self.items, self.probs, items, probs)
 
     def equality_probability(self, other: "UncertainAttribute") -> float:
@@ -136,7 +175,7 @@ class UncertainAttribute:
     0.2
     """
 
-    __slots__ = ("items", "probs")
+    __slots__ = ("items", "probs", "_scorer")
 
     def __init__(self, items: np.ndarray, probs: np.ndarray) -> None:
         items = np.asarray(items, dtype=np.int64)
@@ -167,6 +206,7 @@ class UncertainAttribute:
         probs.setflags(write=False)
         self.items = items
         self.probs = probs
+        self._scorer: _DenseScorer | None = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -299,8 +339,20 @@ class UncertainAttribute:
         ``items`` must be strictly ascending with no duplicates (the
         stored UDA layout guarantees this).  Index executors score
         decoded page entries through this method so their probabilities
-        are bit-identical to the naive executor's.
+        are bit-identical to the naive executor's.  The vectorized kernel
+        mode scores through a cached :class:`_DenseScorer` (built on
+        first use, so only the query side of repeated scoring pays for
+        it); the scalar mode keeps the intersection-based seed path.  The
+        mode is consulted once per instance — a scorer built under the
+        vectorized mode keeps serving if the mode later flips mid-object,
+        which is safe because both paths are bit-identical.
         """
+        scorer = self._scorer
+        if scorer is not None:
+            return scorer.score(items, probs)
+        if kernels.vectorized() and self.nnz:
+            self._scorer = _DenseScorer(self.items, self.probs)
+            return self._scorer.score(items, probs)
         return sparse_dot_fsum(self.items, self.probs, items, probs)
 
     def entropy(self) -> float:

@@ -1,0 +1,19 @@
+"""Batched multi-query execution (shared-scan amortization).
+
+See :mod:`repro.exec.batch` for the executor and
+``docs/batch-execution.md`` for the cost model.
+"""
+
+from repro.exec.batch import (
+    BATCH_ENV,
+    BatchExecutor,
+    batch_override,
+    resolve_batch,
+)
+
+__all__ = [
+    "BATCH_ENV",
+    "BatchExecutor",
+    "batch_override",
+    "resolve_batch",
+]

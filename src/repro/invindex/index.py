@@ -22,6 +22,8 @@ paper's 100-block-per-query buffering regime.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.core.exceptions import KeyNotFoundError, QueryError
@@ -78,6 +80,7 @@ class ProbabilisticInvertedIndex:
         self._lists: dict[int, PostingList] = {}
         self._heap = HeapFile(self._pool, tag="tuples")
         self._rid_of_tid: dict[int, Rid] = {}
+        self._tuple_memo: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
         self.num_tuples = 0
         #: Whether the last :meth:`load` had to rebuild derived structures.
         self.recovered = False
@@ -98,6 +101,28 @@ class ProbabilisticInvertedIndex:
         self._heap.pool = pool
         for posting_list in self._lists.values():
             posting_list.pool = pool
+
+    @contextmanager
+    def shared_scan(self):
+        """Memoize random-access tuple decodes for a batch of queries.
+
+        While active, :meth:`fetch_uda_arrays` keeps each decoded tuple in
+        memory, so a tuple verified by one query in a batch is served to
+        every later query without re-fetching its heap page or re-decoding
+        the record.  Per-query logical behavior (answer sets, scores, stop
+        rules) is untouched — only repeated physical work is skipped,
+        which is exactly the amortization :class:`repro.exec.BatchExecutor`
+        models with its shared per-batch pool.  Never active at batch
+        size 1, so per-query I/O counts stay the paper's.
+        """
+        if self._tuple_memo is not None:  # nested batches don't occur,
+            yield  # but re-entry must not clear the outer scope's memo
+            return
+        self._tuple_memo = {}
+        try:
+            yield
+        finally:
+            self._tuple_memo = None
 
     # -- construction -----------------------------------------------------------
 
@@ -163,6 +188,11 @@ class ProbabilisticInvertedIndex:
         so strategies can score against these directly (one random
         access, no re-validation).
         """
+        memo = self._tuple_memo
+        if memo is not None:
+            cached = memo.get(tid)
+            if cached is not None:
+                return cached
         try:
             rid = self._rid_of_tid[tid]
         except KeyError:
@@ -174,7 +204,10 @@ class ProbabilisticInvertedIndex:
             raise KeyNotFoundError(
                 f"tuple list corrupted: rid of tid {tid} holds {stored_tid}"
             )
-        return pairs["item"].astype(np.int64), pairs["prob"].astype(np.float64)
+        arrays = pairs["item"].astype(np.int64), pairs["prob"].astype(np.float64)
+        if memo is not None:
+            memo[tid] = arrays
+        return arrays
 
     def fetch_uda(self, tid: int) -> UncertainAttribute:
         """Random access: fetch a tuple's full UDA from the tuple list."""
@@ -290,6 +323,7 @@ class ProbabilisticInvertedIndex:
         index.disk = disk
         index._pool = BufferPool(disk, 4096)
         index.recovered = not report.clean
+        index._tuple_memo = None
         heap_state = metadata["heap"]
         if not report.clean:
             heap_pages = set(heap_state["page_ids"])

@@ -128,6 +128,16 @@ class PostingList:
         """A cursor positioned at the head (highest probability)."""
         return PostingCursor(self)
 
+    def head_page_ids(self) -> list[int]:
+        """Page-id path root -> head leaf, in the order a cursor reads them.
+
+        The batch executor's pin-ahead hint: every strategy that touches
+        this list fetches exactly these pages first (opening a cursor,
+        starting a scan, or reading a prefix), so prefetching them is
+        guaranteed useful work.
+        """
+        return self._tree.leftmost_path_ids()
+
     def iter_leaf_arrays(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield each leaf's ``(tids, probs)`` pair, head to tail.
 

@@ -39,6 +39,15 @@ floating-point estimates, so every cut-off carries the safety margin
 :data:`EPSILON` (and a query/tuple mass allowance where the paper's
 argument relies on masses being at most one): the bounds may admit a few
 extra candidates, never drop a qualifying one.
+
+Kernels
+-------
+The per-posting bookkeeping (score accumulation, seen-set dedup, NRA
+lack bounds) runs block-wise over whole decoded leaf runs through
+:mod:`repro.core.kernels`.  ``REPRO_KERNEL=scalar`` selects the original
+per-posting loops; both modes return bit-identical answers, stats, stop
+reasons, and counted page reads (enforced by the differential suite in
+``tests/invindex/test_kernel_differential.py``).
 """
 
 from __future__ import annotations
@@ -46,6 +55,9 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
+from repro.core import kernels
 from repro.core.exceptions import QueryError
 from repro.core.results import Match, QueryResult, QueryStats
 from repro.core.uda import MASS_TOLERANCE, UncertainAttribute
@@ -91,6 +103,100 @@ def _stop(stats: QueryStats, strategy: str, reason: str, **fields) -> None:
         tracer.event("strategy.stop", strategy=strategy, reason=reason, **fields)
 
 
+def _scalar_novel(seen: set[int], tids: np.ndarray) -> list[int]:
+    """The original per-posting dedup loop (``REPRO_KERNEL=scalar``)."""
+    novel = []
+    for tid in tids.tolist():
+        if tid in seen:
+            continue
+        seen.add(tid)
+        novel.append(tid)
+    return novel
+
+
+class _NovelFilter:
+    """First-encounter tid filter, kernel-mode dispatched.
+
+    Returns each run's never-seen tids in encounter order — the order
+    candidates get random-accessed, which the I/O counts depend on.
+    """
+
+    __slots__ = ("_seen", "_filter")
+
+    def __init__(self) -> None:
+        if kernels.vectorized():
+            self._seen = None
+            self._filter = kernels.SeenFilter()
+        else:
+            self._seen: set[int] = set()
+            self._filter = None
+
+    def admit(self, tids: np.ndarray) -> list[int]:
+        if self._filter is not None:
+            return self._filter.admit(tids).tolist()
+        return _scalar_novel(self._seen, tids)
+
+
+class _TopKFrontier:
+    """The dynamic top-k frontier: found matches plus the k-th best score.
+
+    The seed code builds a :class:`Match` per positive candidate and
+    re-sorts the whole list after every consumed run just to read
+    ``found[k - 1].score``.  The scalar mode keeps exactly that; the
+    vectorized mode tracks plain ``(tid, score)`` lists, reads the k-th
+    largest with ``np.partition`` (the same float the sorted list holds
+    at ``[k - 1]`` — selection, no arithmetic), and materializes only
+    the k result matches via :func:`kernels.top_k_matches`, which
+    applies the identical ``(score desc, tid asc)`` ordering.
+    """
+
+    __slots__ = ("_k", "_found", "_tids", "_scores", "_vectorized")
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._vectorized = kernels.vectorized()
+        self._found: list[Match] = []
+        self._tids: list[int] = []
+        self._scores: list[float] = []
+
+    def __len__(self) -> int:
+        if self._vectorized:
+            return len(self._tids)
+        return len(self._found)
+
+    def add(self, tid: int, score: float) -> None:
+        if self._vectorized:
+            self._tids.append(tid)
+            self._scores.append(score)
+        else:
+            self._found.append(Match(tid=tid, score=score))
+
+    def round_done(self) -> None:
+        """Called where the seed code re-sorted after a consumed run."""
+        if not self._vectorized:
+            self._found.sort()
+
+    def tau_k(self) -> float:
+        """The k-th best exact score so far (0.0 until k are found)."""
+        if self._vectorized:
+            if len(self._tids) < self._k:
+                return 0.0
+            return kernels.kth_largest(np.asarray(self._scores), self._k)
+        if len(self._found) < self._k:
+            return 0.0
+        return self._found[self._k - 1].score
+
+    def results(self) -> list[Match]:
+        if not self._vectorized:
+            return self._found[: self._k]
+        tids = np.asarray(self._tids, dtype=np.int64)
+        scores = np.asarray(self._scores)
+        pick = kernels.top_k_matches(tids, scores, self._k)
+        return [
+            Match(tid=int(tids[i]), score=float(scores[i])) for i in pick
+        ]
+
+
 class _Verifier:
     """Random-access verification with per-query memoization."""
 
@@ -120,6 +226,38 @@ class _Verifier:
         probability = self._q.equality_with_arrays(items, probs)
         self._cache[tid] = probability
         return probability
+
+    def score_many(self, tids: list[int]) -> list[float]:
+        """:meth:`score` for a run of candidates, bookkeeping hoisted.
+
+        Semantically a per-tid :meth:`score` loop — same scores, same
+        per-miss trace events in the same order, same counter totals —
+        with the attribute lookups and counter updates lifted out of the
+        per-candidate hot path.
+        """
+        cache = self._cache
+        fetch = self._index.fetch_uda_arrays
+        equality = self._q.equality_with_arrays
+        tracer = _trace.ACTIVE
+        scores = []
+        misses = 0
+        for tid in tids:
+            cached = cache.get(tid)
+            if cached is not None:
+                scores.append(cached)
+                continue
+            misses += 1
+            if tracer is not None:
+                tracer.event("verify.random_access", tid=tid)
+            items, probs = fetch(tid)
+            probability = equality(items, probs)
+            cache[tid] = probability
+            scores.append(probability)
+        if misses:
+            self._stats.random_accesses += misses
+            self._stats.candidates_examined += misses
+            METRICS.inc("verify.random_access", misses)
+        return scores
 
 
 class _CursorSet:
@@ -234,8 +372,35 @@ class InvIndexSearch(SearchStrategy):
 
     def _gather(
         self, index: ProbabilisticInvertedIndex, q: UncertainAttribute, stats: QueryStats
-    ) -> dict[int, float]:
-        """Exact scores for every tuple sharing an item with ``q``."""
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact scores for every tuple sharing an item with ``q``.
+
+        Returns ``(tids, scores)`` with tids ascending.  The vectorized
+        path accumulates whole decoded runs (grouped ``fsum``, see
+        :func:`repro.core.kernels.exact_scores`); both paths produce the
+        same product multiset per tid, hence bit-identical scores.
+        """
+        if not kernels.vectorized():
+            return self._gather_scalar(index, q, stats)
+        tid_runs: list[np.ndarray] = []
+        weighted_runs: list[np.ndarray] = []
+        for item, q_prob in q.pairs():
+            posting_list = index.posting_list(item)
+            if posting_list is None:
+                continue
+            stats.nodes_visited += 1
+            tids, probs = posting_list.read_all()
+            stats.entries_scanned += len(tids)
+            tid_runs.append(tids)
+            weighted_runs.append(q_prob * probs)
+        tids, scores = kernels.exact_scores(tid_runs, weighted_runs)
+        stats.candidates_examined += len(tids)
+        return tids, scores
+
+    def _gather_scalar(
+        self, index: ProbabilisticInvertedIndex, q: UncertainAttribute, stats: QueryStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The original per-posting accumulation (``REPRO_KERNEL=scalar``)."""
         contributions: dict[int, list[float]] = {}
         for item, q_prob in q.pairs():
             posting_list = index.posting_list(item)
@@ -246,36 +411,42 @@ class InvIndexSearch(SearchStrategy):
             stats.entries_scanned += len(tids)
             for tid, prob in zip(tids.tolist(), probs.tolist()):
                 contributions.setdefault(tid, []).append(q_prob * prob)
-        scores = {
-            tid: math.fsum(products)
-            for tid, products in contributions.items()
-        }
-        stats.candidates_examined += len(scores)
-        return scores
+        stats.candidates_examined += len(contributions)
+        tids = np.fromiter(contributions, dtype=np.int64, count=len(contributions))
+        order = np.argsort(tids)
+        scores = np.array(
+            [math.fsum(products) for products in contributions.values()]
+        )
+        if len(tids) == 0:
+            scores = np.empty(0, dtype=np.float64)
+        return tids[order], scores[order]
 
     def threshold(self, index, q, tau):
         stats = QueryStats()
         _begin(self.name, "threshold", tau=tau)
-        scores = self._gather(index, q, stats)
+        tids, scores = self._gather(index, q, stats)
         _stop(stats, self.name, "scan_complete")
+        keep = scores >= tau
         matches = [
             Match(tid=tid, score=score)
-            for tid, score in scores.items()
-            if score >= tau
+            for tid, score in zip(tids[keep].tolist(), scores[keep].tolist())
         ]
         return QueryResult(matches, stats)
 
     def top_k(self, index, q, k):
         stats = QueryStats()
         _begin(self.name, "top_k", k=k)
-        scores = self._gather(index, q, stats)
+        tids, scores = self._gather(index, q, stats)
         _stop(stats, self.name, "scan_complete")
-        matches = sorted(
+        positive = np.nonzero(scores > 0.0)[0]
+        pick = positive[
+            kernels.top_k_matches(tids[positive], scores[positive], k)
+        ]
+        matches = [
             Match(tid=tid, score=score)
-            for tid, score in scores.items()
-            if score > 0.0
-        )
-        return QueryResult(matches[:k], stats)
+            for tid, score in zip(tids[pick].tolist(), scores[pick].tolist())
+        ]
+        return QueryResult(matches, stats)
 
 
 # ---------------------------------------------------------------------------
@@ -300,7 +471,7 @@ class HighestProbFirst(SearchStrategy):
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
         matches: list[Match] = []
-        seen: set[int] = set()
+        novel = _NovelFilter()
         while True:
             bound = cursors.bound()
             if bound < tau - EPSILON:
@@ -315,11 +486,8 @@ class HighestProbFirst(SearchStrategy):
             # is insensitive to batch size.
             tids, _ = cursors.pop_run(j)
             stats.entries_scanned += len(tids)
-            for tid in tids.tolist():
-                if tid in seen:
-                    continue
-                seen.add(tid)
-                score = verifier.score(tid)
+            novel_tids = novel.admit(tids)
+            for tid, score in zip(novel_tids, verifier.score_many(novel_tids)):
                 if score >= tau:
                     matches.append(Match(tid=tid, score=score))
         return QueryResult(matches, stats)
@@ -330,12 +498,12 @@ class HighestProbFirst(SearchStrategy):
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
-        found: list[Match] = []
-        seen: set[int] = set()
+        found = _TopKFrontier(k)
+        novel = _NovelFilter()
         while True:
             # Dynamic threshold: the k-th best exact score so far.
-            tau_k = found[k - 1].score if len(found) >= k else 0.0
             if len(found) >= k:
+                tau_k = found.tau_k()
                 bound = cursors.bound()
                 if bound < tau_k - EPSILON:
                     _stop(stats, self.name, "lemma1", bound=bound, tau=tau_k)
@@ -346,15 +514,12 @@ class HighestProbFirst(SearchStrategy):
                 break
             tids, _ = cursors.pop_run(j)
             stats.entries_scanned += len(tids)
-            for tid in tids.tolist():
-                if tid in seen:
-                    continue
-                seen.add(tid)
-                score = verifier.score(tid)
+            novel_tids = novel.admit(tids)
+            for tid, score in zip(novel_tids, verifier.score_many(novel_tids)):
                 if score > 0.0:
-                    found.append(Match(tid=tid, score=score))
-            found.sort()
-        return QueryResult(found[:k], stats)
+                    found.add(tid, score)
+            found.round_done()
+        return QueryResult(found.results(), stats)
 
 
 # ---------------------------------------------------------------------------
@@ -378,7 +543,7 @@ class RowPruning(SearchStrategy):
         verifier = _Verifier(index, q, stats)
         cutoff = tau / _MASS_BOUND - EPSILON
         matches: list[Match] = []
-        seen: set[int] = set()
+        novel = _NovelFilter()
         for item, q_prob in q.pairs_by_probability():
             if q_prob < cutoff:
                 # Pairs are in descending q_prob order; no later list can
@@ -397,11 +562,8 @@ class RowPruning(SearchStrategy):
             stats.nodes_visited += 1
             tids, _ = posting_list.read_all()
             stats.entries_scanned += len(tids)
-            for tid in tids.tolist():
-                if tid in seen:
-                    continue
-                seen.add(tid)
-                score = verifier.score(tid)
+            novel_tids = novel.admit(tids)
+            for tid, score in zip(novel_tids, verifier.score_many(novel_tids)):
                 if score >= tau:
                     matches.append(Match(tid=tid, score=score))
         else:
@@ -413,10 +575,10 @@ class RowPruning(SearchStrategy):
         stats = QueryStats()
         _begin(self.name, "top_k", k=k)
         verifier = _Verifier(index, q, stats)
-        found: list[Match] = []
-        seen: set[int] = set()
+        found = _TopKFrontier(k)
+        novel = _NovelFilter()
         for item, q_prob in q.pairs_by_probability():
-            tau_k = found[k - 1].score if len(found) >= k else 0.0
+            tau_k = found.tau_k()
             if len(found) >= k and q_prob * _MASS_BOUND < tau_k - EPSILON:
                 # No unseen tuple in this or later lists can qualify.
                 _stop(
@@ -433,17 +595,14 @@ class RowPruning(SearchStrategy):
             stats.nodes_visited += 1
             tids, _ = posting_list.read_all()
             stats.entries_scanned += len(tids)
-            for tid in tids.tolist():
-                if tid in seen:
-                    continue
-                seen.add(tid)
-                score = verifier.score(tid)
+            novel_tids = novel.admit(tids)
+            for tid, score in zip(novel_tids, verifier.score_many(novel_tids)):
                 if score > 0.0:
-                    found.append(Match(tid=tid, score=score))
-            found.sort()
+                    found.add(tid, score)
+            found.round_done()
         else:
             _stop(stats, self.name, "exhausted")
-        return QueryResult(found[:k], stats)
+        return QueryResult(found.results(), stats)
 
 
 # ---------------------------------------------------------------------------
@@ -466,7 +625,7 @@ class ColumnPruning(SearchStrategy):
         verifier = _Verifier(index, q, stats)
         cutoff = tau / max(q.total_mass, EPSILON) - EPSILON
         matches: list[Match] = []
-        seen: set[int] = set()
+        novel = _NovelFilter()
         for item, _ in q.pairs_by_probability():
             posting_list = index.posting_list(item)
             if posting_list is None:
@@ -474,11 +633,8 @@ class ColumnPruning(SearchStrategy):
             stats.nodes_visited += 1
             tids, _ = posting_list.read_prefix(cutoff)
             stats.entries_scanned += len(tids)
-            for tid in tids.tolist():
-                if tid in seen:
-                    continue
-                seen.add(tid)
-                score = verifier.score(tid)
+            novel_tids = novel.admit(tids)
+            for tid, score in zip(novel_tids, verifier.score_many(novel_tids)):
                 if score >= tau:
                     matches.append(Match(tid=tid, score=score))
         # Every list was visited (to its prefix cutoff); there is no
@@ -496,11 +652,11 @@ class ColumnPruning(SearchStrategy):
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
         q_mass = max(q.total_mass, EPSILON)
-        found: list[Match] = []
-        seen: set[int] = set()
+        found = _TopKFrontier(k)
+        novel = _NovelFilter()
         live = [not cursor.exhausted for cursor in cursors.cursors]
         while any(live):
-            tau_k = found[k - 1].score if len(found) >= k else 0.0
+            tau_k = found.tau_k()
             cutoff = tau_k / q_mass - EPSILON if len(found) >= k else -1.0
             advanced = False
             for j, cursor in enumerate(cursors.cursors):
@@ -518,21 +674,20 @@ class ColumnPruning(SearchStrategy):
                 keep = run_probs >= cutoff
                 stats.entries_scanned += int(keep.sum())
                 advanced = True
-                for tid in run_tids[keep].tolist():
-                    if tid in seen:
-                        continue
-                    seen.add(tid)
-                    score = verifier.score(tid)
+                novel_tids = novel.admit(run_tids[keep])
+                for tid, score in zip(
+                    novel_tids, verifier.score_many(novel_tids)
+                ):
                     if score > 0.0:
-                        found.append(Match(tid=tid, score=score))
-                found.sort()
+                        found.add(tid, score)
+                found.round_done()
             if not advanced:
                 break
         if any(not cursor.exhausted for cursor in cursors.cursors):
             _stop(stats, self.name, "column_cutoff")
         else:
             _stop(stats, self.name, "exhausted")
-        return QueryResult(found[:k], stats)
+        return QueryResult(found.results(), stats)
 
 
 # ---------------------------------------------------------------------------
@@ -576,6 +731,70 @@ class NoRandomAccess(SearchStrategy):
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
+        # The vectorized pool packs "which lists" into an int64 bitmask;
+        # wider queries take the scalar path (dict bookkeeping has no
+        # list-count limit).
+        if kernels.vectorized() and len(cursors) <= kernels.CandidatePool.MAX_LISTS:
+            return self._threshold_vec(tau, stats, verifier, cursors)
+        return self._threshold_scalar(tau, stats, verifier, cursors)
+
+    def _threshold_vec(self, tau, stats, verifier, cursors):
+        """Block-wise NRA: whole runs folded into a :class:`CandidatePool`."""
+        pool = kernels.CandidatePool()
+        discovering = True
+        since_resolve = self.resolve_every  # force an initial pass
+        while True:
+            if since_resolve >= self.resolve_every:
+                since_resolve = 0
+                heads = [cursor.head_prob() for cursor in cursors.cursors]
+                terms = [
+                    q_prob * head
+                    for q_prob, head in zip(cursors.q_probs, heads)
+                ]
+                unseen_bound = math.fsum(terms)
+                if discovering and unseen_bound < tau - EPSILON:
+                    discovering = False
+                active = np.nonzero(pool.alive & ~pool.confirmed)[0]
+                lacks = kernels.masked_lacks(pool.masks[active], terms)
+                partial = pool.partial[active]
+                drop = partial + lacks < tau - EPSILON
+                pool.alive[active[drop]] = False  # tombstones, never revive
+                pool.confirmed[active[~drop & (partial >= tau + EPSILON)]] = True
+                confirmed_total = int(pool.confirmed.sum())
+                unresolved = pool.size - confirmed_total
+                METRICS.inc("nra.resolve")
+                tracer = _trace.ACTIVE
+                if tracer is not None:
+                    tracer.event(
+                        "nra.resolve",
+                        discarded=int(drop.sum()),
+                        confirmed=confirmed_total,
+                        unresolved=unresolved,
+                    )
+                if not discovering and unresolved <= self.fallback:
+                    _stop(
+                        stats, self.name, "nra_fallback", unresolved=unresolved
+                    )
+                    break
+            j = cursors.most_promising()
+            if j is None:
+                _stop(stats, self.name, "exhausted")
+                break
+            run_tids, run_probs = cursors.pop_run(j)
+            stats.entries_scanned += len(run_tids)
+            since_resolve += len(run_tids)
+            pool.update_run(
+                run_tids, run_probs, j, cursors.q_probs[j], admit=discovering
+            )
+        matches = []
+        live = pool.live_tids()
+        for tid, score in zip(live, verifier.score_many(live)):
+            if score >= tau:
+                matches.append(Match(tid=tid, score=score))
+        return QueryResult(matches, stats)
+
+    def _threshold_scalar(self, tau, stats, verifier, cursors):
+        """The original per-posting NRA loop (``REPRO_KERNEL=scalar``)."""
         num_lists = len(cursors)
         partial: dict[int, float] = {}
         seen_in: dict[int, int] = {}  # tid -> bitmask of consumed lists
@@ -670,6 +889,66 @@ class NoRandomAccess(SearchStrategy):
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
+        if kernels.vectorized() and len(cursors) <= kernels.CandidatePool.MAX_LISTS:
+            return self._top_k_vec(k, stats, verifier, cursors)
+        return self._top_k_scalar(k, stats, verifier, cursors)
+
+    def _top_k_vec(self, k, stats, verifier, cursors):
+        """Block-wise candidate collection, then bounded verification."""
+        pool = kernels.CandidatePool()
+        since_check = self.resolve_every  # force an initial stop check
+        while True:
+            if since_check >= self.resolve_every:
+                since_check = 0
+                heads = [cursor.head_prob() for cursor in cursors.cursors]
+                unseen_bound = math.fsum(
+                    q_prob * head
+                    for q_prob, head in zip(cursors.q_probs, heads)
+                )
+                if len(pool.tids) >= k:
+                    tau_k = kernels.kth_largest(pool.partial, k)
+                    if unseen_bound < tau_k - EPSILON:
+                        _stop(
+                            stats,
+                            self.name,
+                            "lemma1",
+                            bound=unseen_bound,
+                            tau=tau_k,
+                        )
+                        break
+            j = cursors.most_promising()
+            if j is None:
+                _stop(stats, self.name, "exhausted")
+                break
+            run_tids, run_probs = cursors.pop_run(j)
+            stats.entries_scanned += len(run_tids)
+            since_check += len(run_tids)
+            pool.update_run(
+                run_tids, run_probs, j, cursors.q_probs[j], admit=True
+            )
+        if len(pool.tids) == 0:
+            return QueryResult([], stats)
+        tau_k = (
+            kernels.kth_largest(pool.partial, k)
+            if len(pool.tids) >= k
+            else 0.0
+        )
+        heads = [cursor.head_prob() for cursor in cursors.cursors]
+        terms = [
+            q_prob * head for q_prob, head in zip(cursors.q_probs, heads)
+        ]
+        lacks = kernels.masked_lacks(pool.masks, terms)
+        keep = ~(pool.partial + lacks < tau_k - EPSILON)
+        found = []
+        survivors = pool.tids[keep].tolist()
+        for tid, score in zip(survivors, verifier.score_many(survivors)):
+            if score > 0.0:
+                found.append(Match(tid=tid, score=score))
+        found.sort()
+        return QueryResult(found[:k], stats)
+
+    def _top_k_scalar(self, k, stats, verifier, cursors):
+        """The original per-posting loop (``REPRO_KERNEL=scalar``)."""
         num_lists = len(cursors)
         partial: dict[int, float] = {}
         seen_in: dict[int, int] = {}

@@ -80,6 +80,11 @@ SCHEMA: dict[str, RecordSpec] = {
     "join.begin": _spec({"join_kind": str}, {"threshold": float, "k": int}),
     "join.probe": _spec({"left_tid": int}),
     "join.end": _spec({"join_kind": str, "pairs": int, "probes": int}),
+    # -- batch executor -----------------------------------------------------
+    "batch.begin": _spec({"size": int, "structure": str}, {"strategy": str}),
+    "batch.query": _spec({"position": int, "query": str}),
+    "batch.shared_page": _spec({"page_id": int, "queries": int}),
+    "batch.end": _spec({"size": int, "shared_pages": int}),
     # -- bench harness ------------------------------------------------------
     "measure.begin": _spec({"index": str, "query": str, "pool_size": int}),
     "measure.end": _spec({"index": str, "reads": int, "matches": int}),

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.exceptions import (
     KeyNotFoundError,
     QueryError,
@@ -637,10 +638,17 @@ class PDRTree:
                     if bound <= query.threshold + EPSILON:
                         stack.append(entry.child_id)
             else:
+                # Vectorized kernels score decoded entry arrays directly
+                # (same sparse divergence on the same floats; the UDA
+                # wrapper only re-validated already-valid pages).
+                direct = kernels.vectorized()
                 for entry in self._get_leaf(page_id):
                     stats.candidates_examined += 1
-                    uda = UncertainAttribute(entry.items, entry.probs)
-                    dist = query.distance(uda)
+                    if direct:
+                        dist = query.distance_arrays(entry.items, entry.probs)
+                    else:
+                        uda = UncertainAttribute(entry.items, entry.probs)
+                        dist = query.distance(uda)
                     if dist <= query.threshold:
                         matches.append(Match(tid=entry.tid, score=-dist))
         return QueryResult(matches, stats)
@@ -682,10 +690,16 @@ class PDRTree:
                         break
                     visit(child_id)
             else:
+                direct = kernels.vectorized()
                 for entry in self._get_leaf(page_id):
                     stats.candidates_examined += 1
-                    uda = UncertainAttribute(entry.items, entry.probs)
-                    found.append(Match(tid=entry.tid, score=-query.distance(uda)))
+                    if direct:
+                        dist = query.distance_arrays(entry.items, entry.probs)
+                    else:
+                        dist = query.distance(
+                            UncertainAttribute(entry.items, entry.probs)
+                        )
+                    found.append(Match(tid=entry.tid, score=-dist))
                 found.sort()
                 del found[max(k, 0) + 64 :]
 

@@ -175,6 +175,55 @@ class BufferPool:
             frame.pin_count += 1
         return frame.page
 
+    def fetch_many(
+        self, page_ids, *, pin: bool = False, reserve: int = 0
+    ) -> list[int]:
+        """Fetch (and optionally pin) a batch of pages, in order.
+
+        The batch executor's pin-ahead prefetch: shared pages are fetched
+        once up front so later queries in the batch hit them without
+        re-reading, and — when ``pin`` is true — cannot lose them to
+        eviction mid-batch.  Duplicate ids are fetched (and pinned) once.
+
+        ``reserve`` keeps that many frames un-pinned for the queries'
+        own working sets: pinning stops (the remaining ids are simply not
+        prefetched — correctness never depends on the hint) as soon as
+        another pin would leave fewer than ``reserve`` free frames.
+
+        Returns the page ids actually pinned, in pin order; the caller
+        owes one :meth:`unpin_page` per entry.
+        """
+        pinned: list[int] = []
+        seen: set[int] = set()
+        if pin:
+            in_use = sum(
+                1 for frame in self._frames.values() if frame.pin_count > 0
+            )
+        for page_id in page_ids:
+            if page_id in seen:
+                continue
+            seen.add(page_id)
+            if pin:
+                frame = self._frames.get(page_id)
+                newly_pinned = frame is None or frame.pin_count == 0
+                if newly_pinned and in_use + 1 > self.capacity - reserve:
+                    break
+                self.fetch_page(page_id, pin=True)
+                pinned.append(page_id)
+                if newly_pinned:
+                    in_use += 1
+            else:
+                self.fetch_page(page_id)
+        return pinned
+
+    def pinned_page_ids(self) -> list[int]:
+        """Ids of currently pinned resident pages (ascending)."""
+        return sorted(
+            page_id
+            for page_id, frame in self._frames.items()
+            if frame.pin_count > 0
+        )
+
     def new_page(self, *, pin: bool = False, tag: str = "untagged") -> Page:
         """Allocate a disk page and return its (resident, dirty) frame.
 

@@ -1,0 +1,123 @@
+"""Differential suite: batched execution is answer-identical to per-query.
+
+Hypothesis generates mixed workloads; each runs once under the paper's
+per-query protocol (fresh pool per query) and once per batch size.  Every
+batch size must reproduce the per-query answer sets, scores (exact float
+equality), and stop reasons; batch size 1 must additionally reproduce the
+counted physical page reads *exactly*, because it degenerates to the
+per-query protocol by construction.  One test repeats the comparison with
+fault injection enabled.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    WindowedEqualityQuery,
+)
+from repro.exec import BatchExecutor
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.storage import BufferPool
+from repro.storage.faults import FaultPlan, fault_plan
+
+from tests.invindex.conftest import random_query, random_relation
+
+POOL_SIZE = 100
+BATCH_SIZES = (1, 3, 7)
+STRATEGY = "highest_prob_first"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    relation = random_relation(250, 12, seed=83)
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    return relation, index
+
+
+def _workload(domain_size, base_seed, count):
+    queries = []
+    for i in range(count):
+        q = random_query(domain_size, seed=base_seed + i)
+        if i % 3 == 0:
+            queries.append(EqualityThresholdQuery(q, 0.01 + (i % 5) * 0.04))
+        elif i % 3 == 1:
+            queries.append(EqualityTopKQuery(q, 1 + i % 9))
+        else:
+            queries.append(WindowedEqualityQuery(q, 0.05, 1 + i % 2))
+    return queries
+
+
+def _snapshot(results):
+    """Everything the protocols must agree on, per query."""
+    return [
+        ([(m.tid, m.score) for m in result], result.stats.stop_reason)
+        for result in results
+    ]
+
+
+def _per_query(index, queries):
+    results = []
+    before = index.disk.stats.snapshot()
+    for query in queries:
+        index.pool = BufferPool(index.disk, POOL_SIZE)
+        results.append(index.execute(query, strategy=STRATEGY))
+    reads = index.disk.stats.delta_since(before).reads
+    return _snapshot(results), reads
+
+
+def _batched(index, queries, batch_size):
+    executor = BatchExecutor(
+        index,
+        strategy=STRATEGY,
+        pool_size=POOL_SIZE,
+        batch_size=batch_size,
+    )
+    before = index.disk.stats.snapshot()
+    results = executor.run(queries)
+    reads = index.disk.stats.delta_since(before).reads
+    return _snapshot(results), reads
+
+
+def _assert_protocols_agree(index, queries):
+    baseline, baseline_reads = _per_query(index, queries)
+    for batch_size in BATCH_SIZES:
+        batched, batched_reads = _batched(index, queries, batch_size)
+        assert batched == baseline, f"batch={batch_size}: answers diverge"
+        if batch_size == 1:
+            assert batched_reads == baseline_reads, (
+                "batch size 1 must match per-query page reads exactly: "
+                f"{batched_reads} != {baseline_reads}"
+            )
+        else:
+            assert batched_reads <= baseline_reads, (
+                f"batch={batch_size} read more pages than per-query"
+            )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    base_seed=st.integers(0, 10_000),
+    count=st.integers(2, 14),
+)
+def test_batched_matches_per_query(dataset, base_seed, count):
+    relation, index = dataset
+    queries = _workload(len(relation.domain), base_seed, count)
+    _assert_protocols_agree(index, queries)
+
+
+def test_batched_matches_per_query_under_faults(dataset):
+    """The agreement must survive the fault layer's recovered read errors."""
+    relation, index = dataset
+    plan = FaultPlan(seed=29, read_error_rate=0.03, bit_rot_rate=0.01)
+    with fault_plan(plan):
+        for base_seed in (3, 71):
+            queries = _workload(len(relation.domain), base_seed, 10)
+            _assert_protocols_agree(index, queries)

@@ -199,3 +199,70 @@ class TestFlush:
         before = disk.stats.snapshot()
         pool.flush_page(page.page_id)  # second flush: nothing to write
         assert disk.stats.delta_since(before).writes == 0
+
+
+class TestFetchMany:
+    def test_duplicates_fetched_and_pinned_once(self, disk):
+        pids = fill_disk(disk, 3)
+        pool = BufferPool(disk, capacity=4)
+        got = pool.fetch_many([pids[0], pids[1], pids[0]], pin=True)
+        assert got == [pids[0], pids[1]]  # pin order, dup collapsed
+        assert pool.pinned_page_ids() == sorted(got)
+        # Each entry in the returned list owes exactly one unpin.
+        for pid in got:
+            pool.unpin_page(pid)
+        assert pool.pinned_page_ids() == []
+
+    def test_unpinned_fetch_returns_empty_list(self, disk):
+        pids = fill_disk(disk, 3)
+        pool = BufferPool(disk, capacity=4)
+        assert pool.fetch_many(pids) == []
+        assert pool.num_resident == 3
+        assert pool.pinned_page_ids() == []
+
+    def test_reserve_budget_stops_pinning(self, disk):
+        pids = fill_disk(disk, 6)
+        pool = BufferPool(disk, capacity=4)
+        got = pool.fetch_many(pids, pin=True, reserve=2)
+        # Only capacity - reserve = 2 frames may hold pins.
+        assert got == pids[:2]
+        assert pool.pinned_page_ids() == sorted(pids[:2])
+        for pid in got:
+            pool.unpin_page(pid)
+
+    def test_already_pinned_page_costs_no_budget(self, disk):
+        pids = fill_disk(disk, 4)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch_page(pids[0], pin=True)
+        # pids[0] is already pinned: re-pinning it must not count against
+        # the reserve budget, so one *new* pin still fits.
+        got = pool.fetch_many([pids[0], pids[1], pids[2]], pin=True, reserve=2)
+        assert got == [pids[0], pids[1]]
+        for pid in got:
+            pool.unpin_page(pid)
+        pool.unpin_page(pids[0])
+        assert pool.pinned_page_ids() == []
+
+    def test_resident_pages_are_hits(self, disk):
+        pids = fill_disk(disk, 2)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch_page(pids[0])
+        before = disk.stats.snapshot()
+        pool.fetch_many(pids, pin=True)
+        assert disk.stats.delta_since(before).reads == 1  # only pids[1]
+        for pid in pids:
+            pool.unpin_page(pid)
+
+
+class TestCounters:
+    def test_hit_ratio_zero_access_is_zero(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        assert pool.hit_ratio == 0.0
+
+    def test_pinned_page_ids_sorted(self, disk):
+        pids = fill_disk(disk, 3)
+        pool = BufferPool(disk, capacity=4)
+        pool.fetch_page(pids[2], pin=True)
+        pool.fetch_page(pids[0], pin=True)
+        pool.fetch_page(pids[1])
+        assert pool.pinned_page_ids() == sorted([pids[0], pids[2]])

@@ -83,3 +83,35 @@ def test_clock_bookkeeping_invariants(capacity, operations):
         assert pool.num_resident <= capacity
         for resident_pid in pinned:
             assert pool.is_resident(resident_pid)
+
+
+@given(
+    capacity=st.integers(2, 6),
+    prefetches=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 11), min_size=1, max_size=8),
+            st.integers(0, 3),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_fetch_many_pins_always_balance(capacity, prefetches):
+    """Pin-ahead prefetch hygiene: whatever ids, reserve budgets, and
+    fault-layer retries occur, unpinning exactly the returned list leaves
+    the pool with zero pins — the batch executor's finally-block contract."""
+    from repro.storage.faults import FaultPlan, fault_plan
+
+    disk = DiskManager(page_size=16)
+    pids = [disk.allocate_page() for _ in range(12)]
+    pool = BufferPool(disk, capacity=capacity)
+    plan = FaultPlan(seed=5, read_error_rate=0.05, bit_rot_rate=0.02)
+    with fault_plan(plan):
+        for slots, reserve in prefetches:
+            got = pool.fetch_many(
+                [pids[slot] for slot in slots], pin=True, reserve=reserve
+            )
+            for pid in got:
+                pool.unpin_page(pid)
+            assert pool.pinned_page_ids() == []
+            assert pool.num_resident <= capacity

@@ -178,3 +178,7 @@ class TestPoolIntegration:
         writer.flush_all()
         fresh = pool.fetch_page(pid)  # version 0 again — but entry is gone
         assert pool.decoded.get("kind", fresh) is None
+
+class TestZeroAccessCounters:
+    def test_hit_rate_zero_access_is_zero(self):
+        assert DecodedCache(4).hit_rate == 0.0
