@@ -41,10 +41,11 @@ def _io_view(payload: dict) -> dict:
 
 #: BENCH_summary.json keys that identify the execution protocol.  Reads
 #: are only comparable between runs with the same protocol: a batched run
-#: (batch > 1) legally reads fewer pages, and kernel mode is recorded so
-#: a hypothetical divergence can be attributed.  Older result dirs
-#: predate these keys; a missing key is compatible with anything.
-PROTOCOL_KEYS = ("kernel", "batch")
+#: (batch > 1) or a block join run (join_block > 1) legally reads fewer
+#: pages, and kernel mode is recorded so a hypothetical divergence can
+#: be attributed.  Older result dirs predate these keys; a missing key
+#: is compatible with anything.
+PROTOCOL_KEYS = ("kernel", "batch", "join_block")
 
 
 def _protocol_view(results_dir: Path) -> dict:

@@ -38,7 +38,7 @@ from repro.bench import (
     run_experiments,
 )
 from repro.core.kernels import kernel_mode
-from repro.exec import resolve_batch
+from repro.exec import resolve_batch, resolve_join_block
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TRACE_ENV, resolve_trace_path
 from repro.storage.buffer import DECODED_CACHE_ENV
@@ -96,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="queries per buffer pool (default: REPRO_BATCH or 1)",
     )
+    parser.add_argument(
+        "--join-block",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outer tuples per join block (default: REPRO_JOIN_BLOCK or 1; "
+        "1 is the per-probe protocol, >1 enables the block rank-join "
+        "engine's shared scans and adaptive thresholds)",
+    )
     args = parser.parse_args(argv)
 
     scale = (
@@ -103,13 +112,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     jobs = resolve_jobs(args.jobs)
     batch = resolve_batch(args.batch)
+    join_block = resolve_join_block(args.join_block)
     names = args.experiments or list(ALL_EXPERIMENTS)
     results_dir = args.results_dir
     results_dir.mkdir(parents=True, exist_ok=True)
     print(
         f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
         f"qpp={scale.queries_per_point}  jobs={jobs}  "
-        f"kernel={kernel_mode()}  batch={batch}"
+        f"kernel={kernel_mode()}  batch={batch}  join_block={join_block}"
     )
 
     trace_path = resolve_trace_path(
@@ -117,13 +127,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics = MetricsRegistry()
     started = time.perf_counter()
-    # kernel + batch identify the execution protocol; compare_io refuses
-    # to diff result dirs whose protocols conflict (batch > 1 legally
-    # lowers reads, so cross-protocol diffs are apples to oranges).
+    # kernel + batch + join_block identify the execution protocol;
+    # compare_io refuses to diff result dirs whose protocols conflict
+    # (batch or join_block > 1 legally lowers reads, so cross-protocol
+    # diffs are apples to oranges).
     summary = {
         "jobs": jobs,
         "kernel": kernel_mode(),
         "batch": batch,
+        "join_block": join_block,
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,
@@ -133,7 +145,13 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": {},
     }
     for name, result, elapsed in run_experiments(
-        names, scale, jobs, trace_path=trace_path, metrics=metrics, batch=batch
+        names,
+        scale,
+        jobs,
+        trace_path=trace_path,
+        metrics=metrics,
+        batch=batch,
+        join_block=join_block,
     ):
         table = format_result(result)
         print(table)

@@ -75,6 +75,14 @@ def main(argv: list[str] | None = None) -> int:
         "over the batch via repro.exec.BatchExecutor)",
     )
     parser.add_argument(
+        "--join-block",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outer tuples per join block (default: REPRO_JOIN_BLOCK or 1; "
+        ">1 enables the block rank-join engine)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -101,7 +109,12 @@ def main(argv: list[str] | None = None) -> int:
         str(args.trace) if args.trace is not None else None
     )
     for name, result, elapsed in run_experiments(
-        names, scale, args.jobs, trace_path=trace_path, batch=args.batch
+        names,
+        scale,
+        args.jobs,
+        trace_path=trace_path,
+        batch=args.batch,
+        join_block=args.join_block,
     ):
         table = format_result(result)
         print(table)

@@ -529,10 +529,11 @@ def ablation_join(scale: ExperimentScale | None = None) -> ExperimentResult:
     access path (the naive inner scan costs nothing in pages here, so
     the interesting comparison is inverted vs PDR probing).
     """
-    from repro.core.joins import petj
+    from repro.exec.join import BlockJoinExecutor, resolve_join_block
     from repro.storage.buffer import BufferPool
 
     scale = scale or ExperimentScale.from_env()
+    block = resolve_join_block()
     sample = min(scale.synth_tuples, 60)  # outer side of the join
     key = ("uniform", scale.synth_tuples, 0, scale.seed)
     relation = _dataset(*key)
@@ -549,8 +550,12 @@ def ablation_join(scale: ExperimentScale | None = None) -> ExperimentResult:
             ("Join-PDR", _pdr(key)),
         ):
             index.pool = BufferPool(index.disk, scale.pool_size)
+            # pool_size=None keeps this shared-pool protocol; at the
+            # default block size 1 the engine delegates to the legacy
+            # per-probe join, so the committed baseline is unchanged.
+            engine = BlockJoinExecutor(relation, index, block_size=block)
             before = index.disk.stats.snapshot()
-            join = petj(outer, relation, threshold, right_index=index)
+            join = engine.petj(outer, threshold)
             delta = index.disk.stats.delta_since(before)
             result.add_point(
                 f"{name}-Thres",

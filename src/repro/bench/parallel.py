@@ -28,7 +28,12 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.harness import ExperimentResult
 from repro.core.exceptions import QueryError
-from repro.exec import batch_override, resolve_batch
+from repro.exec import (
+    batch_override,
+    join_block_override,
+    resolve_batch,
+    resolve_join_block,
+)
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import BenchCollector, MemorySink, Tracer
@@ -67,6 +72,7 @@ def _run_one(
     plan: FaultPlan | None = None,
     trace: bool = False,
     batch: int | None = None,
+    join_block: int | None = None,
 ) -> tuple[ExperimentResult, float, list[str] | None, dict[str, int]]:
     """Run one experiment by name.
 
@@ -92,10 +98,12 @@ def _run_one(
         plan = active_plan()
     if batch is None:
         batch = resolve_batch()
+    if join_block is None:
+        join_block = resolve_join_block()
     collector = BenchCollector(Tracer(MemorySink()) if trace else None)
-    with fault_plan(plan), batch_override(batch), _trace.bench_collection(
-        collector
-    ):
+    with fault_plan(plan), batch_override(batch), join_block_override(
+        join_block
+    ), _trace.bench_collection(collector):
         if collector.tracer is not None:
             collector.tracer.event("experiment.begin", name=name)
         started = time.perf_counter()
@@ -118,6 +126,7 @@ def run_experiments(
     trace_path=None,
     metrics: MetricsRegistry | None = None,
     batch: int | None = None,
+    join_block: int | None = None,
 ) -> Iterator[tuple[str, ExperimentResult, float]]:
     """Run experiments, yielding ``(name, result, elapsed)`` per experiment.
 
@@ -139,6 +148,7 @@ def run_experiments(
     jobs = resolve_jobs(jobs)
     plan = active_plan()  # resolve once; ship the same plan to every worker
     batch = resolve_batch(batch)  # likewise shipped by value
+    join_block = resolve_join_block(join_block)
     trace = trace_path is not None
     trace_file = open(trace_path, "w", encoding="utf-8") if trace else None
 
@@ -152,7 +162,7 @@ def run_experiments(
         if jobs == 1 or len(names) <= 1:
             for name in names:
                 result, elapsed, lines, snapshot = _run_one(
-                    name, scale, plan, trace, batch
+                    name, scale, plan, trace, batch, join_block
                 )
                 absorb(lines, snapshot)
                 yield name, result, elapsed
@@ -161,7 +171,9 @@ def run_experiments(
             max_workers=min(jobs, len(names))
         ) as executor:
             futures = [
-                executor.submit(_run_one, name, scale, plan, trace, batch)
+                executor.submit(
+                    _run_one, name, scale, plan, trace, batch, join_block
+                )
                 for name in names
             ]
             for name, future in zip(names, futures):

@@ -19,6 +19,7 @@ track lineage.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -83,6 +84,57 @@ class JoinResult:
         return self.pairs[index]
 
 
+class BoundedPairHeap:
+    """The k best :class:`JoinPair`\\ s under ``sort_index``, incrementally.
+
+    A size-``k`` min-heap over the *negated* sort key, so the root is
+    always the currently worst retained pair and each push costs
+    O(log k) — replacing the O(pairs log pairs) re-sort the top-k joins
+    used to run after every probe.  Negating every component of
+    ``sort_index`` reverses its lexicographic order exactly (the key is
+    strict — ``(left_tid, right_tid)`` is unique per pair), so
+    :meth:`sorted_pairs` reproduces ``sorted(pairs)[:k]`` bit-for-bit,
+    score ties included.
+    """
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._heap: list[tuple[tuple[float, int, int], JoinPair]] = []
+
+    @staticmethod
+    def _negated(pair: JoinPair) -> tuple[float, int, int]:
+        score, left_tid, right_tid = pair.sort_index
+        return (-score, -left_tid, -right_tid)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, pair: JoinPair) -> None:
+        entry = (self._negated(pair), pair)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+        elif entry[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def kth_score(self) -> float:
+        """The k-th best score so far, or 0.0 until k pairs are held.
+
+        This is the adaptive rank-join threshold: once k pairs exist, no
+        pair scoring below this value can enter the final top-k.
+        """
+        if len(self._heap) < self._k:
+            return 0.0
+        return self._heap[0][1].score
+
+    def sorted_pairs(self) -> list[JoinPair]:
+        """The retained pairs in canonical (descending-score) order."""
+        return sorted(pair for _, pair in self._heap)
+
+
 def _join_begin(join_kind: str, **fields) -> None:
     METRICS.inc("join.begin")
     tracer = _trace.ACTIVE
@@ -119,6 +171,14 @@ def petj(
     plus the merged per-probe statistics.  When ``right_index`` is
     given, each outer tuple probes it with a PETQ; otherwise the inner
     relation's naive executor is used.
+
+    The threshold must lie in ``(0, 1]`` — **zero is rejected by
+    design**, because at τ = 0 every pair with any common item
+    qualifies and the probabilistic pruning the index exists for is
+    vacuous (Definition 6 assumes a positive probability threshold).
+    Contrast :func:`dstj`, whose divergence threshold legally *is* 0
+    (exact distribution equality).  A threshold equal to a pair's exact
+    probability keeps the pair (the comparison is ``>=``).
     """
     if not 0.0 < threshold <= 1.0:
         raise QueryError(f"join threshold must lie in (0, 1], got {threshold}")
@@ -153,13 +213,16 @@ def pej_top_k(
 
     Every globally top-k pair lies within its outer tuple's local top-k,
     so probing each outer tuple with a top-k query and merging is exact.
+    The running top-k lives in a :class:`BoundedPairHeap` — O(log k) per
+    candidate instead of re-sorting all retained pairs after every probe
+    — with output order (ties included) identical to the sorted merge.
     Returns a :class:`JoinResult` with the merged per-probe statistics.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     inner: QueryExecutor = right_index if right_index is not None else right
     _join_begin("pej_top_k", k=k)
-    pairs: list[JoinPair] = []
+    heap = BoundedPairHeap(k)
     stats = QueryStats()
     num_probes = 0
     for left_tid in left.tids():
@@ -169,13 +232,12 @@ def pej_top_k(
         stats.merge(result.stats)
         num_probes += 1
         for match in result:
-            pairs.append(
+            heap.push(
                 JoinPair(
                     left_tid=left_tid, right_tid=match.tid, score=match.score
                 )
             )
-        pairs.sort()
-        del pairs[k:]
+    pairs = heap.sorted_pairs()
     _join_end("pej_top_k", pairs=len(pairs), probes=num_probes)
     return JoinResult(pairs, stats, num_probes)
 
@@ -194,6 +256,12 @@ def dstj(
     the merged per-probe statistics.  The returned ``score`` is the
     *negated* divergence so that JoinPair ordering (descending score)
     presents the most similar pairs first.
+
+    Unlike :func:`petj`, a threshold of exactly ``0.0`` is **accepted
+    by design**: divergences are distances, and τ = 0 is the meaningful
+    query "find tuples whose distribution equals mine exactly" (the
+    comparison is ``<=``, so zero-divergence pairs qualify).  Only
+    negative thresholds are rejected — no pair could ever satisfy one.
     """
     if threshold < 0.0:
         raise QueryError(f"DSTJ threshold must be >= 0, got {threshold}")

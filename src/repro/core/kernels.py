@@ -11,6 +11,10 @@ are *bit-identical* to the scalar bookkeeping they replace:
   ``fsum`` per group (with a direct-assignment fast path for tids that
   occur in exactly one list).  A naive ``np.add.at`` would accumulate
   with sequential rounding and break bit-identity.
+* :func:`block_scores` — the join-block generalization of
+  :func:`exact_scores`: one grouped ``fsum`` over composite
+  ``(outer row, tid)`` keys, scoring a whole block of outer tuples
+  against the shared posting scan in a single call.
 * :class:`SeenFilter` — sorted-array membership replacing the
   ``if tid in seen`` hot loop, preserving first-encounter order (the
   order determines random-access order and therefore counted page
@@ -117,6 +121,57 @@ def exact_scores(
         start = starts[i]
         scores[i] = math.fsum(products[start : start + counts[i]].tolist())
     return unique, scores
+
+
+def block_scores(
+    row_runs: list[int],
+    tid_runs: list[np.ndarray],
+    weighted_runs: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Grouped ``fsum`` over ``(outer row, tid)`` pairs for a join block.
+
+    The block rank-join engine scans each touched posting list once and
+    scores it against every outer tuple in the block that queries the
+    list's item.  Each run is one (list, outer row) combination:
+    ``row_runs[i]`` is the outer row the run belongs to, ``tid_runs[i]``
+    the posting tids, and ``weighted_runs[i]`` the products
+    ``q_prob * prob`` the row contributes through this list.
+
+    Returns ``(rows, tids, scores)`` sorted by ``(row, tid)`` ascending.
+    Bit-identical to per-probe verification for the same reason
+    :func:`exact_scores` is: every ``(row, tid)`` group holds exactly the
+    product multiset ``{q.p_i * u.p_i}`` over the common items, and
+    ``math.fsum`` is correctly rounded (order-independent), with a
+    direct-assignment fast path for single-occurrence groups.
+    """
+    if not tid_runs:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64)
+    rows = np.concatenate(
+        [
+            np.full(len(tids), row, dtype=np.int64)
+            for row, tids in zip(row_runs, tid_runs)
+        ]
+    )
+    tids = np.concatenate(tid_runs)
+    products = np.concatenate(weighted_runs)
+    # Composite (row, tid) key: tids are non-negative and bounded by the
+    # relation size, so the packed key cannot collide or overflow int64.
+    span = int(tids.max()) + 1 if len(tids) else 1
+    keys = rows * span + tids
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    products = products[order]
+    unique_keys, starts, counts = np.unique(
+        keys, return_index=True, return_counts=True
+    )
+    scores = np.empty(len(unique_keys), dtype=np.float64)
+    single = counts == 1
+    scores[single] = products[starts[single]]
+    for i in np.nonzero(~single)[0].tolist():
+        start = starts[i]
+        scores[i] = math.fsum(products[start : start + counts[i]].tolist())
+    return unique_keys // span, unique_keys % span, scores
 
 
 # ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
-"""Batched multi-query execution (shared-scan amortization).
+"""Multi-query and multi-probe execution engines.
 
-See :mod:`repro.exec.batch` for the executor and
-``docs/batch-execution.md`` for the cost model.
+:mod:`repro.exec.batch` amortizes a query workload over per-batch
+buffer pools (see ``docs/batch-execution.md``); :mod:`repro.exec.join`
+is the block rank-join engine — shared-scan probing, adaptive top-k
+thresholds, and parallel outer partitioning (see ``docs/joins.md``).
 """
 
 from repro.exec.batch import (
@@ -10,10 +12,24 @@ from repro.exec.batch import (
     batch_override,
     resolve_batch,
 )
+from repro.exec.join import (
+    JOIN_BLOCK_ENV,
+    BlockJoinExecutor,
+    block_join,
+    join_block_override,
+    parallel_join,
+    resolve_join_block,
+)
 
 __all__ = [
     "BATCH_ENV",
     "BatchExecutor",
     "batch_override",
     "resolve_batch",
+    "JOIN_BLOCK_ENV",
+    "BlockJoinExecutor",
+    "block_join",
+    "join_block_override",
+    "parallel_join",
+    "resolve_join_block",
 ]

@@ -132,6 +132,75 @@ def touched_items(query: Query, domain_size: int | None = None) -> list[int]:
     raise QueryError(f"unsupported query type {type(query).__name__}")
 
 
+def plan_shared_order(
+    queries: list[Query], domain_size: int | None
+) -> tuple[list[int], dict[int, int]]:
+    """Execution order and per-item query counts for one batch/block.
+
+    Queries touching the same elements run back-to-back (stable sort by
+    touched-item signature, so equal signatures keep their input order);
+    the counts drive the shared-list prefetch.  Shared by the batch
+    executor and the block rank-join engine.
+    """
+    signatures = [
+        tuple(touched_items(query, domain_size)) for query in queries
+    ]
+    order = sorted(range(len(queries)), key=lambda i: (signatures[i], i))
+    counts: dict[int, int] = {}
+    for signature in signatures:
+        for item in set(signature):
+            counts[item] = counts.get(item, 0) + 1
+    return order, counts
+
+
+def prefetch_shared_heads(
+    index,
+    pool: BufferPool,
+    counts: dict[int, int],
+    *,
+    pin_reserve: int,
+    event_kind: str = "batch.shared_page",
+    count_field: str = "queries",
+) -> list[int]:
+    """Pin the head pages of posting lists shared by >= 2 queries.
+
+    Only the root -> first-leaf path is pinned — the pages *every*
+    strategy touching the list is guaranteed to read — so the hint can
+    only save reads, never add speculative ones that a per-query run
+    would not have performed.  Emits one ``event_kind`` record (and
+    counter) per pinned page, with the sharer count under
+    ``count_field`` (``queries`` for batches, ``probes`` for join
+    blocks).  Returns the pinned page ids; the caller must unpin them.
+    """
+    shared = sorted(
+        (item for item, count in counts.items() if count >= 2),
+        key=lambda item: (-counts[item], item),
+    )
+    pinned: list[int] = []
+    sharers_of_page: dict[int, int] = {}
+    for item in shared:
+        posting_list = index.posting_list(item)
+        if posting_list is None:
+            continue
+        page_ids = posting_list.head_page_ids()
+        got = pool.fetch_many(page_ids, pin=True, reserve=pin_reserve)
+        pinned.extend(got)
+        for page_id in got:
+            sharers_of_page[page_id] = counts[item]
+        if len(got) < len(page_ids):
+            break  # pin budget exhausted; stop hinting
+    tracer = _trace.ACTIVE
+    for page_id in pinned:
+        METRICS.inc(event_kind)
+        if tracer is not None:
+            tracer.event(
+                event_kind,
+                page_id=page_id,
+                **{count_field: sharers_of_page[page_id]},
+            )
+    return pinned
+
+
 class BatchExecutor:
     """Execute a workload in batches over shared per-batch buffer pools.
 
@@ -202,67 +271,23 @@ class BatchExecutor:
         return getattr(self.index, "domain_size", None)
 
     def _plan(self, queries: list[Query]) -> tuple[list[int], dict[int, int]]:
-        """Execution order and per-item query counts for one batch.
-
-        Queries touching the same elements run back-to-back (stable sort
-        by touched-item signature, so equal signatures keep their input
-        order); the counts drive the shared-list prefetch.
-        """
-        domain_size = self._domain_size()
-        signatures = [
-            tuple(touched_items(query, domain_size)) for query in queries
-        ]
-        order = sorted(range(len(queries)), key=lambda i: (signatures[i], i))
-        counts: dict[int, int] = {}
-        for signature in signatures:
-            for item in set(signature):
-                counts[item] = counts.get(item, 0) + 1
-        return order, counts
+        """Execution order and per-item query counts for one batch."""
+        return plan_shared_order(queries, self._domain_size())
 
     def _prefetch_shared(
         self, pool: BufferPool, counts: dict[int, int]
     ) -> list[int]:
-        """Pin the head pages of posting lists shared by >= 2 queries.
-
-        Only the root -> first-leaf path is pinned — the pages *every*
-        strategy touching the list is guaranteed to read — so the hint
-        can only save reads, never add speculative ones that a per-query
-        run would not have performed.  Row pruning is the exception: it
-        may skip whole lists, so no prefetch is issued for it.
+        """Pin shared posting-list head pages (see
+        :func:`prefetch_shared_heads`).  Row pruning is the exception:
+        it may skip whole lists, so no prefetch is issued for it.
         """
         if not isinstance(self.index, ProbabilisticInvertedIndex):
             return []
         if self.strategy == "row_pruning":
             return []
-        shared = sorted(
-            (item for item, count in counts.items() if count >= 2),
-            key=lambda item: (-counts[item], item),
+        return prefetch_shared_heads(
+            self.index, pool, counts, pin_reserve=self.pin_reserve
         )
-        pinned: list[int] = []
-        queries_of_page: dict[int, int] = {}
-        for item in shared:
-            posting_list = self.index.posting_list(item)
-            if posting_list is None:
-                continue
-            page_ids = posting_list.head_page_ids()
-            got = pool.fetch_many(
-                page_ids, pin=True, reserve=self.pin_reserve
-            )
-            pinned.extend(got)
-            for page_id in got:
-                queries_of_page[page_id] = counts[item]
-            if len(got) < len(page_ids):
-                break  # pin budget exhausted; stop hinting
-        tracer = _trace.ACTIVE
-        for page_id in pinned:
-            METRICS.inc("batch.shared_page")
-            if tracer is not None:
-                tracer.event(
-                    "batch.shared_page",
-                    page_id=page_id,
-                    queries=queries_of_page[page_id],
-                )
-        return pinned
 
     def _run_batch(self, queries: list[Query]) -> list[QueryResult]:
         pool = BufferPool(self.index.disk, self.pool_size)

@@ -217,16 +217,30 @@ class ProbabilisticInvertedIndex:
     # -- queries ----------------------------------------------------------------------
 
     def execute(
-        self, query: Query, strategy: str = "highest_prob_first"
+        self,
+        query: Query,
+        strategy: str = "highest_prob_first",
+        tau_floor: float = 0.0,
     ) -> QueryResult:
         """Answer an equality query descriptor with the given strategy.
 
         ``strategy`` is a name from
-        :data:`repro.invindex.strategies.STRATEGIES`.
+        :data:`repro.invindex.strategies.STRATEGIES`.  ``tau_floor`` is
+        the rank-join elevation of a top-k query's dynamic threshold
+        (see :meth:`SearchStrategy.top_k <repro.invindex.strategies.SearchStrategy.top_k>`);
+        it is only meaningful for :class:`EqualityTopKQuery` and must be
+        ``0.0`` for every other descriptor.
         """
         from repro.invindex.strategies import get_strategy
         from repro.obs import trace as _trace
 
+        if tau_floor < 0.0:
+            raise QueryError(f"tau_floor must be >= 0, got {tau_floor}")
+        if tau_floor > 0.0 and not isinstance(query, EqualityTopKQuery):
+            raise QueryError(
+                "tau_floor only applies to top-k queries; got "
+                f"{type(query).__name__}"
+            )
         runner = get_strategy(strategy)
         tracer = _trace.ACTIVE
         if tracer is not None:
@@ -236,7 +250,7 @@ class ProbabilisticInvertedIndex:
                 query=type(query).__name__,
                 strategy=runner.name,
             )
-        result = self._execute_with(runner, query)
+        result = self._execute_with(runner, query, tau_floor)
         if tracer is not None:
             tracer.event(
                 "query.end",
@@ -246,12 +260,14 @@ class ProbabilisticInvertedIndex:
             )
         return result
 
-    def _execute_with(self, runner, query: Query) -> QueryResult:
+    def _execute_with(
+        self, runner, query: Query, tau_floor: float = 0.0
+    ) -> QueryResult:
         """Dispatch ``query`` to the right entry point of ``runner``."""
         if isinstance(query, EqualityThresholdQuery):
             return runner.threshold(self, query.q, query.threshold)
         if isinstance(query, EqualityTopKQuery):
-            return runner.top_k(self, query.q, query.k)
+            return runner.top_k(self, query.q, query.k, tau_floor=tau_floor)
         if isinstance(query, EqualityQuery):
             # PEQ is a threshold query at the smallest representable
             # positive probability.

@@ -74,7 +74,12 @@ _MASS_BOUND = 1.0 + MASS_TOLERANCE
 
 
 def _begin(
-    strategy: str, mode: str, *, tau: float | None = None, k: int | None = None
+    strategy: str,
+    mode: str,
+    *,
+    tau: float | None = None,
+    k: int | None = None,
+    tau_floor: float = 0.0,
 ) -> None:
     """Trace the start of one strategy execution (trace-only, no counter)."""
     tracer = _trace.ACTIVE
@@ -84,6 +89,8 @@ def _begin(
             fields["tau"] = tau
         if k is not None:
             fields["k"] = k
+        if tau_floor > 0.0:
+            fields["tau_floor"] = tau_floor
         tracer.event("strategy.begin", strategy=strategy, mode=mode, **fields)
 
 
@@ -348,8 +355,21 @@ class SearchStrategy(ABC):
         index: ProbabilisticInvertedIndex,
         q: UncertainAttribute,
         k: int,
+        tau_floor: float = 0.0,
     ) -> QueryResult:
-        """Answer PEQ-top-k(q, k)."""
+        """Answer PEQ-top-k(q, k).
+
+        ``tau_floor`` is a rank-join extension (see
+        :mod:`repro.exec.join`): an externally known lower bound on the
+        caller's *global* k-th best score.  It licenses two extra
+        optimizations, both exact with respect to the caller's merge:
+        the dynamic stopping threshold becomes
+        ``max(local tau_k, tau_floor)`` (so Lemma 1 can fire before —
+        and earlier than — k local results exist), and the strategy may
+        omit result matches whose score falls below ``tau_floor``
+        (they cannot enter the caller's global top-k).  At the default
+        ``0.0`` every code path is bit-identical to the classic top-k.
+        """
 
 
 # ---------------------------------------------------------------------------
@@ -433,9 +453,11 @@ class InvIndexSearch(SearchStrategy):
         ]
         return QueryResult(matches, stats)
 
-    def top_k(self, index, q, k):
+    def top_k(self, index, q, k, tau_floor=0.0):
+        # tau_floor cannot save work here: the scan is exhaustive by
+        # definition, and its local top-k already satisfies the caller.
         stats = QueryStats()
-        _begin(self.name, "top_k", k=k)
+        _begin(self.name, "top_k", k=k, tau_floor=tau_floor)
         tids, scores = self._gather(index, q, stats)
         _stop(stats, self.name, "scan_complete")
         positive = np.nonzero(scores > 0.0)[0]
@@ -492,21 +514,26 @@ class HighestProbFirst(SearchStrategy):
                     matches.append(Match(tid=tid, score=score))
         return QueryResult(matches, stats)
 
-    def top_k(self, index, q, k):
+    def top_k(self, index, q, k, tau_floor=0.0):
         stats = QueryStats()
-        _begin(self.name, "top_k", k=k)
+        _begin(self.name, "top_k", k=k, tau_floor=tau_floor)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
         found = _TopKFrontier(k)
         novel = _NovelFilter()
         while True:
-            # Dynamic threshold: the k-th best exact score so far.
-            if len(found) >= k:
-                tau_k = found.tau_k()
+            # Dynamic threshold: the k-th best exact score so far,
+            # elevated to tau_floor when the rank-join caller supplied
+            # one (then the stop may fire before k local results exist —
+            # unseen tuples below the floor cannot enter the caller's
+            # global top-k).
+            if len(found) >= k or tau_floor > 0.0:
+                tau_k = found.tau_k() if len(found) >= k else 0.0
+                tau_eff = tau_k if tau_k > tau_floor else tau_floor
                 bound = cursors.bound()
-                if bound < tau_k - EPSILON:
-                    _stop(stats, self.name, "lemma1", bound=bound, tau=tau_k)
+                if bound < tau_eff - EPSILON:
+                    _stop(stats, self.name, "lemma1", bound=bound, tau=tau_eff)
                     break
             j = cursors.most_promising()
             if j is None:
@@ -570,23 +597,26 @@ class RowPruning(SearchStrategy):
             _stop(stats, self.name, "exhausted")
         return QueryResult(matches, stats)
 
-    def top_k(self, index, q, k):
+    def top_k(self, index, q, k, tau_floor=0.0):
         """Examine candidate lists eagerly, raising the threshold as we go."""
         stats = QueryStats()
-        _begin(self.name, "top_k", k=k)
+        _begin(self.name, "top_k", k=k, tau_floor=tau_floor)
         verifier = _Verifier(index, q, stats)
         found = _TopKFrontier(k)
         novel = _NovelFilter()
         for item, q_prob in q.pairs_by_probability():
             tau_k = found.tau_k()
-            if len(found) >= k and q_prob * _MASS_BOUND < tau_k - EPSILON:
+            tau_eff = tau_k if tau_k > tau_floor else tau_floor
+            if (
+                len(found) >= k or tau_floor > 0.0
+            ) and q_prob * _MASS_BOUND < tau_eff - EPSILON:
                 # No unseen tuple in this or later lists can qualify.
                 _stop(
                     stats,
                     self.name,
                     "row_cutoff",
                     bound=q_prob * _MASS_BOUND,
-                    tau=tau_k,
+                    tau=tau_eff,
                 )
                 break
             posting_list = index.posting_list(item)
@@ -642,12 +672,12 @@ class ColumnPruning(SearchStrategy):
         _stop(stats, self.name, "scan_complete")
         return QueryResult(matches, stats)
 
-    def top_k(self, index, q, k):
+    def top_k(self, index, q, k, tau_floor=0.0):
         """Like highest-prob-first, but each list is dropped independently
         once its head probability falls below the dynamic per-list cutoff
         ("more conducive to top-k queries")."""
         stats = QueryStats()
-        _begin(self.name, "top_k", k=k)
+        _begin(self.name, "top_k", k=k, tau_floor=tau_floor)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
@@ -657,7 +687,12 @@ class ColumnPruning(SearchStrategy):
         live = [not cursor.exhausted for cursor in cursors.cursors]
         while any(live):
             tau_k = found.tau_k()
-            cutoff = tau_k / q_mass - EPSILON if len(found) >= k else -1.0
+            tau_eff = tau_k if tau_k > tau_floor else tau_floor
+            cutoff = (
+                tau_eff / q_mass - EPSILON
+                if len(found) >= k or tau_floor > 0.0
+                else -1.0
+            )
             advanced = False
             for j, cursor in enumerate(cursors.cursors):
                 if not live[j]:
@@ -877,7 +912,7 @@ class NoRandomAccess(SearchStrategy):
                 matches.append(Match(tid=tid, score=score))
         return QueryResult(matches, stats)
 
-    def top_k(self, index, q, k):
+    def top_k(self, index, q, k, tau_floor=0.0):
         """Collect candidates without random access, then verify.
 
         Scans until no unseen tuple can beat the k-th best partial (lower
@@ -885,15 +920,15 @@ class NoRandomAccess(SearchStrategy):
         whose upper bound reaches it.
         """
         stats = QueryStats()
-        _begin(self.name, "top_k", k=k)
+        _begin(self.name, "top_k", k=k, tau_floor=tau_floor)
         verifier = _Verifier(index, q, stats)
         cursors = _CursorSet(index, q)
         stats.nodes_visited += len(cursors)
         if kernels.vectorized() and len(cursors) <= kernels.CandidatePool.MAX_LISTS:
-            return self._top_k_vec(k, stats, verifier, cursors)
-        return self._top_k_scalar(k, stats, verifier, cursors)
+            return self._top_k_vec(k, stats, verifier, cursors, tau_floor)
+        return self._top_k_scalar(k, stats, verifier, cursors, tau_floor)
 
-    def _top_k_vec(self, k, stats, verifier, cursors):
+    def _top_k_vec(self, k, stats, verifier, cursors, tau_floor=0.0):
         """Block-wise candidate collection, then bounded verification."""
         pool = kernels.CandidatePool()
         since_check = self.resolve_every  # force an initial stop check
@@ -905,15 +940,20 @@ class NoRandomAccess(SearchStrategy):
                     q_prob * head
                     for q_prob, head in zip(cursors.q_probs, heads)
                 )
-                if len(pool.tids) >= k:
-                    tau_k = kernels.kth_largest(pool.partial, k)
-                    if unseen_bound < tau_k - EPSILON:
+                if len(pool.tids) >= k or tau_floor > 0.0:
+                    tau_k = (
+                        kernels.kth_largest(pool.partial, k)
+                        if len(pool.tids) >= k
+                        else 0.0
+                    )
+                    tau_eff = tau_k if tau_k > tau_floor else tau_floor
+                    if unseen_bound < tau_eff - EPSILON:
                         _stop(
                             stats,
                             self.name,
                             "lemma1",
                             bound=unseen_bound,
-                            tau=tau_k,
+                            tau=tau_eff,
                         )
                         break
             j = cursors.most_promising()
@@ -933,12 +973,13 @@ class NoRandomAccess(SearchStrategy):
             if len(pool.tids) >= k
             else 0.0
         )
+        tau_eff = tau_k if tau_k > tau_floor else tau_floor
         heads = [cursor.head_prob() for cursor in cursors.cursors]
         terms = [
             q_prob * head for q_prob, head in zip(cursors.q_probs, heads)
         ]
         lacks = kernels.masked_lacks(pool.masks, terms)
-        keep = ~(pool.partial + lacks < tau_k - EPSILON)
+        keep = ~(pool.partial + lacks < tau_eff - EPSILON)
         found = []
         survivors = pool.tids[keep].tolist()
         for tid, score in zip(survivors, verifier.score_many(survivors)):
@@ -947,7 +988,7 @@ class NoRandomAccess(SearchStrategy):
         found.sort()
         return QueryResult(found[:k], stats)
 
-    def _top_k_scalar(self, k, stats, verifier, cursors):
+    def _top_k_scalar(self, k, stats, verifier, cursors, tau_floor=0.0):
         """The original per-posting loop (``REPRO_KERNEL=scalar``)."""
         num_lists = len(cursors)
         partial: dict[int, float] = {}
@@ -961,15 +1002,20 @@ class NoRandomAccess(SearchStrategy):
                     q_prob * head
                     for q_prob, head in zip(cursors.q_probs, heads)
                 )
-                if len(partial) >= k:
-                    tau_k = sorted(partial.values(), reverse=True)[k - 1]
-                    if unseen_bound < tau_k - EPSILON:
+                if len(partial) >= k or tau_floor > 0.0:
+                    tau_k = (
+                        sorted(partial.values(), reverse=True)[k - 1]
+                        if len(partial) >= k
+                        else 0.0
+                    )
+                    tau_eff = tau_k if tau_k > tau_floor else tau_floor
+                    if unseen_bound < tau_eff - EPSILON:
                         _stop(
                             stats,
                             self.name,
                             "lemma1",
                             bound=unseen_bound,
-                            tau=tau_k,
+                            tau=tau_eff,
                         )
                         break
             j = cursors.most_promising()
@@ -996,6 +1042,7 @@ class NoRandomAccess(SearchStrategy):
             if len(partial) >= k
             else 0.0
         )
+        tau_eff = tau_k if tau_k > tau_floor else tau_floor
         heads = [cursor.head_prob() for cursor in cursors.cursors]
         found = []
         for tid, mask in seen_in.items():
@@ -1004,7 +1051,7 @@ class NoRandomAccess(SearchStrategy):
                 for j in range(num_lists)
                 if not mask >> j & 1
             )
-            if partial[tid] + lack < tau_k - EPSILON:
+            if partial[tid] + lack < tau_eff - EPSILON:
                 continue  # upper bound cannot reach the k-th best
             score = verifier.score(tid)
             if score > 0.0:

@@ -62,7 +62,8 @@ SCHEMA: dict[str, RecordSpec] = {
     ),
     # -- inverted-index strategies ------------------------------------------
     "strategy.begin": _spec(
-        {"strategy": str, "mode": str}, {"tau": float, "k": int}
+        {"strategy": str, "mode": str},
+        {"tau": float, "k": int, "tau_floor": float},
     ),
     "strategy.stop": _spec(
         {"strategy": str, "reason": str},
@@ -80,6 +81,23 @@ SCHEMA: dict[str, RecordSpec] = {
     "join.begin": _spec({"join_kind": str}, {"threshold": float, "k": int}),
     "join.probe": _spec({"left_tid": int}),
     "join.end": _spec({"join_kind": str, "pairs": int, "probes": int}),
+    # -- block rank-join engine ---------------------------------------------
+    # block is the 0-based block ordinal, size the outer tuples in it;
+    # mode discriminates the shared-scan fast path from grouped probing.
+    "join.block_begin": _spec(
+        {"join_kind": str, "block": int, "size": int},
+        {"strategy": str, "mode": str},
+    ),
+    # One per head page pinned for the block; probes is how many of the
+    # block's outer tuples touch the page's posting list.
+    "join.shared_page": _spec({"page_id": int, "probes": int}),
+    "join.block_end": _spec(
+        {"join_kind": str, "block": int, "pairs": int},
+        {"shared_pages": int},
+    ),
+    # Adaptive top-k threshold propagation: the probe for left_tid ran
+    # with its dynamic threshold elevated to the global k-th pair score.
+    "join.tau_raised": _spec({"left_tid": int, "tau": float}),
     # -- batch executor -----------------------------------------------------
     "batch.begin": _spec({"size": int, "structure": str}, {"strategy": str}),
     "batch.query": _spec({"position": int, "query": str}),

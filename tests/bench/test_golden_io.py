@@ -24,8 +24,11 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 GOLDEN_DIR = REPO_ROOT / "benchmarks" / "results"
 
 #: Cheap experiments covering both index families (PDR-tree, inverted
-#: index) — the same pair the CI determinism job smoke-runs.
-PINNED = ("fig10", "abl_buffer")
+#: index) — the pair the CI determinism job smoke-runs — plus the join
+#: ablation, which now routes through the block rank-join engine and
+#: must keep reproducing its pre-engine golden at the default block
+#: size (the engine delegates to the legacy per-probe join there).
+PINNED = ("fig10", "abl_buffer", "abl_join")
 
 
 def _load_compare_io():

@@ -12,6 +12,7 @@ from repro.core import (
     pej_top_k,
     petj,
 )
+from repro.core.joins import BoundedPairHeap, JoinPair
 from repro.invindex import ProbabilisticInvertedIndex
 from repro.pdrtree import PDRTree
 
@@ -103,6 +104,32 @@ class TestPETJ:
         with pytest.raises(QueryError):
             petj(employees, employees, 1.5)
 
+    def test_zero_threshold_rejected_by_design(self, employees):
+        """PETJ's threshold domain is (0, 1]: τ = 0 would make every pair
+        with any common item qualify, so it is rejected — by contrast,
+        DSTJ legally accepts a zero divergence threshold."""
+        with pytest.raises(QueryError):
+            petj(employees, employees, 0.0)
+        assert len(dstj(employees, employees, 0.0, "l1")) > 0
+
+    def test_exact_threshold_hit_is_kept(self, employees):
+        # Pr(Jim = Tom) is exactly 0.5 * 0.4 = 0.2; the comparison is >=.
+        score = employees.uda_of(0).equality_probability(employees.uda_of(1))
+        pairs = petj(employees, employees, score)
+        assert (0, 1) in {(p.left_tid, p.right_tid) for p in pairs}
+
+    def test_threshold_just_above_max_score_is_empty(self, employees, departments):
+        # Outer side without Nancy (whose self-pair scores exactly 1.0),
+        # so the best pair score is strictly below 1 and a threshold just
+        # above it is still a legal (0, 1] value.
+        outer = UncertainRelation(departments)
+        for tid in (0, 1, 2):
+            outer.append(employees.uda_of(tid))
+        top = pej_top_k(outer, employees, 1)[0].score
+        assert top < 1.0
+        assert len(petj(outer, employees, top + 1e-9)) == 0
+        assert len(petj(outer, employees, top)) > 0
+
 
 class TestPEJTopK:
     def test_top_pairs(self, employees):
@@ -128,6 +155,71 @@ class TestPEJTopK:
     def test_invalid_k(self, employees):
         with pytest.raises(QueryError):
             pej_top_k(employees, employees, 0)
+
+    def test_heap_preserves_tie_order(self, departments):
+        """The bounded heap must reproduce the full-sort output exactly,
+        including the (left_tid, right_tid) tiebreak among equal scores."""
+        relation = UncertainRelation(departments)
+        # Four identical tuples: every cross pair scores exactly the same,
+        # so the top-k cut lands inside a run of ties.
+        for _ in range(4):
+            relation.append(
+                UncertainAttribute.from_labels(
+                    departments, {"Shoes": 0.5, "Sales": 0.5}
+                )
+            )
+        for k in (1, 3, 5, 7, 16):
+            pairs = pej_top_k(relation, relation, k)
+            exhaustive = sorted(
+                JoinPair(
+                    left_tid=l,
+                    right_tid=r,
+                    score=relation.uda_of(l).equality_probability(
+                        relation.uda_of(r)
+                    ),
+                )
+                for l in relation.tids()
+                for r in relation.tids()
+            )
+            expected = [
+                (p.left_tid, p.right_tid, p.score) for p in exhaustive[:k]
+            ]
+            assert [
+                (p.left_tid, p.right_tid, p.score) for p in pairs
+            ] == expected
+
+
+class TestBoundedPairHeap:
+    def test_matches_sorted_truncation_on_random_streams(self):
+        rng = np.random.default_rng(5)
+        # Coarse scores force plenty of exact ties.
+        stream = [
+            JoinPair(
+                left_tid=int(rng.integers(0, 6)),
+                right_tid=i,
+                score=round(float(rng.random()), 1),
+            )
+            for i in range(200)
+        ]
+        for k in (1, 2, 7, 50, 200, 300):
+            heap = BoundedPairHeap(k)
+            for pair in stream:
+                heap.push(pair)
+            assert heap.sorted_pairs() == sorted(stream)[:k]
+
+    def test_kth_score_is_zero_until_full(self):
+        heap = BoundedPairHeap(3)
+        heap.push(JoinPair(left_tid=0, right_tid=0, score=0.9))
+        heap.push(JoinPair(left_tid=0, right_tid=1, score=0.8))
+        assert heap.kth_score() == 0.0
+        heap.push(JoinPair(left_tid=0, right_tid=2, score=0.7))
+        assert heap.kth_score() == 0.7
+        heap.push(JoinPair(left_tid=1, right_tid=0, score=0.95))
+        assert heap.kth_score() == 0.8
+
+    def test_invalid_k(self):
+        with pytest.raises(QueryError):
+            BoundedPairHeap(0)
 
 
 class TestDSTJ:

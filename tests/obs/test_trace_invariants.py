@@ -268,3 +268,88 @@ class TestJoinTracing:
         assert end["pairs"] == len(result)
         # Every probe runs a full inner query under the tracer.
         assert sink.count("query.begin") == end["probes"]
+
+
+class TestBlockJoinTracing:
+    def _run_blocked(self, relation, index, block_size, *, kind="petj", k=4):
+        from repro.exec import BlockJoinExecutor
+
+        left = random_relation(18, DOMAIN_SIZE, seed=3)
+        sink = MemorySink()
+        with fault_plan(FaultPlan()), tracing(Tracer(sink)):
+            index.pool = BufferPool(index.disk, capacity=100)
+            engine = BlockJoinExecutor(relation, index, block_size=block_size)
+            if kind == "petj":
+                result = engine.petj(left, 0.3)
+            else:
+                result = engine.pej_top_k(left, k)
+        validate_records(sink.records)
+        return sink, result, len(left)
+
+    def test_blocks_bracket_every_probe(self, relation, index):
+        """block_begin/block_end pair up, cover all probes, and the join
+        brackets survive around them."""
+        sink, result, outer = self._run_blocked(relation, index, 5)
+        begins = sink.of_kind("join.block_begin")
+        ends = sink.of_kind("join.block_end")
+        assert len(begins) == len(ends) == -(-outer // 5)
+        assert [b["block"] for b in begins] == [e["block"] for e in ends]
+        assert sum(b["size"] for b in begins) == outer
+        assert sink.count("join.probe") == outer
+        assert sink.count("join.begin") == 1
+        assert sink.count("join.end") == 1
+
+    def test_shared_pages_have_multiple_probes(self, relation, index):
+        """A join.shared_page record's sharer count is >= 2 by definition."""
+        sink, _, _ = self._run_blocked(relation, index, 6, kind="topk")
+        for record in sink.of_kind("join.shared_page"):
+            assert record["probes"] >= 2
+
+    def test_block_one_trace_matches_per_probe_join(self, relation, index):
+        """Default-config block size 1 emits byte-identical records to the
+        legacy per-probe join — the engine delegates outright."""
+        from repro.exec import BlockJoinExecutor
+
+        left = random_relation(6, DOMAIN_SIZE, seed=3)
+
+        def run(use_engine):
+            sink = MemorySink()
+            with fault_plan(FaultPlan()), tracing(Tracer(sink)):
+                index.pool = BufferPool(index.disk, capacity=100)
+                if use_engine:
+                    BlockJoinExecutor(relation, index, block_size=1).petj(
+                        left, 0.3
+                    )
+                else:
+                    petj(left, relation, 0.3, right_index=index)
+            return sink.jsonl_lines()
+
+        assert run(True) == run(False)
+
+    def test_adaptive_tau_never_reads_more_posting_pages(self, relation, index):
+        """The raised bound may only *save* posting I/O vs the fixed path."""
+        from repro.exec import BlockJoinExecutor
+
+        left = random_relation(18, DOMAIN_SIZE, seed=3)
+
+        def run(adaptive):
+            sink = MemorySink()
+            with fault_plan(FaultPlan()), tracing(Tracer(sink)):
+                index.pool = BufferPool(index.disk, capacity=100)
+                engine = BlockJoinExecutor(
+                    relation,
+                    index,
+                    block_size=6,
+                    pool_size=100,
+                    adaptive_tau=adaptive,
+                )
+                result = engine.pej_top_k(left, 4)
+            validate_records(sink.records)
+            return sink, [(p.left_tid, p.right_tid, p.score) for p in result]
+
+        adaptive_sink, adaptive_pairs = run(True)
+        fixed_sink, fixed_pairs = run(False)
+        assert adaptive_pairs == fixed_pairs
+        assert posting_reads(adaptive_sink) <= posting_reads(fixed_sink)
+        assert adaptive_sink.count("join.tau_raised") > 0
+        assert fixed_sink.count("join.tau_raised") == 0
