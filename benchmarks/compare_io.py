@@ -43,9 +43,12 @@ def _io_view(payload: dict) -> dict:
 #: are only comparable between runs with the same protocol: a batched run
 #: (batch > 1) or a block join run (join_block > 1) legally reads fewer
 #: pages, and kernel mode is recorded so a hypothetical divergence can
-#: be attributed.  Older result dirs predate these keys; a missing key
-#: is compatible with anything.
-PROTOCOL_KEYS = ("kernel", "batch", "join_block")
+#: be attributed.  ``mode`` separates measurement-protocol runs
+#: ("measure", the only mode goldens are recorded under) from
+#: serving-mode runs, whose reads depend on arrival history and are
+#: never golden-comparable (docs/serving.md).  Older result dirs
+#: predate these keys; a missing key is compatible with anything.
+PROTOCOL_KEYS = ("kernel", "batch", "join_block", "mode")
 
 
 def _protocol_view(results_dir: Path) -> dict:

@@ -127,15 +127,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics = MetricsRegistry()
     started = time.perf_counter()
-    # kernel + batch + join_block identify the execution protocol;
-    # compare_io refuses to diff result dirs whose protocols conflict
-    # (batch or join_block > 1 legally lowers reads, so cross-protocol
-    # diffs are apples to oranges).
+    # kernel + batch + join_block + mode identify the execution
+    # protocol; compare_io refuses to diff result dirs whose protocols
+    # conflict (batch or join_block > 1 legally lowers reads, so
+    # cross-protocol diffs are apples to oranges).  run_all always
+    # measures: serving-mode results are never golden-comparable
+    # (docs/serving.md).
     summary = {
         "jobs": jobs,
         "kernel": kernel_mode(),
         "batch": batch,
         "join_block": join_block,
+        "mode": "measure",
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.bench.experiments import ALL_EXPERIMENTS, ExperimentScale
 from repro.bench.harness import ExperimentResult
+from repro.core.config import parse_int_knob, read_env_int
 from repro.core.exceptions import QueryError
 from repro.exec import (
     batch_override,
@@ -47,22 +48,17 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve a worker count from the argument, env, or CPU count.
 
     ``None`` falls back to ``REPRO_JOBS``; an unset/``auto``/``0`` value
-    means one worker per CPU.  The result is always >= 1.
+    means one worker per CPU.  The result is always >= 1.  A malformed
+    ``REPRO_JOBS`` raises a :class:`~repro.core.exceptions.ConfigError`
+    naming the variable (see :mod:`repro.core.config`).
     """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip().lower()
-        if raw in ("", "auto", "0"):
-            return os.cpu_count() or 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise QueryError(
-                f"{JOBS_ENV} must be an integer or 'auto', got {raw!r}"
-            ) from None
+        value = read_env_int(JOBS_ENV, minimum=0, special={"auto": 0})
+        jobs = 0 if value is None else value
+    else:
+        jobs = parse_int_knob(jobs, "jobs", minimum=0)
     if jobs == 0:
         return os.cpu_count() or 1
-    if jobs < 0:
-        raise QueryError(f"jobs must be >= 0, got {jobs}")
     return jobs
 
 

@@ -11,6 +11,7 @@ from repro.core.divergence import (
 from repro.core.domain import CategoricalDomain
 from repro.core.exceptions import (
     BufferPoolError,
+    ConfigError,
     DomainError,
     DuplicateKeyError,
     InvalidDistributionError,
@@ -41,6 +42,7 @@ __all__ = [
     "DIVERGENCES",
     "BufferPoolError",
     "CategoricalDomain",
+    "ConfigError",
     "DomainError",
     "DuplicateKeyError",
     "EqualityQuery",

@@ -1,0 +1,121 @@
+"""Shared parsing for ``REPRO_*`` environment knobs.
+
+Every execution knob in the repository — ``REPRO_BATCH``,
+``REPRO_JOIN_BLOCK``, ``REPRO_JOBS``, ``REPRO_DECODED_CACHE``, the
+``REPRO_SERVE_*`` family — funnels through the two readers here, so a
+malformed value always fails the same way: a
+:class:`~repro.core.exceptions.ConfigError` (a :class:`ValueError`)
+whose message *names the variable*, never a bare ``int()`` traceback
+that leaves the operator grepping for which of a dozen knobs was wrong.
+
+The readers normalize the raw string (strip + casefold) and support
+per-knob *special words* ("off", "auto", "default", ...) that map to
+sentinel values, because several knobs accept an English word alongside
+an integer.  A special word may map to ``None``, meaning "treat as
+unset" — the caller then applies its own computed default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+from repro.core.exceptions import ConfigError
+
+__all__ = [
+    "ConfigError",
+    "parse_int_knob",
+    "parse_float_knob",
+    "read_env_int",
+    "read_env_float",
+]
+
+
+def parse_int_knob(
+    raw: int | str, name: str, *, minimum: int | None = None
+) -> int:
+    """Parse an integer knob value, naming ``name`` in every error.
+
+    ``raw`` may already be an int (programmatic callers share the same
+    range validation as the environment path).  ``bool`` is rejected:
+    ``REPRO_JOBS=True`` is a bug, not a worker count.
+    """
+    if isinstance(raw, bool):
+        raise ConfigError(f"{name} must be an integer, got {raw!r}")
+    if isinstance(raw, int):
+        value = raw
+    else:
+        try:
+            value = int(str(raw).strip())
+        except ValueError:
+            raise ConfigError(
+                f"{name} must be an integer, got {raw!r}"
+            ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_float_knob(
+    raw: float | str, name: str, *, minimum: float | None = None
+) -> float:
+    """Parse a float knob value, naming ``name`` in every error."""
+    if isinstance(raw, bool):
+        raise ConfigError(f"{name} must be a number, got {raw!r}")
+    if isinstance(raw, (int, float)):
+        value = float(raw)
+    else:
+        try:
+            value = float(str(raw).strip())
+        except ValueError:
+            raise ConfigError(
+                f"{name} must be a number, got {raw!r}"
+            ) from None
+    if value != value:  # NaN never satisfies a range check
+        raise ConfigError(f"{name} must be a number, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _normalized(name: str, environ: Mapping[str, str] | None) -> str:
+    source = os.environ if environ is None else environ
+    return source.get(name, "").strip().lower()
+
+
+def read_env_int(
+    name: str,
+    *,
+    minimum: int | None = None,
+    special: Mapping[str, int | None] | None = None,
+    environ: Mapping[str, str] | None = None,
+) -> int | None:
+    """Read and parse an integer environment knob.
+
+    Returns ``None`` when the variable is unset/empty (unless ``special``
+    maps ``""`` elsewhere) so the caller can apply its default.
+    ``special`` maps normalized words to values; a ``None`` value means
+    "treat this word as unset" too.
+    """
+    raw = _normalized(name, environ)
+    if special is not None and raw in special:
+        return special[raw]
+    if raw == "":
+        return None
+    return parse_int_knob(raw, name, minimum=minimum)
+
+
+def read_env_float(
+    name: str,
+    *,
+    minimum: float | None = None,
+    special: Mapping[str, float | None] | None = None,
+    environ: Mapping[str, str] | None = None,
+) -> float | None:
+    """Read and parse a float environment knob (see :func:`read_env_int`)."""
+    raw = _normalized(name, environ)
+    if special is not None and raw in special:
+        return special[raw]
+    if raw == "":
+        return None
+    return parse_float_knob(raw, name, minimum=minimum)

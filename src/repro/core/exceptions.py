@@ -28,6 +28,17 @@ class QueryError(ReproError):
     """A query descriptor is malformed (e.g. non-positive threshold)."""
 
 
+class ConfigError(QueryError, ValueError):
+    """A ``REPRO_*`` configuration knob holds an unusable value.
+
+    Raised by :mod:`repro.core.config` with a message that always names
+    the offending variable.  Subclasses :class:`QueryError` because the
+    execution knobs (``REPRO_BATCH``, ``REPRO_JOIN_BLOCK``,
+    ``REPRO_JOBS``) historically raised it, and :class:`ValueError` so
+    callers treating a bad knob as a plain value error keep working.
+    """
+
+
 class StorageError(ReproError):
     """Base class for failures in the paged storage substrate."""
 

@@ -3,7 +3,10 @@
 :mod:`repro.exec.batch` amortizes a query workload over per-batch
 buffer pools (see ``docs/batch-execution.md``); :mod:`repro.exec.join`
 is the block rank-join engine — shared-scan probing, adaptive top-k
-thresholds, and parallel outer partitioning (see ``docs/joins.md``).
+thresholds, and parallel outer partitioning (see ``docs/joins.md``);
+:mod:`repro.exec.serving` is the measure/serve protocol split — a
+long-lived warm pool with per-request stats-delta I/O attribution
+(see ``docs/serving.md``).
 """
 
 from repro.exec.batch import (
@@ -20,6 +23,12 @@ from repro.exec.join import (
     parallel_join,
     resolve_join_block,
 )
+from repro.exec.serving import (
+    DEFAULT_SERVE_POOL_SIZE,
+    MODES,
+    ServedResult,
+    ServingExecutor,
+)
 
 __all__ = [
     "BATCH_ENV",
@@ -32,4 +41,8 @@ __all__ = [
     "join_block_override",
     "parallel_join",
     "resolve_join_block",
+    "DEFAULT_SERVE_POOL_SIZE",
+    "MODES",
+    "ServedResult",
+    "ServingExecutor",
 ]

@@ -36,9 +36,9 @@ batched reads may legally drop below the per-query baseline.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager, nullcontext
 
+from repro.core.config import parse_int_knob, read_env_int
 from repro.core.exceptions import QueryError
 from repro.core.queries import (
     EqualityQuery,
@@ -66,42 +66,30 @@ DEFAULT_PIN_RESERVE = 8
 _OVERRIDE: int | None = None
 
 
-def _parse_batch(raw: str, source: str) -> int:
-    try:
-        value = int(raw)
-    except ValueError:
-        raise QueryError(
-            f"{source} must be a positive integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise QueryError(f"{source} must be >= 1, got {value}")
-    return value
-
-
 def resolve_batch(batch: int | None = None) -> int:
     """The effective batch size: explicit arg > override > env > 1.
 
     An unset / empty / ``off`` environment value means batch size 1 —
-    the per-query protocol, which is always the I/O baseline.
+    the per-query protocol, which is always the I/O baseline.  A
+    malformed ``REPRO_BATCH`` raises a
+    :class:`~repro.core.exceptions.ConfigError` naming the variable
+    (see :mod:`repro.core.config`).
     """
     if batch is not None:
-        if batch < 1:
-            raise QueryError(f"batch size must be >= 1, got {batch}")
-        return batch
+        return parse_int_knob(batch, "batch size", minimum=1)
     if _OVERRIDE is not None:
         return _OVERRIDE
-    raw = os.environ.get(BATCH_ENV, "").strip().lower()
-    if raw in ("", "off", "default"):
-        return 1
-    return _parse_batch(raw, BATCH_ENV)
+    value = read_env_int(
+        BATCH_ENV, minimum=1, special={"off": 1, "default": 1}
+    )
+    return 1 if value is None else value
 
 
 @contextmanager
 def batch_override(batch: int):
     """Scope a batch size to a block (tests and worker processes)."""
     global _OVERRIDE
-    if batch < 1:
-        raise QueryError(f"batch size must be >= 1, got {batch}")
+    batch = parse_int_knob(batch, "batch size", minimum=1)
     previous = _OVERRIDE
     _OVERRIDE = batch
     try:
@@ -219,6 +207,15 @@ class BatchExecutor:
         Queries per pool; ``None`` consults :func:`resolve_batch`.
     pin_reserve:
         Frames the prefetch must leave un-pinned.
+    pool:
+        ``None`` (the measurement default) allocates a *fresh* pool per
+        batch — the protocol all committed I/O baselines bind to.  A
+        long-lived :class:`BufferPool` switches the executor to serving
+        mode: every batch runs against this shared warm pool, so pages
+        (and decoded objects) stay hot *across* batches and pool
+        construction disappears from the request path.  See
+        ``docs/serving.md``; per-request I/O is then attributed with
+        stats deltas, not pool construction.
     """
 
     def __init__(
@@ -229,6 +226,7 @@ class BatchExecutor:
         pool_size: int = DEFAULT_POOL_SIZE,
         batch_size: int | None = None,
         pin_reserve: int = DEFAULT_PIN_RESERVE,
+        pool: BufferPool | None = None,
     ) -> None:
         if strategy is not None and not isinstance(
             index, ProbabilisticInvertedIndex
@@ -236,11 +234,14 @@ class BatchExecutor:
             raise QueryError("only the inverted index takes a search strategy")
         if pin_reserve < 0:
             raise QueryError(f"pin_reserve must be >= 0, got {pin_reserve}")
+        if pool is not None and pool.disk is not index.disk:
+            raise QueryError("serving pool must be backed by the index's disk")
         self.index = index
         self.strategy = strategy
         self.pool_size = pool_size
         self.batch_size = resolve_batch(batch_size)
         self.pin_reserve = pin_reserve
+        self.pool = pool
 
     # -- public API ---------------------------------------------------------
 
@@ -289,14 +290,27 @@ class BatchExecutor:
             self.index, pool, counts, pin_reserve=self.pin_reserve
         )
 
+    def _execute_one(self, position: int, query: Query) -> QueryResult:
+        """Execute one batch member.
+
+        Hook for the serving layer (:mod:`repro.exec.serving`), which
+        overrides it to attribute per-request reads with stats deltas —
+        the shared warm pool makes "reads since the pool was built"
+        meaningless as a per-request number.
+        """
+        return self._execute(query)
+
     def _run_batch(self, queries: list[Query]) -> list[QueryResult]:
-        pool = BufferPool(self.index.disk, self.pool_size)
+        warm = self.pool is not None
+        pool = self.pool if warm else BufferPool(self.index.disk, self.pool_size)
         self.index.pool = pool
         tracer = _trace.ACTIVE
         if tracer is not None:
             fields = {}
             if self.strategy is not None:
                 fields["strategy"] = self.strategy
+            if warm:
+                fields["mode"] = "warm"
             tracer.event(
                 "batch.begin",
                 size=len(queries),
@@ -328,7 +342,9 @@ class BatchExecutor:
                             position=position,
                             query=type(queries[position]).__name__,
                         )
-                    results[position] = self._execute(queries[position])
+                    results[position] = self._execute_one(
+                        position, queries[position]
+                    )
         finally:
             for page_id in pinned:
                 pool.unpin_page(page_id)

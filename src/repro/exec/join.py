@@ -48,11 +48,11 @@ only the parent's ``join.begin`` / ``join.end`` bracket survives.
 from __future__ import annotations
 
 import math
-import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager, nullcontext
 
 from repro.core import kernels
+from repro.core.config import parse_int_knob, read_env_int
 from repro.core.exceptions import QueryError
 from repro.core.joins import (
     BoundedPairHeap,
@@ -92,42 +92,30 @@ JOIN_KINDS = ("petj", "pej_top_k", "dstj")
 _OVERRIDE: int | None = None
 
 
-def _parse_block(raw: str, source: str) -> int:
-    try:
-        value = int(raw)
-    except ValueError:
-        raise QueryError(
-            f"{source} must be a positive integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise QueryError(f"{source} must be >= 1, got {value}")
-    return value
-
-
 def resolve_join_block(block: int | None = None) -> int:
     """The effective join block size: explicit arg > override > env > 1.
 
     An unset / empty / ``off`` environment value means block size 1 —
-    the per-probe protocol, which is always the I/O baseline.
+    the per-probe protocol, which is always the I/O baseline.  A
+    malformed ``REPRO_JOIN_BLOCK`` raises a
+    :class:`~repro.core.exceptions.ConfigError` naming the variable
+    (see :mod:`repro.core.config`).
     """
     if block is not None:
-        if block < 1:
-            raise QueryError(f"join block size must be >= 1, got {block}")
-        return block
+        return parse_int_knob(block, "join block size", minimum=1)
     if _OVERRIDE is not None:
         return _OVERRIDE
-    raw = os.environ.get(JOIN_BLOCK_ENV, "").strip().lower()
-    if raw in ("", "off", "default"):
-        return 1
-    return _parse_block(raw, JOIN_BLOCK_ENV)
+    value = read_env_int(
+        JOIN_BLOCK_ENV, minimum=1, special={"off": 1, "default": 1}
+    )
+    return 1 if value is None else value
 
 
 @contextmanager
 def join_block_override(block: int):
     """Scope a join block size to a block (tests and worker processes)."""
     global _OVERRIDE
-    if block < 1:
-        raise QueryError(f"join block size must be >= 1, got {block}")
+    block = parse_int_knob(block, "join block size", minimum=1)
     previous = _OVERRIDE
     _OVERRIDE = block
     try:

@@ -82,6 +82,10 @@ class ProbabilisticInvertedIndex:
         self._rid_of_tid: dict[int, Rid] = {}
         self._tuple_memo: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
         self.num_tuples = 0
+        #: Monotonic mutation counter (insert/delete/build).  Long-lived
+        #: caches keyed by tid (the serving executor's tuple-decode
+        #: cache) compare this stamp to know when entries may be stale.
+        self.mutations = 0
         #: Whether the last :meth:`load` had to rebuild derived structures.
         self.recovered = False
 
@@ -94,6 +98,10 @@ class ProbabilisticInvertedIndex:
 
     @pool.setter
     def pool(self, pool: BufferPool) -> None:
+        if pool is self._pool:
+            # Serving mode re-installs its warm pool before every batch;
+            # a no-op reassign must not flush (and so perturb) the pool.
+            return
         if pool.disk is not self.disk:
             raise QueryError("buffer pool must be backed by the index's disk")
         self._pool.flush_all()  # don't strand dirty pages in the old pool
@@ -103,7 +111,7 @@ class ProbabilisticInvertedIndex:
             posting_list.pool = pool
 
     @contextmanager
-    def shared_scan(self):
+    def shared_scan(self, memo: dict | None = None):
         """Memoize random-access tuple decodes for a batch of queries.
 
         While active, :meth:`fetch_uda_arrays` keeps each decoded tuple in
@@ -114,11 +122,18 @@ class ProbabilisticInvertedIndex:
         which is exactly the amortization :class:`repro.exec.BatchExecutor`
         models with its shared per-batch pool.  Never active at batch
         size 1, so per-query I/O counts stay the paper's.
+
+        ``memo`` lets a caller own the memo dict and carry it across
+        scopes — the serving executor passes its long-lived tuple cache
+        here so decode warmth survives between requests while the index
+        itself stays memo-free (and measurement-exact) whenever no scope
+        is active.  The caller owning ``memo`` owns its invalidation
+        (see :attr:`mutations`).
         """
         if self._tuple_memo is not None:  # nested batches don't occur,
             yield  # but re-entry must not clear the outer scope's memo
             return
-        self._tuple_memo = {}
+        self._tuple_memo = {} if memo is None else memo
         try:
             yield
         finally:
@@ -151,6 +166,7 @@ class ProbabilisticInvertedIndex:
             )
             self._lists[item] = posting_list
         self.num_tuples = len(relation)
+        self.mutations += 1
         self._pool.flush_all()
 
     def insert(self, tid: int, uda: UncertainAttribute) -> None:
@@ -166,6 +182,7 @@ class ProbabilisticInvertedIndex:
                 self._lists[item] = posting_list
             posting_list.insert(tid, prob)
         self.num_tuples += 1
+        self.mutations += 1
 
     def delete(self, tid: int) -> None:
         """Remove a tuple from every posting list it occurs in."""
@@ -174,6 +191,7 @@ class ProbabilisticInvertedIndex:
             self._lists[item].delete(tid, prob)
         del self._rid_of_tid[tid]
         self.num_tuples -= 1
+        self.mutations += 1
 
     # -- access paths -------------------------------------------------------------
 
@@ -340,6 +358,7 @@ class ProbabilisticInvertedIndex:
         index._pool = BufferPool(disk, 4096)
         index.recovered = not report.clean
         index._tuple_memo = None
+        index.mutations = 0
         heap_state = metadata["heap"]
         if not report.clean:
             heap_pages = set(heap_state["page_ids"])

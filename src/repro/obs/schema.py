@@ -99,10 +99,31 @@ SCHEMA: dict[str, RecordSpec] = {
     # with its dynamic threshold elevated to the global k-th pair score.
     "join.tau_raised": _spec({"left_tid": int, "tau": float}),
     # -- batch executor -----------------------------------------------------
-    "batch.begin": _spec({"size": int, "structure": str}, {"strategy": str}),
+    # mode is present ("warm") when the batch ran against a long-lived
+    # serving pool instead of a fresh per-batch pool (docs/serving.md).
+    "batch.begin": _spec(
+        {"size": int, "structure": str}, {"strategy": str, "mode": str}
+    ),
     "batch.query": _spec({"position": int, "query": str}),
     "batch.shared_page": _spec({"page_id": int, "queries": int}),
     "batch.end": _spec({"size": int, "shared_pages": int}),
+    # -- query service (repro.serve) ----------------------------------------
+    # One serve.request per response written: status is "ok", "shed",
+    # "timeout", or "error"; reads/coalesced only accompany "ok".
+    # Records carry no timestamps (trace byte-determinism), so queueing
+    # delay is deliberately absent — wall-clock lives in the response
+    # payload, not the trace.
+    "serve.request": _spec(
+        {"query": str, "status": str},
+        {"reads": int, "coalesced": int, "reason": str, "matches": int},
+    ),
+    # One per executed coalesced batch: how many requests it grouped
+    # and the batch's total physical reads (including shared-prefetch
+    # overhead attributed to no single request).
+    "serve.batch": _spec({"size": int, "reads": int}),
+    # Admission control turned a request away: reason "inflight" (the
+    # in-flight cap) or "queue" (the bounded wait queue overflowed).
+    "serve.shed": _spec({"reason": str}),
     # -- bench harness ------------------------------------------------------
     "measure.begin": _spec({"index": str, "query": str, "pool_size": int}),
     "measure.end": _spec({"index": str, "reads": int, "matches": int}),

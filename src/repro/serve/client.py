@@ -1,0 +1,162 @@
+"""A thin asyncio client for the :mod:`repro.serve` protocol.
+
+Used by the stress tests and ``benchmarks/bench_abl_serving.py``.  Two
+submission styles:
+
+- :meth:`ServeClient.query` — one request, one awaited response.
+- :meth:`ServeClient.pipeline` — write a whole workload before reading
+  any response.  Because the server answers each connection in arrival
+  order, responses come back aligned with the submitted list — and
+  because the requests are all queued at once, this is the path that
+  actually exercises request coalescing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import asyncio
+
+from repro.core.exceptions import ReproError
+from repro.core.queries import Query
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    query_to_wire,
+)
+
+
+class ServeError(ReproError):
+    """The server answered something other than ``status: ok``."""
+
+    def __init__(self, payload: dict[str, Any]) -> None:
+        self.payload = payload
+        status = payload.get("status", "?")
+        detail = payload.get("reason") or payload.get("error") or ""
+        super().__init__(
+            f"request {payload.get('id', '?')} failed: {status}"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+class ServeClient:
+    """One TCP connection to a :class:`repro.serve.server.QueryServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- wire helpers --------------------------------------------------------
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _encode_query(
+        self, query: Query, deadline_ms: float | None
+    ) -> tuple[int, bytes]:
+        request_id = self._fresh_id()
+        message = {"id": request_id, **query_to_wire(query)}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return request_id, encode_line(message)
+
+    async def _read_payload(self) -> dict[str, Any]:
+        assert self._reader is not None, "client not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode_line(line)
+
+    async def _send(self, data: bytes) -> None:
+        assert self._writer is not None, "client not connected"
+        self._writer.write(data)
+        await self._writer.drain()
+
+    # -- requests ------------------------------------------------------------
+
+    async def request(
+        self, query: Query, *, deadline_ms: float | None = None
+    ) -> dict[str, Any]:
+        """Submit one query; return the raw response payload."""
+        _, data = self._encode_query(query, deadline_ms)
+        await self._send(data)
+        return await self._read_payload()
+
+    async def query(
+        self, query: Query, *, deadline_ms: float | None = None
+    ) -> dict[str, Any]:
+        """Submit one query; raise :class:`ServeError` unless ``ok``."""
+        payload = await self.request(query, deadline_ms=deadline_ms)
+        if payload.get("status") != "ok":
+            raise ServeError(payload)
+        return payload
+
+    async def pipeline(
+        self,
+        queries: list[Query],
+        *,
+        deadline_ms: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Submit a workload back-to-back, then collect every response.
+
+        Responses align with ``queries`` by position (the server
+        preserves per-connection arrival order).
+        """
+        assert self._writer is not None, "client not connected"
+        expected = []
+        for query in queries:
+            request_id, data = self._encode_query(query, deadline_ms)
+            self._writer.write(data)
+            expected.append(request_id)
+        await self._writer.drain()
+        payloads = []
+        for request_id in expected:
+            payload = await self._read_payload()
+            if payload.get("id") != request_id:
+                raise ProtocolError(
+                    f"response out of order: expected id {request_id}, "
+                    f"got {payload.get('id')!r}"
+                )
+            payloads.append(payload)
+        return payloads
+
+    # -- control ops ---------------------------------------------------------
+
+    async def _control(self, op: str) -> dict[str, Any]:
+        await self._send(encode_line({"op": op, "id": self._fresh_id()}))
+        return await self._read_payload()
+
+    async def ping(self) -> dict[str, Any]:
+        return await self._control("ping")
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._control("stats")
+
+    async def reset_window(self) -> dict[str, Any]:
+        return await self._control("reset_window")

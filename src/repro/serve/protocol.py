@@ -1,0 +1,163 @@
+"""The JSON-lines wire protocol shared by server and client.
+
+One request per line, one response per line, UTF-8 JSON with a
+trailing ``\\n``.  A request is either a *query*::
+
+    {"id": 7, "kind": "petq", "items": [3, 9], "probs": [0.6, 0.4],
+     "threshold": 0.25}
+
+or a *control op* (``{"op": "ping"}``, ``{"op": "stats"}``,
+``{"op": "reset_window"}``).  Responses echo the request ``id`` and
+carry a ``status``: ``"ok"`` (with ``matches`` as ``[tid, score]``
+pairs in presentation order, plus ``reads``/``coalesced``/``mode``),
+``"shed"`` (with ``reason``), ``"timeout"``, or ``"error"`` (with
+``error``).
+
+Probabilities survive the wire bit-exactly: UDAs quantize to float32 at
+construction, and Python's JSON repr round-trips binary floats, so a
+query encoded, sent, and decoded scores identically to the original —
+which is what lets the stress tests assert byte-level answer identity
+across the socket.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.exceptions import ReproError
+from repro.core.queries import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    Query,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    WindowedEqualityQuery,
+)
+from repro.core.uda import UncertainAttribute
+
+
+class ProtocolError(ReproError):
+    """A wire message is malformed or names an unknown query kind."""
+
+
+#: Wire kind -> query class, and the extra scalar fields each carries.
+QUERY_KINDS = {
+    "peq": (EqualityQuery, ()),
+    "petq": (EqualityThresholdQuery, ("threshold",)),
+    "topk": (EqualityTopKQuery, ("k",)),
+    "wpetq": (WindowedEqualityQuery, ("threshold", "window")),
+    "simtq": (SimilarityThresholdQuery, ("threshold", "divergence")),
+    "simtopk": (SimilarityTopKQuery, ("k", "divergence")),
+}
+
+_CLASS_TO_KIND = {cls: kind for kind, (cls, _) in QUERY_KINDS.items()}
+
+#: Control operations a request may carry instead of a query.
+CONTROL_OPS = ("ping", "stats", "reset_window")
+
+#: Response statuses.
+STATUSES = ("ok", "shed", "timeout", "error")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded query request."""
+
+    id: int | str
+    query: Query
+    #: Per-request deadline override in ms (``None`` = server default).
+    deadline_ms: float | None = None
+
+
+def query_to_wire(query: Query) -> dict[str, Any]:
+    """Encode a query descriptor as wire fields (without ``id``)."""
+    kind = _CLASS_TO_KIND.get(type(query))
+    if kind is None:
+        raise ProtocolError(
+            f"unsupported query type {type(query).__name__}"
+        )
+    _, extras = QUERY_KINDS[kind]
+    wire: dict[str, Any] = {
+        "kind": kind,
+        "items": [int(item) for item in query.q.items],
+        "probs": [float(prob) for prob in query.q.probs],
+    }
+    for name in extras:
+        wire[name] = getattr(query, name)
+    return wire
+
+
+def query_from_wire(message: dict[str, Any]) -> Query:
+    """Decode wire fields into a query descriptor.
+
+    Raises :class:`ProtocolError` for unknown kinds or missing fields;
+    descriptor-level validation errors (bad threshold, empty
+    distribution, ...) propagate as the descriptors' own
+    :class:`~repro.core.exceptions.QueryError`.
+    """
+    kind = message.get("kind")
+    if kind not in QUERY_KINDS:
+        raise ProtocolError(
+            f"unknown query kind {kind!r}; expected one of "
+            f"{sorted(QUERY_KINDS)}"
+        )
+    cls, extras = QUERY_KINDS[kind]
+    for name in ("items", "probs", *extras):
+        if name not in message:
+            raise ProtocolError(f"{kind}: missing field {name!r}")
+    try:
+        uda = UncertainAttribute(message["items"], message["probs"])
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"{kind}: bad distribution: {exc}") from exc
+    return cls(uda, *[message[name] for name in extras])
+
+
+def parse_request(message: dict[str, Any]) -> Request:
+    """Decode a query-request object (already JSON-parsed)."""
+    if "id" not in message:
+        raise ProtocolError("request is missing 'id'")
+    request_id = message["id"]
+    if not isinstance(request_id, (int, str)) or isinstance(request_id, bool):
+        raise ProtocolError(f"request 'id' must be int or str, got {request_id!r}")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or deadline_ms < 0
+    ):
+        raise ProtocolError(
+            f"'deadline_ms' must be a non-negative number, got {deadline_ms!r}"
+        )
+    return Request(
+        id=request_id,
+        query=query_from_wire(message),
+        deadline_ms=None if deadline_ms is None else float(deadline_ms),
+    )
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message as a JSON line."""
+    return (
+        json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one protocol line into a message object."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message is not an object: {message!r}")
+    return message
+
+
+def matches_to_wire(result) -> list[list[float]]:
+    """Presentation-order ``[tid, score]`` pairs for a query result."""
+    return [[match.tid, match.score] for match in result.matches]

@@ -1,0 +1,448 @@
+"""The admission-controlled, coalescing asyncio query server.
+
+:class:`QueryServer` keeps one index attached to a long-lived warm
+buffer pool (via :class:`repro.exec.serving.ServingExecutor`) and
+answers the JSON-lines protocol of :mod:`repro.serve.protocol` over
+TCP.  Three serving disciplines, in arrival order:
+
+**Admission control.**  A request is admitted only if the in-flight
+count (admitted, not yet answered) is under ``max_inflight`` *and* the
+wait queue is under ``queue_limit``; otherwise it is answered
+``"shed"`` immediately with reason ``"inflight"`` or ``"queue"`` —
+overload degrades availability, never correctness.
+
+**Deadlines.**  Each admitted request carries an absolute deadline
+(its own ``deadline_ms`` or the config default).  Deadlines are
+checked when the batcher dequeues: a request that waited too long is
+answered ``"timeout"`` without executing.  Execution is never
+preempted — the deadline bounds *queueing*, the dominant delay under
+load.
+
+**Coalescing.**  A single batcher task drains the queue: after the
+first arrival it waits ``coalesce_ms`` for company, then executes up
+to ``coalesce_max`` requests as *one*
+:meth:`~repro.exec.serving.ServingExecutor.execute_batch` call —
+touched-item grouping, shared-head pinning, and batch tuple-decode
+memoization all amortize across the group.  Results demultiplex back
+to their requests in arrival order (per-request futures; each
+connection writes responses in the order its requests arrived).
+
+Execution runs on one dedicated worker thread
+(``ThreadPoolExecutor(max_workers=1)``), so the event loop stays
+responsive for admission decisions while queries run, and index/pool
+state is only ever touched single-threaded.  All ``serve.*`` trace
+records and counters are emitted from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.exceptions import QueryError, ReproError
+from repro.exec.serving import ServedResult, ServingExecutor
+from repro.obs.metrics import METRICS
+from repro.obs.trace import active_tracer
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    decode_line,
+    encode_line,
+    matches_to_wire,
+    parse_request,
+)
+
+#: Response statuses tallied in :attr:`QueryServer.counters`.
+_STATUSES = ("ok", "shed", "timeout", "error")
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in (or leaving) the batch queue."""
+
+    request: Request
+    future: asyncio.Future
+    #: Absolute ``loop.time()`` deadline, or None for "no deadline".
+    deadline: float | None
+    #: The label used in this request's ``serve.request`` trace record.
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = type(self.request.query).__name__
+
+
+class QueryServer:
+    """Serve one index over TCP with admission control and coalescing.
+
+    Usage::
+
+        server = QueryServer(index, config=ServeConfig(port=0))
+        await server.start()
+        host, port = server.address
+        ...
+        await server.stop()
+
+    or as an async context manager.  ``strategy`` rides in
+    :class:`ServeConfig`; the executor validates the pairing up front.
+    """
+
+    def __init__(self, index, *, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.executor = ServingExecutor(
+            index,
+            strategy=self.config.strategy,
+            mode=self.config.mode,
+            pool_size=self.config.pool_size,
+        )
+        self._worker = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._queue: deque[_Pending] = deque()
+        self._wake: asyncio.Event | None = None
+        self._inflight = 0
+        self._running = False
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: asyncio.Task | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        #: Response tallies plus batch statistics, for the ``stats`` op.
+        self.counters: dict[str, int] = {
+            **{status: 0 for status in _STATUSES},
+            "requests": 0,
+            "batches": 0,
+            "coalesced": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the batcher task."""
+        if self._server is not None:
+            raise ReproError("server already started")
+        self._wake = asyncio.Event()
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self._batcher = asyncio.create_task(self._batch_loop())
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved if config said 0)."""
+        if self._server is None:
+            raise ReproError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered."""
+        while self._inflight > 0:
+            await asyncio.sleep(0.002)
+
+    async def stop(self) -> None:
+        """Stop accepting, finish/flush outstanding work, release threads.
+
+        A batch already executing completes and its responses are
+        delivered; requests still waiting in the queue are answered
+        ``"shed"`` with reason ``"shutdown"``.
+        """
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+        if self._batcher is not None:
+            if self._wake is not None:
+                self._wake.set()
+            await self._batcher
+            self._batcher = None
+        while self._queue:
+            pending = self._queue.popleft()
+            self._finish(
+                pending,
+                {"id": pending.request.id, "status": "shed",
+                 "reason": "shutdown"},
+                status="shed",
+                reason="shutdown",
+            )
+        # Reap open connections so no handler task outlives the server
+        # (a lingering task trips asyncio's loop-teardown diagnostics).
+        for writer in list(self._writers):
+            writer.close()
+        handlers = [task for task in self._handlers if not task.done()]
+        if handlers:
+            await asyncio.wait(handlers, timeout=1.0)
+            for task in handlers:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*handlers, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        self._worker.shutdown(wait=True)
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- per-connection handling ---------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Responses must leave in arrival order even though batches
+        # resolve out of order across connections: every request gets a
+        # future at dispatch time, and this connection's pump awaits
+        # them strictly FIFO.
+        out: asyncio.Queue = asyncio.Queue()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._writers.add(writer)
+        pump = asyncio.create_task(self._pump(out, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await out.put(self._dispatch(line))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await out.put(None)
+            await pump
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writers.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+
+    async def _pump(self, out: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        while True:
+            future = await out.get()
+            if future is None:
+                return
+            payload = await future
+            try:
+                writer.write(encode_line(payload))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Client went away; keep awaiting futures so admitted
+                # requests still drain through _finish bookkeeping.
+                continue
+
+    # -- dispatch and admission ----------------------------------------------
+
+    def _resolved(self, payload: dict[str, Any]) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        future.set_result(payload)
+        return future
+
+    def _dispatch(self, line: bytes) -> asyncio.Future:
+        """Parse, admission-check, and enqueue one request line.
+
+        Always returns a future for the response payload, already
+        resolved for control ops, sheds, and malformed requests.
+        """
+        tracer = active_tracer()
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            return self._immediate_error(None, "?", str(exc))
+        op = message.get("op")
+        if op is not None:
+            return self._resolved(self._control(op, message))
+        try:
+            request = parse_request(message)
+        except (ProtocolError, QueryError) as exc:
+            return self._immediate_error(
+                message.get("id"), str(message.get("kind", "?")), str(exc)
+            )
+        label = type(request.query).__name__
+        reason = None
+        if self._inflight >= self.config.max_inflight:
+            reason = "inflight"
+        elif len(self._queue) >= self.config.queue_limit:
+            reason = "queue"
+        if reason is not None:
+            METRICS.inc(f"serve.shed.{reason}")
+            if tracer is not None:
+                tracer.event("serve.shed", reason=reason)
+            payload = {"id": request.id, "status": "shed", "reason": reason}
+            self._record(label, "shed", reason=reason)
+            return self._resolved(payload)
+        # Admitted: compute the absolute deadline and queue for the
+        # batcher.  loop.time() is monotonic, immune to clock steps.
+        loop = asyncio.get_running_loop()
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.deadline_ms
+        )
+        deadline = (
+            None if deadline_ms is None else loop.time() + deadline_ms / 1000.0
+        )
+        pending = _Pending(
+            request=request, future=loop.create_future(), deadline=deadline
+        )
+        self._inflight += 1
+        self._queue.append(pending)
+        assert self._wake is not None
+        self._wake.set()
+        return pending.future
+
+    def _immediate_error(
+        self, request_id, label: str, error: str
+    ) -> asyncio.Future:
+        payload: dict[str, Any] = {"status": "error", "error": error}
+        if request_id is not None:
+            payload["id"] = request_id
+        self._record(label, "error")
+        return self._resolved(payload)
+
+    def _control(self, op: Any, message: dict[str, Any]) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": op, "status": "ok"}
+        if "id" in message:
+            payload["id"] = message["id"]
+        if op == "ping":
+            payload["op"] = "pong"
+        elif op == "stats":
+            payload.update(
+                mode=self.config.mode,
+                inflight=self._inflight,
+                queued=len(self._queue),
+                counters=dict(self.counters),
+                hit_ratio=self.executor.hit_ratio(),
+            )
+        elif op == "reset_window":
+            self.executor.reset_window()
+        else:
+            payload.update(status="error", error=f"unknown op {op!r}")
+        return payload
+
+    # -- the batcher ---------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            if not self._running:
+                return
+            if not self._queue:
+                self._wake.clear()
+                continue
+            # (never clear the wake event once stopping: stop() sets it
+            # exactly once, and clearing it would deadlock the final
+            # `await self._batcher`.)
+            # Coalescing window: linger briefly so near-simultaneous
+            # arrivals share one batch, unless a full batch is already
+            # waiting.
+            if (
+                self.config.coalesce_ms > 0
+                and len(self._queue) < self.config.coalesce_max
+            ):
+                await asyncio.sleep(self.config.coalesce_ms / 1000.0)
+            batch: list[_Pending] = []
+            while self._queue and len(batch) < self.config.coalesce_max:
+                batch.append(self._queue.popleft())
+            if not self._queue and self._running:
+                self._wake.clear()
+            now = loop.time()
+            live: list[_Pending] = []
+            for pending in batch:
+                if pending.deadline is not None and now > pending.deadline:
+                    self._finish(
+                        pending,
+                        {"id": pending.request.id, "status": "timeout"},
+                        status="timeout",
+                    )
+                else:
+                    live.append(pending)
+            if not live:
+                continue
+            queries = [pending.request.query for pending in live]
+            try:
+                served, batch_reads = await loop.run_in_executor(
+                    self._worker, self._execute_sync, queries
+                )
+            except Exception as exc:  # noqa: BLE001 -- answered, not raised
+                for pending in live:
+                    self._finish(
+                        pending,
+                        {"id": pending.request.id, "status": "error",
+                         "error": str(exc)},
+                        status="error",
+                    )
+                continue
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.event("serve.batch", size=len(live), reads=batch_reads)
+            METRICS.inc("serve.batch")
+            self.counters["batches"] += 1
+            self.counters["coalesced"] += len(live)
+            for pending, result in zip(live, served):
+                self._finish(
+                    pending,
+                    self._ok_payload(pending.request.id, result),
+                    status="ok",
+                    reads=result.reads,
+                    coalesced=result.coalesced,
+                    matches=len(result),
+                )
+
+    def _execute_sync(
+        self, queries: list
+    ) -> tuple[list[ServedResult], int]:
+        """Worker-thread entry: run one coalesced batch, bill its reads."""
+        disk = self.executor.index.disk
+        before = disk.stats.snapshot()
+        served = self.executor.execute_batch(queries)
+        delta = disk.stats.delta_since(before)
+        return served, delta.reads
+
+    # -- response bookkeeping ------------------------------------------------
+
+    def _ok_payload(self, request_id, result: ServedResult) -> dict[str, Any]:
+        return {
+            "id": request_id,
+            "status": "ok",
+            "matches": matches_to_wire(result.result),
+            "reads": result.reads,
+            "coalesced": result.coalesced,
+            "mode": result.mode,
+        }
+
+    def _finish(
+        self,
+        pending: _Pending,
+        payload: dict[str, Any],
+        *,
+        status: str,
+        **trace_fields: Any,
+    ) -> None:
+        if not pending.future.done():
+            pending.future.set_result(payload)
+        self._inflight -= 1
+        self._record(pending.label, status, **trace_fields)
+
+    def _record(self, label: str, status: str, **trace_fields: Any) -> None:
+        """Tally and trace one written response."""
+        METRICS.inc(f"serve.request.{status}")
+        self.counters[status] += 1
+        self.counters["requests"] += 1
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "serve.request", query=label, status=status, **trace_fields
+            )

@@ -22,9 +22,9 @@ Queries in the experiment harness each run against a fresh pool (see
 
 from __future__ import annotations
 
-import os
 import time
 
+from repro.core.config import read_env_int
 from repro.core.exceptions import (
     BufferPoolError,
     ChecksumError,
@@ -52,19 +52,26 @@ RETRY_BACKOFF_BASE = 0.0005
 
 
 def _decoded_capacity_from_env(pool_capacity: int) -> int:
-    raw = os.environ.get(DECODED_CACHE_ENV, "").strip().lower()
-    if raw in ("", "on", "default"):
+    """Decoded-cache capacity from ``REPRO_DECODED_CACHE``.
+
+    A malformed value raises a
+    :class:`~repro.core.exceptions.ConfigError` naming the variable
+    (see :mod:`repro.core.config`).
+    """
+    value = read_env_int(
+        DECODED_CACHE_ENV,
+        minimum=0,
+        special={
+            "on": None,
+            "default": None,
+            "off": 0,
+            "false": 0,
+            "no": 0,
+            "disabled": 0,
+        },
+    )
+    if value is None:
         return DEFAULT_ENTRIES_PER_FRAME * pool_capacity
-    if raw in ("off", "false", "no", "disabled"):
-        return 0
-    try:
-        value = int(raw)
-    except ValueError:
-        raise BufferPoolError(
-            f"{DECODED_CACHE_ENV} must be an integer or 'off', got {raw!r}"
-        ) from None
-    if value < 0:
-        raise BufferPoolError(f"{DECODED_CACHE_ENV} must be >= 0, got {value}")
     return value
 
 
@@ -337,6 +344,24 @@ class BufferPool:
         """Fraction of fetches served without physical I/O."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the telemetry counters without disturbing the pool.
+
+        Long-lived serving pools (see ``docs/serving.md``) report
+        per-window :attr:`hit_ratio` by resetting between reporting
+        windows instead of rebuilding the pool — a rebuild would evict
+        every warm page, which is the whole point of serving mode.
+        Only :attr:`hits` / :attr:`misses` / :attr:`retries` (and the
+        decoded cache's counters) are touched: resident pages, pin
+        counts, dirty flags, and clock state are untouched, which the
+        reset property test asserts via :meth:`check_invariants` and a
+        frame-state snapshot.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.retries = 0
+        self.decoded.reset_counters()
 
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if frame/clock bookkeeping diverged.

@@ -193,6 +193,16 @@ class DecodedCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def reset_counters(self) -> None:
+        """Zero :attr:`hits` / :attr:`misses`; cached entries are kept.
+
+        The decoded-cache half of :meth:`BufferPool.reset_counters
+        <repro.storage.buffer.BufferPool.reset_counters>`: per-window
+        :attr:`hit_rate` reporting for long-lived serving pools.
+        """
+        self.hits = 0
+        self.misses = 0
+
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if the internal indexes disagree."""
         assert len(self._entries) <= max(self.capacity, 0)

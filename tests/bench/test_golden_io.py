@@ -80,3 +80,25 @@ def test_rerun_reproduces_committed_golden(tmp_path, name):
     compare_io = _load_compare_io()
     problems = compare_io.compare_dirs(pinned_dir, fresh_dir)
     assert problems == [], "\n".join(problems)
+
+
+def test_compare_refuses_cross_mode_diff(tmp_path):
+    """Serving-mode reads depend on arrival history; compare_io must
+    refuse to diff them against measurement-protocol results."""
+    compare_io = _load_compare_io()
+    assert "mode" in compare_io.PROTOCOL_KEYS
+    payload = {"series": {"s": [{f: 0 for f in
+                                 compare_io.DETERMINISTIC_FIELDS}]}}
+    dirs = {}
+    for mode in ("measure", "serve"):
+        d = tmp_path / mode
+        d.mkdir()
+        (d / "BENCH_summary.json").write_text(
+            json.dumps({"kernel": "vectorized", "batch": 1, "mode": mode})
+        )
+        (d / "BENCH_point.json").write_text(json.dumps(payload))
+        dirs[mode] = d
+    problems = compare_io.compare_dirs(dirs["measure"], dirs["serve"])
+    assert len(problems) == 1 and "mode" in problems[0]
+    # Same mode on both sides compares normally (and here, cleanly).
+    assert compare_io.compare_dirs(dirs["measure"], dirs["measure"]) == []

@@ -1,0 +1,134 @@
+"""The shared ``REPRO_*`` knob parser, and the four knobs routed through it.
+
+Satellite of the serving-mode PR: a malformed ``REPRO_BATCH`` /
+``REPRO_JOIN_BLOCK`` / ``REPRO_JOBS`` / ``REPRO_DECODED_CACHE`` must
+raise a clear :class:`ValueError` *naming the variable*, never a bare
+``int()`` traceback — operators set these in service unit files where a
+nameless traceback is useless.
+"""
+
+import pytest
+
+from repro.bench.parallel import JOBS_ENV, resolve_jobs
+from repro.core import ConfigError, QueryError
+from repro.core.config import (
+    parse_float_knob,
+    parse_int_knob,
+    read_env_float,
+    read_env_int,
+)
+from repro.exec import BATCH_ENV, JOIN_BLOCK_ENV, resolve_batch, resolve_join_block
+from repro.storage.buffer import DECODED_CACHE_ENV, BufferPool
+from repro.storage.disk import DiskManager
+
+
+class TestParseIntKnob:
+    def test_parses_and_strips(self):
+        assert parse_int_knob(" 12 ", "X") == 12
+
+    def test_accepts_int_argument(self):
+        assert parse_int_knob(3, "X", minimum=1) == 3
+
+    @pytest.mark.parametrize("raw", ["three", "2.5", "", "0x10"])
+    def test_non_integer_names_the_knob(self, raw):
+        with pytest.raises(ConfigError, match="MY_KNOB"):
+            parse_int_knob(raw, "MY_KNOB")
+
+    def test_below_minimum_names_the_knob(self):
+        with pytest.raises(ConfigError, match="MY_KNOB must be >= 1"):
+            parse_int_knob(0, "MY_KNOB", minimum=1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError, match="MY_KNOB"):
+            parse_int_knob(True, "MY_KNOB")
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_int_knob("junk", "MY_KNOB")
+
+
+class TestParseFloatKnob:
+    def test_parses(self):
+        assert parse_float_knob("2.5", "X") == 2.5
+
+    @pytest.mark.parametrize("raw", ["soon", "", "nan"])
+    def test_bad_values_name_the_knob(self, raw):
+        with pytest.raises(ConfigError, match="MY_KNOB"):
+            parse_float_knob(raw, "MY_KNOB")
+
+    def test_below_minimum(self):
+        with pytest.raises(ConfigError, match="MY_KNOB must be >= 0"):
+            parse_float_knob(-1.0, "MY_KNOB", minimum=0.0)
+
+
+class TestReadEnv:
+    def test_unset_returns_none(self):
+        assert read_env_int("NO_SUCH_KNOB", environ={}) is None
+
+    def test_special_words_and_case(self):
+        env = {"K": " OFF "}
+        assert read_env_int("K", special={"off": 0}, environ=env) == 0
+
+    def test_special_none_means_unset(self):
+        env = {"K": "default"}
+        assert read_env_int("K", special={"default": None}, environ=env) is None
+
+    def test_plain_value(self):
+        assert read_env_int("K", minimum=1, environ={"K": "7"}) == 7
+
+    def test_float_reader(self):
+        assert read_env_float("K", environ={"K": "1.5"}) == 1.5
+        assert read_env_float("K", environ={}) is None
+
+
+class TestBatchKnob:
+    @pytest.mark.parametrize("raw", ["sixteen", "2.5", "-3", "0"])
+    def test_bad_env_names_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(BATCH_ENV, raw)
+        with pytest.raises(ConfigError, match=BATCH_ENV):
+            resolve_batch()
+
+    def test_still_a_query_error(self, monkeypatch):
+        # Backward compatibility: callers catching QueryError keep working.
+        monkeypatch.setenv(BATCH_ENV, "junk")
+        with pytest.raises(QueryError):
+            resolve_batch()
+
+
+class TestJoinBlockKnob:
+    @pytest.mark.parametrize("raw", ["wide", "1.5", "-1", "0"])
+    def test_bad_env_names_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(JOIN_BLOCK_ENV, raw)
+        with pytest.raises(ConfigError, match=JOIN_BLOCK_ENV):
+            resolve_join_block()
+
+
+class TestJobsKnob:
+    @pytest.mark.parametrize("raw", ["many", "3.5", "-2"])
+    def test_bad_env_names_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(JOBS_ENV, raw)
+        with pytest.raises(ConfigError, match=JOBS_ENV):
+            resolve_jobs()
+
+    def test_auto_and_zero_mean_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(JOBS_ENV, "auto")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+
+class TestDecodedCacheKnob:
+    @pytest.mark.parametrize("raw", ["big", "1.5", "-4"])
+    def test_bad_env_names_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(DECODED_CACHE_ENV, raw)
+        disk = DiskManager(page_size=64)
+        with pytest.raises(ConfigError, match=DECODED_CACHE_ENV):
+            BufferPool(disk, capacity=4)
+
+    @pytest.mark.parametrize("raw", ["off", "false", "no", "disabled"])
+    def test_disabling_words(self, monkeypatch, raw):
+        monkeypatch.setenv(DECODED_CACHE_ENV, raw)
+        disk = DiskManager(page_size=64)
+        assert not BufferPool(disk, capacity=4).decoded.enabled

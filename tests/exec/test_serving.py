@@ -1,0 +1,227 @@
+"""Tests for :mod:`repro.exec.serving` (the measure/serve protocol split).
+
+The load-bearing contracts: serve-mode answers are byte-identical to
+measurement-mode answers; warm per-request posting reads never exceed
+the cold (fresh-pool) reads for the same query; measure mode reproduces
+:func:`repro.bench.harness.measure_query` exactly; coalesced batches
+demultiplex in input order; and the warm pool quiesces clean (no
+leaked pins) after any workload.
+"""
+
+import pytest
+
+from repro.bench.harness import IndexUnderTest, measure_query
+from repro.core import QueryError
+from repro.exec import DEFAULT_SERVE_POOL_SIZE, MODES, ServingExecutor
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+from tests.exec.test_batch import POOL_SIZE, mixed_workload
+from tests.invindex.conftest import random_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(300, 14, seed=61)
+
+
+@pytest.fixture(scope="module")
+def index(relation):
+    built = ProbabilisticInvertedIndex(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+@pytest.fixture(scope="module")
+def tree(relation):
+    built = PDRTree(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+def answers(served):
+    return [[(m.tid, m.score) for m in s.result.matches] for s in served]
+
+
+def test_mode_is_validated(index):
+    with pytest.raises(QueryError, match="mode"):
+        ServingExecutor(index, mode="burst")
+    assert MODES == ("measure", "serve")
+
+
+def test_pool_size_is_validated(index):
+    with pytest.raises(QueryError, match="pool_size"):
+        ServingExecutor(index, pool_size=0)
+
+
+def test_measure_mode_has_no_shared_pool(index):
+    executor = ServingExecutor(index, mode="measure")
+    assert executor.pool is None
+    assert executor.pool_size == POOL_SIZE
+
+
+def test_serve_mode_defaults_to_large_pool(index):
+    executor = ServingExecutor(index, mode="serve")
+    assert executor.pool is not None
+    assert executor.pool.capacity == DEFAULT_SERVE_POOL_SIZE
+    assert index.pool is executor.pool
+
+
+def test_measure_mode_matches_harness(index, relation):
+    """Measure mode is the paper protocol: identical reads and answers."""
+    queries = mixed_workload(len(relation.domain), 12, base_seed=7)
+    under_test = IndexUnderTest("inverted", index)
+    executor = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    for query in queries:
+        baseline = measure_query(under_test, query, POOL_SIZE)
+        served = executor.execute(query)
+        assert served.mode == "measure"
+        assert served.reads == baseline.reads
+        assert served.reads_by_tag == baseline.reads_by_tag
+        assert len(served) == baseline.result_size
+
+
+def test_serve_answers_identical_to_measure(index, relation):
+    queries = mixed_workload(len(relation.domain), 20, base_seed=3)
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    expected = answers([measure.execute(q) for q in queries])
+    serve = ServingExecutor(index, mode="serve")
+    got = answers([serve.execute(q) for q in queries])
+    assert got == expected
+    serve.check_quiesced()
+
+
+def test_warm_posting_reads_never_exceed_cold(index, relation):
+    """The per-request read bound the benchmark asserts, in miniature."""
+    queries = mixed_workload(len(relation.domain), 20, base_seed=11)
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    cold = [measure.execute(q).reads for q in queries]
+    serve = ServingExecutor(index, mode="serve")
+    warm = [serve.execute(q).reads for q in queries]
+    for position, (w, c) in enumerate(zip(warm, cold)):
+        assert w <= c, f"query {position}: warm {w} > cold {c}"
+    # A repeat pass over the same workload is fully resident.
+    rewarm = [serve.execute(q).reads for q in queries]
+    assert sum(rewarm) == 0
+    assert serve.hit_ratio() > 0.5
+
+
+def test_coalesced_batch_matches_per_query(index, relation):
+    queries = mixed_workload(len(relation.domain), 15, base_seed=23)
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    expected = answers([measure.execute(q) for q in queries])
+    serve = ServingExecutor(index, mode="serve")
+    served = serve.execute_batch(queries)
+    assert answers(served) == expected
+    assert [s.coalesced for s in served] == [len(queries)] * len(queries)
+    total_attributed = sum(s.reads for s in served)
+    cold_total = sum(measure.execute(q).reads for q in queries)
+    assert total_attributed <= cold_total
+    serve.check_quiesced()
+
+
+def test_measure_mode_batch_degenerates_to_per_query(index, relation):
+    queries = mixed_workload(len(relation.domain), 6, base_seed=29)
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    served = measure.execute_batch(queries)
+    assert [s.coalesced for s in served] == [1] * len(queries)
+    assert [s.mode for s in served] == ["measure"] * len(queries)
+
+
+def test_measure_mode_reads_are_repeatable(index, relation):
+    """A fresh pool per query means repeats cost exactly the same."""
+    queries = mixed_workload(len(relation.domain), 6, base_seed=31)
+    executor = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    first = [executor.execute(q).reads for q in queries]
+    second = [executor.execute(q).reads for q in queries]
+    assert first == second
+
+
+def test_serve_reattaches_pool_after_foreign_swap(index, relation):
+    """A measurement harness borrowing the index cannot break serving."""
+    queries = mixed_workload(len(relation.domain), 4, base_seed=37)
+    serve = ServingExecutor(index, mode="serve")
+    for q in queries:
+        serve.execute(q)
+    warm_reads = serve.execute(queries[0]).reads
+    assert warm_reads == 0
+    # Borrow the index for a measurement (installs a fresh pool)...
+    measure_query(IndexUnderTest("inverted", index), queries[0], POOL_SIZE)
+    assert index.pool is not serve.pool
+    # ...and serving re-attaches its warm pool on the next request.
+    assert serve.execute(queries[0]).reads == 0
+    assert index.pool is serve.pool
+
+
+def test_reset_window_preserves_warmth(index, relation):
+    queries = mixed_workload(len(relation.domain), 8, base_seed=41)
+    serve = ServingExecutor(index, mode="serve")
+    for q in queries:
+        serve.execute(q)
+    serve.reset_window()
+    assert serve.pool.hits == 0 and serve.pool.misses == 0
+    # Warmth survived the counter reset: repeats are still free.
+    assert all(serve.execute(q).reads == 0 for q in queries)
+    assert serve.hit_ratio() == 1.0
+
+
+def test_tuple_cache_invalidated_by_mutation(relation):
+    """An insert between requests never serves stale decoded tuples."""
+    import numpy as np
+
+    from repro.core import EqualityThresholdQuery, UncertainAttribute
+
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    query = EqualityThresholdQuery(
+        UncertainAttribute(np.array([0, 1]), np.array([0.5, 0.5])), 0.01
+    )
+    serve = ServingExecutor(index, mode="serve")
+    before = serve.execute(query)
+    assert serve.tuple_cache, "verification should have populated the cache"
+    new_tid = max(relation.tids()) + 1
+    index.insert(
+        new_tid,
+        UncertainAttribute(np.array([0, 1]), np.array([0.5, 0.5])),
+    )
+    after = serve.execute(query)
+    fresh = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    expected = fresh.execute(query)
+    assert answers([after]) == answers([expected])
+    assert new_tid in after.result.tid_set()
+    assert new_tid not in before.result.tid_set()
+
+
+def test_measurement_unaffected_by_live_serving_executor(index, relation):
+    """A serve executor's caches never leak into a measurement run."""
+    queries = mixed_workload(len(relation.domain), 4, base_seed=53)
+    under_test = IndexUnderTest("inverted", index)
+    baseline = [measure_query(under_test, q, POOL_SIZE) for q in queries]
+    serve = ServingExecutor(index, mode="serve")
+    for q in queries:
+        serve.execute(q)
+    # The serving executor is alive and warm; measurement still pays
+    # full freight because the tuple cache detaches between requests.
+    assert index._tuple_memo is None
+    again = [measure_query(under_test, q, POOL_SIZE) for q in queries]
+    assert [m.reads for m in again] == [m.reads for m in baseline]
+    assert [m.reads_by_tag for m in again] == [
+        m.reads_by_tag for m in baseline
+    ]
+
+
+def test_pdr_tree_serves_warm(tree, relation):
+    queries = mixed_workload(len(relation.domain), 10, base_seed=43)
+    measure = ServingExecutor(tree, mode="measure", pool_size=POOL_SIZE)
+    expected = answers([measure.execute(q) for q in queries])
+    cold = [measure.execute(q).reads for q in queries]
+    serve = ServingExecutor(tree, mode="serve")
+    served = [serve.execute(q) for q in queries]
+    assert answers(served) == expected
+    assert all(s.reads <= c for s, c in zip(served, cold))
+    serve.check_quiesced()
+
+
+def test_strategy_pairing_validated_up_front(tree):
+    with pytest.raises(QueryError):
+        ServingExecutor(tree, strategy="highest_prob_first")

@@ -1,0 +1,129 @@
+"""Tests for :mod:`repro.serve.protocol` (the JSON-lines wire format)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    QueryError,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
+    UncertainAttribute,
+    WindowedEqualityQuery,
+)
+from repro.core.results import Match, QueryResult
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    matches_to_wire,
+    parse_request,
+    query_from_wire,
+    query_to_wire,
+)
+
+
+def uda(*pairs):
+    return UncertainAttribute.from_pairs(list(pairs))
+
+
+EXAMPLES = [
+    EqualityQuery(uda((2, 0.5), (9, 0.25))),
+    EqualityThresholdQuery(uda((0, 0.125), (4, 0.5)), 0.1),
+    EqualityTopKQuery(uda((1, 1.0)), 3),
+    WindowedEqualityQuery(uda((3, 0.5), (5, 0.5)), 0.2, 1),
+    SimilarityThresholdQuery(uda((2, 0.75)), 0.4, "l1"),
+    SimilarityTopKQuery(uda((2, 0.25), (3, 0.75)), 2, "kl"),
+]
+
+
+@pytest.mark.parametrize("query", EXAMPLES, ids=lambda q: type(q).__name__)
+def test_query_round_trips_bit_exactly(query):
+    wire = query_to_wire(query)
+    back = query_from_wire(wire)
+    assert type(back) is type(query)
+    assert np.array_equal(back.q.items, query.q.items)
+    assert np.array_equal(back.q.probs, query.q.probs)
+    for name in ("threshold", "k", "window", "divergence"):
+        if hasattr(query, name):
+            assert getattr(back, name) == getattr(query, name)
+
+
+def test_round_trip_survives_json(tmp_path):
+    """The full encode -> bytes -> decode path preserves the query."""
+    query = EqualityThresholdQuery(uda((7, 1 / 3), (11, 1 / 7)), 0.05)
+    line = encode_line({"id": 1, **query_to_wire(query)})
+    back = parse_request(decode_line(line))
+    assert np.array_equal(back.query.q.probs, query.q.probs)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ProtocolError, match="unknown query kind"):
+        query_from_wire({"kind": "join", "items": [1], "probs": [0.5]})
+
+
+def test_missing_field_rejected():
+    with pytest.raises(ProtocolError, match="threshold"):
+        query_from_wire({"kind": "petq", "items": [1], "probs": [0.5]})
+
+
+def test_bad_distribution_rejected():
+    with pytest.raises(ProtocolError, match="bad distribution"):
+        query_from_wire(
+            {"kind": "peq", "items": [1, "x"], "probs": [0.5, 0.5]}
+        )
+
+
+def test_descriptor_validation_propagates():
+    # Structurally valid wire, semantically invalid query: the
+    # descriptor's own QueryError surfaces (threshold out of range).
+    with pytest.raises(QueryError):
+        query_from_wire(
+            {"kind": "petq", "items": [1], "probs": [0.5], "threshold": 2.0}
+        )
+
+
+def test_unsupported_query_type_rejected_on_encode():
+    with pytest.raises(ProtocolError, match="unsupported query type"):
+        query_to_wire(object())
+
+
+def test_request_requires_id():
+    with pytest.raises(ProtocolError, match="id"):
+        parse_request(query_to_wire(EXAMPLES[0]))
+
+
+def test_request_id_must_be_scalar():
+    message = {"id": True, **query_to_wire(EXAMPLES[0])}
+    with pytest.raises(ProtocolError, match="'id'"):
+        parse_request(message)
+
+
+def test_request_deadline_validated():
+    message = {"id": 1, "deadline_ms": -5, **query_to_wire(EXAMPLES[0])}
+    with pytest.raises(ProtocolError, match="deadline_ms"):
+        parse_request(message)
+
+
+def test_decode_line_rejects_non_json():
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode_line(b"{nope\n")
+
+
+def test_decode_line_rejects_non_object():
+    with pytest.raises(ProtocolError, match="not an object"):
+        decode_line(b"[1, 2]\n")
+
+
+def test_encode_line_is_deterministic():
+    message = {"b": 1, "a": 2}
+    assert encode_line(message) == b'{"a":2,"b":1}\n'
+
+
+def test_matches_to_wire_preserves_presentation_order():
+    result = QueryResult(
+        matches=[Match(tid=5, score=0.25), Match(tid=2, score=0.75)]
+    )
+    assert matches_to_wire(result) == [[2, 0.75], [5, 0.25]]

@@ -1,0 +1,243 @@
+"""Tests for :mod:`repro.serve.server` (admission, deadlines, coalescing).
+
+No pytest-asyncio in the toolchain, so each test drives its own event
+loop with ``asyncio.run``.  The server binds port 0 (ephemeral) on
+loopback.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exec import ServingExecutor
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.obs.schema import validate_records
+from repro.obs.trace import MemorySink, Tracer, tracing
+from repro.serve import QueryServer, ServeClient, ServeConfig, ServeError
+from repro.serve.protocol import decode_line, encode_line, query_to_wire
+
+from tests.exec.test_batch import POOL_SIZE, mixed_workload
+from tests.invindex.conftest import random_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(250, 12, seed=91)
+
+
+@pytest.fixture(scope="module")
+def index(relation):
+    built = ProbabilisticInvertedIndex(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+@pytest.fixture(scope="module")
+def workload(relation):
+    return mixed_workload(len(relation.domain), 16, base_seed=5)
+
+
+@pytest.fixture(scope="module")
+def expected(index, workload):
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+    return [
+        [[m.tid, m.score] for m in measure.execute(q).result.matches]
+        for q in workload
+    ]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_single_query_roundtrip(index, workload, expected):
+    async def scenario():
+        async with QueryServer(index, config=ServeConfig()) as server:
+            async with ServeClient(*server.address) as client:
+                return await client.query(workload[0])
+
+    payload = run(scenario())
+    assert payload["status"] == "ok"
+    assert payload["mode"] == "serve"
+    assert payload["matches"] == expected[0]
+
+
+def test_pipeline_answers_align_and_match_measure(index, workload, expected):
+    async def scenario():
+        config = ServeConfig(coalesce_ms=1.0, coalesce_max=8)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                payloads = await client.pipeline(workload)
+            await server.drain()
+            server.executor.check_quiesced()
+            return payloads
+
+    payloads = run(scenario())
+    assert [p["status"] for p in payloads] == ["ok"] * len(workload)
+    assert [p["matches"] for p in payloads] == expected
+    # The pipelined submission actually coalesced.
+    assert max(p["coalesced"] for p in payloads) > 1
+
+
+def test_control_ops(index, workload):
+    async def scenario():
+        async with QueryServer(index, config=ServeConfig()) as server:
+            async with ServeClient(*server.address) as client:
+                pong = await client.ping()
+                await client.query(workload[0])
+                stats = await client.stats()
+                reset = await client.reset_window()
+                return pong, stats, reset
+
+    pong, stats, reset = run(scenario())
+    assert pong["op"] == "pong" and pong["status"] == "ok"
+    assert stats["mode"] == "serve"
+    assert stats["counters"]["ok"] == 1
+    assert 0.0 <= stats["hit_ratio"] <= 1.0
+    assert reset["status"] == "ok"
+
+
+def test_malformed_and_unknown_requests_answer_error(index):
+    async def scenario():
+        async with QueryServer(index, config=ServeConfig()) as server:
+            reader, writer = await asyncio.open_connection(*server.address)
+            writer.write(b"{not json\n")
+            writer.write(encode_line({"id": 9, "kind": "nope"}))
+            writer.write(encode_line({"op": "explode", "id": 10}))
+            await writer.drain()
+            lines = [await reader.readline() for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            return [json.loads(line) for line in lines]
+
+    bad_json, bad_kind, bad_op = run(scenario())
+    assert bad_json["status"] == "error"
+    assert bad_kind["status"] == "error" and bad_kind["id"] == 9
+    assert "unknown query kind" in bad_kind["error"]
+    assert bad_op["status"] == "error" and "unknown op" in bad_op["error"]
+
+
+def test_inflight_cap_sheds(index, workload):
+    async def scenario():
+        # One in-flight slot and a long coalesce window: everything
+        # after the first request is shed while the first waits.
+        config = ServeConfig(
+            max_inflight=1, queue_limit=8, coalesce_ms=50.0
+        )
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                return await client.pipeline(workload[:5])
+
+    payloads = run(scenario())
+    statuses = [p["status"] for p in payloads]
+    assert statuses[0] == "ok"
+    assert statuses[1:] == ["shed"] * 4
+    assert {p["reason"] for p in payloads[1:]} == {"inflight"}
+
+
+def test_queue_bound_sheds(index, workload):
+    async def scenario():
+        config = ServeConfig(
+            max_inflight=64, queue_limit=1, coalesce_ms=50.0
+        )
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                return await client.pipeline(workload[:4])
+
+    payloads = run(scenario())
+    statuses = [p["status"] for p in payloads]
+    assert statuses[0] == "ok"
+    assert statuses[1:] == ["shed"] * 3
+    assert {p["reason"] for p in payloads[1:]} == {"queue"}
+
+
+def test_expired_deadline_times_out_without_executing(index, workload):
+    async def scenario():
+        config = ServeConfig(coalesce_ms=20.0)
+        async with QueryServer(index, config=config) as server:
+            before = server.counters["batches"]
+            async with ServeClient(*server.address) as client:
+                payload = await client.request(
+                    workload[0], deadline_ms=0.0
+                )
+            return payload, server.counters["batches"] - before
+
+    payload, batches = run(scenario())
+    assert payload["status"] == "timeout"
+    assert batches == 0
+
+
+def test_client_query_raises_on_non_ok(index, workload):
+    async def scenario():
+        config = ServeConfig(coalesce_ms=20.0)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                await client.query(workload[0], deadline_ms=0.0)
+
+    with pytest.raises(ServeError, match="timeout"):
+        run(scenario())
+
+
+def test_serve_traces_validate_against_schema(index, workload):
+    sink = MemorySink()
+
+    async def scenario():
+        config = ServeConfig(
+            max_inflight=2, queue_limit=1, coalesce_ms=5.0
+        )
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                await client.pipeline(workload[:6])
+            await server.drain()
+
+    with tracing(Tracer(sink)):
+        run(scenario())
+    records = [json.loads(line) for line in sink.jsonl_lines()]
+    validate_records(records)
+    kinds = {record["kind"] for record in records}
+    assert "serve.request" in kinds
+    assert "serve.batch" in kinds
+    assert "serve.shed" in kinds
+    # Every response wrote exactly one serve.request record.
+    assert sink.count("serve.request") == 6
+
+
+def test_measure_mode_over_the_wire(index, workload, expected):
+    """The same wire protocol can run the paper's measurement protocol."""
+
+    async def scenario():
+        config = ServeConfig(
+            mode="measure", pool_size=POOL_SIZE, coalesce_ms=0.0
+        )
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                return await client.pipeline(workload[:4])
+
+    payloads = run(scenario())
+    assert [p["mode"] for p in payloads] == ["measure"] * 4
+    assert [p["matches"] for p in payloads] == expected[:4]
+
+
+def test_stop_sheds_queued_requests(index, workload):
+    async def scenario():
+        config = ServeConfig(coalesce_ms=200.0)
+        server = QueryServer(index, config=config)
+        await server.start()
+        client = ServeClient(*server.address)
+        await client.connect()
+        # Queue a request, then stop before the coalesce window closes:
+        # the response must still arrive (shed or ok, never silence).
+        message = {"id": 1, **query_to_wire(workload[0])}
+        await client._send(encode_line(message))
+        await asyncio.sleep(0.01)
+        stop = asyncio.create_task(server.stop())
+        payload = await asyncio.wait_for(client._read_payload(), timeout=5.0)
+        await stop
+        await client.close()
+        return payload
+
+    payload = run(scenario())
+    assert payload["status"] in ("ok", "shed")
+    if payload["status"] == "shed":
+        assert payload["reason"] == "shutdown"

@@ -1,0 +1,117 @@
+"""``reset_counters`` on the buffer pool and decoded cache.
+
+Long-lived serving pools (``docs/serving.md``) report per-window hit
+ratios by resetting counters between windows instead of rebuilding the
+pool.  The contract under test: a reset zeroes telemetry only — it
+never touches resident pages, pin state, dirty flags, clock order, or
+cached decoded entries.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import BufferPool, DiskManager
+
+
+def _frame_state(pool):
+    """Everything about the pool that reset_counters must not touch."""
+    return (
+        sorted(
+            (pid, frame.pin_count, frame.referenced, frame.dirty)
+            for pid, frame in pool._frames.items()
+        ),
+        list(pool._clock_order),
+        pool._clock_hand,
+        len(pool.decoded),
+    )
+
+
+class TestBufferPoolReset:
+    def test_zeroes_all_telemetry(self):
+        disk = DiskManager(page_size=16)
+        pids = [disk.allocate_page() for _ in range(4)]
+        pool = BufferPool(disk, capacity=2, decoded_capacity=8)
+        for pid in pids:
+            page = pool.fetch_page(pid)
+            pool.decoded.get_or_decode("t", page, lambda p: object())
+        assert pool.misses > 0 and pool.decoded.misses > 0
+        pool.reset_counters()
+        assert (pool.hits, pool.misses, pool.retries) == (0, 0, 0)
+        assert (pool.decoded.hits, pool.decoded.misses) == (0, 0)
+        assert pool.hit_ratio == 0.0
+        assert pool.decoded.hit_rate == 0.0
+
+    def test_per_window_hit_ratio(self):
+        disk = DiskManager(page_size=16)
+        pid = disk.allocate_page()
+        pool = BufferPool(disk, capacity=2)
+        pool.fetch_page(pid)  # window 1: one miss
+        pool.reset_counters()
+        pool.fetch_page(pid)  # window 2: pure hit, page still resident
+        assert (pool.hits, pool.misses) == (1, 0)
+        assert pool.hit_ratio == 1.0
+
+    def test_keeps_decoded_entries_warm(self):
+        disk = DiskManager(page_size=16)
+        pid = disk.allocate_page()
+        pool = BufferPool(disk, capacity=2, decoded_capacity=8)
+        page = pool.fetch_page(pid)
+        sentinel = object()
+        pool.decoded.put("t", page, sentinel)
+        pool.reset_counters()
+        assert pool.decoded.get("t", page) is sentinel
+
+
+@given(
+    capacity=st.integers(2, 6),
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["fetch", "pin", "unpin", "write", "decode", "reset"]),
+            st.integers(0, 11),
+        ),
+        max_size=100,
+    ),
+)
+def test_reset_never_touches_residency_or_pins(capacity, operations):
+    """Random traffic with interleaved resets: ``check_invariants``
+    passes before and after every reset, and the reset leaves frames,
+    pins, dirty flags, clock state, and decoded entries bit-identical."""
+    disk = DiskManager(page_size=16)
+    pids = [disk.allocate_page() for _ in range(12)]
+    pool = BufferPool(disk, capacity=capacity, decoded_capacity=4 * capacity)
+    pinned = set()
+    for op, slot in operations:
+        pid = pids[slot]
+        if op == "fetch":
+            if len(pinned) < capacity or pid in pinned:
+                pool.fetch_page(pid)
+        elif op == "pin":
+            if pid not in pinned and len(pinned) < capacity:
+                pool.fetch_page(pid, pin=True)
+                pinned.add(pid)
+        elif op == "unpin":
+            if pid in pinned:
+                pool.unpin_page(pid)
+                pinned.discard(pid)
+        elif op == "write":
+            if len(pinned) < capacity or pid in pinned:
+                page = pool.fetch_page(pid)
+                page.write_u8(0, slot)
+                pool.mark_dirty(pid)
+        elif op == "decode":
+            if len(pinned) < capacity or pid in pinned:
+                page = pool.fetch_page(pid)
+                pool.decoded.get_or_decode("t", page, lambda p: (p.page_id,))
+        else:
+            before = _frame_state(pool)
+            pool.check_invariants()
+            pool.reset_counters()
+            pool.check_invariants()
+            assert _frame_state(pool) == before
+            assert (pool.hits, pool.misses, pool.retries) == (0, 0, 0)
+            assert (pool.decoded.hits, pool.decoded.misses) == (0, 0)
+    before = _frame_state(pool)
+    pool.reset_counters()
+    pool.check_invariants()
+    assert _frame_state(pool) == before
+    assert pool.pinned_page_ids() == sorted(pinned)
