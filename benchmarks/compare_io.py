@@ -46,9 +46,14 @@ def _io_view(payload: dict) -> dict:
 #: be attributed.  ``mode`` separates measurement-protocol runs
 #: ("measure", the only mode goldens are recorded under) from
 #: serving-mode runs, whose reads depend on arrival history and are
-#: never golden-comparable (docs/serving.md).  Older result dirs
-#: predate these keys; a missing key is compatible with anything.
-PROTOCOL_KEYS = ("kernel", "batch", "join_block", "mode")
+#: never golden-comparable (docs/serving.md).  ``backend`` names the
+#: storage backend under the disk: simulated I/O counts are
+#: backend-independent by construction, but committed goldens bind to
+#: the ``simulated`` backend only, so a cross-backend diff is refused
+#: rather than quietly blessed (docs/storage-backends.md).  Older
+#: result dirs predate these keys; a missing key is compatible with
+#: anything.
+PROTOCOL_KEYS = ("kernel", "batch", "join_block", "mode", "backend")
 
 
 def _protocol_view(results_dir: Path) -> dict:

@@ -41,6 +41,12 @@ from repro.core.kernels import kernel_mode
 from repro.exec import resolve_batch, resolve_join_block
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TRACE_ENV, resolve_trace_path
+from repro.storage.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    active_backend_spec,
+    set_active_backend,
+)
 from repro.storage.buffer import DECODED_CACHE_ENV
 
 _SCALES = {
@@ -97,6 +103,14 @@ def main(argv: list[str] | None = None) -> int:
         help="queries per buffer pool (default: REPRO_BATCH or 1)",
     )
     parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help=f"storage backend under the disk (default: {BACKEND_ENV} or "
+        "simulated; I/O counts are backend-independent, but goldens bind "
+        "to simulated — see docs/storage-backends.md)",
+    )
+    parser.add_argument(
         "--join-block",
         type=int,
         default=None,
@@ -113,13 +127,17 @@ def main(argv: list[str] | None = None) -> int:
     jobs = resolve_jobs(args.jobs)
     batch = resolve_batch(args.batch)
     join_block = resolve_join_block(args.join_block)
+    if args.backend is not None:
+        set_active_backend(args.backend)
+    backend = active_backend_spec()  # resolved once; shipped to workers
     names = args.experiments or list(ALL_EXPERIMENTS)
     results_dir = args.results_dir
     results_dir.mkdir(parents=True, exist_ok=True)
     print(
         f"scale: crm={scale.crm_tuples} synth={scale.synth_tuples} "
         f"qpp={scale.queries_per_point}  jobs={jobs}  "
-        f"kernel={kernel_mode()}  batch={batch}  join_block={join_block}"
+        f"kernel={kernel_mode()}  batch={batch}  join_block={join_block}  "
+        f"backend={backend.name}"
     )
 
     trace_path = resolve_trace_path(
@@ -127,10 +145,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics = MetricsRegistry()
     started = time.perf_counter()
-    # kernel + batch + join_block + mode identify the execution
-    # protocol; compare_io refuses to diff result dirs whose protocols
-    # conflict (batch or join_block > 1 legally lowers reads, so
-    # cross-protocol diffs are apples to oranges).  run_all always
+    # kernel + batch + join_block + mode + backend identify the
+    # execution protocol; compare_io refuses to diff result dirs whose
+    # protocols conflict (batch or join_block > 1 legally lowers reads,
+    # so cross-protocol diffs are apples to oranges; a non-simulated
+    # backend keeps I/O identical but invalidates every wall-clock
+    # field, and goldens bind to simulated only).  run_all always
     # measures: serving-mode results are never golden-comparable
     # (docs/serving.md).
     summary = {
@@ -139,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch": batch,
         "join_block": join_block,
         "mode": "measure",
+        "backend": backend.name,
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,

@@ -167,6 +167,7 @@ def measure_query(
             index=under_test.name,
             query=type(query).__name__,
             pool_size=pool_size,
+            backend=index.disk.backend.name,
         )
     if bench_tracer is not None:
         with _trace.tracing(bench_tracer):

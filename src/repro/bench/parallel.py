@@ -38,6 +38,11 @@ from repro.exec import (
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import BenchCollector, MemorySink, Tracer
+from repro.storage.backends import (
+    BackendSpec,
+    active_backend_spec,
+    backend_scope,
+)
 from repro.storage.faults import FaultPlan, active_plan, fault_plan
 
 #: Environment variable supplying the default worker count.
@@ -69,6 +74,7 @@ def _run_one(
     trace: bool = False,
     batch: int | None = None,
     join_block: int | None = None,
+    backend: BackendSpec | None = None,
 ) -> tuple[ExperimentResult, float, list[str] | None, dict[str, int]]:
     """Run one experiment by name.
 
@@ -96,10 +102,12 @@ def _run_one(
         batch = resolve_batch()
     if join_block is None:
         join_block = resolve_join_block()
+    if backend is None:
+        backend = active_backend_spec()
     collector = BenchCollector(Tracer(MemorySink()) if trace else None)
     with fault_plan(plan), batch_override(batch), join_block_override(
         join_block
-    ), _trace.bench_collection(collector):
+    ), backend_scope(backend), _trace.bench_collection(collector):
         if collector.tracer is not None:
             collector.tracer.event("experiment.begin", name=name)
         started = time.perf_counter()
@@ -145,6 +153,7 @@ def run_experiments(
     plan = active_plan()  # resolve once; ship the same plan to every worker
     batch = resolve_batch(batch)  # likewise shipped by value
     join_block = resolve_join_block(join_block)
+    backend = active_backend_spec()  # likewise: workers never re-read env
     trace = trace_path is not None
     trace_file = open(trace_path, "w", encoding="utf-8") if trace else None
 
@@ -158,7 +167,7 @@ def run_experiments(
         if jobs == 1 or len(names) <= 1:
             for name in names:
                 result, elapsed, lines, snapshot = _run_one(
-                    name, scale, plan, trace, batch, join_block
+                    name, scale, plan, trace, batch, join_block, backend
                 )
                 absorb(lines, snapshot)
                 yield name, result, elapsed
@@ -168,7 +177,14 @@ def run_experiments(
         ) as executor:
             futures = [
                 executor.submit(
-                    _run_one, name, scale, plan, trace, batch, join_block
+                    _run_one,
+                    name,
+                    scale,
+                    plan,
+                    trace,
+                    batch,
+                    join_block,
+                    backend,
                 )
                 for name in names
             ]

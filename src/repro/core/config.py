@@ -26,8 +26,10 @@ __all__ = [
     "ConfigError",
     "parse_int_knob",
     "parse_float_knob",
+    "parse_choice_knob",
     "read_env_int",
     "read_env_float",
+    "read_env_choice",
 ]
 
 
@@ -78,6 +80,22 @@ def parse_float_knob(
     return value
 
 
+def parse_choice_knob(
+    raw: str, name: str, *, choices: tuple[str, ...]
+) -> str:
+    """Parse an enumerated knob value, naming ``name`` in every error.
+
+    The value is normalized (strip + casefold) before matching, so
+    ``REPRO_BACKEND=MMap`` selects ``mmap``.
+    """
+    value = str(raw).strip().lower()
+    if value not in choices:
+        raise ConfigError(
+            f"{name} must be one of {', '.join(choices)}, got {raw!r}"
+        )
+    return value
+
+
 def _normalized(name: str, environ: Mapping[str, str] | None) -> str:
     source = os.environ if environ is None else environ
     return source.get(name, "").strip().lower()
@@ -103,6 +121,26 @@ def read_env_int(
     if raw == "":
         return None
     return parse_int_knob(raw, name, minimum=minimum)
+
+
+def read_env_choice(
+    name: str,
+    *,
+    choices: tuple[str, ...],
+    special: Mapping[str, str | None] | None = None,
+    environ: Mapping[str, str] | None = None,
+) -> str | None:
+    """Read an enumerated environment knob (see :func:`read_env_int`).
+
+    Returns ``None`` when unset/empty; an unknown value raises a
+    :class:`ConfigError` naming the variable and listing the choices.
+    """
+    raw = _normalized(name, environ)
+    if special is not None and raw in special:
+        return special[raw]
+    if raw == "":
+        return None
+    return parse_choice_knob(raw, name, choices=choices)
 
 
 def read_env_float(

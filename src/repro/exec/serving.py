@@ -190,12 +190,20 @@ class ServingExecutor:
         #: a measurement borrowing the same index stays byte-identical.
         self.tuple_cache: dict | None = None
         self._mutation_stamp: int | None = None
+        #: Serve-mode index with ``shared_scan`` but no ``mutations``
+        #: stamp: without a stamp a cross-request cache can never be
+        #: invalidated, so such an index gets a *per-request* decode memo
+        #: only (see :meth:`_decode_scope`).
+        self._stampless_scan = False
         if mode == "serve":
             self.pool = BufferPool(index.disk, pool_size)
             index.pool = self.pool
             if hasattr(index, "shared_scan"):
-                self.tuple_cache = {}
-                self._mutation_stamp = getattr(index, "mutations", None)
+                if hasattr(index, "mutations"):
+                    self.tuple_cache = {}
+                    self._mutation_stamp = index.mutations
+                else:
+                    self._stampless_scan = True
         # Validates the strategy/index pairing once, up front.
         self._batch_kwargs = dict(
             strategy=strategy, pool_size=pool_size, batch_size=1
@@ -211,10 +219,19 @@ class ServingExecutor:
         insert or delete since the last request clears every entry (a
         tid-level stale read is never possible).  The capacity guard is
         an epoch clear for the same reason.
+
+        An index without a ``mutations`` stamp offers nothing to
+        validate against, so it never touches the cross-request cache:
+        each request decodes into a fresh memo that dies with the
+        request.  (The old behavior — treating a missing stamp as the
+        constant ``None`` — made the staleness check vacuously pass
+        forever, serving deleted tuples from cache.)
         """
         if self.tuple_cache is None:
+            if self._stampless_scan:
+                return self.index.shared_scan({})
             return nullcontext()
-        stamp = getattr(self.index, "mutations", None)
+        stamp = self.index.mutations
         if stamp != self._mutation_stamp:
             self.tuple_cache.clear()
             self._mutation_stamp = stamp

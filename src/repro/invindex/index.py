@@ -363,7 +363,7 @@ class ProbabilisticInvertedIndex:
         if not report.clean:
             heap_pages = set(heap_state["page_ids"])
             damaged_heap = heap_pages & set(report.corrupt_page_ids)
-            missing_heap = heap_pages - disk._pages.keys()
+            missing_heap = heap_pages - set(disk.page_ids())
             if damaged_heap or missing_heap:
                 raise RecoveryError(
                     f"{path}: tuple list damaged beyond repair "
@@ -372,7 +372,7 @@ class ProbabilisticInvertedIndex:
                 )
             # Posting pages are derived data: drop every non-heap page
             # (including the corrupt ones) and rebuild below.
-            for page_id in list(disk._pages.keys() - heap_pages):
+            for page_id in sorted(set(disk.page_ids()) - heap_pages):
                 disk.deallocate_page(page_id)
         index._heap = HeapFile.attach(index._pool, heap_state, tag="tuples")
         if report.clean:

@@ -125,7 +125,12 @@ SCHEMA: dict[str, RecordSpec] = {
     # in-flight cap) or "queue" (the bounded wait queue overflowed).
     "serve.shed": _spec({"reason": str}),
     # -- bench harness ------------------------------------------------------
-    "measure.begin": _spec({"index": str, "query": str, "pool_size": int}),
+    # backend names the storage backend under the disk ("simulated",
+    # "mmap", "shm"); I/O counts are backend-independent, so it exists
+    # to make cross-backend trace comparisons self-describing.
+    "measure.begin": _spec(
+        {"index": str, "query": str, "pool_size": int}, {"backend": str}
+    ),
     "measure.end": _spec({"index": str, "reads": int, "matches": int}),
     "experiment.begin": _spec({"name": str}),
     "experiment.end": _spec({"name": str}),

@@ -824,7 +824,7 @@ class PDRTree:
             )
         leaf_pages = set(int(pid) for pid in leaf_page_ids)
         damaged = leaf_pages & set(report.corrupt_page_ids)
-        missing = leaf_pages - disk._pages.keys()
+        missing = leaf_pages - set(disk.page_ids())
         if damaged or missing:
             raise RecoveryError(
                 f"{path}: leaf pages damaged beyond repair "

@@ -9,6 +9,21 @@ to exercise the detection and recovery machinery (see
 ``docs/fault-model.md``).
 """
 
+from repro.storage.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BACKEND_PATH_ENV,
+    BackendSpec,
+    MmapFileBackend,
+    SharedMemoryBackend,
+    SimulatedBackend,
+    StorageBackend,
+    active_backend_spec,
+    backend_scope,
+    create_backend,
+    set_active_backend,
+    spec_from_env,
+)
 from repro.storage.buffer import (
     DECODED_CACHE_ENV,
     DEFAULT_POOL_SIZE,
@@ -31,6 +46,19 @@ from repro.storage.persistence import ScanReport, scan_disk, scan_disk_from_path
 from repro.storage.stats import IOSnapshot, IOStatistics
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BACKEND_PATH_ENV",
+    "BackendSpec",
+    "MmapFileBackend",
+    "SharedMemoryBackend",
+    "SimulatedBackend",
+    "StorageBackend",
+    "active_backend_spec",
+    "backend_scope",
+    "create_backend",
+    "set_active_backend",
+    "spec_from_env",
     "DECODED_CACHE_ENV",
     "DEFAULT_ENTRIES_PER_FRAME",
     "DEFAULT_PAGE_SIZE",

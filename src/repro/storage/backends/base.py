@@ -1,0 +1,113 @@
+"""The storage-backend contract the simulated disk delegates to.
+
+:class:`~repro.storage.disk.DiskManager` is the *accounting and
+integrity* layer — I/O counters, per-tag attribution, out-of-band CRC32
+checksums, fault injection.  A :class:`StorageBackend` is the *byte
+store* underneath it: a mapping from page id to exactly
+``page_size`` raw bytes, with no counting, no checksumming, and no
+notion of queries.  Keeping the split this way means every guarantee
+built at the disk layer (CRC verification before a read is counted,
+torn-write detection, the kill-point recovery contract) composes with
+any backend unchanged — which the per-backend recovery harness asserts.
+
+Contract
+--------
+* Page ids are assigned by the disk layer; a backend never invents them.
+* ``allocate``/``read``/``write``/``deallocate`` raise :class:`KeyError`
+  for ids the backend does not hold (double allocation included); the
+  disk layer translates that uniformly into
+  :class:`~repro.core.exceptions.PageError`.
+* ``read`` returns an independent ``bytes`` copy — callers may hold it
+  across later writes.
+* Backends store bytes verbatim.  In particular they must preserve a
+  *torn* page exactly as written: detection is the checksum layer's job.
+
+Durable backends additionally implement ``save_meta``/``load_meta`` so
+the disk layer's out-of-band accounting (checksums, tags, the next page
+id) survives a close/reopen cycle alongside the page bytes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+class StorageBackend(ABC):
+    """Abstract page-byte store underneath :class:`DiskManager`.
+
+    Subclasses set :attr:`name` (the registry/config identifier) and
+    :attr:`persistent` (whether page bytes outlive :meth:`close`).
+    """
+
+    #: Registry name, also recorded in benchmark summaries and traces.
+    name: str = "abstract"
+    #: Whether page bytes (and saved meta) survive close/reopen.
+    persistent: bool = False
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.page_size = page_size
+
+    # -- page bytes ---------------------------------------------------------
+
+    @abstractmethod
+    def allocate(self, page_id: int, data: bytes) -> None:
+        """Store a page under a fresh id (KeyError if already held)."""
+
+    @abstractmethod
+    def read(self, page_id: int) -> bytes:
+        """The page's bytes, as an independent copy (KeyError if unknown)."""
+
+    @abstractmethod
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace an existing page's bytes (KeyError if unknown)."""
+
+    @abstractmethod
+    def deallocate(self, page_id: int) -> None:
+        """Release a page (KeyError if unknown)."""
+
+    # -- introspection ------------------------------------------------------
+
+    @abstractmethod
+    def page_ids(self) -> list[int]:
+        """Ids of every held page, ascending."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of held pages."""
+
+    def __contains__(self, page_id: int) -> bool:
+        try:
+            self.read(page_id)
+        except KeyError:
+            return False
+        return True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release OS resources.  Idempotent; ephemeral stores may no-op."""
+
+    # -- out-of-band meta (durable backends) --------------------------------
+
+    def save_meta(self, meta: dict) -> None:
+        """Persist the disk layer's accounting sidecar (durable backends).
+
+        Ephemeral backends ignore it — their pages die with the process,
+        so there is nothing for the meta to describe after that.
+        """
+
+    def load_meta(self) -> dict | None:
+        """The sidecar saved by a previous :meth:`save_meta`, or ``None``.
+
+        ``None`` means "fresh store": the disk layer starts with empty
+        accounting, which is always correct for ephemeral backends.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(pages={len(self)}, "
+            f"page_size={self.page_size})"
+        )

@@ -1,0 +1,165 @@
+"""Shared-memory page store for multi-process serving.
+
+The serving layer and the process-pool shards today each hold their own
+copy of an index's pages.  :class:`SharedMemoryBackend` keeps the pages
+in ``multiprocessing.shared_memory`` segments instead, so one attached
+index image can back every worker: the owner process builds (or loads)
+the index, ships :meth:`attach_state` to its workers by value, and each
+worker attaches the *same* physical pages read-only through
+:meth:`attach` — no per-worker copy, no serialization of page bytes.
+
+Pages live in fixed-size segments of :data:`PAGES_PER_SEGMENT` slots; a
+page-id -> (segment, slot) directory stays in ordinary memory and
+travels inside the attach state (page *bytes* are shared; the small
+directory is cheap to copy).  The owner unlinks the segments on
+:meth:`close`; attached handles only detach.
+
+Checksums, tags, and fault injection all stay in the disk layer, so the
+CRC/recovery machinery composes with shared pages unchanged — a reader
+in any process still verifies every page against the checksum table it
+attached with.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+
+from repro.storage.backends.base import StorageBackend
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+#: Page slots per shared-memory segment (one segment = one shm_open).
+PAGES_PER_SEGMENT = 128
+
+
+class SharedMemoryBackend(StorageBackend):
+    """Pages in ``multiprocessing.shared_memory`` segments.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page.
+    pages_per_segment:
+        Slots per segment; growth allocates whole segments.
+    """
+
+    name = "shm"
+    persistent = False
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pages_per_segment: int = PAGES_PER_SEGMENT,
+    ) -> None:
+        super().__init__(page_size)
+        self.pages_per_segment = pages_per_segment
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._slots: dict[int, tuple[int, int]] = {}
+        self._free: list[tuple[int, int]] = []
+        self._owner = True
+        self._closed = False
+
+    @classmethod
+    def attach(cls, state: dict) -> "SharedMemoryBackend":
+        """Attach to another process's segments (see :meth:`attach_state`).
+
+        The attached handle shares page *bytes* with the owner but owns
+        its directory copy; it never unlinks the segments on close.
+        """
+        backend = cls(
+            page_size=int(state["page_size"]),
+            pages_per_segment=int(state["pages_per_segment"]),
+        )
+        backend._owner = False
+        backend._segments = [
+            shared_memory.SharedMemory(name=name) for name in state["segments"]
+        ]
+        backend._slots = {
+            int(pid): (int(seg), int(slot))
+            for pid, (seg, slot) in state["slots"].items()
+        }
+        backend._free = [(int(seg), int(slot)) for seg, slot in state["free"]]
+        return backend
+
+    def attach_state(self) -> dict:
+        """A picklable description another process can :meth:`attach` to."""
+        return {
+            "page_size": self.page_size,
+            "pages_per_segment": self.pages_per_segment,
+            "segments": [segment.name for segment in self._segments],
+            "slots": {pid: list(loc) for pid, loc in self._slots.items()},
+            "free": [list(loc) for loc in self._free],
+        }
+
+    # -- slot management ----------------------------------------------------
+
+    def _take_slot(self) -> tuple[int, int]:
+        if self._free:
+            return self._free.pop()
+        used = len(self._slots)
+        segment_index, slot = divmod(used, self.pages_per_segment)
+        if segment_index >= len(self._segments):
+            self._segments.append(
+                shared_memory.SharedMemory(
+                    name=f"repro-pages-{secrets.token_hex(8)}",
+                    create=True,
+                    size=self.pages_per_segment * self.page_size,
+                )
+            )
+        return segment_index, slot
+
+    def _locate(self, page_id: int) -> tuple[shared_memory.SharedMemory, int]:
+        segment_index, slot = self._slots[page_id]
+        return self._segments[segment_index], slot * self.page_size
+
+    # -- page bytes ---------------------------------------------------------
+
+    def allocate(self, page_id: int, data: bytes) -> None:
+        if page_id in self._slots:
+            raise KeyError(page_id)
+        location = self._take_slot()
+        self._slots[page_id] = location
+        segment, offset = self._locate(page_id)
+        segment.buf[offset : offset + self.page_size] = data
+
+    def read(self, page_id: int) -> bytes:
+        segment, offset = self._locate(page_id)
+        return bytes(segment.buf[offset : offset + self.page_size])
+
+    def write(self, page_id: int, data: bytes) -> None:
+        segment, offset = self._locate(page_id)
+        segment.buf[offset : offset + self.page_size] = data
+
+    def deallocate(self, page_id: int) -> None:
+        self._free.append(self._slots.pop(page_id))
+
+    # -- introspection ------------------------------------------------------
+
+    def page_ids(self) -> list[int]:
+        return sorted(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._slots
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            segment.close()
+            if self._owner:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # owner already unlinked elsewhere
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

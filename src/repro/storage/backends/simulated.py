@@ -1,0 +1,50 @@
+"""The in-memory backend the paper's I/O figures are measured on.
+
+This is the original simulated disk's page store — one dict from page id
+to page bytes — extracted behind the :class:`StorageBackend` interface.
+Every committed ``BENCH_*`` golden binds to this backend: the disk
+layer's counting is backend-independent, but only the simulated store is
+guaranteed free of OS-level side effects, so it remains the measurement
+default (see ``docs/storage-backends.md``).
+"""
+
+from __future__ import annotations
+
+from repro.storage.backends.base import StorageBackend
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+class SimulatedBackend(StorageBackend):
+    """Page bytes in a plain process-local dict."""
+
+    name = "simulated"
+    persistent = False
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: dict[int, bytes] = {}
+
+    def allocate(self, page_id: int, data: bytes) -> None:
+        if page_id in self._pages:
+            raise KeyError(page_id)
+        self._pages[page_id] = bytes(data)
+
+    def read(self, page_id: int) -> bytes:
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if page_id not in self._pages:
+            raise KeyError(page_id)
+        self._pages[page_id] = bytes(data)
+
+    def deallocate(self, page_id: int) -> None:
+        del self._pages[page_id]
+
+    def page_ids(self) -> list[int]:
+        return sorted(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages

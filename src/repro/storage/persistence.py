@@ -74,9 +74,10 @@ def save_disk(handle: BinaryIO, disk: DiskManager, metadata: dict) -> None:
     the bytes the writer intended — so corruption already present on the
     simulated disk (e.g. a torn write) remains detectable after reload.
     """
+    tags = disk.tag_directory()
     envelope = {
         "next_page_id": disk._next_page_id,
-        "tags": {str(pid): tag for pid, tag in sorted(disk._tags.items())},
+        "tags": {str(pid): tag for pid, tag in sorted(tags.items())},
         "structure": metadata,
     }
     encoded = json.dumps(envelope).encode("utf-8")
@@ -85,10 +86,10 @@ def save_disk(handle: BinaryIO, disk: DiskManager, metadata: dict) -> None:
     handle.write(_U32.pack(len(encoded)))
     handle.write(encoded)
     handle.write(_U32.pack(disk.num_pages))
-    for page_id, data in sorted(disk._pages.items()):
+    for page_id in disk.page_ids():
         handle.write(_U32.pack(page_id))
-        handle.write(_U32.pack(disk._checksums[page_id]))
-        handle.write(data)
+        handle.write(_U32.pack(disk.checksum_of(page_id)))
+        handle.write(disk.raw_page_bytes(page_id))
 
 
 def _read_exact(handle: BinaryIO, size: int) -> bytes:
@@ -125,13 +126,13 @@ def _restore(
     checksums: dict[int, int],
 ) -> None:
     """Install salvaged pages, checksums, and tags into a fresh disk."""
-    disk._pages = pages
-    disk._checksums = checksums
-    disk._next_page_id = int(envelope["next_page_id"])
     tags = envelope.get("tags", {})
-    disk._tags = {
-        pid: str(tags.get(str(pid), "untagged")) for pid in pages
-    }
+    disk.install_image(
+        pages,
+        checksums,
+        {pid: str(tags.get(str(pid), "untagged")) for pid in pages},
+        int(envelope["next_page_id"]),
+    )
 
 
 def load_disk(handle: BinaryIO) -> tuple[DiskManager, dict]:

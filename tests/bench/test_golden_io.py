@@ -102,3 +102,63 @@ def test_compare_refuses_cross_mode_diff(tmp_path):
     assert len(problems) == 1 and "mode" in problems[0]
     # Same mode on both sides compares normally (and here, cleanly).
     assert compare_io.compare_dirs(dirs["measure"], dirs["measure"]) == []
+
+
+def test_compare_refuses_cross_backend_diff(tmp_path):
+    """Goldens bind to the simulated backend; a diff against an mmap or
+    shm run must be refused, not quietly blessed, even though the I/O
+    counts happen to agree."""
+    compare_io = _load_compare_io()
+    assert "backend" in compare_io.PROTOCOL_KEYS
+    payload = {"series": {"s": [{f: 0 for f in
+                                 compare_io.DETERMINISTIC_FIELDS}]}}
+    dirs = {}
+    for backend in ("simulated", "mmap"):
+        d = tmp_path / backend
+        d.mkdir()
+        (d / "BENCH_summary.json").write_text(
+            json.dumps({"mode": "measure", "backend": backend})
+        )
+        (d / "BENCH_point.json").write_text(json.dumps(payload))
+        dirs[backend] = d
+    problems = compare_io.compare_dirs(dirs["simulated"], dirs["mmap"])
+    assert len(problems) == 1 and "backend" in problems[0]
+    assert compare_io.compare_dirs(dirs["mmap"], dirs["mmap"]) == []
+    # A legacy dir with no backend key stays comparable to anything.
+    legacy = tmp_path / "legacy"
+    legacy.mkdir()
+    (legacy / "BENCH_summary.json").write_text(json.dumps({"mode": "measure"}))
+    (legacy / "BENCH_point.json").write_text(json.dumps(payload))
+    assert compare_io.compare_dirs(legacy, dirs["mmap"]) == []
+
+
+@pytest.mark.parametrize("name", ["fig10"])
+def test_golden_reproduces_under_mmap_backend(tmp_path, name):
+    """The differential property at golden granularity: the same pinned
+    experiment rerun on the mmap backend produces bit-identical I/O."""
+    from repro.storage import backend_scope
+
+    golden_file = GOLDEN_DIR / f"BENCH_{name}.json"
+    if not golden_file.exists():
+        pytest.skip(f"no committed golden for {name}")
+    if not _golden_scale_is_quick():
+        pytest.skip("committed goldens were not produced at quick scale")
+
+    with fault_plan(FaultPlan()), backend_scope("mmap"):
+        [(_, result, _)] = list(
+            run_experiments([name], ExperimentScale.quick(), jobs=1)
+        )
+
+    fresh_dir = tmp_path / "fresh"
+    pinned_dir = tmp_path / "golden"
+    fresh_dir.mkdir()
+    pinned_dir.mkdir()
+    (fresh_dir / golden_file.name).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
+    shutil.copy(golden_file, pinned_dir / golden_file.name)
+    # No BENCH_summary.json is written on either side, so the protocol
+    # guard stays out of the way and the raw I/O numbers are compared.
+    compare_io = _load_compare_io()
+    problems = compare_io.compare_dirs(pinned_dir, fresh_dir)
+    assert problems == [], "\n".join(problems)

@@ -12,12 +12,15 @@ import pytest
 from repro.bench.parallel import JOBS_ENV, resolve_jobs
 from repro.core import ConfigError, QueryError
 from repro.core.config import (
+    parse_choice_knob,
     parse_float_knob,
     parse_int_knob,
+    read_env_choice,
     read_env_float,
     read_env_int,
 )
 from repro.exec import BATCH_ENV, JOIN_BLOCK_ENV, resolve_batch, resolve_join_block
+from repro.storage import BACKEND_ENV, BACKEND_PATH_ENV
 from repro.storage.buffer import DECODED_CACHE_ENV, BufferPool
 from repro.storage.disk import DiskManager
 
@@ -61,6 +64,19 @@ class TestParseFloatKnob:
             parse_float_knob(-1.0, "MY_KNOB", minimum=0.0)
 
 
+class TestParseChoiceKnob:
+    def test_normalizes_case_and_whitespace(self):
+        assert parse_choice_knob(" MMap ", "X", choices=("mmap",)) == "mmap"
+
+    def test_unknown_names_the_knob_and_lists_choices(self):
+        with pytest.raises(ConfigError, match="MY_KNOB must be one of a, b"):
+            parse_choice_knob("c", "MY_KNOB", choices=("a", "b"))
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_choice_knob("c", "MY_KNOB", choices=("a",))
+
+
 class TestReadEnv:
     def test_unset_returns_none(self):
         assert read_env_int("NO_SUCH_KNOB", environ={}) is None
@@ -78,6 +94,90 @@ class TestReadEnv:
 
     def test_float_reader(self):
         assert read_env_float("K", environ={"K": "1.5"}) == 1.5
+
+    def test_choice_reader(self):
+        env = {"K": " Shm "}
+        assert read_env_choice("K", choices=("mmap", "shm"), environ=env) == "shm"
+        assert read_env_choice("K", choices=("mmap",), environ={}) is None
+        with pytest.raises(ConfigError, match="K must be one of"):
+            read_env_choice("K", choices=("mmap",), environ={"K": "disk"})
+
+
+class TestBackendKnobs:
+    """The ``REPRO_BACKEND`` / ``REPRO_BACKEND_PATH`` pair (storage PR)."""
+
+    def test_default_is_simulated(self):
+        from repro.storage import BackendSpec, spec_from_env
+
+        assert spec_from_env(environ={}) == BackendSpec("simulated")
+        assert spec_from_env(environ={BACKEND_ENV: "default"}) == BackendSpec(
+            "simulated"
+        )
+
+    @pytest.mark.parametrize("raw", ["disk", "ram", "1", "mmap file"])
+    def test_bad_backend_names_the_variable(self, raw):
+        from repro.storage import spec_from_env
+
+        with pytest.raises(ConfigError, match=BACKEND_ENV):
+            spec_from_env(environ={BACKEND_ENV: raw})
+
+    def test_backend_names_are_case_insensitive(self):
+        from repro.storage import spec_from_env
+
+        spec = spec_from_env(environ={BACKEND_ENV: " MMap "})
+        assert spec.name == "mmap"
+
+    def test_path_with_non_mmap_backend_is_an_error(self):
+        from repro.storage import spec_from_env
+
+        for name in ("simulated", "shm"):
+            with pytest.raises(ConfigError, match=BACKEND_PATH_ENV):
+                spec_from_env(
+                    environ={BACKEND_ENV: name, BACKEND_PATH_ENV: "/tmp/x"}
+                )
+        # ...including when the backend is merely defaulted, not set.
+        with pytest.raises(ConfigError, match=BACKEND_PATH_ENV):
+            spec_from_env(environ={BACKEND_PATH_ENV: "/tmp/x"})
+
+    def test_path_must_be_a_directory(self, tmp_path):
+        from repro.storage import spec_from_env
+
+        file_path = tmp_path / "not-a-dir"
+        file_path.write_text("x")
+        with pytest.raises(ConfigError, match="directory"):
+            spec_from_env(
+                environ={
+                    BACKEND_ENV: "mmap",
+                    BACKEND_PATH_ENV: str(file_path),
+                }
+            )
+
+    def test_mmap_path_accepted(self, tmp_path):
+        from repro.storage import BackendSpec, spec_from_env
+
+        spec = spec_from_env(
+            environ={BACKEND_ENV: "mmap", BACKEND_PATH_ENV: str(tmp_path)}
+        )
+        assert spec == BackendSpec("mmap", directory=str(tmp_path))
+
+    def test_bad_spec_name_rejected_programmatically(self):
+        from repro.storage import BackendSpec
+
+        with pytest.raises(ConfigError):
+            BackendSpec("turbodisk")
+
+    def test_env_reaches_new_disks(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(BACKEND_ENV, "mmap")
+        monkeypatch.setenv(BACKEND_PATH_ENV, str(tmp_path))
+        disk = DiskManager(page_size=64)
+        assert disk.backend.name == "mmap"
+        assert disk.backend.path.parent == tmp_path
+        disk.close()
+
+    def test_bad_env_surfaces_at_disk_construction(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "turbodisk")
+        with pytest.raises(ConfigError, match=BACKEND_ENV):
+            DiskManager(page_size=64)
         assert read_env_float("K", environ={}) is None
 
 

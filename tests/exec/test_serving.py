@@ -8,6 +8,8 @@ demultiplex in input order; and the warm pool quiesces clean (no
 leaked pins) after any workload.
 """
 
+from contextlib import contextmanager
+
 import pytest
 
 from repro.bench.harness import IndexUnderTest, measure_query
@@ -190,6 +192,71 @@ def test_tuple_cache_invalidated_by_mutation(relation):
     assert answers([after]) == answers([expected])
     assert new_tid in after.result.tid_set()
     assert new_tid not in before.result.tid_set()
+
+
+class _StamplessIndex:
+    """A shared-scan index with no ``mutations`` stamp.
+
+    Minimal surface for :class:`ServingExecutor`: a disk, a pool, a
+    ``shared_scan`` memo scope, and an ``execute`` that decodes its one
+    "tuple" through the memo — so a stale memo is directly observable as
+    a stale answer.
+    """
+
+    def __init__(self):
+        from repro.storage import BufferPool, DiskManager
+
+        self.disk = DiskManager()
+        self.pool = BufferPool(self.disk, 4)
+        self.value = 1.0
+        self._memo = None
+
+    @contextmanager
+    def shared_scan(self, memo):
+        self._memo = memo
+        try:
+            yield
+        finally:
+            self._memo = None
+
+    def execute(self, query):
+        from repro.core.results import Match, QueryResult
+
+        memo = self._memo if self._memo is not None else {}
+        if "score" not in memo:
+            memo["score"] = self.value
+        return QueryResult([Match(tid=0, score=memo["score"])])
+
+
+def test_stampless_index_bypasses_cross_request_cache():
+    """Regression: no mutation stamp means no cross-request tuple cache.
+
+    Before the fix, ``getattr(index, "mutations", None)`` stamped such an
+    index with the constant ``None``; the staleness check then passed
+    vacuously forever and the first request's decodes were served to
+    every later request, however stale.
+    """
+    stampless = _StamplessIndex()
+    serve = ServingExecutor(stampless, mode="serve")
+    # No stamp to validate against -> no cross-request cache at all.
+    assert serve.tuple_cache is None
+    first = serve.execute(None)
+    assert [m.score for m in first.result.matches] == [1.0]
+    stampless.value = 2.0  # mutate without any stamp to announce it
+    second = serve.execute(None)
+    assert [m.score for m in second.result.matches] == [2.0]
+
+
+def test_stampless_index_still_gets_per_request_memo():
+    """Within one coalesced request a stamp-less index still memoizes."""
+    stampless = _StamplessIndex()
+    serve = ServingExecutor(stampless, mode="serve")
+    with serve._decode_scope():
+        stampless.execute(None)
+        memo = stampless._memo
+        assert memo == {"score": 1.0}
+    with serve._decode_scope():
+        assert stampless._memo == {}  # fresh memo, not the last request's
 
 
 def test_measurement_unaffected_by_live_serving_executor(index, relation):

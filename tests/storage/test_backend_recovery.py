@@ -1,0 +1,123 @@
+"""Kill-point recovery, parametrized per storage backend.
+
+The recovery contract of ``docs/fault-model.md`` — reattach either
+recovers exactly or fails loudly, never silently wrong — was established
+on the simulated backend.  The backend refactor claims the whole
+CRC/fault/recovery machinery lives *above* the backend; this battery
+holds it to that: the same truncation and torn-page sweeps run with the
+reloaded disk placed on each registered backend via ``backend_scope``.
+
+A condensed sweep (sampled kill points) keeps the three-backend matrix
+affordable; the exhaustive sweep still runs on the default backend in
+``tests/integration/test_crash_recovery.py``.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.queries import EqualityThresholdQuery, EqualityTopKQuery
+from repro.datagen import uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+from repro.storage import BACKEND_NAMES, backend_scope
+
+from tests.integration.test_crash_recovery import (
+    check_recovered_or_loud,
+    page_record_offsets,
+    reference_answers,
+)
+
+_U32 = struct.Struct("<I")
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_dataset(num_tuples=250, seed=47)
+
+
+@pytest.fixture(scope="module")
+def queries(relation):
+    qs = []
+    for tid in (0, 11):
+        q = relation.uda_of(tid)
+        qs.append(EqualityThresholdQuery(q, 0.15))
+        qs.append(EqualityTopKQuery(q, 5))
+    return qs
+
+
+def build_and_save(cls, relation, path):
+    index = cls(len(relation.domain))
+    index.build(relation)
+    index.save(path)
+    return index
+
+
+def sampled(offsets, count=8):
+    stride = max(1, len(offsets) // count)
+    picks = list(offsets[::stride])
+    if offsets[-1] not in picks:  # always include the complete image
+        picks.append(offsets[-1])
+    return picks
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+class TestKillPointsPerBackend:
+    @pytest.mark.parametrize("cls", [ProbabilisticInvertedIndex, PDRTree])
+    def test_truncation_recovers_or_fails_loudly(
+        self, name, cls, relation, queries, tmp_path
+    ):
+        index = build_and_save(cls, relation, tmp_path / "index.reprodb")
+        image = (tmp_path / "index.reprodb").read_bytes()
+        expected = reference_answers(relation, queries)
+        offsets = page_record_offsets(image, index.disk.page_size)
+        recovered = loud = 0
+        with backend_scope(name):
+            for kill_point in sampled(offsets):
+                torn = tmp_path / "torn.reprodb"
+                torn.write_bytes(image[:kill_point])
+                ok, failed = check_recovered_or_loud(
+                    lambda: cls.load(torn), relation, queries, expected
+                )
+                recovered += ok
+                loud += failed
+            # The reloaded index really sits on the backend under test.
+            reopened = cls.load(tmp_path / "index.reprodb")
+            assert reopened.disk.backend.name == name
+        assert recovered >= 1, f"{name}: even the complete image failed"
+        assert recovered + loud == len(sampled(offsets))
+
+    def test_torn_page_recovers_or_fails_loudly(
+        self, name, relation, queries, tmp_path
+    ):
+        path = tmp_path / "index.reprodb"
+        index = build_and_save(ProbabilisticInvertedIndex, relation, path)
+        image = bytearray(path.read_bytes())
+        expected = reference_answers(relation, queries)
+        heap_pages = set(index._heap.state()["page_ids"])
+        offsets = page_record_offsets(bytes(image), index.disk.page_size)
+        recovered = loud = 0
+        with backend_scope(name):
+            for start in sampled(offsets[:-1], count=6):
+                (page_id,) = _U32.unpack_from(image, start)
+                torn = bytearray(image)
+                torn[start + 8 + 20] ^= 0xFF  # corrupt the payload
+                torn_path = tmp_path / "torn.reprodb"
+                torn_path.write_bytes(bytes(torn))
+                ok, failed = check_recovered_or_loud(
+                    lambda: ProbabilisticInvertedIndex.load(torn_path),
+                    relation,
+                    queries,
+                    expected,
+                )
+                recovered += ok
+                loud += failed
+                if page_id in heap_pages:
+                    assert failed, (
+                        f"{name}: torn heap page {page_id} must fail loudly"
+                    )
+                else:
+                    assert ok, (
+                        f"{name}: torn posting page {page_id} must rebuild"
+                    )
+        assert recovered + loud == len(sampled(offsets[:-1], count=6))

@@ -92,3 +92,52 @@ class TestIO:
         disk.allocate_page()
         disk.allocate_page()
         assert disk.size_in_bytes == 256
+
+
+class TestTagAccounting:
+    def test_reads_attributed_to_allocation_tag(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page(tag="postings")
+        disk.read_page(pid)
+        disk.read_page(pid)
+        assert disk.reads_by_tag == {"postings": 2}
+        assert disk.tag_of(pid) == "postings"
+
+    def test_tag_of_unknown_page(self):
+        with pytest.raises(PageError):
+            DiskManager().tag_of(9)
+
+    def test_read_page_tag_lookup_is_strict(self):
+        """Regression: read_page and tag_of must agree on unknown tags.
+
+        Before the fix, ``tag_of`` raised :class:`PageError` for a page
+        missing from the tag table while ``read_page`` silently
+        attributed the same read to ``"untagged"`` — one lifecycle, two
+        answers.  Now both go through the same strict lookup, and the
+        failed attribution is not counted as a read.
+        """
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page(tag="postings")
+        del disk._tags[pid]  # model a desynced tag table
+        with pytest.raises(PageError):
+            disk.tag_of(pid)
+        with pytest.raises(PageError):
+            disk.read_page(pid)
+        assert disk.stats.reads == 0
+        assert disk.reads_by_tag == {}
+
+    def test_verify_page_uses_strict_lookups(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page()
+        assert disk.verify_page(pid)
+        disk.deallocate_page(pid)
+        with pytest.raises(PageError):
+            disk.verify_page(pid)
+
+    def test_tag_directory_is_a_copy(self):
+        disk = DiskManager(page_size=64)
+        pid = disk.allocate_page(tag="tuples")
+        directory = disk.tag_directory()
+        assert directory == {pid: "tuples"}
+        directory[pid] = "clobbered"
+        assert disk.tag_of(pid) == "tuples"

@@ -88,9 +88,9 @@ class TestChecksums:
         disk = DiskManager()
         page_id = disk.allocate_page()
         write_marker(disk, page_id, b"hello")
-        tampered = bytearray(disk._pages[page_id])
+        tampered = bytearray(disk.raw_page_bytes(page_id))
         tampered[0] ^= 0xFF
-        disk._pages[page_id] = bytes(tampered)
+        disk.tamper_page(page_id, bytes(tampered))
         with pytest.raises(ChecksumError):
             disk.read_page(page_id)
         assert not disk.verify_page(page_id)
@@ -99,7 +99,7 @@ class TestChecksums:
     def test_failed_read_not_counted(self):
         disk = DiskManager()
         page_id = disk.allocate_page()
-        disk._pages[page_id] = b"\xff" * disk.page_size
+        disk.tamper_page(page_id, b"\xff" * disk.page_size)
         with pytest.raises(ChecksumError):
             disk.read_page(page_id)
         assert disk.stats.reads == 0
@@ -200,7 +200,7 @@ class TestBufferRetry:
     def test_persistent_corruption_propagates(self):
         disk = DiskManager(fault_plan=FaultPlan())
         page_id = disk.allocate_page()
-        disk._pages[page_id] = b"\xee" * disk.page_size  # medium error
+        disk.tamper_page(page_id, b"\xee" * disk.page_size)  # medium error
         pool = BufferPool(disk, 4)
         with pytest.raises(ChecksumError):
             pool.fetch_page(page_id)

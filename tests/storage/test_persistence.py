@@ -105,7 +105,7 @@ class TestDiskRoundTrip:
         raw.write(envelope)
         raw.write(struct.pack("<I", 1))
         raw.write(struct.pack("<I", pid))
-        raw.write(bytes(disk._pages[pid]))
+        raw.write(disk.raw_page_bytes(pid))
         raw.seek(0)
         loaded, metadata = load_disk(raw)
         assert metadata == {"old": True}
