@@ -75,6 +75,17 @@ class RecoveryError(StorageError):
     """
 
 
+class WalError(StorageError):
+    """A write-ahead-log file is unusable (bad magic, wrong version).
+
+    A *torn tail* — a partially written final record left by a crash —
+    is **not** an error: the log truncates it on open and reports it via
+    :attr:`repro.wal.WriteAheadLog.torn`, because losing the record
+    being written at the moment of the crash is exactly the prefix
+    semantics the WAL promises.
+    """
+
+
 class BufferPoolError(StorageError):
     """The buffer pool cannot satisfy a request.
 

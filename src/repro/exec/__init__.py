@@ -25,7 +25,9 @@ from repro.exec.join import (
 )
 from repro.exec.serving import (
     DEFAULT_SERVE_POOL_SIZE,
+    DEFAULT_TUPLE_CACHE_ENTRIES,
     MODES,
+    GenerationalTupleCache,
     ServedResult,
     ServingExecutor,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "parallel_join",
     "resolve_join_block",
     "DEFAULT_SERVE_POOL_SIZE",
+    "DEFAULT_TUPLE_CACHE_ENTRIES",
+    "GenerationalTupleCache",
     "MODES",
     "ServedResult",
     "ServingExecutor",

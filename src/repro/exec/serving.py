@@ -71,10 +71,64 @@ DEFAULT_SERVE_POOL_SIZE = 4096
 #: Entry cap on the serving tuple-decode cache.  Verification decodes
 #: the same stored tuples for query after query, so serve mode keeps
 #: the decoded sparse arrays across requests (the tuple-heap analog of
-#: the page-level decoded cache).  Past the cap the cache resets whole
-#: — an epoch clear, not an eviction policy, matching the simple
-#: capacity discipline of :class:`~repro.storage.cache.DecodedCache`.
+#: the page-level decoded cache).
 DEFAULT_TUPLE_CACHE_ENTRIES = 1 << 18
+
+
+class GenerationalTupleCache:
+    """A capacity-bounded decode cache with generation-segmented eviction.
+
+    The previous design cleared the whole cache the moment it crossed
+    its entry cap — one request past the boundary, every hot tuple was
+    cold again and the warm hit-rate fell off a cliff.  This cache keeps
+    two generations instead: inserts go to *current*; when current
+    reaches half the capacity it is demoted whole to *previous* (whose
+    old contents — entries untouched for a full generation — are the
+    ones actually dropped), and a hit in previous promotes the entry
+    back into current.  Hot tuples therefore survive every epoch
+    boundary, while total residency stays under ``capacity``.
+
+    Duck-types the ``dict`` surface
+    :meth:`~repro.invindex.index.ProbabilisticInvertedIndex.fetch_uda_arrays`
+    uses on its memo (``get`` / ``__setitem__``), plus ``clear`` for the
+    mutation-stamp invalidation.
+    """
+
+    __slots__ = ("capacity", "_current", "_previous")
+
+    def __init__(self, capacity: int = DEFAULT_TUPLE_CACHE_ENTRIES) -> None:
+        if capacity < 2:
+            raise QueryError(f"cache capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._current: dict = {}
+        self._previous: dict = {}
+
+    def get(self, key, default=None):
+        value = self._current.get(key)
+        if value is not None:
+            return value
+        value = self._previous.get(key)
+        if value is not None:
+            self[key] = value  # promote: hot entries outlive their generation
+            return value
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        if key not in self._current and len(self._current) >= self.capacity // 2:
+            self._previous = self._current
+            self._current = {}
+        self._current[key] = value
+
+    def __contains__(self, key) -> bool:
+        return key in self._current or key in self._previous
+
+    def __len__(self) -> int:
+        overlap = sum(1 for key in self._previous if key in self._current)
+        return len(self._current) + len(self._previous) - overlap
+
+    def clear(self) -> None:
+        self._current = {}
+        self._previous = {}
 
 
 @dataclass
@@ -158,6 +212,9 @@ class ServingExecutor:
         (default :data:`DEFAULT_SERVE_POOL_SIZE`).
     pin_reserve:
         Passed through to the coalescing batch executor's prefetch.
+    tuple_cache_entries:
+        Capacity of the cross-request tuple-decode cache (serve mode;
+        default :data:`DEFAULT_TUPLE_CACHE_ENTRIES`).
     """
 
     def __init__(
@@ -168,6 +225,7 @@ class ServingExecutor:
         mode: str = "serve",
         pool_size: int | None = None,
         pin_reserve: int | None = None,
+        tuple_cache_entries: int | None = None,
     ) -> None:
         if mode not in MODES:
             raise QueryError(f"mode must be one of {MODES}, got {mode!r}")
@@ -188,7 +246,7 @@ class ServingExecutor:
         #: :meth:`~repro.invindex.index.ProbabilisticInvertedIndex.shared_scan`).
         #: Installed on the index only *while this executor executes*, so
         #: a measurement borrowing the same index stays byte-identical.
-        self.tuple_cache: dict | None = None
+        self.tuple_cache: GenerationalTupleCache | None = None
         self._mutation_stamp: int | None = None
         #: Serve-mode index with ``shared_scan`` but no ``mutations``
         #: stamp: without a stamp a cross-request cache can never be
@@ -200,7 +258,11 @@ class ServingExecutor:
             index.pool = self.pool
             if hasattr(index, "shared_scan"):
                 if hasattr(index, "mutations"):
-                    self.tuple_cache = {}
+                    self.tuple_cache = GenerationalTupleCache(
+                        DEFAULT_TUPLE_CACHE_ENTRIES
+                        if tuple_cache_entries is None
+                        else tuple_cache_entries
+                    )
                     self._mutation_stamp = index.mutations
                 else:
                     self._stampless_scan = True
@@ -217,8 +279,11 @@ class ServingExecutor:
 
         Validates the cache against the index's mutation stamp first: an
         insert or delete since the last request clears every entry (a
-        tid-level stale read is never possible).  The capacity guard is
-        an epoch clear for the same reason.
+        tid-level stale read is never possible).  Capacity needs no
+        guard here — :class:`GenerationalTupleCache` bounds itself by
+        dropping its oldest generation, so crossing an epoch boundary
+        costs only the entries nothing touched for a full generation,
+        never the warm set.
 
         An index without a ``mutations`` stamp offers nothing to
         validate against, so it never touches the cross-request cache:
@@ -235,8 +300,6 @@ class ServingExecutor:
         if stamp != self._mutation_stamp:
             self.tuple_cache.clear()
             self._mutation_stamp = stamp
-        if len(self.tuple_cache) > DEFAULT_TUPLE_CACHE_ENTRIES:
-            self.tuple_cache.clear()
         return self.index.shared_scan(self.tuple_cache)
 
     # -- single requests -----------------------------------------------------
@@ -315,6 +378,40 @@ class ServingExecutor:
                 )
             )
         return served
+
+    # -- mutations -----------------------------------------------------------
+
+    def apply_mutation(self, op: str, *, tid: int | None = None, uda=None) -> int:
+        """Apply one mutation to the served index; returns the new stamp.
+
+        ``op`` is ``"insert"`` (needs ``tid`` and ``uda``), ``"delete"``
+        (needs ``tid``), or ``"compact"``.  The mutation runs against
+        the warm pool, so its dirty pages join the shared working set;
+        the bumped ``mutations`` stamp makes the next request's
+        :meth:`_decode_scope` drop the tuple-decode cache.  The server
+        executes mutations on the same single worker thread as queries
+        (one at a time, never interleaved with a batch), which is what
+        makes a mutation atomic from every reader's point of view.
+        """
+        if self.mode == "serve" and self.index.pool is not self.pool:
+            self.index.pool = self.pool
+        if op == "insert":
+            if tid is None or uda is None:
+                raise QueryError("insert needs tid and uda")
+            self.index.insert(tid, uda)
+        elif op == "delete":
+            if tid is None:
+                raise QueryError("delete needs tid")
+            self.index.delete(tid)
+        elif op == "compact":
+            if not hasattr(self.index, "compact"):
+                raise QueryError(
+                    f"{type(self.index).__name__} does not support compaction"
+                )
+            self.index.compact()
+        else:
+            raise QueryError(f"unknown mutation op {op!r}")
+        return int(getattr(self.index, "mutations", 0))
 
     # -- warm-pool telemetry -------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from repro.invindex.index import ProbabilisticInvertedIndex
 from repro.invindex.postings import PostingCursor, PostingList
+from repro.invindex.segments import PostingSegment, SegmentedPostingList
 from repro.invindex.strategies import (
     STRATEGIES,
     ColumnPruning,
@@ -21,8 +22,10 @@ __all__ = [
     "NoRandomAccess",
     "PostingCursor",
     "PostingList",
+    "PostingSegment",
     "ProbabilisticInvertedIndex",
     "RowPruning",
+    "SegmentedPostingList",
     "SearchStrategy",
     "get_strategy",
 ]

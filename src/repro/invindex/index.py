@@ -26,6 +26,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.core.config import read_env_int
 from repro.core.exceptions import KeyNotFoundError, QueryError
 from repro.core.queries import (
     EqualityQuery,
@@ -38,10 +39,26 @@ from repro.core.relation import UncertainRelation
 from repro.core.results import QueryResult
 from repro.core.uda import UncertainAttribute
 from repro.invindex.postings import PostingList
+from repro.invindex.segments import PostingSegment, SegmentedPostingList
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.heapfile import HeapFile, Rid
 from repro.storage.serialization import decode_heap_record, encode_heap_record
+
+#: Tuples the active segment absorbs before it is sealed and a fresh
+#: one opens.  Small by design: segments are the write path's staging
+#: area, not a second index generation.
+DEFAULT_SEGMENT_TUPLES = 128
+
+#: Environment variable overriding :data:`DEFAULT_SEGMENT_TUPLES`.
+SEGMENT_TUPLES_ENV = "REPRO_SEGMENT_TUPLES"
+
+
+def _segment_capacity_from_env() -> int:
+    value = read_env_int(SEGMENT_TUPLES_ENV, minimum=1)
+    return DEFAULT_SEGMENT_TUPLES if value is None else value
 
 
 class ProbabilisticInvertedIndex:
@@ -82,12 +99,26 @@ class ProbabilisticInvertedIndex:
         self._rid_of_tid: dict[int, Rid] = {}
         self._tuple_memo: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
         self.num_tuples = 0
-        #: Monotonic mutation counter (insert/delete/build).  Long-lived
-        #: caches keyed by tid (the serving executor's tuple-decode
-        #: cache) compare this stamp to know when entries may be stale.
+        #: Monotonic mutation counter (insert/delete/build/compact).
+        #: Long-lived caches keyed by tid (the serving executor's
+        #: tuple-decode cache) compare this stamp to know when entries
+        #: may be stale.
         self.mutations = 0
         #: Whether the last :meth:`load` had to rebuild derived structures.
         self.recovered = False
+        #: LSM write path (docs/mutability.md): online inserts land in
+        #: ``_segments`` (the last un-sealed one is active), deletes of
+        #: segment-owned tids resolve through ``_segment_of_tid``, and
+        #: ``_dead_tids`` remembers deleted tuples whose heap records
+        #: linger (the heap is append-only) so recovery and compaction
+        #: can drop them.
+        self._segments: list[PostingSegment] = []
+        self._segment_of_tid: dict[int, int] = {}
+        self._dead_tids: set[int] = set()
+        self._segment_capacity = _segment_capacity_from_env()
+        self._wal = None
+        #: LSN of the last write-ahead-log record applied to this index.
+        self.wal_lsn = 0
 
     # -- buffering ------------------------------------------------------------
 
@@ -109,6 +140,8 @@ class ProbabilisticInvertedIndex:
         self._heap.pool = pool
         for posting_list in self._lists.values():
             posting_list.pool = pool
+        for segment in self._segments:
+            segment.pool = pool
 
     @contextmanager
     def shared_scan(self, memo: dict | None = None):
@@ -170,34 +203,203 @@ class ProbabilisticInvertedIndex:
         self._pool.flush_all()
 
     def insert(self, tid: int, uda: UncertainAttribute) -> None:
-        """Insert one tuple (paper Section 3.1, insert/delete paragraph)."""
+        """Insert one tuple (paper Section 3.1, insert/delete paragraph).
+
+        The pairs land in the active mutable segment, not the base
+        trees; with a write-ahead log attached (:meth:`attach_wal`) the
+        operation is made durable before it is applied.
+        """
         if tid in self._rid_of_tid:
             raise QueryError(f"tid {tid} already present")
-        record = encode_heap_record(tid, uda.items, uda.probs)
-        self._rid_of_tid[tid] = self._heap.append(record)
-        for item, prob in uda.pairs():
-            posting_list = self._lists.get(item)
-            if posting_list is None:
-                posting_list = PostingList(self._pool)
-                self._lists[item] = posting_list
-            posting_list.insert(tid, prob)
-        self.num_tuples += 1
-        self.mutations += 1
+        lsn = (
+            self._wal.append_insert(tid, uda.items, uda.probs)
+            if self._wal is not None
+            else None
+        )
+        self._apply_insert(tid, uda)
+        if lsn is not None:
+            self.wal_lsn = lsn
 
     def delete(self, tid: int) -> None:
-        """Remove a tuple from every posting list it occurs in."""
-        uda = self.fetch_uda(tid)
-        for item, prob in uda.pairs():
-            self._lists[item].delete(tid, prob)
+        """Remove a tuple from every posting list it occurs in.
+
+        The heap record stays behind (the tuple list is append-only);
+        ``_dead_tids`` marks it dead until the next :meth:`compact`.
+        """
+        uda = self.fetch_uda(tid)  # validates presence
+        lsn = (
+            self._wal.append_delete(tid) if self._wal is not None else None
+        )
+        self._apply_delete(tid, uda)
+        if lsn is not None:
+            self.wal_lsn = lsn
+
+    def _apply_insert(self, tid: int, uda: UncertainAttribute) -> None:
+        """Apply an insert to the in-memory/paged state (no WAL write)."""
+        record = encode_heap_record(tid, uda.items, uda.probs)
+        self._rid_of_tid[tid] = self._heap.append(record)
+        self._dead_tids.discard(tid)  # a reinsert supersedes the old record
+        if self._segments and not self._segments[-1].sealed:
+            ordinal = len(self._segments) - 1
+        else:
+            self._segments.append(PostingSegment(self._pool))
+            ordinal = len(self._segments) - 1
+        segment = self._segments[ordinal]
+        segment.insert(tid, uda)
+        self._segment_of_tid[tid] = ordinal
+        self.num_tuples += 1
+        self.mutations += 1
+        if len(segment.tids) >= self._segment_capacity:
+            segment.sealed = True
+            METRICS.inc("segment.flush")
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "segment.flush", segment=ordinal, tuples=len(segment.tids)
+                )
+
+    def _apply_delete(self, tid: int, uda: UncertainAttribute) -> None:
+        """Apply a delete to the in-memory/paged state (no WAL write)."""
+        ordinal = self._segment_of_tid.pop(tid, None)
+        if ordinal is None:
+            for item, prob in uda.pairs():
+                self._lists[item].delete(tid, prob)
+        else:
+            self._segments[ordinal].remove(tid, uda)
         del self._rid_of_tid[tid]
+        self._dead_tids.add(tid)
         self.num_tuples -= 1
         self.mutations += 1
 
+    # -- write-ahead log -------------------------------------------------------
+
+    def attach_wal(self, wal, *, replay: bool = True) -> None:
+        """Attach a :class:`~repro.wal.WriteAheadLog`; replay its tail.
+
+        Records with ``lsn <= self.wal_lsn`` were already absorbed by
+        the image this index was loaded from and are skipped; the rest
+        are re-applied in order (crash recovery over the last durable
+        image).  Subsequent :meth:`insert`/:meth:`delete` calls log to
+        ``wal`` before applying.  A torn tail truncated when ``wal`` was
+        opened marks this index :attr:`recovered` — the prefix is
+        consistent, but the crash lost the record being written.
+        """
+        self._wal = wal
+        if not replay:
+            return
+        applied = skipped = 0
+        for record in wal.replay():
+            if record.lsn <= self.wal_lsn:
+                skipped += 1
+                continue
+            if record.items is not None:
+                self._apply_insert(
+                    record.tid, UncertainAttribute(record.items, record.probs)
+                )
+            else:
+                self._apply_delete(record.tid, self.fetch_uda(record.tid))
+            self.wal_lsn = record.lsn
+            applied += 1
+        if wal.torn:
+            self.recovered = True
+        METRICS.inc("wal.replay")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "wal.replay", applied=applied, skipped=skipped, torn=wal.torn
+            )
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold segments and deletions back into bulk-loaded base trees.
+
+        Rebuilds the tuple heap (live records only, ascending tid) and
+        every posting list (one bulk-loaded tree per item) in exactly
+        the layout :meth:`build` produces for the same final tuple set,
+        then frees every old page wholesale — the disk held nothing but
+        the old heap and posting pages, so no per-tree enumeration is
+        needed.  Afterwards queries read the index byte-for-byte like a
+        static build: the differential suite asserts identical answers
+        *and* identical measurement-mode read counts.
+        """
+        if not self._segments and not self._dead_tids:
+            return
+        METRICS.inc("compaction")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "compaction.begin",
+                segments=len(self._segments),
+                deleted=len(self._dead_tids),
+            )
+        # Gather the merged view while the old structures are readable.
+        merged: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        items = set(self._lists)
+        for segment in self._segments:
+            items.update(segment.lists)
+        for item in sorted(items):
+            posting_list = self.posting_list(item)
+            tids, probs = posting_list.read_all()
+            if len(tids):
+                merged[item] = (tids, probs)
+        live_records = []
+        for tid in sorted(self._rid_of_tid):
+            items_arr, probs_arr = self.fetch_uda_arrays(tid)
+            live_records.append((tid, items_arr, probs_arr))
+        old_pages = sorted(self.disk.page_ids())
+        # Rebuild: heap first, then posting trees in ascending item
+        # order — the exact allocation sequence of a static build.
+        self._heap = HeapFile(self._pool, tag="tuples")
+        self._rid_of_tid = {}
+        for tid, items_arr, probs_arr in live_records:
+            record = encode_heap_record(tid, items_arr, probs_arr)
+            self._rid_of_tid[tid] = self._heap.append(record)
+        self._lists = {}
+        for item, (tids, probs) in merged.items():
+            posting_list = PostingList(self._pool)
+            posting_list.bulk_build(tids, probs)
+            self._lists[item] = posting_list
+        # The old pages are garbage now: drop their frames unwritten and
+        # return them to the allocator.
+        for page_id in old_pages:
+            self._pool.discard_page(page_id)
+            self.disk.deallocate_page(page_id)
+        self._segments = []
+        self._segment_of_tid = {}
+        self._dead_tids = set()
+        self.mutations += 1
+        self._pool.flush_all()
+        if tracer is not None:
+            tracer.event(
+                "compaction.end",
+                items=len(merged),
+                pages_freed=len(old_pages),
+            )
+
     # -- access paths -------------------------------------------------------------
 
-    def posting_list(self, item: int) -> PostingList | None:
-        """The posting list for ``item``, or None if the item never occurs."""
-        return self._lists.get(item)
+    def posting_list(self, item: int) -> PostingList | SegmentedPostingList | None:
+        """The posting list for ``item``, or None if the item never occurs.
+
+        With live segments this is a :class:`SegmentedPostingList`
+        merging the base tree and every segment tree for the item; with
+        none (static builds, or after :meth:`compact`) it is the base
+        tree itself, bit-identical to the pre-mutability access path.
+        """
+        base = self._lists.get(item)
+        if not self._segments:
+            return base
+        parts = [base] if base is not None else []
+        for segment in self._segments:
+            part = segment.lists.get(item)
+            if part is not None:
+                parts.append(part)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return SegmentedPostingList(parts)
 
     def fetch_uda_arrays(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
         """Random access: a tuple's stored sparse arrays, unvalidated.
@@ -321,6 +523,9 @@ class ProbabilisticInvertedIndex:
                 str(item): posting_list.state()
                 for item, posting_list in self._lists.items()
             },
+            "wal_lsn": self.wal_lsn,
+            "deleted_tids": sorted(self._dead_tids),
+            "segments": [segment.state() for segment in self._segments],
         }
         save_disk_to_path(path, self.disk, metadata)
 
@@ -359,6 +564,10 @@ class ProbabilisticInvertedIndex:
         index.recovered = not report.clean
         index._tuple_memo = None
         index.mutations = 0
+        index._wal = None
+        index.wal_lsn = int(metadata.get("wal_lsn", 0))
+        index._dead_tids = {int(tid) for tid in metadata.get("deleted_tids", [])}
+        index._segment_capacity = _segment_capacity_from_env()
         heap_state = metadata["heap"]
         if not report.clean:
             heap_pages = set(heap_state["page_ids"])
@@ -380,17 +589,41 @@ class ProbabilisticInvertedIndex:
                 int(item): PostingList.attach(index._pool, state)
                 for item, state in metadata["lists"].items()
             }
+            index._segments = [
+                PostingSegment.attach(index._pool, state)
+                for state in metadata.get("segments", [])
+            ]
+            index._segment_of_tid = {
+                tid: ordinal
+                for ordinal, segment in enumerate(index._segments)
+                for tid in segment.tids
+            }
             index._rid_of_tid = {}
+            # Scan order is append order, so for a reinserted tid the
+            # later (live) record wins the directory slot.
             for rid, record in index._heap.scan():
                 tid, _, _ = decode_heap_record(record)
                 index._rid_of_tid[tid] = rid
+            for tid in index._dead_tids:
+                index._rid_of_tid.pop(tid, None)
         else:
+            # Unclean: every posting page — base and segment alike — was
+            # dropped above; rebuild one base tree per item from the
+            # heap's latest record per tid, minus the dead set.
             index._lists = {}
+            index._segments = []
+            index._segment_of_tid = {}
             index._rid_of_tid = {}
-            per_item: dict[int, list[tuple[int, float]]] = {}
+            latest: dict[int, tuple[Rid, bytes]] = {}
             for rid, record in index._heap.scan():
-                tid, pairs, _ = decode_heap_record(record)
+                tid, _, _ = decode_heap_record(record)
+                latest[tid] = (rid, bytes(record))
+            for tid in index._dead_tids:
+                latest.pop(tid, None)
+            per_item: dict[int, list[tuple[int, float]]] = {}
+            for tid, (rid, record) in latest.items():
                 index._rid_of_tid[tid] = rid
+                _, pairs, _ = decode_heap_record(record)
                 for item, prob in zip(
                     pairs["item"].tolist(), pairs["prob"].tolist()
                 ):

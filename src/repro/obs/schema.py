@@ -124,6 +124,20 @@ SCHEMA: dict[str, RecordSpec] = {
     # Admission control turned a request away: reason "inflight" (the
     # in-flight cap) or "queue" (the bounded wait queue overflowed).
     "serve.shed": _spec({"reason": str}),
+    # -- write-ahead log + LSM segments (repro.wal, docs/mutability.md) -----
+    # One wal.append per durable record; op is "insert" or "delete".
+    "wal.append": _spec({"lsn": int, "op": str}),
+    # One wal.replay per attach_wal: applied records past the image's
+    # wal_lsn, skipped records at or below it, and whether the log had a
+    # torn tail truncated on open.
+    "wal.replay": _spec({"applied": int, "skipped": int, "torn": bool}),
+    # The active segment reached capacity and was sealed; segment is its
+    # 0-based ordinal, tuples how many tids it holds.
+    "segment.flush": _spec({"segment": int, "tuples": int}),
+    # Compaction folds every segment (and drops deleted tuples) back
+    # into freshly bulk-loaded base structures.
+    "compaction.begin": _spec({"segments": int, "deleted": int}),
+    "compaction.end": _spec({"items": int, "pages_freed": int}),
     # -- bench harness ------------------------------------------------------
     # backend names the storage backend under the disk ("simulated",
     # "mmap", "shm"); I/O counts are backend-independent, so it exists

@@ -138,6 +138,12 @@ class PDRTree:
         self._leaf_of_tid: dict[int, int] = {}
         #: Whether the last :meth:`load` had to rebuild from leaf pages.
         self.recovered = False
+        #: Monotonic mutation counter (insert/delete), the staleness
+        #: stamp long-lived caches compare (docs/mutability.md).
+        self.mutations = 0
+        self._wal = None
+        #: LSN of the last write-ahead-log record applied to this tree.
+        self.wal_lsn = 0
 
     # -- cached node access ----------------------------------------------------
     #
@@ -240,10 +246,23 @@ class PDRTree:
                 f"UDA with {uda.nnz} pairs does not fit in a "
                 f"{self.disk.page_size}-byte page"
             )
+        lsn = (
+            self._wal.append_insert(tid, uda.items, uda.probs)
+            if self._wal is not None
+            else None
+        )
+        self._apply_insert(entry, uda)
+        if lsn is not None:
+            self.wal_lsn = lsn
+
+    def _apply_insert(self, entry: LeafEntry, uda: UncertainAttribute) -> None:
+        """Descend-and-place (no WAL write); the paper's insert heuristics
+        (:func:`~repro.pdrtree.insert_policy.choose_child`) pick the path."""
         proj_items, proj_values = self.codec.project(uda.items, uda.probs)
         while not self._insert_attempt(entry, proj_items, proj_values):
             pass
         self.num_tuples += 1
+        self.mutations += 1
 
     def _insert_attempt(
         self,
@@ -305,6 +324,17 @@ class PDRTree:
         Boundaries are not tightened (they remain valid over-estimates);
         rebuild the tree to re-compact after heavy deletion.
         """
+        if tid not in self._leaf_of_tid:
+            raise KeyNotFoundError(f"tid {tid} not in tree")
+        lsn = (
+            self._wal.append_delete(tid) if self._wal is not None else None
+        )
+        self._apply_delete(tid)
+        if lsn is not None:
+            self.wal_lsn = lsn
+
+    def _apply_delete(self, tid: int) -> None:
+        """Remove a tuple from its leaf (no WAL write)."""
         try:
             page_id = self._leaf_of_tid.pop(tid)
         except KeyError:
@@ -312,6 +342,47 @@ class PDRTree:
         entries = [e for e in self._get_leaf(page_id) if e.tid != tid]
         self._put_leaf(page_id, entries)
         self.num_tuples -= 1
+        self.mutations += 1
+
+    # -- write-ahead log -------------------------------------------------------
+
+    def attach_wal(self, wal, *, replay: bool = True) -> None:
+        """Attach a :class:`~repro.wal.WriteAheadLog`; replay its tail.
+
+        Records with ``lsn <= self.wal_lsn`` were absorbed by the image
+        this tree was loaded from and are skipped; the rest re-apply in
+        order, replayed inserts descending through the same
+        ``insert_policy`` heuristics as the originals.  Subsequent
+        :meth:`insert`/:meth:`delete` calls log to ``wal`` before
+        applying; a torn tail truncated when ``wal`` was opened marks
+        this tree :attr:`recovered`.
+        """
+        self._wal = wal
+        if not replay:
+            return
+        applied = skipped = 0
+        for record in wal.replay():
+            if record.lsn <= self.wal_lsn:
+                skipped += 1
+                continue
+            if record.items is not None:
+                uda = UncertainAttribute(record.items, record.probs)
+                entry = LeafEntry(
+                    tid=record.tid, items=uda.items, probs=uda.probs
+                )
+                self._apply_insert(entry, uda)
+            else:
+                self._apply_delete(record.tid)
+            self.wal_lsn = record.lsn
+            applied += 1
+        if wal.torn:
+            self.recovered = True
+        METRICS.inc("wal.replay")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event(
+                "wal.replay", applied=applied, skipped=skipped, torn=wal.torn
+            )
 
     # -- splitting ------------------------------------------------------------------
 
@@ -735,6 +806,7 @@ class PDRTree:
             "root_page_id": self.root_page_id,
             "height": self.height,
             "leaf_page_ids": sorted(leaf_page_ids),
+            "wal_lsn": self.wal_lsn,
             "config": {
                 "insert_policy": self.config.insert_policy,
                 "split_strategy": self.config.split_strategy,
@@ -789,6 +861,9 @@ class PDRTree:
         tree.height = int(metadata["height"])
         tree.num_tuples = int(metadata["num_tuples"])
         tree.recovered = False
+        tree.mutations = 0
+        tree._wal = None
+        tree.wal_lsn = int(metadata.get("wal_lsn", 0))
         tree._leaf_of_tid = {}
         stack = [tree.root_page_id]
         while stack:
@@ -847,6 +922,7 @@ class PDRTree:
             tree.insert(entry.tid, UncertainAttribute(entry.items, entry.probs))
         tree._pool.flush_all()
         tree.recovered = True
+        tree.wal_lsn = int(metadata.get("wal_lsn", 0))
         return tree
 
     def __repr__(self) -> str:

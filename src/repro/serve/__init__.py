@@ -20,16 +20,22 @@ See ``docs/serving.md`` for the full model.
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
+    MUTATION_KINDS,
+    Mutation,
     ProtocolError,
     Request,
     decode_line,
     encode_line,
+    mutation_from_wire,
+    mutation_to_wire,
     query_from_wire,
     query_to_wire,
 )
 from repro.serve.server import QueryServer
 
 __all__ = [
+    "MUTATION_KINDS",
+    "Mutation",
     "ProtocolError",
     "QueryServer",
     "Request",
@@ -38,6 +44,8 @@ __all__ = [
     "ServeError",
     "decode_line",
     "encode_line",
+    "mutation_from_wire",
+    "mutation_to_wire",
     "query_from_wire",
     "query_to_wire",
 ]

@@ -20,9 +20,11 @@ import asyncio
 from repro.core.exceptions import ReproError
 from repro.core.queries import Query
 from repro.serve.protocol import (
+    Mutation,
     ProtocolError,
     decode_line,
     encode_line,
+    mutation_to_wire,
     query_to_wire,
 )
 
@@ -145,6 +147,28 @@ class ServeClient:
                 )
             payloads.append(payload)
         return payloads
+
+    # -- mutations -----------------------------------------------------------
+
+    async def _mutate(self, mutation: Mutation) -> dict[str, Any]:
+        message = {"id": self._fresh_id(), **mutation_to_wire(mutation)}
+        await self._send(encode_line(message))
+        payload = await self._read_payload()
+        if payload.get("status") != "ok":
+            raise ServeError(payload)
+        return payload
+
+    async def insert(self, tid: int, uda) -> dict[str, Any]:
+        """Insert a tuple; the ok-payload carries the ``mutations`` stamp."""
+        return await self._mutate(Mutation(op="insert", tid=tid, uda=uda))
+
+    async def delete(self, tid: int) -> dict[str, Any]:
+        """Delete a tuple by tid; raises :class:`ServeError` unless ``ok``."""
+        return await self._mutate(Mutation(op="delete", tid=tid))
+
+    async def compact(self) -> dict[str, Any]:
+        """Ask the server to compact its index's mutable segments."""
+        return await self._mutate(Mutation(op="compact"))
 
     # -- control ops ---------------------------------------------------------
 

@@ -26,7 +26,7 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.exceptions import ReproError
+from repro.core.exceptions import InvalidDistributionError, ReproError
 from repro.core.queries import (
     EqualityQuery,
     EqualityThresholdQuery,
@@ -58,18 +58,39 @@ _CLASS_TO_KIND = {cls: kind for kind, (cls, _) in QUERY_KINDS.items()}
 #: Control operations a request may carry instead of a query.
 CONTROL_OPS = ("ping", "stats", "reset_window")
 
+#: Mutation operations a request may carry instead of a query::
+#:
+#:     {"id": 9, "mutate": "insert", "tid": 412,
+#:      "items": [3, 9], "probs": [0.6, 0.4]}
+#:     {"id": 10, "mutate": "delete", "tid": 412}
+#:     {"id": 11, "mutate": "compact"}
+#:
+#: The ok-response carries ``op`` and the index's new ``mutations``
+#: stamp instead of ``matches``/``reads``.
+MUTATION_KINDS = ("insert", "delete", "compact")
+
 #: Response statuses.
 STATUSES = ("ok", "shed", "timeout", "error")
 
 
 @dataclass(frozen=True)
+class Mutation:
+    """A decoded mutation operation."""
+
+    op: str
+    tid: int | None = None
+    uda: UncertainAttribute | None = None
+
+
+@dataclass(frozen=True)
 class Request:
-    """A decoded query request."""
+    """A decoded request: exactly one of ``query`` / ``mutation`` is set."""
 
     id: int | str
-    query: Query
+    query: Query | None
     #: Per-request deadline override in ms (``None`` = server default).
     deadline_ms: float | None = None
+    mutation: Mutation | None = None
 
 
 def query_to_wire(query: Query) -> dict[str, Any]:
@@ -110,13 +131,50 @@ def query_from_wire(message: dict[str, Any]) -> Query:
             raise ProtocolError(f"{kind}: missing field {name!r}")
     try:
         uda = UncertainAttribute(message["items"], message["probs"])
-    except (TypeError, ValueError) as exc:
+    except (TypeError, ValueError, InvalidDistributionError) as exc:
         raise ProtocolError(f"{kind}: bad distribution: {exc}") from exc
     return cls(uda, *[message[name] for name in extras])
 
 
+def mutation_from_wire(message: dict[str, Any]) -> Mutation:
+    """Decode a ``mutate`` request's fields into a :class:`Mutation`."""
+    op = message.get("mutate")
+    if op not in MUTATION_KINDS:
+        raise ProtocolError(
+            f"unknown mutation {op!r}; expected one of {MUTATION_KINDS}"
+        )
+    if op == "compact":
+        return Mutation(op=op)
+    tid = message.get("tid")
+    if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+        raise ProtocolError(
+            f"{op}: 'tid' must be a non-negative int, got {tid!r}"
+        )
+    if op == "delete":
+        return Mutation(op=op, tid=tid)
+    for name in ("items", "probs"):
+        if name not in message:
+            raise ProtocolError(f"insert: missing field {name!r}")
+    try:
+        uda = UncertainAttribute(message["items"], message["probs"])
+    except (TypeError, ValueError, InvalidDistributionError) as exc:
+        raise ProtocolError(f"insert: bad distribution: {exc}") from exc
+    return Mutation(op=op, tid=tid, uda=uda)
+
+
+def mutation_to_wire(mutation: Mutation) -> dict[str, Any]:
+    """Encode a mutation as wire fields (without ``id``)."""
+    wire: dict[str, Any] = {"mutate": mutation.op}
+    if mutation.tid is not None:
+        wire["tid"] = int(mutation.tid)
+    if mutation.uda is not None:
+        wire["items"] = [int(item) for item in mutation.uda.items]
+        wire["probs"] = [float(prob) for prob in mutation.uda.probs]
+    return wire
+
+
 def parse_request(message: dict[str, Any]) -> Request:
-    """Decode a query-request object (already JSON-parsed)."""
+    """Decode a query- or mutation-request object (already JSON-parsed)."""
     if "id" not in message:
         raise ProtocolError("request is missing 'id'")
     request_id = message["id"]
@@ -131,10 +189,18 @@ def parse_request(message: dict[str, Any]) -> Request:
         raise ProtocolError(
             f"'deadline_ms' must be a non-negative number, got {deadline_ms!r}"
         )
+    deadline = None if deadline_ms is None else float(deadline_ms)
+    if "mutate" in message:
+        return Request(
+            id=request_id,
+            query=None,
+            deadline_ms=deadline,
+            mutation=mutation_from_wire(message),
+        )
     return Request(
         id=request_id,
         query=query_from_wire(message),
-        deadline_ms=None if deadline_ms is None else float(deadline_ms),
+        deadline_ms=deadline,
     )
 
 

@@ -73,7 +73,10 @@ class _Pending:
 
     def __post_init__(self) -> None:
         if not self.label:
-            self.label = type(self.request.query).__name__
+            if self.request.mutation is not None:
+                self.label = self.request.mutation.op
+            else:
+                self.label = type(self.request.query).__name__
 
 
 class QueryServer:
@@ -116,6 +119,7 @@ class QueryServer:
             "requests": 0,
             "batches": 0,
             "coalesced": 0,
+            "mutations": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -268,7 +272,11 @@ class QueryServer:
             return self._immediate_error(
                 message.get("id"), str(message.get("kind", "?")), str(exc)
             )
-        label = type(request.query).__name__
+        label = (
+            request.mutation.op
+            if request.mutation is not None
+            else type(request.query).__name__
+        )
         reason = None
         if self._inflight >= self.config.max_inflight:
             reason = "inflight"
@@ -353,8 +361,16 @@ class QueryServer:
                 and len(self._queue) < self.config.coalesce_max
             ):
                 await asyncio.sleep(self.config.coalesce_ms / 1000.0)
+            # Mutations never share a batch: one executes alone on the
+            # worker thread, so every query batch observes the index
+            # either wholly before or wholly after it (readers can
+            # never see a torn write).
             batch: list[_Pending] = []
             while self._queue and len(batch) < self.config.coalesce_max:
+                if self._queue[0].request.mutation is not None:
+                    if not batch:
+                        batch.append(self._queue.popleft())
+                    break
                 batch.append(self._queue.popleft())
             if not self._queue and self._running:
                 self._wake.clear()
@@ -370,6 +386,9 @@ class QueryServer:
                 else:
                     live.append(pending)
             if not live:
+                continue
+            if live[0].request.mutation is not None:
+                await self._run_mutation(loop, live[0])
                 continue
             queries = [pending.request.query for pending in live]
             try:
@@ -400,6 +419,36 @@ class QueryServer:
                     coalesced=result.coalesced,
                     matches=len(result),
                 )
+
+    async def _run_mutation(self, loop, pending: _Pending) -> None:
+        """Execute one mutation alone on the worker thread and answer it."""
+        mutation = pending.request.mutation
+        try:
+            stamp = await loop.run_in_executor(
+                self._worker, self._apply_mutation_sync, mutation
+            )
+        except Exception as exc:  # noqa: BLE001 -- answered, not raised
+            self._finish(
+                pending,
+                {"id": pending.request.id, "status": "error",
+                 "error": str(exc)},
+                status="error",
+            )
+            return
+        METRICS.inc("serve.mutation")
+        self.counters["mutations"] += 1
+        self._finish(
+            pending,
+            {"id": pending.request.id, "status": "ok",
+             "op": mutation.op, "mutations": stamp},
+            status="ok",
+        )
+
+    def _apply_mutation_sync(self, mutation) -> int:
+        """Worker-thread entry: apply one mutation via the executor."""
+        return self.executor.apply_mutation(
+            mutation.op, tid=mutation.tid, uda=mutation.uda
+        )
 
     def _execute_sync(
         self, queries: list

@@ -264,6 +264,29 @@ class BufferPool:
             raise BufferPoolError(f"unpin: page {page_id} is not pinned")
         frame.pin_count -= 1
 
+    def discard_page(self, page_id: int) -> None:
+        """Drop the resident frame *without* writing it back.
+
+        Compaction's wholesale page reclamation: the page's contents are
+        about to be deallocated, so flushing a dirty frame would waste a
+        physical write on bytes nobody will read again.  A no-op when the
+        page is not resident; raises when it is pinned (someone still
+        holds it).
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pin_count > 0:
+            raise BufferPoolError(f"discard: page {page_id} is pinned")
+        del self._frames[page_id]
+        index = self._clock_order.index(page_id)
+        self._clock_order.pop(index)
+        if index < self._clock_hand:
+            self._clock_hand -= 1
+        if self._clock_hand >= len(self._clock_order):
+            self._clock_hand = 0
+        self.decoded.evict_page(page_id)
+
     # -- flushing ---------------------------------------------------------------
 
     def flush_page(self, page_id: int) -> None:

@@ -1,0 +1,24 @@
+"""Write-ahead logging for online index mutability.
+
+See :mod:`repro.wal.log` for the record format and recovery semantics,
+and ``docs/mutability.md`` for how indexes attach a log and replay it
+over their last durable image.
+"""
+
+from repro.wal.log import (
+    MAGIC,
+    OP_DELETE,
+    OP_INSERT,
+    OP_NAMES,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "MAGIC",
+    "OP_DELETE",
+    "OP_INSERT",
+    "OP_NAMES",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,306 @@
+"""The append-only write-ahead log behind online mutability.
+
+Every mutation (tuple insert or delete) is made durable *before* it is
+applied to an index: the operation is framed as one WAL record, written
+at the tail of the log file, and — unless fsync is disabled — synced to
+the device before the append returns.  An index image saved afterwards
+records the last applied LSN (:attr:`wal_lsn` in its metadata), so
+reattaching after a crash replays exactly the suffix of the log the
+image has not absorbed (see ``docs/mutability.md``).
+
+File layout::
+
+    magic   b"REPROWAL1\\n"                          (10 bytes)
+    record  u64 lsn | u8 op | u32 payload_len        (13-byte header)
+            payload                                  (payload_len bytes)
+            u32 crc32(header + payload)
+    record  ...
+
+LSNs are assigned by the log, start at 1, and increase by exactly 1 per
+record; any gap, backward step, or CRC mismatch marks the end of the
+valid prefix.  Opening a log with trailing garbage (a *torn tail*, the
+footprint of a crash mid-append) truncates the file back to the valid
+prefix and sets :attr:`WriteAheadLog.torn` — replay is always
+prefix-consistent, never partially applied.  A bad magic or an
+impossible geometry raises :class:`~repro.core.exceptions.WalError`
+instead: that is not a crash footprint, it is the wrong file.
+
+Payloads:
+
+``OP_INSERT``
+    ``u64 tid | u32 nnz | nnz * u32 item | nnz * f64 prob`` — the
+    tuple's sparse distribution, exactly the arrays an
+    :class:`~repro.core.uda.UncertainAttribute` round-trips (UDAs
+    quantize to float32 at construction, and float64 represents every
+    float32 exactly, so replayed tuples score bit-identically).
+
+``OP_DELETE``
+    ``u64 tid``
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.exceptions import WalError
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
+
+#: File magic; the trailing newline catches text-mode mangling early.
+MAGIC = b"REPROWAL1\n"
+
+#: Record operations.
+OP_INSERT = 1
+OP_DELETE = 2
+
+#: Human-readable names, used in trace records and error messages.
+OP_NAMES = {OP_INSERT: "insert", OP_DELETE: "delete"}
+
+_HEADER = struct.Struct("<QBI")
+_CRC = struct.Struct("<I")
+_TID = struct.Struct("<Q")
+_TID_NNZ = struct.Struct("<QI")
+
+#: Ceiling on one record's payload; far above any real UDA (which must
+#: fit in a page), it exists so a corrupt length field cannot make the
+#: scanner attempt a gigabyte read before the CRC check rejects it.
+MAX_PAYLOAD = 1 << 24
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    op: int
+    tid: int
+    #: Sparse distribution arrays (insert records only; None on delete).
+    items: np.ndarray | None = None
+    probs: np.ndarray | None = None
+
+
+def _encode_insert(tid: int, items, probs) -> bytes:
+    items = np.asarray(items, dtype=np.uint32)
+    probs = np.asarray(probs, dtype=np.float64)
+    return (
+        _TID_NNZ.pack(int(tid), len(items))
+        + items.tobytes()
+        + probs.tobytes()
+    )
+
+
+def _decode_payload(op: int, payload: bytes) -> tuple[int, np.ndarray | None, np.ndarray | None]:
+    if op == OP_DELETE:
+        (tid,) = _TID.unpack(payload)
+        return tid, None, None
+    tid, nnz = _TID_NNZ.unpack_from(payload, 0)
+    offset = _TID_NNZ.size
+    items = np.frombuffer(payload, dtype=np.uint32, count=nnz, offset=offset)
+    offset += 4 * nnz
+    probs = np.frombuffer(payload, dtype=np.float64, count=nnz, offset=offset)
+    return tid, items.astype(np.int64), probs.copy()
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed operation log.
+
+    Parameters
+    ----------
+    path:
+        The log file.  Created (with just the magic) if absent.
+    fsync:
+        Sync the file to the device after every append — the durability
+        half of write-ahead logging.  Tests that tear the log at exact
+        record boundaries keep it on; bulk loaders may turn it off and
+        accept losing a suffix on power failure (prefix consistency
+        still holds).
+
+    Attributes
+    ----------
+    last_lsn:
+        LSN of the last valid record (0 for an empty log).
+    torn:
+        Whether opening found — and truncated — a torn tail.
+    """
+
+    def __init__(self, path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.torn = False
+        self.last_lsn = 0
+        if not self.path.exists():
+            with open(self.path, "wb") as fh:
+                fh.write(MAGIC)
+                fh.flush()
+                os.fsync(fh.fileno())
+        else:
+            valid_end = self._scan_valid_prefix()
+            if valid_end < self.path.stat().st_size:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self.torn = True
+        self._fh = open(self.path, "ab")
+
+    # -- scanning ------------------------------------------------------------
+
+    def _scan_valid_prefix(self) -> int:
+        """Validate the file; set counters; return the valid-prefix end.
+
+        Raises :class:`WalError` for a wrong or truncated magic — that
+        is a foreign file, not a crash footprint.
+        """
+        data = self.path.read_bytes()
+        if len(data) < len(MAGIC) or not data.startswith(MAGIC):
+            raise WalError(f"{self.path}: not a WAL file (bad magic)")
+        cursor = len(MAGIC)
+        lsn = 0
+        while cursor < len(data):
+            end = self._validate_record_at(data, cursor, lsn + 1)
+            if end is None:
+                break
+            cursor = end
+            lsn += 1
+        self.last_lsn = lsn
+        return cursor
+
+    @staticmethod
+    def _validate_record_at(data: bytes, cursor: int, expect_lsn: int) -> int | None:
+        """End offset of a valid record at ``cursor``, or None."""
+        if cursor + _HEADER.size > len(data):
+            return None
+        lsn, op, length = _HEADER.unpack_from(data, cursor)
+        if lsn != expect_lsn or op not in OP_NAMES or length > MAX_PAYLOAD:
+            return None
+        end = cursor + _HEADER.size + length + _CRC.size
+        if end > len(data):
+            return None
+        (stored_crc,) = _CRC.unpack_from(data, end - _CRC.size)
+        body = data[cursor : cursor + _HEADER.size + length]
+        if zlib.crc32(body) != stored_crc:
+            return None
+        return end
+
+    def record_offsets(self) -> list[int]:
+        """Byte offset of each record boundary, magic first, EOF last.
+
+        The kill-point harness truncates the file at (and between) these
+        offsets to simulate crashes at every stage of an append.
+        """
+        data = self.path.read_bytes()
+        offsets = [len(MAGIC)]
+        lsn = 0
+        cursor = len(MAGIC)
+        while cursor < len(data):
+            end = self._validate_record_at(data, cursor, lsn + 1)
+            if end is None:
+                break
+            offsets.append(end)
+            cursor = end
+            lsn += 1
+        return offsets
+
+    # -- appending -----------------------------------------------------------
+
+    def _append(self, op: int, payload: bytes) -> int:
+        lsn = self.last_lsn + 1
+        body = _HEADER.pack(lsn, op, len(payload)) + payload
+        self._fh.write(body + _CRC.pack(zlib.crc32(body)))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.last_lsn = lsn
+        METRICS.inc("wal.append")
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.event("wal.append", lsn=lsn, op=OP_NAMES[op])
+        return lsn
+
+    def append_insert(self, tid: int, items, probs) -> int:
+        """Log a tuple insert; returns its LSN (durable on return)."""
+        return self._append(OP_INSERT, _encode_insert(tid, items, probs))
+
+    def append_delete(self, tid: int) -> int:
+        """Log a tuple delete; returns its LSN (durable on return)."""
+        return self._append(OP_DELETE, _TID.pack(int(tid)))
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self, after_lsn: int = 0) -> list[WalRecord]:
+        """Decode every valid record with ``lsn > after_lsn``, in order.
+
+        Reads the file fresh (not the in-memory tail), so a log another
+        process appended to replays completely.  The valid prefix ends
+        at the first framing or CRC violation — a torn tail yields the
+        records before it, never a partial record.
+        """
+        data = self.path.read_bytes()
+        if not data.startswith(MAGIC):
+            raise WalError(f"{self.path}: not a WAL file (bad magic)")
+        records: list[WalRecord] = []
+        cursor = len(MAGIC)
+        lsn = 0
+        while cursor < len(data):
+            end = self._validate_record_at(data, cursor, lsn + 1)
+            if end is None:
+                break
+            stored_lsn, op, length = _HEADER.unpack_from(data, cursor)
+            lsn = stored_lsn
+            if lsn > after_lsn:
+                payload = data[
+                    cursor + _HEADER.size : cursor + _HEADER.size + length
+                ]
+                tid, items, probs = _decode_payload(op, payload)
+                records.append(
+                    WalRecord(lsn=lsn, op=op, tid=tid, items=items, probs=probs)
+                )
+            cursor = end
+        return records
+
+    # -- maintenance ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every record (post-checkpoint truncation).
+
+        :attr:`last_lsn` is preserved so future appends continue the LSN
+        sequence past any image that already recorded it — replay-skip
+        arithmetic stays monotonic across checkpoints.
+        """
+        self._fh.close()
+        # last_lsn survives; only the bytes are discarded.  A log reset
+        # this way replays as empty, which is correct: every dropped
+        # record was applied before the checkpoint image was saved.
+        with open(self.path, "r+b") as fh:
+            fh.truncate(len(MAGIC))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh = open(self.path, "ab")
+
+    def sync(self) -> None:
+        """Force buffered appends to the device."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(path={str(self.path)!r}, "
+            f"last_lsn={self.last_lsn}, torn={self.torn})"
+        )

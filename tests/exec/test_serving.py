@@ -292,3 +292,80 @@ def test_pdr_tree_serves_warm(tree, relation):
 def test_strategy_pairing_validated_up_front(tree):
     with pytest.raises(QueryError):
         ServingExecutor(tree, strategy="highest_prob_first")
+
+
+class TestGenerationalTupleCache:
+    """Generation-segmented eviction (the epoch-clear regression)."""
+
+    def make(self, capacity=8):
+        from repro.exec import GenerationalTupleCache
+
+        return GenerationalTupleCache(capacity)
+
+    def test_capacity_is_validated(self):
+        with pytest.raises(QueryError):
+            self.make(capacity=1)
+
+    def test_dict_surface(self):
+        cache = self.make()
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert cache.get("zzz", "fallback") == "fallback"
+        assert "a" in cache and len(cache) == 1
+        cache.clear()
+        assert "a" not in cache and len(cache) == 0
+
+    def test_residency_stays_bounded(self):
+        cache = self.make(capacity=8)
+        for i in range(1000):
+            cache[i] = i
+        assert len(cache) <= 8
+
+    def test_hot_entry_survives_epoch_boundaries(self):
+        """The regression: a key touched every generation is never evicted."""
+        cache = self.make(capacity=8)
+        cache["hot"] = "payload"
+        for i in range(100):  # 25x the capacity: many rotations
+            cache[i] = i
+            assert cache.get("hot") == "payload", f"evicted after {i} inserts"
+
+    def test_untouched_entries_age_out(self):
+        cache = self.make(capacity=8)
+        cache["cold"] = 1
+        for i in range(8):  # two full generations without a touch
+            cache[i] = i
+        assert cache.get("cold") is None
+
+
+def test_warm_hit_rate_survives_epoch_boundary(relation):
+    """Regression: crossing the cache's entry cap used to clear it whole,
+
+    so the request after the boundary re-decoded every hot tuple.  With
+    generational eviction the hot working set stays resident across the
+    boundary."""
+    import numpy as np
+
+    from repro.core import EqualityThresholdQuery, UncertainAttribute
+
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    hot_query = EqualityThresholdQuery(
+        UncertainAttribute(np.array([0, 1]), np.array([0.5, 0.5])), 0.01
+    )
+    serve = ServingExecutor(index, mode="serve", tuple_cache_entries=16)
+    serve.execute(hot_query)
+    hot_tids = {
+        tid for tid in serve.tuple_cache._current  # the hot working set
+    }
+    assert hot_tids, "hot query should have decoded tuples into the cache"
+    # Drive enough distinct cold queries to cross the cap repeatedly
+    # while re-touching the hot query each round.
+    for seed in range(12):
+        for q in mixed_workload(len(relation.domain), 3, base_seed=100 + seed):
+            serve.execute(q)
+        serve.execute(hot_query)
+        resident = sum(1 for tid in hot_tids if tid in serve.tuple_cache)
+        assert resident == len(hot_tids), (
+            f"hot set partially evicted after round {seed}: "
+            f"{resident}/{len(hot_tids)} resident"
+        )

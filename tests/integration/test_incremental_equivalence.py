@@ -1,0 +1,271 @@
+"""Static vs incremental differential suite (``docs/mutability.md``).
+
+The contract: an index grown tuple-by-tuple through the WAL path —
+including deletes, reinserts, and segment churn — must answer exactly
+like a static bulk build of the same final tuple set.  "Exactly" means:
+
+* identical matches, scores, and presentation (tie) order for the
+  inverted index, under *all five* search strategies;
+* identical answer sets for the PDR-tree (tree shape is
+  insertion-order dependent, so order is not part of its contract);
+* after :meth:`compact`, bit-identical measurement-mode posting reads —
+  the compacted layout IS the static layout.
+
+A hypothesis battery drives random insert/delete/reinsert interleavings
+to hunt schedules the hand-written cases miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertainRelation
+from repro.core.queries import (
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    SimilarityThresholdQuery,
+)
+from repro.datagen import uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.invindex.strategies import STRATEGIES
+from repro.storage.stats import IOStatistics
+from repro.pdrtree import PDRTree
+from repro.storage.buffer import BufferPool
+from repro.wal import WriteAheadLog
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+NUM_TUPLES = 160
+SEGMENT_CAP = 32  # small, so interleavings seal several segments
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_dataset(num_tuples=NUM_TUPLES, seed=83)
+
+
+@pytest.fixture(scope="module")
+def queries(relation):
+    """Equality queries — the inverted index's contract."""
+    qs = []
+    for tid in (0, 9, 55):
+        uda = relation.uda_of(tid)
+        qs.append(EqualityThresholdQuery(uda, 0.1))
+        qs.append(EqualityTopKQuery(uda, 7))
+    return qs
+
+
+@pytest.fixture(scope="module")
+def pdr_queries(queries, relation):
+    """PDR-tree answers equality AND distribution-similarity (DSTQ)."""
+    extra = [
+        SimilarityThresholdQuery(relation.uda_of(tid), 1.6, divergence="l1")
+        for tid in (0, 9, 55)
+    ]
+    return [*queries, *extra]
+
+
+@pytest.fixture(scope="module")
+def static_index(relation):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    return index
+
+
+@pytest.fixture(autouse=True)
+def small_segments(monkeypatch):
+    monkeypatch.setenv("REPRO_SEGMENT_TUPLES", str(SEGMENT_CAP))
+
+
+def incremental_index(relation, tmp_path, schedule=None, compact=False):
+    """Grow an index by replaying ``schedule`` (default: plain inserts).
+
+    ``schedule`` is a list of ``("insert", tid)`` / ``("delete", tid)``
+    ops; it must leave every tid of ``relation`` present at the end.
+    """
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    wal = WriteAheadLog(tmp_path / "log.wal")
+    index.attach_wal(wal)
+    if schedule is None:
+        schedule = [("insert", tid) for tid in relation.tids()]
+    for op, tid in schedule:
+        if op == "insert":
+            index.insert(tid, relation.uda_of(tid))
+        else:
+            index.delete(tid)
+    if compact:
+        index.compact()
+    return index
+
+
+def ordered_answers(index, queries, strategy):
+    return [
+        [(m.tid, m.score) for m in index.execute(query, strategy=strategy).matches]
+        for query in queries
+    ]
+
+
+def measured_reads(index, queries, strategy):
+    """Posting/heap reads per query under the measurement protocol."""
+    reads = []
+    for query in queries:
+        index.pool = BufferPool(index.disk, 100)
+        index.disk.stats = IOStatistics()
+        index.execute(query, strategy=strategy)
+        reads.append(index.disk.stats.reads)
+    return reads
+
+
+def churn_schedule(relation, rng):
+    """Inserts with interleaved delete/reinsert churn; all tids final."""
+    schedule = []
+    live = set()
+    deleted = set()
+    for tid in relation.tids():
+        schedule.append(("insert", tid))
+        live.add(tid)
+        roll = rng.random()
+        if roll < 0.2 and len(live) > 1:
+            victim = int(rng.choice(sorted(live)))
+            schedule.append(("delete", victim))
+            live.discard(victim)
+            deleted.add(victim)
+        if roll > 0.85 and deleted:
+            back = int(rng.choice(sorted(deleted)))
+            schedule.append(("insert", back))
+            live.add(back)
+            deleted.discard(back)
+    for tid in sorted(deleted):
+        schedule.append(("insert", tid))
+    return schedule
+
+
+class TestInvertedIndexEquivalence:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_plain_inserts_match_static(
+        self, relation, queries, static_index, strategy, tmp_path
+    ):
+        grown = incremental_index(relation, tmp_path)
+        assert ordered_answers(grown, queries, strategy) == ordered_answers(
+            static_index, queries, strategy
+        )
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_churn_matches_static(
+        self, relation, queries, static_index, strategy, tmp_path
+    ):
+        rng = np.random.default_rng(17)
+        grown = incremental_index(
+            relation, tmp_path, schedule=churn_schedule(relation, rng)
+        )
+        assert ordered_answers(grown, queries, strategy) == ordered_answers(
+            static_index, queries, strategy
+        )
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_post_compaction_matches_static(
+        self, relation, queries, static_index, strategy, tmp_path
+    ):
+        rng = np.random.default_rng(29)
+        grown = incremental_index(
+            relation,
+            tmp_path,
+            schedule=churn_schedule(relation, rng),
+            compact=True,
+        )
+        assert ordered_answers(grown, queries, strategy) == ordered_answers(
+            static_index, queries, strategy
+        )
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_post_compaction_reads_are_bit_identical(
+        self, relation, queries, strategy, tmp_path
+    ):
+        """The compacted layout pays the same I/O as a static build."""
+        static = ProbabilisticInvertedIndex(len(relation.domain))
+        static.build(relation)
+        rng = np.random.default_rng(41)
+        grown = incremental_index(
+            relation,
+            tmp_path,
+            schedule=churn_schedule(relation, rng),
+            compact=True,
+        )
+        assert measured_reads(grown, queries, strategy) == measured_reads(
+            static, queries, strategy
+        )
+
+
+class TestPDRTreeEquivalence:
+    def answer_sets(self, tree, queries):
+        return [
+            {(m.tid, round(m.score, 12)) for m in tree.execute(query).matches}
+            for query in queries
+        ]
+
+    def grow(self, relation, tmp_path, schedule):
+        tree = PDRTree(len(relation.domain))
+        wal = WriteAheadLog(tmp_path / "pdr.wal")
+        tree.attach_wal(wal)
+        for op, tid in schedule:
+            if op == "insert":
+                tree.insert(tid, relation.uda_of(tid))
+            else:
+                tree.delete(tid)
+        return tree
+
+    def test_churn_matches_static(self, relation, pdr_queries, tmp_path):
+        static = PDRTree(len(relation.domain))
+        static.build(relation)
+        rng = np.random.default_rng(53)
+        grown = self.grow(relation, tmp_path, churn_schedule(relation, rng))
+        assert self.answer_sets(grown, pdr_queries) == self.answer_sets(
+            static, pdr_queries
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_interleavings_match_static(seed, tmp_path_factory):
+    """Hypothesis-driven schedules across both index families."""
+    relation = uniform_dataset(num_tuples=60, seed=977)
+    rng = np.random.default_rng(seed)
+    schedule = churn_schedule(relation, rng)
+    uda = relation.uda_of(int(rng.integers(0, 60)))
+    queries = [
+        EqualityThresholdQuery(uda, 0.1),
+        EqualityTopKQuery(uda, 5),
+    ]
+    pdr_queries = [*queries, SimilarityThresholdQuery(uda, 1.6, divergence="l1")]
+
+    static_inv = ProbabilisticInvertedIndex(len(relation.domain))
+    static_inv.build(relation)
+    tmp = tmp_path_factory.mktemp(f"interleave-{seed}")
+    grown = ProbabilisticInvertedIndex(len(relation.domain))
+    grown.attach_wal(WriteAheadLog(tmp / "log.wal"))
+    for op, tid in schedule:
+        if op == "insert":
+            grown.insert(tid, relation.uda_of(tid))
+        else:
+            grown.delete(tid)
+    if seed % 2 == 0:
+        grown.compact()
+    for strategy in sorted(STRATEGIES):
+        assert ordered_answers(grown, queries, strategy) == ordered_answers(
+            static_inv, queries, strategy
+        ), f"strategy {strategy} diverged for seed {seed}"
+
+    static_pdr = PDRTree(len(relation.domain))
+    static_pdr.build(relation)
+    grown_pdr = PDRTree(len(relation.domain))
+    grown_pdr.attach_wal(WriteAheadLog(tmp / "pdr.wal"))
+    for op, tid in schedule:
+        if op == "insert":
+            grown_pdr.insert(tid, relation.uda_of(tid))
+        else:
+            grown_pdr.delete(tid)
+    for query in pdr_queries:
+        lhs = {(m.tid, round(m.score, 12)) for m in grown_pdr.execute(query).matches}
+        rhs = {(m.tid, round(m.score, 12)) for m in static_pdr.execute(query).matches}
+        assert lhs == rhs, f"PDR diverged for seed {seed}"

@@ -1,0 +1,205 @@
+"""WAL kill-point recovery: crash mid-append, replay over the image.
+
+Extends the PR-2 crash harness to the log: an index image is saved, a
+run of post-save mutations goes through the WAL, and then the log is
+cut — at *every* record boundary (a crash between appends) and torn
+mid-record (a crash during one) — before the image is reattached with
+:meth:`attach_wal`.
+
+Contract (``docs/mutability.md``): recovery applies exactly the valid
+prefix of the log — the index must answer like the durable image plus
+the first ``k`` mutations, for whatever ``k`` survived; a torn tail
+must set ``recovered`` and never leak a partial record.  The sweep runs
+on every registered storage backend.
+"""
+
+import pytest
+
+from repro.core.queries import EqualityThresholdQuery, EqualityTopKQuery
+from repro.datagen import uniform_dataset
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+from repro.storage import BACKEND_NAMES, backend_scope
+from repro.wal import WriteAheadLog
+
+BASE_TUPLES = 90  # tuples in the durable image
+TAIL_TUPLES = 24  # tuples only ever recorded in the WAL
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return uniform_dataset(num_tuples=BASE_TUPLES + TAIL_TUPLES, seed=61)
+
+
+@pytest.fixture(scope="module")
+def queries(relation):
+    qs = []
+    for tid in (0, 5, BASE_TUPLES + 3):
+        uda = relation.uda_of(tid)
+        qs.append(EqualityThresholdQuery(uda, 0.1))
+        qs.append(EqualityTopKQuery(uda, 6))
+    return qs
+
+
+def mutation_run(relation):
+    """Post-save mutations: tail inserts with interleaved churn."""
+    ops = []
+    for offset, tid in enumerate(range(BASE_TUPLES, BASE_TUPLES + TAIL_TUPLES)):
+        ops.append(("insert", tid, relation.uda_of(tid)))
+        if offset % 5 == 2:
+            ops.append(("delete", tid, None))
+            ops.append(("insert", tid, relation.uda_of(tid)))
+        if offset % 7 == 3:
+            ops.append(("delete", offset, None))  # churn a base tuple
+    return ops
+
+
+def build_fixture(cls, relation, tmp_path):
+    """Durable image + a WAL holding ``mutation_run``; returns paths."""
+    index = cls(len(relation.domain))
+    base = type(relation)(relation.domain)
+    for tid in range(BASE_TUPLES):
+        base.append(relation.uda_of(tid))
+    index.build(base)
+    image_path = tmp_path / "index.reprodb"
+    index.save(image_path)
+    wal_path = tmp_path / "log.wal"
+    wal = WriteAheadLog(wal_path)
+    index.attach_wal(wal, replay=False)
+    ops = mutation_run(relation)
+    for op, tid, uda in ops:
+        if op == "insert":
+            index.insert(tid, uda)
+        else:
+            index.delete(tid)
+    offsets = wal.record_offsets()
+    wal.close()
+    return image_path, wal_path, ops
+
+
+def expected_answers(cls, relation, image_path, ops, prefix, queries, tmp_path):
+    """Answers of (durable image + first ``prefix`` mutations), applied
+    directly — no WAL — as the recovery oracle."""
+    oracle = cls.load(image_path)
+    for op, tid, uda in ops[:prefix]:
+        if op == "insert":
+            oracle.insert(tid, uda)
+        else:
+            oracle.delete(tid)
+    return [
+        {(m.tid, round(m.score, 9)) for m in oracle.execute(q).matches}
+        for q in queries
+    ]
+
+
+def recovered_answers(cls, image_path, wal_path, queries):
+    index = cls.load(image_path)
+    wal = WriteAheadLog(wal_path)
+    index.attach_wal(wal)
+    answers = [
+        {(m.tid, round(m.score, 9)) for m in index.execute(q).matches}
+        for q in queries
+    ]
+    return index, wal, answers
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+class TestWalKillPointsPerBackend:
+    def test_cut_at_every_record_boundary(
+        self, name, relation, queries, tmp_path
+    ):
+        image_path, wal_path, ops = build_fixture(
+            ProbabilisticInvertedIndex, relation, tmp_path
+        )
+        wal_image = wal_path.read_bytes()
+        wal = WriteAheadLog(wal_path)
+        offsets = wal.record_offsets()
+        wal.close()
+        assert len(offsets) == len(ops) + 1
+        with backend_scope(name):
+            for prefix, kill_point in enumerate(offsets):
+                wal_path.write_bytes(wal_image[:kill_point])
+                index, log, answers = recovered_answers(
+                    ProbabilisticInvertedIndex, image_path, wal_path, queries
+                )
+                assert not log.torn, "boundary cuts are clean, not torn"
+                assert not index.recovered
+                assert index.wal_lsn == prefix
+                expected = expected_answers(
+                    ProbabilisticInvertedIndex,
+                    relation,
+                    image_path,
+                    ops,
+                    prefix,
+                    queries,
+                    tmp_path,
+                )
+                assert answers == expected, (
+                    f"backend {name}: prefix {prefix} diverged"
+                )
+                log.close()
+
+    def test_tear_inside_every_record(
+        self, name, relation, queries, tmp_path
+    ):
+        image_path, wal_path, ops = build_fixture(
+            ProbabilisticInvertedIndex, relation, tmp_path
+        )
+        wal_image = wal_path.read_bytes()
+        wal = WriteAheadLog(wal_path)
+        offsets = wal.record_offsets()
+        wal.close()
+        with backend_scope(name):
+            for prefix in range(len(ops)):
+                # Cut strictly inside record ``prefix + 1``: the valid
+                # prefix is records 1..prefix and the tail is torn.
+                kill_point = (offsets[prefix] + offsets[prefix + 1]) // 2
+                assert offsets[prefix] < kill_point < offsets[prefix + 1]
+                wal_path.write_bytes(wal_image[:kill_point])
+                index, log, answers = recovered_answers(
+                    ProbabilisticInvertedIndex, image_path, wal_path, queries
+                )
+                assert log.torn
+                assert index.recovered, "torn tail must flag recovery"
+                assert index.wal_lsn == prefix
+                expected = expected_answers(
+                    ProbabilisticInvertedIndex,
+                    relation,
+                    image_path,
+                    ops,
+                    prefix,
+                    queries,
+                    tmp_path,
+                )
+                assert answers == expected, (
+                    f"backend {name}: torn prefix {prefix} diverged"
+                )
+                log.close()
+
+
+class TestWalKillPointsPDRTree:
+    def test_boundary_and_torn_cuts(self, relation, queries, tmp_path):
+        image_path, wal_path, ops = build_fixture(PDRTree, relation, tmp_path)
+        wal_image = wal_path.read_bytes()
+        wal = WriteAheadLog(wal_path)
+        offsets = wal.record_offsets()
+        wal.close()
+        for prefix in range(len(ops) + 1):
+            for torn in (False, True):
+                if torn and prefix == len(ops):
+                    continue  # nothing after the last record to tear
+                if torn:
+                    kill_point = (offsets[prefix] + offsets[prefix + 1]) // 2
+                else:
+                    kill_point = offsets[prefix]
+                wal_path.write_bytes(wal_image[:kill_point])
+                index, log, answers = recovered_answers(
+                    PDRTree, image_path, wal_path, queries
+                )
+                assert log.torn == torn
+                assert index.wal_lsn == prefix
+                expected = expected_answers(
+                    PDRTree, relation, image_path, ops, prefix, queries, tmp_path
+                )
+                assert answers == expected, f"PDR prefix {prefix} diverged"
+                log.close()

@@ -1,0 +1,176 @@
+"""Unit tests for LSM posting segments and the k-way segmented merge."""
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainAttribute
+from repro.core.exceptions import BufferPoolError
+from repro.invindex import PostingSegment, SegmentedPostingList
+from repro.invindex.postings import PostingList
+from repro.invindex.segments import packed_posting_keys
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(DiskManager(), 64)
+
+
+def build_list(pool, tids, probs):
+    posting = PostingList(pool)
+    order = np.argsort(packed_posting_keys(np.asarray(tids), np.asarray(probs)))
+    posting.bulk_build(
+        np.asarray(tids, dtype=np.int64)[order],
+        np.asarray(probs, dtype=np.float64)[order],
+    )
+    return posting
+
+
+class TestPackedKeys:
+    def test_orders_by_descending_prob_then_tid(self):
+        tids = np.array([5, 1, 9, 2])
+        probs = np.array([0.25, 0.75, 0.25, 0.5])
+        order = np.argsort(packed_posting_keys(tids, probs))
+        assert tids[order].tolist() == [1, 2, 5, 9]
+
+    def test_equal_probs_break_ties_by_tid(self):
+        tids = np.array([30, 10, 20])
+        probs = np.array([0.4, 0.4, 0.4])
+        order = np.argsort(packed_posting_keys(tids, probs))
+        assert tids[order].tolist() == [10, 20, 30]
+
+    def test_keys_unique_when_tids_unique(self):
+        rng = np.random.default_rng(3)
+        tids = np.arange(500)
+        probs = rng.choice([0.1, 0.2, 0.3], size=500)  # heavy prob ties
+        keys = packed_posting_keys(tids, probs)
+        assert len(np.unique(keys)) == len(keys)
+
+
+class TestPostingSegment:
+    def test_insert_routes_every_item(self, pool):
+        segment = PostingSegment(pool)
+        uda = UncertainAttribute([2, 5], [0.7, 0.3])
+        segment.insert(11, uda)
+        assert segment.tids == {11}
+        tids, probs = segment.lists[2].read_all()
+        assert tids.tolist() == [11]
+        assert probs[0] == pytest.approx(uda.probs[0])
+
+    def test_remove_undoes_insert(self, pool):
+        segment = PostingSegment(pool)
+        uda = UncertainAttribute([2, 5], [0.7, 0.3])
+        segment.insert(11, uda)
+        segment.remove(11, uda)
+        assert segment.tids == set()
+        assert all(len(lst) == 0 for lst in segment.lists.values())
+
+    def test_state_round_trips(self, pool):
+        segment = PostingSegment(pool)
+        segment.insert(4, UncertainAttribute([1, 3], [0.6, 0.4]))
+        segment.insert(9, UncertainAttribute([3], [1.0]))
+        segment.sealed = True
+        reattached = PostingSegment.attach(pool, segment.state())
+        assert reattached.sealed
+        assert reattached.tids == {4, 9}
+        for item in (1, 3):
+            a = segment.lists[item].read_all()
+            b = reattached.lists[item].read_all()
+            np.testing.assert_array_equal(a[0], b[0])
+            np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestSegmentedMerge:
+    def rand_parts(self, pool, seed, num_parts=3, per_part=40):
+        """Disjoint-tid posting parts with adversarial prob ties."""
+        rng = np.random.default_rng(seed)
+        parts, all_tids, all_probs = [], [], []
+        next_tid = 0
+        for _ in range(num_parts):
+            n = int(rng.integers(1, per_part))
+            tids = np.arange(next_tid, next_tid + n)
+            rng.shuffle(tids)
+            next_tid += n
+            probs = rng.choice([0.125, 0.25, 0.5, 0.75], size=n)
+            parts.append(build_list(pool, tids, probs))
+            all_tids.append(tids)
+            all_probs.append(probs)
+        return parts, np.concatenate(all_tids), np.concatenate(all_probs)
+
+    def test_merge_matches_single_tree(self, pool):
+        for seed in range(6):
+            parts, tids, probs = self.rand_parts(pool, seed)
+            merged = SegmentedPostingList(parts)
+            single = build_list(pool, tids, probs)
+            m_tids, m_probs = merged.read_all()
+            s_tids, s_probs = single.read_all()
+            np.testing.assert_array_equal(m_tids, s_tids)
+            np.testing.assert_array_equal(m_probs, s_probs)
+            assert len(merged) == len(single)
+
+    def test_iter_leaf_arrays_is_globally_sorted(self, pool):
+        parts, _, _ = self.rand_parts(pool, seed=42, num_parts=4)
+        merged = SegmentedPostingList(parts)
+        keys = []
+        for tids, probs in merged.iter_leaf_arrays():
+            keys.append(packed_posting_keys(tids, probs))
+        keys = np.concatenate(keys)
+        assert np.all(keys[:-1] < keys[1:])
+
+    def test_read_prefix_matches_single_tree(self, pool):
+        parts, tids, probs = self.rand_parts(pool, seed=7)
+        merged = SegmentedPostingList(parts)
+        single = build_list(pool, tids, probs)
+        for min_prob in (0.2, 0.5, 0.9):
+            m = merged.read_prefix(min_prob)
+            s = single.read_prefix(min_prob)
+            np.testing.assert_array_equal(m[0], s[0])
+            np.testing.assert_array_equal(m[1], s[1])
+
+    def test_cursor_pops_in_merge_order(self, pool):
+        parts, tids, probs = self.rand_parts(pool, seed=13)
+        merged = SegmentedPostingList(parts)
+        single = build_list(pool, tids, probs)
+        a, b = merged.cursor(), single.cursor()
+        while True:
+            x, y = a.peek(), b.peek()
+            assert (x is None) == (y is None)
+            if x is None:
+                break
+            assert a.pop() == b.pop()
+
+    def test_requires_two_parts(self, pool):
+        single = build_list(pool, [1], [0.5])
+        with pytest.raises(ValueError):
+            SegmentedPostingList([single])
+
+
+class TestDiscardPage:
+    def test_discard_removes_frame_without_writeback(self, pool):
+        page = pool.new_page()
+        page_id = page.page_id
+        page.data[:4] = b"\xde\xad\xbe\xef"
+        pool.mark_dirty(page_id)
+        pool.discard_page(page_id)
+        # The dirty frame was dropped, never flushed.
+        assert page_id not in pool._frames
+
+    def test_discard_pinned_page_refuses(self, pool):
+        page = pool.new_page(pin=True)
+        with pytest.raises(BufferPoolError):
+            pool.discard_page(page.page_id)
+        pool.unpin_page(page.page_id)
+
+    def test_discard_absent_page_is_noop(self, pool):
+        pool.discard_page(123456)
+
+    def test_pool_survives_discard_churn(self, pool):
+        ids = []
+        for _ in range(20):
+            ids.append(pool.new_page().page_id)
+        for page_id in ids[::2]:
+            pool.discard_page(page_id)
+        # Clock state stays coherent: remaining pages still fetchable.
+        for page_id in ids[1::2]:
+            pool.fetch_page(page_id)

@@ -1,0 +1,142 @@
+"""Unit tests for the write-ahead log: format, torn tails, replay."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WalError
+from repro.core.uda import UncertainAttribute
+from repro.wal import MAGIC, OP_DELETE, OP_INSERT, WalRecord, WriteAheadLog
+
+_HEADER = struct.Struct("<QBI")
+
+
+def make_wal(path, records=3):
+    """Write ``records`` alternating insert/delete records; return the log."""
+    wal = WriteAheadLog(path)
+    for i in range(records):
+        if i % 2 == 0:
+            wal.append_insert(i, [i, i + 1], [0.6, 0.4])
+        else:
+            wal.append_delete(i - 1)
+    return wal
+
+
+class TestFormat:
+    def test_fresh_log_writes_magic(self, tmp_path):
+        path = tmp_path / "log.wal"
+        WriteAheadLog(path).close()
+        assert path.read_bytes() == MAGIC
+
+    def test_lsns_start_at_one_and_are_dense(self, tmp_path):
+        wal = make_wal(tmp_path / "log.wal", records=5)
+        assert [r.lsn for r in wal.replay()] == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+
+    def test_insert_round_trips_distribution(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        uda = UncertainAttribute([3, 9, 14], [0.5, 0.3, 0.2])
+        wal.append_insert(41, uda.items, uda.probs)
+        (record,) = wal.replay()
+        assert record.op == OP_INSERT
+        assert record.tid == 41
+        np.testing.assert_array_equal(record.items, uda.items)
+        # float32-quantized probs survive the f64 payload bit-exactly.
+        np.testing.assert_array_equal(
+            record.probs.astype(np.float32), uda.probs.astype(np.float32)
+        )
+
+    def test_delete_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        wal.append_delete(7)
+        (record,) = wal.replay()
+        assert record == WalRecord(lsn=1, op=OP_DELETE, tid=7)
+        assert record.items is None and record.probs is None
+
+    def test_replay_after_lsn_skips_prefix(self, tmp_path):
+        wal = make_wal(tmp_path / "log.wal", records=4)
+        assert [r.lsn for r in wal.replay(after_lsn=2)] == [3, 4]
+        assert wal.replay(after_lsn=99) == []
+
+    def test_record_offsets_bracket_every_record(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = make_wal(path, records=3)
+        offsets = wal.record_offsets()
+        assert offsets[0] == len(MAGIC)
+        assert offsets[-1] == path.stat().st_size
+        assert len(offsets) == 4  # magic + one end per record
+        assert offsets == sorted(offsets)
+
+
+class TestReopen:
+    def test_reopen_resumes_lsn_sequence(self, tmp_path):
+        path = tmp_path / "log.wal"
+        make_wal(path, records=3).close()
+        wal = WriteAheadLog(path)
+        assert wal.last_lsn == 3
+        assert not wal.torn
+        assert wal.append_delete(0) == 4
+
+    def test_reset_truncates_but_preserves_lsn(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = make_wal(path, records=3)
+        wal.reset()
+        assert path.read_bytes() == MAGIC
+        assert wal.replay() == []
+        # Post-checkpoint records must not reuse absorbed LSNs.
+        assert wal.append_delete(0) == 4
+
+    def test_bad_magic_is_loud(self, tmp_path):
+        path = tmp_path / "log.wal"
+        path.write_bytes(b"NOTAWALFILE\n")
+        with pytest.raises(WalError):
+            WriteAheadLog(path)
+
+
+class TestTornTail:
+    def test_truncated_record_marks_torn_and_keeps_prefix(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = make_wal(path, records=3)
+        offsets = wal.record_offsets()
+        wal.close()
+        # Tear mid-way through the last record.
+        path.write_bytes(path.read_bytes()[: offsets[-1] - 2])
+        reopened = WriteAheadLog(path)
+        assert reopened.torn
+        assert [r.lsn for r in reopened.replay()] == [1, 2]
+        # The file was truncated back to the valid prefix.
+        assert path.stat().st_size == offsets[-2]
+
+    def test_corrupt_crc_ends_valid_prefix(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = make_wal(path, records=3)
+        offsets = wal.record_offsets()
+        wal.close()
+        image = bytearray(path.read_bytes())
+        image[offsets[-1] - 1] ^= 0xFF  # flip a CRC byte of record 3
+        path.write_bytes(bytes(image))
+        reopened = WriteAheadLog(path)
+        assert reopened.torn
+        assert reopened.last_lsn == 2
+
+    def test_garbage_length_field_cannot_explode_scan(self, tmp_path):
+        path = tmp_path / "log.wal"
+        make_wal(path, records=1).close()
+        with path.open("ab") as handle:
+            handle.write(_HEADER.pack(2, OP_INSERT, 0xFFFFFFFF))
+        reopened = WriteAheadLog(path)
+        assert reopened.torn
+        assert reopened.last_lsn == 1
+
+    def test_appends_after_tear_continue_cleanly(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = make_wal(path, records=2)
+        offsets = wal.record_offsets()
+        wal.close()
+        path.write_bytes(path.read_bytes()[: offsets[-1] - 1])
+        reopened = WriteAheadLog(path)
+        assert reopened.torn
+        assert reopened.append_delete(0) == 2
+        assert [r.lsn for r in reopened.replay()] == [1, 2]
