@@ -50,10 +50,17 @@ def _io_view(payload: dict) -> dict:
 #: storage backend under the disk: simulated I/O counts are
 #: backend-independent by construction, but committed goldens bind to
 #: the ``simulated`` backend only, so a cross-backend diff is refused
-#: rather than quietly blessed (docs/storage-backends.md).  Older
-#: result dirs predate these keys; a missing key is compatible with
-#: anything.
-PROTOCOL_KEYS = ("kernel", "batch", "join_block", "mode", "backend")
+#: rather than quietly blessed (docs/storage-backends.md).  ``shards``
+#: and ``transport`` declare the scatter-gather protocol
+#: (docs/sharding.md): reads from runs with different shard counts are
+#: never comparable (per-shard pools and B-tree roots change the page
+#: economics), so a cross-shard-count diff is refused; ``shards: 1``
+#: result dirs are bit-comparable with single-node runs by
+#: construction, which CI asserts through this tool.  Older result
+#: dirs predate these keys; a missing key is compatible with anything.
+PROTOCOL_KEYS = (
+    "kernel", "batch", "join_block", "mode", "backend", "shards", "transport"
+)
 
 
 def _protocol_view(results_dir: Path) -> dict:

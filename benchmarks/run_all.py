@@ -152,7 +152,10 @@ def main(argv: list[str] | None = None) -> int:
     # backend keeps I/O identical but invalidates every wall-clock
     # field, and goldens bind to simulated only).  run_all always
     # measures: serving-mode results are never golden-comparable
-    # (docs/serving.md).
+    # (docs/serving.md).  run_all is a single-node run, declared as
+    # shards=1 over the in-process transport so scatter-gather result
+    # dirs (docs/sharding.md) are only diffed against it when their
+    # shard protocol matches.
     summary = {
         "jobs": jobs,
         "kernel": kernel_mode(),
@@ -160,6 +163,8 @@ def main(argv: list[str] | None = None) -> int:
         "join_block": join_block,
         "mode": "measure",
         "backend": backend.name,
+        "shards": 1,
+        "transport": "local",
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,

@@ -304,8 +304,13 @@ class ServingExecutor:
 
     # -- single requests -----------------------------------------------------
 
-    def execute(self, query: Query) -> ServedResult:
-        """Answer one request, attributing its physical reads."""
+    def execute(self, query: Query, tau_floor: float = 0.0) -> ServedResult:
+        """Answer one request, attributing its physical reads.
+
+        ``tau_floor`` elevates a top-k query's pruning threshold (the
+        shard coordinator's round protocol — docs/sharding.md); the
+        indexes validate that it is only supplied for top-k descriptors.
+        """
         if self.mode == "measure":
             # The paper's protocol, verbatim: swap in a fresh pool, then
             # count reads.  Pool construction is setup, not query cost.
@@ -321,7 +326,7 @@ class ServingExecutor:
         tags_before = disk.snapshot_tags()
         hits_before, misses_before = pool.hits, pool.misses
         with self._decode_scope():
-            result = self._execute(query)
+            result = self._execute(query, tau_floor)
         delta = disk.stats.delta_since(before)
         tags_after = disk.snapshot_tags()
         return ServedResult(
@@ -438,11 +443,18 @@ class ServingExecutor:
 
     # -- internals -----------------------------------------------------------
 
-    def _execute(self, query: Query) -> QueryResult:
+    def _execute(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
         from repro.invindex.index import ProbabilisticInvertedIndex
 
         if isinstance(self.index, ProbabilisticInvertedIndex):
             return self.index.execute(
-                query, strategy=self.strategy or "highest_prob_first"
+                query,
+                strategy=self.strategy or "highest_prob_first",
+                tau_floor=tau_floor,
             )
+        if tau_floor:
+            # Only the real executors understand a floor; unfloored
+            # requests keep working against any index-shaped object
+            # (the serving suite exercises minimal stubs).
+            return self.index.execute(query, tau_floor=tau_floor)
         return self.index.execute(query)

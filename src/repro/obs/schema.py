@@ -124,6 +124,24 @@ SCHEMA: dict[str, RecordSpec] = {
     # Admission control turned a request away: reason "inflight" (the
     # in-flight cap) or "queue" (the bounded wait queue overflowed).
     "serve.shed": _spec({"reason": str}),
+    # -- scatter-gather sharding (repro.shard, docs/sharding.md) ------------
+    # One shard.begin/end per coordinated query; k/fanout only for
+    # top-k.  Each round carries the global tau floor its probes were
+    # elevated to; each completed probe reports its measured reads; a
+    # shard.shed marks a probe shed by its shard's deadline/admission
+    # and requeued into a later round.
+    "shard.begin": _spec(
+        {"shards": int, "query": str, "transport": str},
+        {"k": int, "fanout": int},
+    ),
+    "shard.round": _spec({"round": int, "size": int, "tau_floor": float}),
+    "shard.probe": _spec(
+        {"shard": int, "reads": int, "matches": int}, {"tau_floor": float}
+    ),
+    "shard.shed": _spec({"shard": int, "round": int}),
+    "shard.end": _spec(
+        {"shards": int, "reads": int, "matches": int, "rounds": int}
+    ),
     # -- write-ahead log + LSM segments (repro.wal, docs/mutability.md) -----
     # One wal.append per durable record; op is "insert" or "delete".
     "wal.append": _spec({"lsn": int, "op": str}),

@@ -514,8 +514,27 @@ class PDRTree:
 
     # -- queries --------------------------------------------------------------------
 
-    def execute(self, query: Query) -> QueryResult:
-        """Answer any query descriptor of :mod:`repro.core.queries`."""
+    def execute(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
+        """Answer any query descriptor of :mod:`repro.core.queries`.
+
+        ``tau_floor`` is an externally supplied lower bound on the
+        caller's global k-th score (the rank-join / shard-coordinator
+        elevation, mirroring
+        :meth:`ProbabilisticInvertedIndex.execute
+        <repro.invindex.index.ProbabilisticInvertedIndex.execute>`): the
+        top-k traversal prunes against ``max(local tau_k, tau_floor)``
+        and may omit matches scoring strictly below the floor.  Only
+        meaningful for :class:`EqualityTopKQuery`; must be ``0.0`` for
+        every other descriptor, and at ``0.0`` the traversal is
+        bit-identical to the classic one.
+        """
+        if tau_floor < 0.0:
+            raise QueryError(f"tau_floor must be >= 0, got {tau_floor}")
+        if tau_floor > 0.0 and not isinstance(query, EqualityTopKQuery):
+            raise QueryError(
+                "tau_floor only applies to top-k queries; got "
+                f"{type(query).__name__}"
+            )
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.event(
@@ -523,19 +542,19 @@ class PDRTree:
                 structure="pdr-tree",
                 query=type(query).__name__,
             )
-        result = self._dispatch(query)
+        result = self._dispatch(query, tau_floor)
         if tracer is not None:
             tracer.event(
                 "query.end", structure="pdr-tree", matches=len(result)
             )
         return result
 
-    def _dispatch(self, query: Query) -> QueryResult:
+    def _dispatch(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
         """Route ``query`` to the matching traversal."""
         if isinstance(query, EqualityThresholdQuery):
             return self._petq(query.q, query.threshold)
         if isinstance(query, EqualityTopKQuery):
-            return self._peq_top_k(query.q, query.k)
+            return self._peq_top_k(query.q, query.k, tau_floor)
         if isinstance(query, EqualityQuery):
             return self._petq(query.q, float(np.finfo(np.float32).tiny))
         if isinstance(query, SimilarityThresholdQuery):
@@ -592,8 +611,18 @@ class PDRTree:
                         matches.append(Match(tid=entry.tid, score=score))
         return QueryResult(matches, stats)
 
-    def _peq_top_k(self, q: UncertainAttribute, k: int) -> QueryResult:
-        """Greedy depth-first top-k with a dynamically raised threshold."""
+    def _peq_top_k(
+        self, q: UncertainAttribute, k: int, tau_floor: float = 0.0
+    ) -> QueryResult:
+        """Greedy depth-first top-k with a dynamically raised threshold.
+
+        ``tau_floor`` elevates the pruning threshold to
+        ``max(local tau_k, tau_floor)`` so Lemma 2 can fire before k
+        local results exist; a subtree pruned this way holds only
+        members scoring below the floor, which the caller's merge
+        discards anyway.  At ``0.0`` every branch condition reduces to
+        the classic traversal bit-for-bit.
+        """
         stats = QueryStats()
         q_items, q_values = self.codec.fold_query(q.items, q.probs)
         found: list[Match] = []
@@ -618,7 +647,10 @@ class PDRTree:
                 scored.sort(key=lambda pair: -pair[0])
                 for idx, (bound, child_id) in enumerate(scored):
                     tau_k = found[k - 1].score if len(found) >= k else 0.0
-                    if len(found) >= k and bound < tau_k - EPSILON:
+                    tau_eff = tau_k if tau_k > tau_floor else tau_floor
+                    if (
+                        len(found) >= k or tau_floor > 0.0
+                    ) and bound < tau_eff - EPSILON:
                         # Bounds descend: this sibling and every later one
                         # prune under the threshold frozen at this moment.
                         METRICS.inc("pdr.verdict.prune", len(scored) - idx)
@@ -628,7 +660,7 @@ class PDRTree:
                                     "pdr.verdict",
                                     child=later_child,
                                     bound=later_bound,
-                                    tau=tau_k,
+                                    tau=tau_eff,
                                     verdict="prune",
                                 )
                         break
@@ -638,7 +670,7 @@ class PDRTree:
                             "pdr.verdict",
                             child=child_id,
                             bound=bound,
-                            tau=tau_k,
+                            tau=tau_eff,
                             verdict="descend",
                         )
                     visit(child_id)

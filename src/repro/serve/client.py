@@ -80,12 +80,17 @@ class ServeClient:
         return self._next_id
 
     def _encode_query(
-        self, query: Query, deadline_ms: float | None
+        self,
+        query: Query,
+        deadline_ms: float | None,
+        tau_floor: float = 0.0,
     ) -> tuple[int, bytes]:
         request_id = self._fresh_id()
         message = {"id": request_id, **query_to_wire(query)}
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
+        if tau_floor:
+            message["tau_floor"] = tau_floor
         return request_id, encode_line(message)
 
     async def _read_payload(self) -> dict[str, Any]:
@@ -103,18 +108,34 @@ class ServeClient:
     # -- requests ------------------------------------------------------------
 
     async def request(
-        self, query: Query, *, deadline_ms: float | None = None
+        self,
+        query: Query,
+        *,
+        deadline_ms: float | None = None,
+        tau_floor: float = 0.0,
     ) -> dict[str, Any]:
-        """Submit one query; return the raw response payload."""
-        _, data = self._encode_query(query, deadline_ms)
+        """Submit one query; return the raw response payload.
+
+        ``deadline_ms`` maps onto the wire deadline: the server answers
+        ``"timeout"`` instead of executing if the request waits longer
+        than this in its queue.  ``tau_floor`` elevates a topk request's
+        pruning threshold (the shard coordinator's round protocol).
+        """
+        _, data = self._encode_query(query, deadline_ms, tau_floor)
         await self._send(data)
         return await self._read_payload()
 
     async def query(
-        self, query: Query, *, deadline_ms: float | None = None
+        self,
+        query: Query,
+        *,
+        deadline_ms: float | None = None,
+        tau_floor: float = 0.0,
     ) -> dict[str, Any]:
         """Submit one query; raise :class:`ServeError` unless ``ok``."""
-        payload = await self.request(query, deadline_ms=deadline_ms)
+        payload = await self.request(
+            query, deadline_ms=deadline_ms, tau_floor=tau_floor
+        )
         if payload.get("status") != "ok":
             raise ServeError(payload)
         return payload
@@ -123,17 +144,46 @@ class ServeClient:
         self,
         queries: list[Query],
         *,
-        deadline_ms: float | None = None,
+        deadline_ms: float | list[float | None] | None = None,
+        tau_floors: list[float] | None = None,
     ) -> list[dict[str, Any]]:
         """Submit a workload back-to-back, then collect every response.
 
         Responses align with ``queries`` by position (the server
         preserves per-connection arrival order).
+
+        ``deadline_ms`` is the per-request timeout surface for pipelined
+        use: a scalar applies one wire deadline to every request, a list
+        (aligned with ``queries``; ``None`` entries mean "no deadline")
+        bounds each request individually — which is how the shard
+        coordinator bounds a whole round without hanging on a straggler:
+        the server *sheds* a request still queued past its deadline
+        (answers ``"timeout"``) rather than executing it.  ``tau_floors``
+        optionally carries a per-request pruning floor, aligned the same
+        way.
         """
         assert self._writer is not None, "client not connected"
+        if isinstance(deadline_ms, list):
+            if len(deadline_ms) != len(queries):
+                raise ProtocolError(
+                    f"deadline_ms list has {len(deadline_ms)} entries for "
+                    f"{len(queries)} queries"
+                )
+            deadlines = deadline_ms
+        else:
+            deadlines = [deadline_ms] * len(queries)
+        if tau_floors is not None and len(tau_floors) != len(queries):
+            raise ProtocolError(
+                f"tau_floors has {len(tau_floors)} entries for "
+                f"{len(queries)} queries"
+            )
         expected = []
-        for query in queries:
-            request_id, data = self._encode_query(query, deadline_ms)
+        for position, query in enumerate(queries):
+            request_id, data = self._encode_query(
+                query,
+                deadlines[position],
+                tau_floors[position] if tau_floors is not None else 0.0,
+            )
             self._writer.write(data)
             expected.append(request_id)
         await self._writer.drain()

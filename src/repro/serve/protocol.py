@@ -91,6 +91,11 @@ class Request:
     #: Per-request deadline override in ms (``None`` = server default).
     deadline_ms: float | None = None
     mutation: Mutation | None = None
+    #: Externally raised top-k pruning floor (the shard coordinator's
+    #: global k-th score, pushed back each round — docs/sharding.md).
+    #: ``0.0`` means "no elevation" and is the only value legal for
+    #: non-top-k kinds.
+    tau_floor: float = 0.0
 
 
 def query_to_wire(query: Query) -> dict[str, Any]:
@@ -190,17 +195,35 @@ def parse_request(message: dict[str, Any]) -> Request:
             f"'deadline_ms' must be a non-negative number, got {deadline_ms!r}"
         )
     deadline = None if deadline_ms is None else float(deadline_ms)
+    tau_floor = message.get("tau_floor", 0.0)
+    if (
+        isinstance(tau_floor, bool)
+        or not isinstance(tau_floor, (int, float))
+        or tau_floor < 0
+    ):
+        raise ProtocolError(
+            f"'tau_floor' must be a non-negative number, got {tau_floor!r}"
+        )
     if "mutate" in message:
+        if tau_floor:
+            raise ProtocolError("'tau_floor' is not valid on a mutation")
         return Request(
             id=request_id,
             query=None,
             deadline_ms=deadline,
             mutation=mutation_from_wire(message),
         )
+    query = query_from_wire(message)
+    if tau_floor and not isinstance(query, EqualityTopKQuery):
+        raise ProtocolError(
+            f"'tau_floor' only applies to topk requests, got "
+            f"{message.get('kind')!r}"
+        )
     return Request(
         id=request_id,
-        query=query_from_wire(message),
+        query=query,
         deadline_ms=deadline,
+        tau_floor=float(tau_floor),
     )
 
 

@@ -364,10 +364,17 @@ class QueryServer:
             # Mutations never share a batch: one executes alone on the
             # worker thread, so every query batch observes the index
             # either wholly before or wholly after it (readers can
-            # never see a torn write).
+            # never see a torn write).  Requests carrying a tau_floor
+            # (shard-coordinator rounds) execute solo too: the floor is
+            # per-request execution state the coalesced batch path does
+            # not thread.
             batch: list[_Pending] = []
             while self._queue and len(batch) < self.config.coalesce_max:
-                if self._queue[0].request.mutation is not None:
+                head = self._queue[0]
+                if (
+                    head.request.mutation is not None
+                    or head.request.tau_floor > 0.0
+                ):
                     if not batch:
                         batch.append(self._queue.popleft())
                     break
@@ -391,9 +398,12 @@ class QueryServer:
                 await self._run_mutation(loop, live[0])
                 continue
             queries = [pending.request.query for pending in live]
+            # The solo-break above guarantees a floored request is the
+            # only member of its batch.
+            tau_floor = live[0].request.tau_floor
             try:
                 served, batch_reads = await loop.run_in_executor(
-                    self._worker, self._execute_sync, queries
+                    self._worker, self._execute_sync, queries, tau_floor
                 )
             except Exception as exc:  # noqa: BLE001 -- answered, not raised
                 for pending in live:
@@ -451,12 +461,15 @@ class QueryServer:
         )
 
     def _execute_sync(
-        self, queries: list
+        self, queries: list, tau_floor: float = 0.0
     ) -> tuple[list[ServedResult], int]:
         """Worker-thread entry: run one coalesced batch, bill its reads."""
         disk = self.executor.index.disk
         before = disk.stats.snapshot()
-        served = self.executor.execute_batch(queries)
+        if tau_floor > 0.0:
+            served = [self.executor.execute(queries[0], tau_floor=tau_floor)]
+        else:
+            served = self.executor.execute_batch(queries)
         delta = disk.stats.delta_since(before)
         return served, delta.reads
 

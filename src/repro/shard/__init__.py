@@ -1,0 +1,45 @@
+"""Scatter-gather sharding with distributed adaptive-τ propagation.
+
+:mod:`repro.shard.partition` hash-partitions a relation by tid into
+global-tid-preserving slices; :mod:`repro.shard.index` builds one full
+index per slice; :mod:`repro.shard.transport` reaches the shards
+in-process, via per-shard worker processes, or over the
+:mod:`repro.serve` wire; and :mod:`repro.shard.coordinator` runs exact
+scatter-gather queries with a round-based top-k protocol that pushes
+the global k-th score back to every shard as its pruning floor.  See
+``docs/sharding.md``.
+"""
+
+from repro.shard.coordinator import ShardCoordinator, ShardedResult
+from repro.shard.index import FAMILIES, Shard, ShardedIndex, build_shard_index
+from repro.shard.merge import BoundedMatchHeap
+from repro.shard.partition import ShardSlice, partition, shard_of
+from repro.shard.transport import (
+    LocalTransport,
+    ProcessTransport,
+    ServeTransport,
+    ShardCluster,
+    ShardError,
+    ShardProbe,
+    measured_probe,
+)
+
+__all__ = [
+    "BoundedMatchHeap",
+    "FAMILIES",
+    "LocalTransport",
+    "ProcessTransport",
+    "ServeTransport",
+    "Shard",
+    "ShardCluster",
+    "ShardCoordinator",
+    "ShardError",
+    "ShardProbe",
+    "ShardSlice",
+    "ShardedIndex",
+    "ShardedResult",
+    "build_shard_index",
+    "measured_probe",
+    "partition",
+    "shard_of",
+]

@@ -1,0 +1,273 @@
+"""The scatter-gather coordinator and its distributed-τ round protocol.
+
+Threshold (PETQ) and PEQ queries are a single fan-out: every shard
+answers over its own tuples, and because tids are disjoint across
+shards the union of per-shard matches *is* the single-node answer,
+presentation order included.
+
+Top-k runs in **rounds**: the shard queue is drained ``fanout`` shards
+per round, and each round's probes carry the coordinator's current
+global k-th score as their ``tau_floor`` — so Lemma-1 early stops
+inside every shard fire against the *global* bound, not the shard's
+local one.  Exactness (docs/sharding.md): each shard is probed exactly
+once per execution; a probe may omit only matches scoring *strictly
+below* its floor; the floor is the global heap's k-th score, which
+never decreases and never exceeds the final global k-th score — so an
+omitted match scores strictly below the final k-th and cannot belong
+to the global top-k, while ties at the floor are always returned.
+Globally unique tids make the :class:`~repro.core.results.Match` sort
+key strict, so the bounded merge heap reproduces the single-node tie
+order bit-for-bit.
+
+``fanout=1`` is the strongest propagation (every shard after the
+first sees the best floor available — the distributed-τ benchmark
+leg); ``fanout=num_shards`` degenerates to one floorless round (the
+no-propagation leg); ``shards=1`` reproduces the single-node protocol
+bit-for-bit — answers, scores, tie order, and posting reads.
+
+Shards that miss a round's deadline (remote transports shed them via
+the wire deadline or admission control) are requeued into a later
+round, where they benefit from the floor raised in the meantime;
+retries run without a deadline, so the protocol always terminates
+with every shard's answer merged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import QueryError
+from repro.core.queries import EqualityTopKQuery, Query, SimilarityTopKQuery
+from repro.core.results import Match, QueryResult, QueryStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
+from repro.shard.merge import BoundedMatchHeap
+from repro.shard.transport import ShardProbe
+
+
+@dataclass
+class ShardedResult:
+    """A merged answer plus the aggregate work behind it."""
+
+    result: QueryResult
+    #: Aggregate physical reads across every shard probe.
+    reads: int
+    #: Aggregate per-tag read breakdown ("postings", "tuples", ...).
+    reads_by_tag: dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    #: Probes shed by their shard's deadline/admission and retried.
+    timeouts: int = 0
+    #: One summary per completed probe, in shard order.
+    per_shard: list[dict] = field(default_factory=list)
+
+    @property
+    def matches(self) -> list[Match]:
+        return self.result.matches
+
+    def __len__(self) -> int:
+        return len(self.result.matches)
+
+    def __iter__(self):
+        return iter(self.result.matches)
+
+
+class ShardCoordinator:
+    """Scatter-gather execution over a shard transport.
+
+    Parameters
+    ----------
+    transport:
+        Anything with ``num_shards``, ``probe_many``, ``remote``, and
+        ``name`` (see :mod:`repro.shard.transport`).
+    fanout:
+        Shards probed per top-k round (default: all of them — one
+        round, no propagation).  Lower fan-outs trade rounds for
+        tighter floors.
+    round_deadline_ms:
+        Wire deadline applied to each shard's *first* probe (remote
+        transports only); shed shards are requeued and retried
+        without a deadline.  ``None`` disables shedding.
+    domain_size:
+        Domain size used by :meth:`execute_many` to group a workload
+        by touched posting lists (optional).
+    """
+
+    def __init__(
+        self,
+        transport,
+        fanout: int | None = None,
+        round_deadline_ms: float | None = None,
+        domain_size: int | None = None,
+    ) -> None:
+        if fanout is not None and fanout < 1:
+            raise QueryError(f"fanout must be >= 1, got {fanout}")
+        if round_deadline_ms is not None and round_deadline_ms <= 0:
+            raise QueryError(
+                f"round_deadline_ms must be positive, got {round_deadline_ms}"
+            )
+        self.transport = transport
+        self.fanout = (
+            transport.num_shards if fanout is None else min(
+                fanout, transport.num_shards
+            )
+        )
+        self.round_deadline_ms = round_deadline_ms
+        self.domain_size = domain_size
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, query: Query) -> ShardedResult:
+        """Scatter ``query`` to every shard and merge the exact answer."""
+        if isinstance(query, SimilarityTopKQuery):
+            # The bounded merge is defined on equality scores (higher is
+            # better); a union of per-shard divergence top-k lists would
+            # silently return num_shards * k matches.
+            raise QueryError(
+                "similarity top-k cannot be scattered across shards"
+            )
+        num_shards = self.transport.num_shards
+        is_topk = isinstance(query, EqualityTopKQuery)
+        heap = BoundedMatchHeap(query.k) if is_topk else None
+        tracer = _trace.ACTIVE
+        METRICS.inc("shard.query")
+        if tracer is not None:
+            begin = {
+                "shards": num_shards,
+                "query": type(query).__name__,
+                "transport": self.transport.name,
+            }
+            if is_topk:
+                begin["k"] = query.k
+                begin["fanout"] = self.fanout
+            tracer.event("shard.begin", **begin)
+        pending: deque[int] = deque(range(num_shards))
+        unattempted = set(pending)
+        completed: dict[int, ShardProbe] = {}
+        rounds = timeouts = 0
+        while pending:
+            if is_topk:
+                wave = [
+                    pending.popleft()
+                    for _ in range(min(self.fanout, len(pending)))
+                ]
+            else:
+                wave = list(pending)
+                pending.clear()
+            tau_floor = heap.kth_score() if is_topk else 0.0
+            deadline = (
+                self.round_deadline_ms
+                if all(shard in unattempted for shard in wave)
+                else None
+            )
+            rounds += 1
+            METRICS.inc("shard.round")
+            if tracer is not None:
+                tracer.event(
+                    "shard.round",
+                    round=rounds,
+                    size=len(wave),
+                    tau_floor=tau_floor,
+                )
+            probes = self.transport.probe_many(
+                wave, query, tau_floor, deadline
+            )
+            for probe in probes:
+                unattempted.discard(probe.shard)
+                if probe.timed_out:
+                    timeouts += 1
+                    METRICS.inc("shard.shed")
+                    if tracer is not None:
+                        tracer.event(
+                            "shard.shed", shard=probe.shard, round=rounds
+                        )
+                    pending.append(probe.shard)
+                    continue
+                METRICS.inc("shard.probe")
+                if tracer is not None:
+                    tracer.event(
+                        "shard.probe",
+                        shard=probe.shard,
+                        reads=probe.reads,
+                        matches=len(probe.matches),
+                        tau_floor=tau_floor,
+                    )
+                if self.transport.remote and probe.metrics:
+                    # Fold remote work back into this process's
+                    # registry via the standard delta protocol.
+                    METRICS.merge(probe.metrics)
+                completed[probe.shard] = probe
+                if is_topk:
+                    for match in probe.matches:
+                        heap.push(match)
+        return self._merged(completed, heap, rounds, timeouts, tracer)
+
+    def _merged(
+        self,
+        completed: dict[int, ShardProbe],
+        heap: BoundedMatchHeap | None,
+        rounds: int,
+        timeouts: int,
+        tracer,
+    ) -> ShardedResult:
+        stats = QueryStats()
+        reads = 0
+        reads_by_tag: dict[str, int] = {}
+        per_shard = []
+        for shard in sorted(completed):
+            probe = completed[shard]
+            if probe.stats is not None:
+                stats.merge(probe.stats)
+            reads += probe.reads
+            for tag, count in probe.reads_by_tag.items():
+                reads_by_tag[tag] = reads_by_tag.get(tag, 0) + count
+            per_shard.append(
+                {
+                    "shard": shard,
+                    "reads": probe.reads,
+                    "reads_by_tag": dict(probe.reads_by_tag),
+                    "matches": len(probe.matches),
+                }
+            )
+        if heap is not None:
+            matches = heap.sorted_matches()
+        else:
+            matches = [
+                match
+                for shard in sorted(completed)
+                for match in completed[shard].matches
+            ]
+        result = QueryResult(matches, stats)
+        if tracer is not None:
+            tracer.event(
+                "shard.end",
+                shards=len(completed),
+                reads=reads,
+                matches=len(result.matches),
+                rounds=rounds,
+            )
+        return ShardedResult(
+            result=result,
+            reads=reads,
+            reads_by_tag=reads_by_tag,
+            rounds=rounds,
+            timeouts=timeouts,
+            per_shard=per_shard,
+        )
+
+    def execute_many(self, queries: list[Query]) -> list[ShardedResult]:
+        """Execute a workload, grouped by shared posting-list footprint.
+
+        Reuses the batch executor's
+        :func:`~repro.exec.batch.plan_shared_order` so queries touching
+        the same lists scatter back-to-back (warm server pools and OS
+        caches see consecutive touches); results return in input
+        order, and each query is still an independent exact scatter.
+        """
+        from repro.exec.batch import plan_shared_order
+
+        order, _ = plan_shared_order(queries, self.domain_size)
+        results: list[ShardedResult | None] = [None] * len(queries)
+        for position in order:
+            results[position] = self.execute(queries[position])
+        return results

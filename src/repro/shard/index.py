@@ -1,0 +1,123 @@
+"""A hash-sharded index: one full structure per tid slice.
+
+:class:`ShardedIndex` partitions a relation with
+:func:`repro.shard.partition.partition` and builds one complete index
+— inverted index or PDR-tree — over each slice, each on its own
+disk.  Because the slices preserve global tids (see
+:class:`~repro.shard.partition.ShardSlice`), a shard's answers carry
+globally meaningful tids and merge without translation; with one
+shard the built structure is byte-identical to a single-node build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import QueryError
+from repro.core.relation import UncertainRelation
+from repro.invindex.index import ProbabilisticInvertedIndex
+from repro.pdrtree.tree import PDRTree, PDRTreeConfig
+from repro.shard.partition import ShardSlice, partition
+
+#: Index structures a shard may hold.
+FAMILIES = ("inverted", "pdr")
+
+
+def build_shard_index(
+    slice_: ShardSlice,
+    family: str,
+    pdr_config: PDRTreeConfig | None = None,
+) -> ProbabilisticInvertedIndex | PDRTree:
+    """Build one shard's index over its slice (on a fresh disk).
+
+    Module-level so process-pool workers can rebuild a shipped slice
+    without importing :class:`ShardedIndex` state.
+    """
+    if family == "inverted":
+        index = ProbabilisticInvertedIndex(len(slice_.domain))
+        index.build(slice_)
+        return index
+    if family == "pdr":
+        tree = PDRTree(len(slice_.domain), config=pdr_config)
+        tree.build(slice_)
+        return tree
+    raise QueryError(f"family must be one of {FAMILIES}, got {family!r}")
+
+
+@dataclass
+class Shard:
+    """One shard: its slice (kept for worker shipping) and its index."""
+
+    shard_id: int
+    slice: ShardSlice
+    index: ProbabilisticInvertedIndex | PDRTree
+
+
+class ShardedIndex:
+    """N per-slice indexes behind one handle.
+
+    Querying goes through a :class:`~repro.shard.coordinator.ShardCoordinator`
+    over a transport; this class only owns construction and the
+    per-shard structures.
+    """
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        family: str,
+        strategy: str | None = None,
+        pdr_config: PDRTreeConfig | None = None,
+    ) -> None:
+        if not shards:
+            raise QueryError("a sharded index needs at least one shard")
+        if family not in FAMILIES:
+            raise QueryError(
+                f"family must be one of {FAMILIES}, got {family!r}"
+            )
+        if family == "pdr" and strategy is not None:
+            raise QueryError("PDR-tree shards take no search strategy")
+        self.shards = shards
+        self.family = family
+        self.strategy = strategy
+        self.pdr_config = pdr_config
+
+    @classmethod
+    def build(
+        cls,
+        relation: UncertainRelation,
+        num_shards: int,
+        family: str = "inverted",
+        strategy: str | None = None,
+        pdr_config: PDRTreeConfig | None = None,
+    ) -> "ShardedIndex":
+        """Partition ``relation`` and build every shard's index."""
+        if family not in FAMILIES:
+            raise QueryError(
+                f"family must be one of {FAMILIES}, got {family!r}"
+            )
+        slices = partition(relation, num_shards)
+        shards = [
+            Shard(
+                shard_id=shard,
+                slice=slice_,
+                index=build_shard_index(slice_, family, pdr_config),
+            )
+            for shard, slice_ in enumerate(slices)
+        ]
+        return cls(
+            shards, family, strategy=strategy, pdr_config=pdr_config
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_tuples(self) -> int:
+        return sum(shard.index.num_tuples for shard in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex(shards={self.num_shards}, "
+            f"family={self.family!r}, tuples={self.num_tuples})"
+        )

@@ -1,0 +1,59 @@
+"""Exact top-k merging of per-shard answer streams.
+
+:class:`BoundedMatchHeap` transplants the negated-sort-key discipline
+of :class:`repro.core.joins.BoundedPairHeap` from join pairs to
+:class:`~repro.core.results.Match`: a size-k min-heap over the negated
+``sort_index``, so the root is the currently worst retained match,
+:meth:`kth_score` is the coordinator's global τ floor, and
+:meth:`sorted_matches` reproduces ``sorted(matches)[:k]`` bit-for-bit
+— score ties included, because tids are globally unique and make the
+key strict.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.exceptions import QueryError
+from repro.core.results import Match
+
+
+class BoundedMatchHeap:
+    """The k best :class:`Match`\\ es under ``sort_index``, incrementally."""
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._heap: list[tuple[tuple[float, int], Match]] = []
+
+    @staticmethod
+    def _negated(match: Match) -> tuple[float, int]:
+        score, tid = match.sort_index
+        return (-score, -tid)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, match: Match) -> None:
+        entry = (self._negated(match), match)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+        elif entry[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def kth_score(self) -> float:
+        """The k-th best score so far — the global pruning floor.
+
+        ``0.0`` until k matches are held: with fewer than k results any
+        score may still enter the top-k, so no floor can be asserted.
+        """
+        if len(self._heap) < self._k:
+            return 0.0
+        return self._heap[0][1].score
+
+    def sorted_matches(self) -> list[Match]:
+        """The retained matches in presentation order."""
+        return sorted(match for _, match in self._heap)

@@ -1,0 +1,147 @@
+"""Hash partitioning of an uncertain relation across shards.
+
+A tuple's owner shard is a pure function of its tid
+(:func:`shard_of`), so any component — builder, coordinator, worker
+process, remote server — agrees on placement without coordination.
+:class:`ShardSlice` adapts one shard's tuple subset to the relation
+protocol the index builders consume (``tids`` / ``uda_of`` /
+``domain`` / ``to_sparse_matrix``), **preserving global tids**: the
+sparse matrix keeps its rows at global tid positions, so the CSC
+column slices the inverted index bulk-builds from carry global tids,
+and the PDR-tree's tuple-at-a-time build inserts under global tids
+directly.  With one shard the slice is the whole relation and the
+built structures are byte-identical to a single-node build — the
+anchor of the ``shards=1`` differential suite (docs/sharding.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.exceptions import QueryError
+from repro.core.relation import UncertainRelation
+from repro.core.uda import UncertainAttribute
+
+
+def shard_of(tid: int, num_shards: int) -> int:
+    """The shard owning tuple ``tid``.
+
+    Tids are dense non-negative integers, so the identity hash with a
+    modulo fold is both deterministic and perfectly balanced; a mixing
+    hash would only shuffle which (equally sized) slice each shard
+    gets.
+    """
+    if num_shards < 1:
+        raise QueryError(f"num_shards must be >= 1, got {num_shards}")
+    return tid % num_shards
+
+
+class ShardSlice:
+    """One shard's tuple subset, speaking the relation-build protocol.
+
+    Self-contained (domain + own tuples only), so shipping a slice to
+    a worker process pickles one shard's data, not the whole relation.
+    ``total_rows`` is the *global* tid space size — the row count of
+    :meth:`to_sparse_matrix`, which keeps every tuple at its global
+    row so downstream CSC slices yield global tids.
+    """
+
+    def __init__(
+        self,
+        domain,
+        total_rows: int,
+        tids: list[int],
+        udas: list[UncertainAttribute],
+        name: str = "R",
+    ) -> None:
+        if len(tids) != len(udas):
+            raise QueryError(
+                f"{len(tids)} tids for {len(udas)} udas"
+            )
+        self.domain = domain
+        self.name = name
+        self.total_rows = total_rows
+        self._tids = list(tids)
+        self._udas = dict(zip(self._tids, udas))
+        self._matrix: sparse.csr_matrix | None = None
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: UncertainRelation,
+        shard: int,
+        num_shards: int,
+    ) -> "ShardSlice":
+        """The slice of ``relation`` owned by ``shard``."""
+        tids = [
+            tid
+            for tid in relation.tids()
+            if shard_of(tid, num_shards) == shard
+        ]
+        return cls(
+            relation.domain,
+            len(relation),
+            tids,
+            [relation.uda_of(tid) for tid in tids],
+            name=f"{relation.name}/shard{shard}",
+        )
+
+    # -- the relation-build protocol ----------------------------------------
+
+    def tids(self) -> list[int]:
+        """This shard's tuple ids (global, ascending)."""
+        return list(self._tids)
+
+    def uda_of(self, tid: int) -> UncertainAttribute:
+        return self._udas[tid]
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+    def __iter__(self):
+        return (self._udas[tid] for tid in self._tids)
+
+    def to_sparse_matrix(self) -> sparse.csr_matrix:
+        """The slice as a ``total_rows x N`` CSR matrix of probabilities.
+
+        Rows sit at global tid positions (rows of other shards' tuples
+        are empty), mirroring
+        :meth:`repro.core.relation.UncertainRelation.to_sparse_matrix`
+        exactly for the tuples present — with one shard the two
+        matrices are equal element-for-element.
+        """
+        if self._matrix is None:
+            indptr = np.zeros(self.total_rows + 1, dtype=np.int64)
+            for tid in self._tids:
+                indptr[tid + 1] = self._udas[tid].nnz
+            np.cumsum(indptr, out=indptr)
+            indices = np.empty(indptr[-1], dtype=np.int64)
+            data = np.empty(indptr[-1])
+            for tid in self._tids:
+                uda = self._udas[tid]
+                indices[indptr[tid] : indptr[tid + 1]] = uda.items
+                data[indptr[tid] : indptr[tid + 1]] = uda.probs
+            self._matrix = sparse.csr_matrix(
+                (data, indices, indptr),
+                shape=(self.total_rows, len(self.domain)),
+            )
+        return self._matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSlice(name={self.name!r}, tuples={len(self)}, "
+            f"domain_size={len(self.domain)})"
+        )
+
+
+def partition(
+    relation: UncertainRelation, num_shards: int
+) -> list[ShardSlice]:
+    """Split ``relation`` into ``num_shards`` slices by tid hash."""
+    if num_shards < 1:
+        raise QueryError(f"num_shards must be >= 1, got {num_shards}")
+    return [
+        ShardSlice.from_relation(relation, shard, num_shards)
+        for shard in range(num_shards)
+    ]

@@ -132,6 +132,51 @@ def test_compare_refuses_cross_backend_diff(tmp_path):
     assert compare_io.compare_dirs(legacy, dirs["mmap"]) == []
 
 
+def test_compare_refuses_cross_shard_count_diff(tmp_path):
+    """Per-shard pools and B-tree roots change the page economics; a
+    diff between result dirs with different shard counts must be
+    refused, while shards=1 dirs stay comparable with single-node runs
+    (and with legacy dirs that predate the key)."""
+    compare_io = _load_compare_io()
+    assert "shards" in compare_io.PROTOCOL_KEYS
+    assert "transport" in compare_io.PROTOCOL_KEYS
+    payload = {"series": {"s": [{f: 0 for f in
+                                 compare_io.DETERMINISTIC_FIELDS}]}}
+    dirs = {}
+    for shards in (1, 4):
+        d = tmp_path / f"shards{shards}"
+        d.mkdir()
+        (d / "BENCH_summary.json").write_text(
+            json.dumps(
+                {"mode": "measure", "shards": shards, "transport": "local"}
+            )
+        )
+        (d / "BENCH_point.json").write_text(json.dumps(payload))
+        dirs[shards] = d
+    problems = compare_io.compare_dirs(dirs[1], dirs[4])
+    assert len(problems) == 1 and "shards" in problems[0]
+    assert compare_io.compare_dirs(dirs[4], dirs[4]) == []
+    # A single-node dir that predates the shard keys is comparable
+    # with a shards=1 dir — the degenerate protocol is the same run.
+    legacy = tmp_path / "legacy"
+    legacy.mkdir()
+    (legacy / "BENCH_summary.json").write_text(json.dumps({"mode": "measure"}))
+    (legacy / "BENCH_point.json").write_text(json.dumps(payload))
+    assert compare_io.compare_dirs(legacy, dirs[1]) == []
+    # Transports are protocol too: serve-transport reads include no
+    # tag breakdown, so a cross-transport diff is refused as well.
+    serve_dir = tmp_path / "serve_transport"
+    serve_dir.mkdir()
+    (serve_dir / "BENCH_summary.json").write_text(
+        json.dumps(
+            {"mode": "measure", "shards": 4, "transport": "serve"}
+        )
+    )
+    (serve_dir / "BENCH_point.json").write_text(json.dumps(payload))
+    problems = compare_io.compare_dirs(dirs[4], serve_dir)
+    assert len(problems) == 1 and "transport" in problems[0]
+
+
 @pytest.mark.parametrize("name", ["fig10"])
 def test_golden_reproduces_under_mmap_backend(tmp_path, name):
     """The differential property at golden granularity: the same pinned

@@ -1,0 +1,65 @@
+"""Property: the distributed top-k floor is work-monotone and answer-safe.
+
+For every search strategy, elevating a top-k execution's ``tau_floor``
+anywhere up to the query's true k-th score must (a) never change the
+returned matches — tids, scores, order — because ties at the floor are
+kept and only strictly-below-floor tuples may be suppressed, and (b)
+never *increase* posting-page reads, because the effective threshold
+``max(tau_k, tau_floor)`` only tightens.  This is the contract the
+shard coordinator's round protocol rests on (docs/sharding.md): floors
+it pushes are global heap k-th scores, which never exceed the final
+k-th score.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EqualityTopKQuery
+from repro.invindex.strategies import STRATEGIES
+from repro.shard import measured_probe
+
+from tests.invindex.conftest import random_query
+
+POOL_SIZE = 100
+
+
+def _run(index, strategy, query, floor):
+    result, _, breakdown, _ = measured_probe(
+        index, strategy, query, floor, POOL_SIZE
+    )
+    answers = [(m.tid, m.score) for m in result.matches]
+    return answers, breakdown.get("postings", 0)
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=40),
+    fractions=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+)
+def test_floor_is_answer_safe_and_work_monotone(
+    index, strategy, seed, k, fractions
+):
+    query = EqualityTopKQuery(random_query(15, seed=seed), k)
+    baseline, baseline_postings = _run(index, strategy, query, 0.0)
+    # Valid floors never exceed the true k-th score (the coordinator's
+    # heap guarantees this); below k results the only valid floor is 0.
+    kth = baseline[-1][1] if len(baseline) == k else 0.0
+    low, high = sorted(fractions)
+    floors = sorted({low * kth, high * kth, kth})
+    previous_postings = baseline_postings
+    for floor in floors:
+        answers, postings = _run(index, strategy, query, floor)
+        assert answers == baseline, (
+            f"{strategy}: floor {floor} changed the answer"
+        )
+        assert postings <= previous_postings, (
+            f"{strategy}: raising the floor to {floor} raised posting "
+            f"reads {previous_postings} -> {postings}"
+        )
+        previous_postings = postings

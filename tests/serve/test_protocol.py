@@ -107,6 +107,38 @@ def test_request_deadline_validated():
         parse_request(message)
 
 
+def test_request_tau_floor_roundtrips_on_topk():
+    message = {"id": 1, "tau_floor": 0.25, **query_to_wire(EXAMPLES[2])}
+    request = parse_request(message)
+    assert request.tau_floor == 0.25
+    assert parse_request(
+        {"id": 2, **query_to_wire(EXAMPLES[2])}
+    ).tau_floor == 0.0
+
+
+def test_request_tau_floor_must_be_non_negative():
+    message = {"id": 1, "tau_floor": -0.1, **query_to_wire(EXAMPLES[2])}
+    with pytest.raises(ProtocolError, match="tau_floor"):
+        parse_request(message)
+
+
+def test_request_tau_floor_rejected_off_topk():
+    message = {"id": 1, "tau_floor": 0.25, **query_to_wire(EXAMPLES[1])}
+    with pytest.raises(ProtocolError, match="tau_floor"):
+        parse_request(message)
+
+
+def test_request_tau_floor_rejected_on_mutation():
+    message = {
+        "id": 1,
+        "tau_floor": 0.25,
+        "mutate": "delete",
+        "tid": 3,
+    }
+    with pytest.raises(ProtocolError, match="tau_floor"):
+        parse_request(message)
+
+
 def test_decode_line_rejects_non_json():
     with pytest.raises(ProtocolError, match="not valid JSON"):
         decode_line(b"{nope\n")

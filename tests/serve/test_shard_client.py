@@ -1,0 +1,111 @@
+"""Per-request deadlines and tau floors on the pipelined client.
+
+The shard coordinator is the first pipelined caller that mixes, in one
+round trip, requests that must be shed quickly with requests that must
+run — so the client's per-request ``deadline_ms`` list and ``tau_floors``
+are regression-tested here against the shed-vs-hang failure mode: a
+straggling shard must come back as a ``"timeout"`` answer, never as a
+stalled pipeline.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import EqualityTopKQuery
+from repro.exec import ServingExecutor
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.serve import QueryServer, ServeClient, ServeConfig
+from repro.serve.protocol import ProtocolError, matches_to_wire
+
+from tests.invindex.conftest import random_query, random_relation
+
+POOL_SIZE = 100
+
+
+@pytest.fixture(scope="module")
+def index():
+    relation = random_relation(250, 12, seed=93)
+    built = ProbabilisticInvertedIndex(len(relation.domain))
+    built.build(relation)
+    return built
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [
+        EqualityTopKQuery(random_query(12, seed=400 + i), 3 + i) for i in range(4)
+    ]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_pipeline_mixed_deadlines_shed_not_hang(index, queries):
+    """An expired per-request deadline answers "timeout" in-line while
+    its deadline-free neighbours execute — the pipeline never stalls."""
+
+    async def scenario():
+        config = ServeConfig(mode="measure", pool_size=POOL_SIZE,
+                             coalesce_ms=10.0)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                return await asyncio.wait_for(
+                    client.pipeline(
+                        queries, deadline_ms=[None, 0.0, None, 0.0]
+                    ),
+                    timeout=30.0,
+                )
+
+    payloads = run(scenario())
+    assert [p["status"] for p in payloads] == [
+        "ok", "timeout", "ok", "timeout"
+    ]
+
+
+def test_pipeline_deadline_list_must_align(index, queries):
+    async def scenario():
+        config = ServeConfig(mode="measure", pool_size=POOL_SIZE)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                await client.pipeline(queries, deadline_ms=[None])
+
+    with pytest.raises(ProtocolError, match="deadline_ms"):
+        run(scenario())
+
+
+def test_floored_topk_answers_match_unfloored_below_kth(index, queries):
+    measure = ServingExecutor(index, mode="measure", pool_size=POOL_SIZE)
+
+    async def scenario(query, floor):
+        config = ServeConfig(mode="measure", pool_size=POOL_SIZE)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                return await client.request(query, tau_floor=floor)
+
+    for query in queries:
+        expected = measure.execute(query)
+        kth = expected.result.matches[-1].score
+        payload = run(scenario(query, kth))
+        assert payload["status"] == "ok"
+        assert payload["matches"] == matches_to_wire(expected.result)
+
+
+def test_floored_requests_never_coalesce(index, queries):
+    """Floors are per-request state: a floored request must execute
+    solo even when the window would otherwise batch it."""
+
+    async def scenario():
+        config = ServeConfig(mode="measure", pool_size=POOL_SIZE,
+                             coalesce_ms=25.0, coalesce_max=8)
+        async with QueryServer(index, config=config) as server:
+            async with ServeClient(*server.address) as client:
+                payloads = await client.pipeline(
+                    queries, tau_floors=[0.001] * len(queries)
+                )
+            return payloads
+
+    payloads = run(scenario())
+    assert [p["status"] for p in payloads] == ["ok"] * len(queries)
+    assert all(p["coalesced"] == 1 for p in payloads)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the scatter-gather sharding suite."""
+
+import pytest
+
+from repro.core import (
+    EqualityQuery,
+    EqualityThresholdQuery,
+    EqualityTopKQuery,
+    WindowedEqualityQuery,
+)
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+from tests.invindex.conftest import random_query, random_relation
+
+POOL_SIZE = 100
+
+
+@pytest.fixture(scope="package")
+def relation():
+    return random_relation(300, 12, seed=41)
+
+
+@pytest.fixture(scope="package")
+def inverted(relation):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    return index
+
+
+@pytest.fixture(scope="package")
+def pdr(relation):
+    tree = PDRTree(len(relation.domain))
+    tree.build(relation)
+    return tree
+
+
+def mixed_workload(domain_size, base_seed=900, count=12):
+    """PEQ, PETQ, windowed, and top-k queries over the shared relation."""
+    queries = []
+    for i in range(count):
+        q = random_query(domain_size, seed=base_seed + i)
+        kind = i % 4
+        if kind == 0:
+            queries.append(EqualityQuery(q))
+        elif kind == 1:
+            queries.append(EqualityThresholdQuery(q, 0.01 + (i % 5) * 0.04))
+        elif kind == 2:
+            queries.append(WindowedEqualityQuery(q, 0.05, 1 + i % 2))
+        else:
+            queries.append(EqualityTopKQuery(q, 1 + i % 9))
+    return queries
+
+
+def answer_key(matches):
+    """Everything the exactness claim covers: tids, scores, order."""
+    return [(m.tid, m.score) for m in matches]

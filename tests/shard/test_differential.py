@@ -1,0 +1,158 @@
+"""Differential suite: sharding is a protocol change, never a semantics change.
+
+``shards=1`` must reproduce the single-node measurement protocol
+*bit-for-bit* — answers, scores, tie order, total physical reads, and
+the per-tag read breakdown — for PEQ, PETQ, windowed, and top-k
+queries on both index families and all five inverted-index strategies.
+For ``shards>1`` the merged answers must stay identical and, for
+top-k, no shard may read more posting pages than the single-node run
+(the distributed floor bounds every shard's scan by the global bound).
+"""
+
+import pytest
+
+from repro.bench.harness import IndexUnderTest, measure_query
+from repro.core import EqualityTopKQuery, SimilarityTopKQuery
+from repro.core.exceptions import QueryError
+from repro.invindex.strategies import STRATEGIES
+from repro.shard import LocalTransport, ShardCoordinator, ShardedIndex
+
+from tests.invindex.conftest import random_query
+from tests.shard.conftest import POOL_SIZE, answer_key, mixed_workload
+
+ALL_STRATEGIES = tuple(STRATEGIES)
+
+
+def _coordinator(relation, num_shards, family, strategy=None, fanout=None):
+    sharded = ShardedIndex.build(
+        relation, num_shards, family=family, strategy=strategy
+    )
+    transport = LocalTransport(sharded, pool_size=POOL_SIZE)
+    return ShardCoordinator(transport, fanout=fanout)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+def test_one_shard_is_bit_identical_inverted(relation, inverted, strategy):
+    under = IndexUnderTest("single", inverted, strategy=strategy)
+    coordinator = _coordinator(relation, 1, "inverted", strategy=strategy)
+    for query in mixed_workload(len(relation.domain)):
+        measured = measure_query(under, query, POOL_SIZE)
+        sharded = coordinator.execute(query)
+        single = inverted.execute(query, strategy=strategy)
+        assert answer_key(sharded.matches) == answer_key(single.matches)
+        assert sharded.reads == measured.reads
+        assert dict(sharded.reads_by_tag) == dict(measured.reads_by_tag)
+
+
+def test_one_shard_is_bit_identical_pdr(relation, pdr):
+    under = IndexUnderTest("single", pdr)
+    coordinator = _coordinator(relation, 1, "pdr")
+    for query in mixed_workload(len(relation.domain)):
+        measured = measure_query(under, query, POOL_SIZE)
+        sharded = coordinator.execute(query)
+        single = pdr.execute(query)
+        assert answer_key(sharded.matches) == answer_key(single.matches)
+        assert sharded.reads == measured.reads
+        assert dict(sharded.reads_by_tag) == dict(measured.reads_by_tag)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+@pytest.mark.parametrize("num_shards", (2, 3, 4))
+def test_multi_shard_answers_identical_inverted(
+    relation, inverted, strategy, num_shards
+):
+    coordinator = _coordinator(
+        relation, num_shards, "inverted", strategy=strategy, fanout=1
+    )
+    for query in mixed_workload(len(relation.domain)):
+        sharded = coordinator.execute(query)
+        single = inverted.execute(query, strategy=strategy)
+        assert answer_key(sharded.matches) == answer_key(single.matches)
+
+
+@pytest.mark.parametrize("num_shards", (2, 4))
+def test_multi_shard_answers_identical_pdr(relation, pdr, num_shards):
+    coordinator = _coordinator(relation, num_shards, "pdr", fanout=1)
+    for query in mixed_workload(len(relation.domain)):
+        sharded = coordinator.execute(query)
+        single = pdr.execute(query)
+        assert answer_key(sharded.matches) == answer_key(single.matches)
+
+
+@pytest.mark.parametrize("fanout", (1, 2, 4))
+def test_fanout_never_changes_answers(relation, inverted, fanout):
+    coordinator = _coordinator(
+        relation, 4, "inverted", strategy="row_pruning", fanout=fanout
+    )
+    for i in range(8):
+        query = EqualityTopKQuery(
+            random_query(len(relation.domain), seed=700 + i), 1 + i * 2
+        )
+        sharded = coordinator.execute(query)
+        single = inverted.execute(query, strategy="row_pruning")
+        assert answer_key(sharded.matches) == answer_key(single.matches)
+
+
+def test_no_shard_outreads_single_node_topk(relation, inverted):
+    """The floor bounds each shard's posting scan by the global bound.
+
+    The bound is exact in *entries*; at page granularity a shard may
+    pay one extra page (its own B-tree root) per posting list the
+    query touches, so the assertion allows exactly that slack.  At
+    benchmark scale the slack vanishes (bench_abl_shard.py gates the
+    strict form).
+    """
+    strategy = "row_pruning"
+    under = IndexUnderTest("single", inverted, strategy=strategy)
+    coordinator = _coordinator(
+        relation, 4, "inverted", strategy=strategy, fanout=1
+    )
+    for i in range(8):
+        query = EqualityTopKQuery(
+            random_query(len(relation.domain), seed=800 + i), 1 + i * 3
+        )
+        single_postings = measure_query(
+            under, query, POOL_SIZE
+        ).reads_by_tag.get("postings", 0)
+        sharded = coordinator.execute(query)
+        for per_shard in sharded.per_shard:
+            assert (
+                per_shard["reads_by_tag"].get("postings", 0)
+                <= single_postings + query.q.nnz
+            )
+
+
+def test_rounds_follow_fanout(relation):
+    query = EqualityTopKQuery(random_query(12, seed=77), 5)
+    assert _coordinator(
+        relation, 4, "inverted", strategy="row_pruning", fanout=1
+    ).execute(query).rounds == 4
+    assert _coordinator(
+        relation, 4, "inverted", strategy="row_pruning", fanout=4
+    ).execute(query).rounds == 1
+
+
+def test_similarity_topk_is_rejected(relation):
+    coordinator = _coordinator(relation, 2, "pdr")
+    with pytest.raises(QueryError):
+        coordinator.execute(
+            SimilarityTopKQuery(random_query(12, seed=5), 3)
+        )
+
+
+def test_execute_many_preserves_input_order(relation, inverted):
+    strategy = "highest_prob_first"
+    coordinator = ShardCoordinator(
+        LocalTransport(
+            ShardedIndex.build(relation, 3, strategy=strategy),
+            pool_size=POOL_SIZE,
+        ),
+        fanout=1,
+        domain_size=len(relation.domain),
+    )
+    queries = mixed_workload(len(relation.domain), base_seed=950, count=9)
+    results = coordinator.execute_many(queries)
+    assert len(results) == len(queries)
+    for query, sharded in zip(queries, results):
+        single = inverted.execute(query, strategy=strategy)
+        assert answer_key(sharded.matches) == answer_key(single.matches)

@@ -1,0 +1,60 @@
+"""Bounded merge heap: exact top-k semantics under the Match sort key."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.results import Match
+from repro.shard import BoundedMatchHeap
+
+# Scores drawn from a tiny grid so ties (the interesting case) are
+# common; tids unique as the sharding layer guarantees.
+_matches = st.lists(
+    st.sampled_from([0.1, 0.2, 0.3, 0.5, 0.5, 0.9]),
+    min_size=0,
+    max_size=40,
+).map(
+    lambda scores: [
+        Match(tid=tid, score=score) for tid, score in enumerate(scores)
+    ]
+)
+
+
+@given(matches=_matches, k=st.integers(min_value=1, max_value=12))
+def test_heap_equals_global_sort(matches, k):
+    heap = BoundedMatchHeap(k)
+    for match in matches:
+        heap.push(match)
+    expected = sorted(matches, key=lambda m: m.sort_index)[:k]
+    assert heap.sorted_matches() == expected
+
+
+@given(matches=_matches, k=st.integers(min_value=1, max_value=12))
+def test_kth_score_is_monotone_and_conservative(matches, k):
+    heap = BoundedMatchHeap(k)
+    floor = 0.0
+    for match in matches:
+        heap.push(match)
+        current = heap.kth_score()
+        assert current >= floor  # never decreases
+        floor = current
+    if len(matches) >= k:
+        expected = sorted(matches, key=lambda m: m.sort_index)[k - 1]
+        assert floor == expected.score
+    else:
+        # Under k matches the heap must not announce a floor: a floor
+        # may legally suppress below-floor matches on later shards.
+        assert floor == 0.0
+
+
+def test_push_order_does_not_matter():
+    matches = [Match(tid=t, score=s) for t, s in
+               [(5, 0.4), (1, 0.4), (9, 0.9), (2, 0.1), (7, 0.4)]]
+    forward = BoundedMatchHeap(3)
+    backward = BoundedMatchHeap(3)
+    for match in matches:
+        forward.push(match)
+    for match in reversed(matches):
+        backward.push(match)
+    assert forward.sorted_matches() == backward.sorted_matches()
+    # Ties at 0.4 break by ascending tid: 9, then 1, then 5.
+    assert [m.tid for m in forward.sorted_matches()] == [9, 1, 5]

@@ -1,0 +1,89 @@
+"""Hash partitioning: coverage, disjointness, and build fidelity."""
+
+import pytest
+
+from repro.core.exceptions import QueryError
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.shard import ShardSlice, ShardedIndex, partition, shard_of
+
+
+def test_shard_of_is_total_and_stable():
+    assert [shard_of(t, 4) for t in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert shard_of(123, 1) == 0
+
+
+def test_shard_of_rejects_bad_counts():
+    with pytest.raises(QueryError):
+        shard_of(0, 0)
+    with pytest.raises(QueryError):
+        partition(None, -1)
+
+
+def test_partition_covers_disjointly(relation):
+    slices = partition(relation, 3)
+    seen = []
+    for shard, slice_ in enumerate(slices):
+        for tid in slice_.tids():
+            assert shard_of(tid, 3) == shard
+            seen.append(tid)
+    assert sorted(seen) == sorted(relation.tids())
+
+
+def test_slices_preserve_global_tids_and_udas(relation):
+    for slice_ in partition(relation, 4):
+        for tid in slice_.tids():
+            original = relation.uda_of(tid)
+            shipped = slice_.uda_of(tid)
+            assert shipped.items.tolist() == original.items.tolist()
+            assert shipped.probs.tolist() == original.probs.tolist()
+
+
+def test_single_slice_matrix_matches_relation(relation):
+    (slice_,) = partition(relation, 1)
+    ours = slice_.to_sparse_matrix()
+    theirs = relation.to_sparse_matrix()
+    assert (ours != theirs).nnz == 0
+
+
+def test_multi_slice_matrices_sum_to_relation(relation):
+    total = sum(
+        slice_.to_sparse_matrix() for slice_ in partition(relation, 3)
+    )
+    assert (total != relation.to_sparse_matrix()).nnz == 0
+
+
+def test_single_shard_index_is_bit_identical(relation, inverted):
+    sharded = ShardedIndex.build(relation, 1)
+    ours = sharded.shards[0].index
+    assert isinstance(ours, ProbabilisticInvertedIndex)
+    for item in range(len(relation.domain)):
+        ours_tids, ours_probs = ours.posting_list(item).read_all()
+        theirs_tids, theirs_probs = inverted.posting_list(item).read_all()
+        assert ours_tids.tolist() == theirs_tids.tolist()
+        assert ours_probs.tolist() == theirs_probs.tolist()
+
+
+def test_sharded_index_accounts_every_tuple(relation):
+    for num_shards in (1, 2, 5):
+        sharded = ShardedIndex.build(relation, num_shards)
+        assert sharded.num_shards == num_shards
+        assert sharded.num_tuples == len(relation)
+
+
+def test_sharded_index_rejects_unknown_family(relation):
+    with pytest.raises(QueryError):
+        ShardedIndex.build(relation, 2, family="lsm")
+    with pytest.raises(QueryError):
+        ShardedIndex.build(relation, 2, family="pdr", strategy="row_pruning")
+
+
+def test_slice_is_pickle_roundtrippable(relation):
+    import pickle
+
+    slice_ = partition(relation, 2)[1]
+    clone = pickle.loads(pickle.dumps(slice_))
+    assert isinstance(clone, ShardSlice)
+    assert list(clone.tids()) == list(slice_.tids())
+    assert (
+        clone.to_sparse_matrix() != slice_.to_sparse_matrix()
+    ).nnz == 0
