@@ -58,8 +58,15 @@ def _io_view(payload: dict) -> dict:
 #: result dirs are bit-comparable with single-node runs by
 #: construction, which CI asserts through this tool.  Older result
 #: dirs predate these keys; a missing key is compatible with anything.
+#: ``sketch`` declares the similarity pre-filter mode
+#: (docs/sketch-prefilter.md): ``"exact"`` legally reads fewer tuple
+#: pages (plus some sketch pages) than ``"off"`` while answering
+#: bit-identically, and ``"approx"`` changes the answers themselves —
+#: so reads are only comparable within one mode and a cross-mode diff
+#: is refused.
 PROTOCOL_KEYS = (
-    "kernel", "batch", "join_block", "mode", "backend", "shards", "transport"
+    "kernel", "batch", "join_block", "mode", "backend", "shards",
+    "transport", "sketch",
 )
 
 

@@ -40,6 +40,7 @@ from repro.bench import (
 from repro.core.kernels import kernel_mode
 from repro.exec import resolve_batch, resolve_join_block
 from repro.obs.metrics import MetricsRegistry
+from repro.sketch import resolve_sketch
 from repro.obs.trace import TRACE_ENV, resolve_trace_path
 from repro.storage.backends import (
     BACKEND_ENV,
@@ -165,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         "backend": backend.name,
         "shards": 1,
         "transport": "local",
+        "sketch": resolve_sketch(),
         "decoded_cache": os.environ.get(DECODED_CACHE_ENV, "default"),
         "scale": {
             "crm_tuples": scale.crm_tuples,

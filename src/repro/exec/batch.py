@@ -276,19 +276,55 @@ class BatchExecutor:
         return plan_shared_order(queries, self._domain_size())
 
     def _prefetch_shared(
-        self, pool: BufferPool, counts: dict[int, int]
+        self, pool: BufferPool, counts: dict[int, int], queries: list[Query]
     ) -> list[int]:
         """Pin shared posting-list head pages (see
         :func:`prefetch_shared_heads`).  Row pruning is the exception:
         it may skip whole lists, so no prefetch is issued for it.
         """
+        pinned = self._prefetch_sketch(pool, queries)
         if not isinstance(self.index, ProbabilisticInvertedIndex):
-            return []
+            return pinned
         if self.strategy == "row_pruning":
-            return []
-        return prefetch_shared_heads(
+            return pinned
+        return pinned + prefetch_shared_heads(
             self.index, pool, counts, pin_reserve=self.pin_reserve
         )
+
+    def _prefetch_sketch(
+        self, pool: BufferPool, queries: list[Query]
+    ) -> list[int]:
+        """Pin the sketch pages when >= 2 batch members will scan them.
+
+        In exact mode every similarity query scans the whole projection
+        heap, so with two or more similarity queries in the batch those
+        pages are guaranteed shared — the same only-certain-reads rule
+        the posting-head prefetch follows.
+        """
+        from repro.sketch import resolve_sketch
+
+        sketch = getattr(self.index, "sketch", None)
+        if sketch is None or resolve_sketch() != "exact":
+            return []
+        similar = sum(
+            isinstance(
+                q, (SimilarityThresholdQuery, SimilarityTopKQuery)
+            )
+            for q in queries
+        )
+        if similar < 2:
+            return []
+        pinned = pool.fetch_many(
+            sketch.page_ids(), pin=True, reserve=self.pin_reserve
+        )
+        tracer = _trace.ACTIVE
+        for page_id in pinned:
+            METRICS.inc("batch.shared_page")
+            if tracer is not None:
+                tracer.event(
+                    "batch.shared_page", page_id=page_id, queries=similar
+                )
+        return pinned
 
     def _execute_one(self, position: int, query: Query) -> QueryResult:
         """Execute one batch member.
@@ -331,7 +367,7 @@ class BatchExecutor:
             with scope:
                 if len(queries) > 1:
                     order, counts = self._plan(queries)
-                    pinned = self._prefetch_shared(pool, counts)
+                    pinned = self._prefetch_shared(pool, counts, queries)
                 else:
                     order = list(range(len(queries)))
                 for position in order:

@@ -304,12 +304,22 @@ class ServingExecutor:
 
     # -- single requests -----------------------------------------------------
 
-    def execute(self, query: Query, tau_floor: float = 0.0) -> ServedResult:
+    def execute(
+        self,
+        query: Query,
+        tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
+    ) -> ServedResult:
         """Answer one request, attributing its physical reads.
 
         ``tau_floor`` elevates a top-k query's pruning threshold (the
         shard coordinator's round protocol — docs/sharding.md); the
         indexes validate that it is only supplied for top-k descriptors.
+        ``sketch`` / ``div_ceiling`` are the similarity-query analogs
+        (docs/sketch-prefilter.md), likewise validated by the indexes.
+        In serve mode sketch pages read by exact-mode prefilters stay
+        hot in the shared warm pool like every other page.
         """
         if self.mode == "measure":
             # The paper's protocol, verbatim: swap in a fresh pool, then
@@ -326,7 +336,7 @@ class ServingExecutor:
         tags_before = disk.snapshot_tags()
         hits_before, misses_before = pool.hits, pool.misses
         with self._decode_scope():
-            result = self._execute(query, tau_floor)
+            result = self._execute(query, tau_floor, sketch, div_ceiling)
         delta = disk.stats.delta_since(before)
         tags_after = disk.snapshot_tags()
         return ServedResult(
@@ -443,18 +453,30 @@ class ServingExecutor:
 
     # -- internals -----------------------------------------------------------
 
-    def _execute(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
+    def _execute(
+        self,
+        query: Query,
+        tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
+    ) -> QueryResult:
         from repro.invindex.index import ProbabilisticInvertedIndex
 
+        extra = {}
+        if sketch is not None:
+            extra["sketch"] = sketch
+        if div_ceiling is not None:
+            extra["div_ceiling"] = div_ceiling
         if isinstance(self.index, ProbabilisticInvertedIndex):
             return self.index.execute(
                 query,
                 strategy=self.strategy or "highest_prob_first",
                 tau_floor=tau_floor,
+                **extra,
             )
-        if tau_floor:
-            # Only the real executors understand a floor; unfloored
-            # requests keep working against any index-shaped object
-            # (the serving suite exercises minimal stubs).
-            return self.index.execute(query, tau_floor=tau_floor)
+        if tau_floor or extra:
+            # Only the real executors understand a floor/ceiling;
+            # unadorned requests keep working against any index-shaped
+            # object (the serving suite exercises minimal stubs).
+            return self.index.execute(query, tau_floor=tau_floor, **extra)
         return self.index.execute(query)

@@ -33,6 +33,8 @@ from repro.core.queries import (
     EqualityThresholdQuery,
     EqualityTopKQuery,
     Query,
+    SimilarityThresholdQuery,
+    SimilarityTopKQuery,
     WindowedEqualityQuery,
 )
 from repro.core.relation import UncertainRelation
@@ -119,6 +121,11 @@ class ProbabilisticInvertedIndex:
         self._wal = None
         #: LSN of the last write-ahead-log record applied to this index.
         self.wal_lsn = 0
+        #: Optional :class:`~repro.sketch.SketchIndex` enabling sketch
+        #: pre-filtered similarity execution (docs/sketch-prefilter.md).
+        #: Built with :meth:`build_sketch`; maintained by insert/delete,
+        #: rebuilt by :meth:`compact`, persisted by :meth:`save`.
+        self.sketch = None
 
     # -- buffering ------------------------------------------------------------
 
@@ -142,6 +149,8 @@ class ProbabilisticInvertedIndex:
             posting_list.pool = pool
         for segment in self._segments:
             segment.pool = pool
+        if self.sketch is not None:
+            self.sketch.pool = pool
 
     @contextmanager
     def shared_scan(self, memo: dict | None = None):
@@ -247,6 +256,15 @@ class ProbabilisticInvertedIndex:
         segment = self._segments[ordinal]
         segment.insert(tid, uda)
         self._segment_of_tid[tid] = ordinal
+        if self.sketch is not None:
+            # Sketch the f32-exact values the heap record stores — what
+            # verification will score against (WAL replay funnels
+            # through here too, so recovery re-sketches identically).
+            self.sketch.insert(
+                tid,
+                np.asarray(uda.items, dtype=np.int64),
+                np.asarray(uda.probs, dtype=np.float32).astype(np.float64),
+            )
         self.num_tuples += 1
         self.mutations += 1
         if len(segment.tids) >= self._segment_capacity:
@@ -268,6 +286,8 @@ class ProbabilisticInvertedIndex:
             self._segments[ordinal].remove(tid, uda)
         del self._rid_of_tid[tid]
         self._dead_tids.add(tid)
+        if self.sketch is not None:
+            self.sketch.delete(tid)
         self.num_tuples -= 1
         self.mutations += 1
 
@@ -360,6 +380,12 @@ class ProbabilisticInvertedIndex:
             posting_list = PostingList(self._pool)
             posting_list.bulk_build(tids, probs)
             self._lists[item] = posting_list
+        if self.sketch is not None:
+            # Rebuild the sketch store deterministically over the live
+            # set (its stale pages are in ``old_pages``, freed below).
+            params = self.sketch.params
+            self.sketch = None
+            self.build_sketch(params, flush=False)
         # The old pages are garbage now: drop their frames unwritten and
         # return them to the allocator.
         for page_id in old_pages:
@@ -376,6 +402,30 @@ class ProbabilisticInvertedIndex:
                 items=len(merged),
                 pages_freed=len(old_pages),
             )
+
+    # -- sketch pre-filtering --------------------------------------------------
+
+    def live_tids(self) -> list[int]:
+        """Every live tuple id, ascending — the similarity scan order."""
+        return sorted(self._rid_of_tid)
+
+    def build_sketch(self, params=None, *, flush: bool = True) -> None:
+        """Build (or rebuild) the attached sketch store over the live set.
+
+        Sketches every live tuple in ascending-tid order, so the page
+        image is a deterministic function of the logical contents —
+        build-then-mutate and mutate-then-compact converge on the same
+        sketch pages.
+        """
+        from repro.sketch import SketchIndex
+
+        sketch = SketchIndex(self._pool, params)
+        for tid in self.live_tids():
+            items, probs = self.fetch_uda_arrays(tid)
+            sketch.insert(tid, items, probs)
+        self.sketch = sketch
+        if flush:
+            self._pool.flush_all()
 
     # -- access paths -------------------------------------------------------------
 
@@ -441,8 +491,10 @@ class ProbabilisticInvertedIndex:
         query: Query,
         strategy: str = "highest_prob_first",
         tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> QueryResult:
-        """Answer an equality query descriptor with the given strategy.
+        """Answer an equality or similarity query descriptor.
 
         ``strategy`` is a name from
         :data:`repro.invindex.strategies.STRATEGIES`.  ``tau_floor`` is
@@ -450,10 +502,37 @@ class ProbabilisticInvertedIndex:
         (see :meth:`SearchStrategy.top_k <repro.invindex.strategies.SearchStrategy.top_k>`);
         it is only meaningful for :class:`EqualityTopKQuery` and must be
         ``0.0`` for every other descriptor.
+
+        Similarity descriptors run as sketch-assisted scans over the
+        tuple list (:mod:`repro.sketch.search`): ``sketch`` overrides
+        the resolved ``REPRO_SKETCH`` mode, and ``div_ceiling`` lets a
+        shard coordinator cap a :class:`SimilarityTopKQuery` at the
+        global k-th divergence (the dual of ``tau_floor``).  Both are
+        rejected on non-similarity descriptors.
         """
         from repro.invindex.strategies import get_strategy
         from repro.obs import trace as _trace
+        from repro.sketch import resolve_sketch
+        from repro.sketch.search import similarity_execute
 
+        similarity = isinstance(
+            query, (SimilarityThresholdQuery, SimilarityTopKQuery)
+        )
+        if sketch is not None and not similarity:
+            raise QueryError(
+                "sketch mode only applies to similarity queries; got "
+                f"{type(query).__name__}"
+            )
+        if div_ceiling is not None:
+            if not isinstance(query, SimilarityTopKQuery):
+                raise QueryError(
+                    "div_ceiling only applies to similarity top-k "
+                    f"queries; got {type(query).__name__}"
+                )
+            if div_ceiling < 0.0:
+                raise QueryError(
+                    f"div_ceiling must be >= 0, got {div_ceiling}"
+                )
         if tau_floor < 0.0:
             raise QueryError(f"tau_floor must be >= 0, got {tau_floor}")
         if tau_floor > 0.0 and not isinstance(query, EqualityTopKQuery):
@@ -461,6 +540,23 @@ class ProbabilisticInvertedIndex:
                 "tau_floor only applies to top-k queries; got "
                 f"{type(query).__name__}"
             )
+        if similarity:
+            mode = resolve_sketch(sketch)
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.event(
+                    "query.begin",
+                    structure="inv-index",
+                    query=type(query).__name__,
+                )
+            result = similarity_execute(self, query, mode, div_ceiling)
+            if tracer is not None:
+                tracer.event(
+                    "query.end",
+                    structure="inv-index",
+                    matches=len(result),
+                )
+            return result
         runner = get_strategy(strategy)
         tracer = _trace.ACTIVE
         if tracer is not None:
@@ -527,6 +623,8 @@ class ProbabilisticInvertedIndex:
             "deleted_tids": sorted(self._dead_tids),
             "segments": [segment.state() for segment in self._segments],
         }
+        if self.sketch is not None:
+            metadata["sketch"] = self.sketch.state()
         save_disk_to_path(path, self.disk, metadata)
 
     @classmethod
@@ -643,6 +741,21 @@ class ProbabilisticInvertedIndex:
                 f"{path} is corrupt: catalog says {index.num_tuples} "
                 f"tuples, tuple list holds {len(index._rid_of_tid)}"
             )
+        index.sketch = None
+        sketch_state = metadata.get("sketch")
+        if sketch_state is not None:
+            from repro.sketch import SketchIndex, SketchParams
+
+            if report.clean:
+                index.sketch = SketchIndex.attach(
+                    index._pool, sketch_state, set(index._rid_of_tid)
+                )
+            else:
+                # Sketch pages were derived data dropped with the rest;
+                # rebuild deterministically from the recovered heap.
+                index.build_sketch(
+                    SketchParams(**sketch_state["params"])
+                )
         return index
 
     def __repr__(self) -> str:

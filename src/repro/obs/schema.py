@@ -134,7 +134,12 @@ SCHEMA: dict[str, RecordSpec] = {
         {"shards": int, "query": str, "transport": str},
         {"k": int, "fanout": int},
     ),
-    "shard.round": _spec({"round": int, "size": int, "tau_floor": float}),
+    # div_ceiling is the similarity round protocol's global k-th
+    # divergence (the dual of tau_floor); absent until k matches merge.
+    "shard.round": _spec(
+        {"round": int, "size": int, "tau_floor": float},
+        {"div_ceiling": float},
+    ),
     "shard.probe": _spec(
         {"shard": int, "reads": int, "matches": int}, {"tau_floor": float}
     ),
@@ -142,6 +147,15 @@ SCHEMA: dict[str, RecordSpec] = {
     "shard.end": _spec(
         {"shards": int, "reads": int, "matches": int, "rounds": int}
     ),
+    # -- sketch pre-filtering (repro.sketch, docs/sketch-prefilter.md) ------
+    # One sketch.probe per sketch-assisted similarity query: the mode
+    # ("exact"/"approx"), the query's divergence, and the live tuple
+    # count the prefilter ranged over.  sketch.prune reports how many
+    # tuples the prefilter excluded versus kept for verification; one
+    # sketch.verify per exact verification of a surviving candidate.
+    "sketch.probe": _spec({"mode": str, "divergence": str, "tuples": int}),
+    "sketch.prune": _spec({"pruned": int, "candidates": int}),
+    "sketch.verify": _spec({"tid": int}),
     # -- write-ahead log + LSM segments (repro.wal, docs/mutability.md) -----
     # One wal.append per durable record; op is "insert" or "delete".
     "wal.append": _spec({"lsn": int, "op": str}),

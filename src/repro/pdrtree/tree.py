@@ -144,6 +144,9 @@ class PDRTree:
         self._wal = None
         #: LSN of the last write-ahead-log record applied to this tree.
         self.wal_lsn = 0
+        #: Optional :class:`~repro.sketch.SketchIndex` enabling sketch
+        #: pre-filtered similarity traversals (docs/sketch-prefilter.md).
+        self.sketch = None
 
     # -- cached node access ----------------------------------------------------
     #
@@ -202,6 +205,8 @@ class PDRTree:
             raise QueryError("buffer pool must be backed by the tree's disk")
         self._pool.flush_all()  # don't strand dirty pages in the old pool
         self._pool = pool
+        if self.sketch is not None:
+            self.sketch.pool = pool
 
     # -- size accounting ---------------------------------------------------------
 
@@ -261,6 +266,15 @@ class PDRTree:
         proj_items, proj_values = self.codec.project(uda.items, uda.probs)
         while not self._insert_attempt(entry, proj_items, proj_values):
             pass
+        if self.sketch is not None:
+            # Sketch the f32-rounded values the leaf page stores (WAL
+            # replay funnels through here, so recovery re-sketches
+            # identically).
+            self.sketch.insert(
+                entry.tid,
+                np.asarray(uda.items, dtype=np.int64),
+                np.asarray(uda.probs, dtype=np.float32).astype(np.float64),
+            )
         self.num_tuples += 1
         self.mutations += 1
 
@@ -341,6 +355,8 @@ class PDRTree:
             raise KeyNotFoundError(f"tid {tid} not in tree") from None
         entries = [e for e in self._get_leaf(page_id) if e.tid != tid]
         self._put_leaf(page_id, entries)
+        if self.sketch is not None:
+            self.sketch.delete(tid)
         self.num_tuples -= 1
         self.mutations += 1
 
@@ -512,9 +528,79 @@ class PDRTree:
         else:
             self._split_internal(parent_id, entries, path[:-1])
 
+    # -- sketch pre-filtering --------------------------------------------------
+
+    def build_sketch(self, params=None, *, flush: bool = True) -> None:
+        """Build (or rebuild) the attached sketch store over the tree.
+
+        Gathers every member by one walk over the leaf pages, then
+        sketches in ascending-tid order so the page image is a
+        deterministic function of the logical contents.  Probabilities
+        are f32-rounded to match what the leaf pages store (what the
+        similarity traversals verify against).
+        """
+        from repro.sketch import SketchIndex
+
+        members: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for page_id in set(self._leaf_of_tid.values()):
+            for entry in self._get_leaf(page_id):
+                members[entry.tid] = (entry.items, entry.probs)
+        sketch = SketchIndex(self._pool, params)
+        for tid in sorted(members):
+            items, probs = members[tid]
+            sketch.insert(
+                tid,
+                np.asarray(items, dtype=np.int64),
+                np.asarray(probs, dtype=np.float32).astype(np.float64),
+            )
+        self.sketch = sketch
+        if flush:
+            self._pool.flush_all()
+
+    def _sketch_plan(self, query, mode: str):
+        """Per-tid lower bounds driving a sketch-assisted traversal.
+
+        Returns ``(lb_of_tid, min_lb_of_leaf)`` or ``(None, None)`` in
+        ``off`` mode.  A tid the sketch does not know gets ``-inf`` in
+        exact mode (never skipped); in approx mode non-candidates get
+        ``+inf`` (skipped — that is the bounded-recall trade).
+        """
+        from repro.sketch.search import NO_SKETCH_ERROR, emit_probe, emit_prune
+
+        if mode == "off":
+            return None, None
+        if self.sketch is None:
+            raise QueryError(NO_SKETCH_ERROR.format(mode=mode))
+        emit_probe(mode, query.divergence, self.sketch.num_tuples)
+        if mode == "approx":
+            allowed = set(self.sketch.lsh_candidates(query.q.items))
+            emit_prune(
+                len(self._leaf_of_tid) - len(allowed), len(allowed)
+            )
+            lb_of = {
+                tid: (0.0 if tid in allowed else math.inf)
+                for tid in self._leaf_of_tid
+            }
+        else:
+            tids, lbs = self.sketch.bounds(query)
+            lb_of = dict(zip(tids.tolist(), lbs.tolist()))
+        leaf_min: dict[int, float] = {}
+        for tid, page_id in self._leaf_of_tid.items():
+            lb = lb_of.get(tid, -math.inf)
+            current = leaf_min.get(page_id)
+            if current is None or lb < current:
+                leaf_min[page_id] = lb
+        return lb_of, leaf_min
+
     # -- queries --------------------------------------------------------------------
 
-    def execute(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
+    def execute(
+        self,
+        query: Query,
+        tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
+    ) -> QueryResult:
         """Answer any query descriptor of :mod:`repro.core.queries`.
 
         ``tau_floor`` is an externally supplied lower bound on the
@@ -527,7 +613,34 @@ class PDRTree:
         meaningful for :class:`EqualityTopKQuery`; must be ``0.0`` for
         every other descriptor, and at ``0.0`` the traversal is
         bit-identical to the classic one.
+
+        ``sketch`` / ``div_ceiling`` are the similarity-query analogs:
+        ``sketch`` overrides the resolved ``REPRO_SKETCH`` mode, and
+        ``div_ceiling`` caps a :class:`SimilarityTopKQuery` at the shard
+        coordinator's global k-th divergence (the dual of ``tau_floor``
+        — matches with distance strictly above it may be omitted).  Both
+        are rejected on non-similarity descriptors.
         """
+        from repro.sketch import resolve_sketch
+
+        similarity = isinstance(
+            query, (SimilarityThresholdQuery, SimilarityTopKQuery)
+        )
+        if sketch is not None and not similarity:
+            raise QueryError(
+                "sketch mode only applies to similarity queries; got "
+                f"{type(query).__name__}"
+            )
+        if div_ceiling is not None:
+            if not isinstance(query, SimilarityTopKQuery):
+                raise QueryError(
+                    "div_ceiling only applies to similarity top-k "
+                    f"queries; got {type(query).__name__}"
+                )
+            if div_ceiling < 0.0:
+                raise QueryError(
+                    f"div_ceiling must be >= 0, got {div_ceiling}"
+                )
         if tau_floor < 0.0:
             raise QueryError(f"tau_floor must be >= 0, got {tau_floor}")
         if tau_floor > 0.0 and not isinstance(query, EqualityTopKQuery):
@@ -535,6 +648,7 @@ class PDRTree:
                 "tau_floor only applies to top-k queries; got "
                 f"{type(query).__name__}"
             )
+        mode = resolve_sketch(sketch) if similarity else "off"
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.event(
@@ -542,14 +656,20 @@ class PDRTree:
                 structure="pdr-tree",
                 query=type(query).__name__,
             )
-        result = self._dispatch(query, tau_floor)
+        result = self._dispatch(query, tau_floor, mode, div_ceiling)
         if tracer is not None:
             tracer.event(
                 "query.end", structure="pdr-tree", matches=len(result)
             )
         return result
 
-    def _dispatch(self, query: Query, tau_floor: float = 0.0) -> QueryResult:
+    def _dispatch(
+        self,
+        query: Query,
+        tau_floor: float = 0.0,
+        sketch_mode: str = "off",
+        div_ceiling: float | None = None,
+    ) -> QueryResult:
         """Route ``query`` to the matching traversal."""
         if isinstance(query, EqualityThresholdQuery):
             return self._petq(query.q, query.threshold)
@@ -558,9 +678,9 @@ class PDRTree:
         if isinstance(query, EqualityQuery):
             return self._petq(query.q, float(np.finfo(np.float32).tiny))
         if isinstance(query, SimilarityThresholdQuery):
-            return self._dstq(query)
+            return self._dstq(query, sketch_mode)
         if isinstance(query, SimilarityTopKQuery):
-            return self._dsq_top_k(query)
+            return self._dsq_top_k(query, sketch_mode, div_ceiling)
         if isinstance(query, WindowedEqualityQuery):
             # Lemma 2 holds for any non-negative weight vector, so the
             # expanded windowed query prunes like ordinary PETQ.
@@ -717,15 +837,27 @@ class PDRTree:
             return float(deficit.sum())
         return float(np.sqrt(np.square(deficit).sum()))
 
-    def _dstq(self, query: SimilarityThresholdQuery) -> QueryResult:
+    def _dstq(
+        self, query: SimilarityThresholdQuery, sketch_mode: str = "off"
+    ) -> QueryResult:
+        from repro.sketch.search import emit_verify
+
         stats = QueryStats()
         q = query.q
+        lb_of, leaf_min = self._sketch_plan(query, sketch_mode)
         folded = np.array([self.codec.fold_item(int(i)) for i in q.items])
         matches: list[Match] = []
         stack = [self.root_page_id]
         tracer = _trace.ACTIVE
         while stack:
             page_id = stack.pop()
+            if (
+                leaf_min is not None
+                and leaf_min.get(page_id, -math.inf) > query.threshold
+            ):
+                # Every member's lower bound strictly exceeds the
+                # threshold: the whole leaf page is skipped unread.
+                continue
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
             kind = node_kind(page)
@@ -750,7 +882,14 @@ class PDRTree:
                 # wrapper only re-validated already-valid pages).
                 direct = kernels.vectorized()
                 for entry in self._get_leaf(page_id):
+                    if (
+                        lb_of is not None
+                        and lb_of.get(entry.tid, -math.inf) > query.threshold
+                    ):
+                        continue
                     stats.candidates_examined += 1
+                    if lb_of is not None:
+                        emit_verify(entry.tid)
                     if direct:
                         dist = query.distance_arrays(entry.items, entry.probs)
                     else:
@@ -760,14 +899,39 @@ class PDRTree:
                         matches.append(Match(tid=entry.tid, score=-dist))
         return QueryResult(matches, stats)
 
-    def _dsq_top_k(self, query: SimilarityTopKQuery) -> QueryResult:
+    def _dsq_top_k(
+        self,
+        query: SimilarityTopKQuery,
+        sketch_mode: str = "off",
+        div_ceiling: float | None = None,
+    ) -> QueryResult:
+        from repro.sketch.search import emit_verify
+
         stats = QueryStats()
         q = query.q
         k = query.k
+        lb_of, leaf_min = self._sketch_plan(query, sketch_mode)
+        ceiling = math.inf if div_ceiling is None else div_ceiling
         folded = np.array([self.codec.fold_item(int(i)) for i in q.items])
         found: list[Match] = []
 
+        def sketch_cut() -> float:
+            # The distance above which a sketched lower bound certifies
+            # a member (or whole leaf) cannot enter the answer, even on
+            # a (distance, tid) tie — so found[:k] evolves exactly as in
+            # the unfiltered traversal.  Only valid while ``found`` is
+            # sorted (leaf visits sort on exit), so callers freeze it
+            # before appending: a frozen cut is never below the live
+            # one, which can only under-prune, never mis-prune.
+            if len(found) >= k:
+                return min(ceiling, -found[k - 1].score)
+            return ceiling
+
         def visit(page_id: int) -> None:
+            if leaf_min is not None:
+                lower = leaf_min.get(page_id)
+                if lower is not None and lower > sketch_cut():
+                    return  # whole leaf page skipped unread
             page = self._pool.fetch_page(page_id)
             stats.nodes_visited += 1
             kind = node_kind(page)
@@ -798,7 +962,12 @@ class PDRTree:
                     visit(child_id)
             else:
                 direct = kernels.vectorized()
+                cut = sketch_cut() if lb_of is not None else math.inf
                 for entry in self._get_leaf(page_id):
+                    if lb_of is not None:
+                        if lb_of.get(entry.tid, -math.inf) > cut:
+                            continue
+                        emit_verify(entry.tid)
                     stats.candidates_examined += 1
                     if direct:
                         dist = query.distance_arrays(entry.items, entry.probs)
@@ -847,6 +1016,8 @@ class PDRTree:
                 "bits": self.config.bits,
             },
         }
+        if self.sketch is not None:
+            metadata["sketch"] = self.sketch.state()
         save_disk_to_path(path, self.disk, metadata)
 
     @classmethod
@@ -913,6 +1084,14 @@ class PDRTree:
                 f"{path} is corrupt: catalog says {tree.num_tuples} "
                 f"tuples, leaves hold {len(tree._leaf_of_tid)}"
             )
+        tree.sketch = None
+        sketch_state = metadata.get("sketch")
+        if sketch_state is not None:
+            from repro.sketch import SketchIndex
+
+            tree.sketch = SketchIndex.attach(
+                tree._pool, sketch_state, set(tree._leaf_of_tid)
+            )
         return tree
 
     @classmethod
@@ -952,6 +1131,15 @@ class PDRTree:
         tree = cls(int(metadata["domain_size"]), config=config)
         for entry in entries:
             tree.insert(entry.tid, UncertainAttribute(entry.items, entry.probs))
+        sketch_state = metadata.get("sketch")
+        if sketch_state is not None:
+            # Sketch pages lived on the damaged disk the rebuild left
+            # behind; re-derive them on the fresh tree.
+            from repro.sketch import SketchParams
+
+            tree.build_sketch(
+                SketchParams(**sketch_state["params"]), flush=False
+            )
         tree._pool.flush_all()
         tree.recovered = True
         tree.wal_lsn = int(metadata.get("wal_lsn", 0))

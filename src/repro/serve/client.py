@@ -84,6 +84,8 @@ class ServeClient:
         query: Query,
         deadline_ms: float | None,
         tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> tuple[int, bytes]:
         request_id = self._fresh_id()
         message = {"id": request_id, **query_to_wire(query)}
@@ -91,6 +93,10 @@ class ServeClient:
             message["deadline_ms"] = deadline_ms
         if tau_floor:
             message["tau_floor"] = tau_floor
+        if sketch is not None:
+            message["sketch"] = sketch
+        if div_ceiling is not None:
+            message["div_ceiling"] = div_ceiling
         return request_id, encode_line(message)
 
     async def _read_payload(self) -> dict[str, Any]:
@@ -113,6 +119,8 @@ class ServeClient:
         *,
         deadline_ms: float | None = None,
         tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> dict[str, Any]:
         """Submit one query; return the raw response payload.
 
@@ -120,8 +128,13 @@ class ServeClient:
         ``"timeout"`` instead of executing if the request waits longer
         than this in its queue.  ``tau_floor`` elevates a topk request's
         pruning threshold (the shard coordinator's round protocol).
+        ``sketch`` overrides the server's sketch pre-filter mode on
+        similarity requests; ``div_ceiling`` caps a ``simtopk`` request
+        at the coordinator's global k-th divergence.
         """
-        _, data = self._encode_query(query, deadline_ms, tau_floor)
+        _, data = self._encode_query(
+            query, deadline_ms, tau_floor, sketch, div_ceiling
+        )
         await self._send(data)
         return await self._read_payload()
 
@@ -131,10 +144,16 @@ class ServeClient:
         *,
         deadline_ms: float | None = None,
         tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> dict[str, Any]:
         """Submit one query; raise :class:`ServeError` unless ``ok``."""
         payload = await self.request(
-            query, deadline_ms=deadline_ms, tau_floor=tau_floor
+            query,
+            deadline_ms=deadline_ms,
+            tau_floor=tau_floor,
+            sketch=sketch,
+            div_ceiling=div_ceiling,
         )
         if payload.get("status") != "ok":
             raise ServeError(payload)

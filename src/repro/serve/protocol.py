@@ -37,6 +37,7 @@ from repro.core.queries import (
     WindowedEqualityQuery,
 )
 from repro.core.uda import UncertainAttribute
+from repro.sketch import MODES as SKETCH_MODES
 
 
 class ProtocolError(ReproError):
@@ -96,6 +97,13 @@ class Request:
     #: ``0.0`` means "no elevation" and is the only value legal for
     #: non-top-k kinds.
     tau_floor: float = 0.0
+    #: Sketch pre-filter mode override for similarity kinds
+    #: (``simtq``/``simtopk`` only — docs/sketch-prefilter.md).
+    #: ``None`` defers to the server's resolved ``REPRO_SKETCH`` mode.
+    sketch: str | None = None
+    #: Global k-th divergence ceiling for ``simtopk`` (the dual of
+    #: ``tau_floor``, pushed back by the shard coordinator each round).
+    div_ceiling: float | None = None
 
 
 def query_to_wire(query: Query) -> dict[str, Any]:
@@ -204,9 +212,28 @@ def parse_request(message: dict[str, Any]) -> Request:
         raise ProtocolError(
             f"'tau_floor' must be a non-negative number, got {tau_floor!r}"
         )
+    sketch = message.get("sketch")
+    if sketch is not None and sketch not in SKETCH_MODES:
+        raise ProtocolError(
+            f"'sketch' must be one of {SKETCH_MODES}, got {sketch!r}"
+        )
+    div_ceiling = message.get("div_ceiling")
+    if div_ceiling is not None and (
+        isinstance(div_ceiling, bool)
+        or not isinstance(div_ceiling, (int, float))
+        or div_ceiling < 0
+    ):
+        raise ProtocolError(
+            f"'div_ceiling' must be a non-negative number, got "
+            f"{div_ceiling!r}"
+        )
     if "mutate" in message:
         if tau_floor:
             raise ProtocolError("'tau_floor' is not valid on a mutation")
+        if sketch is not None:
+            raise ProtocolError("'sketch' is not valid on a mutation")
+        if div_ceiling is not None:
+            raise ProtocolError("'div_ceiling' is not valid on a mutation")
         return Request(
             id=request_id,
             query=None,
@@ -219,11 +246,27 @@ def parse_request(message: dict[str, Any]) -> Request:
             f"'tau_floor' only applies to topk requests, got "
             f"{message.get('kind')!r}"
         )
+    if sketch is not None and not isinstance(
+        query, (SimilarityThresholdQuery, SimilarityTopKQuery)
+    ):
+        raise ProtocolError(
+            f"'sketch' only applies to similarity requests, got "
+            f"{message.get('kind')!r}"
+        )
+    if div_ceiling is not None and not isinstance(
+        query, SimilarityTopKQuery
+    ):
+        raise ProtocolError(
+            f"'div_ceiling' only applies to simtopk requests, got "
+            f"{message.get('kind')!r}"
+        )
     return Request(
         id=request_id,
         query=query,
         deadline_ms=deadline,
         tau_floor=float(tau_floor),
+        sketch=sketch,
+        div_ceiling=None if div_ceiling is None else float(div_ceiling),
     )
 
 

@@ -364,16 +364,18 @@ class QueryServer:
             # Mutations never share a batch: one executes alone on the
             # worker thread, so every query batch observes the index
             # either wholly before or wholly after it (readers can
-            # never see a torn write).  Requests carrying a tau_floor
-            # (shard-coordinator rounds) execute solo too: the floor is
-            # per-request execution state the coalesced batch path does
-            # not thread.
+            # never see a torn write).  Requests carrying a tau_floor,
+            # sketch mode, or div_ceiling (shard-coordinator rounds)
+            # execute solo too: these are per-request execution state
+            # the coalesced batch path does not thread.
             batch: list[_Pending] = []
             while self._queue and len(batch) < self.config.coalesce_max:
                 head = self._queue[0]
                 if (
                     head.request.mutation is not None
                     or head.request.tau_floor > 0.0
+                    or head.request.sketch is not None
+                    or head.request.div_ceiling is not None
                 ):
                     if not batch:
                         batch.append(self._queue.popleft())
@@ -398,12 +400,17 @@ class QueryServer:
                 await self._run_mutation(loop, live[0])
                 continue
             queries = [pending.request.query for pending in live]
-            # The solo-break above guarantees a floored request is the
-            # only member of its batch.
-            tau_floor = live[0].request.tau_floor
+            # The solo-break above guarantees a floored/sketched request
+            # is the only member of its batch.
+            head_request = live[0].request
             try:
                 served, batch_reads = await loop.run_in_executor(
-                    self._worker, self._execute_sync, queries, tau_floor
+                    self._worker,
+                    self._execute_sync,
+                    queries,
+                    head_request.tau_floor,
+                    head_request.sketch,
+                    head_request.div_ceiling,
                 )
             except Exception as exc:  # noqa: BLE001 -- answered, not raised
                 for pending in live:
@@ -461,13 +468,24 @@ class QueryServer:
         )
 
     def _execute_sync(
-        self, queries: list, tau_floor: float = 0.0
+        self,
+        queries: list,
+        tau_floor: float = 0.0,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> tuple[list[ServedResult], int]:
         """Worker-thread entry: run one coalesced batch, bill its reads."""
         disk = self.executor.index.disk
         before = disk.stats.snapshot()
-        if tau_floor > 0.0:
-            served = [self.executor.execute(queries[0], tau_floor=tau_floor)]
+        if tau_floor > 0.0 or sketch is not None or div_ceiling is not None:
+            served = [
+                self.executor.execute(
+                    queries[0],
+                    tau_floor=tau_floor,
+                    sketch=sketch,
+                    div_ceiling=div_ceiling,
+                )
+            ]
         else:
             served = self.executor.execute_batch(queries)
         delta = disk.stats.delta_since(before)

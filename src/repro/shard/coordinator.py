@@ -25,6 +25,18 @@ leg); ``fanout=num_shards`` degenerates to one floorless round (the
 no-propagation leg); ``shards=1`` reproduces the single-node protocol
 bit-for-bit — answers, scores, tie order, and posting reads.
 
+Similarity top-k runs the same round protocol with the *dual* bound:
+each round's probes carry ``div_ceiling`` — the global k-th
+divergence so far (``-heap.kth_score()``, since similarity scores are
+negated divergences) — and every shard prunes against it with its
+sketch's provable lower bounds (docs/sketch-prefilter.md).  The
+ceiling is monotone non-increasing and never drops below the final
+global k-th divergence, so an omitted match provably cannot enter the
+global top-k.  This requires exact sketch mode (``REPRO_SKETCH=exact``)
+and shards built with ``sketch_params``; any other resolved mode is
+refused with instructions, since without sound per-shard bounds the
+coordinator cannot certify the merge.
+
 Shards that miss a round's deadline (remote transports shed them via
 the wire deadline or admission control) are requeued into a later
 round, where they benefit from the floor raised in the meantime;
@@ -119,15 +131,26 @@ class ShardCoordinator:
 
     def execute(self, query: Query) -> ShardedResult:
         """Scatter ``query`` to every shard and merge the exact answer."""
-        if isinstance(query, SimilarityTopKQuery):
-            # The bounded merge is defined on equality scores (higher is
-            # better); a union of per-shard divergence top-k lists would
-            # silently return num_shards * k matches.
-            raise QueryError(
-                "similarity top-k cannot be scattered across shards"
-            )
+        is_sim_topk = isinstance(query, SimilarityTopKQuery)
+        if is_sim_topk:
+            # Similarity top-k scatters only under exact sketch
+            # pre-filtering: the round protocol pushes the global k-th
+            # divergence back as each probe's div_ceiling, and shards
+            # need sketch lower bounds to act on it soundly (a shard
+            # may omit a match only when its provable bound strictly
+            # exceeds the ceiling — docs/sketch-prefilter.md).
+            from repro.sketch import resolve_sketch
+
+            mode = resolve_sketch()
+            if mode != "exact":
+                raise QueryError(
+                    "similarity top-k scatter-gather requires exact "
+                    "sketch pre-filtering: set REPRO_SKETCH=exact (or "
+                    "sketch_override('exact')) and build shards with "
+                    f"sketch_params; resolved sketch mode is {mode!r}"
+                )
         num_shards = self.transport.num_shards
-        is_topk = isinstance(query, EqualityTopKQuery)
+        is_topk = isinstance(query, EqualityTopKQuery) or is_sim_topk
         heap = BoundedMatchHeap(query.k) if is_topk else None
         tracer = _trace.ACTIVE
         METRICS.inc("shard.query")
@@ -154,7 +177,22 @@ class ShardCoordinator:
             else:
                 wave = list(pending)
                 pending.clear()
-            tau_floor = heap.kth_score() if is_topk else 0.0
+            # Equality top-k propagates the k-th *score* as tau_floor;
+            # similarity top-k propagates the k-th *divergence* as
+            # div_ceiling (= -kth_score, since Match.score negates the
+            # divergence).  Both are monotone in the coordinator's
+            # favor: the floor never decreases, the ceiling never
+            # increases, so a probe pruned against either can never
+            # belong to the final global top-k.
+            tau_floor = (
+                heap.kth_score() if is_topk and not is_sim_topk else 0.0
+            )
+            div_ceiling = (
+                -heap.kth_score()
+                if is_sim_topk and len(heap) >= query.k
+                else None
+            )
+            sketch = "exact" if is_sim_topk else None
             deadline = (
                 self.round_deadline_ms
                 if all(shard in unattempted for shard in wave)
@@ -163,14 +201,16 @@ class ShardCoordinator:
             rounds += 1
             METRICS.inc("shard.round")
             if tracer is not None:
-                tracer.event(
-                    "shard.round",
-                    round=rounds,
-                    size=len(wave),
-                    tau_floor=tau_floor,
-                )
+                round_fields = {
+                    "round": rounds,
+                    "size": len(wave),
+                    "tau_floor": tau_floor,
+                }
+                if div_ceiling is not None:
+                    round_fields["div_ceiling"] = div_ceiling
+                tracer.event("shard.round", **round_fields)
             probes = self.transport.probe_many(
-                wave, query, tau_floor, deadline
+                wave, query, tau_floor, deadline, sketch, div_ceiling
             )
             for probe in probes:
                 unattempted.discard(probe.shard)

@@ -18,6 +18,7 @@ from repro.core.relation import UncertainRelation
 from repro.invindex.index import ProbabilisticInvertedIndex
 from repro.pdrtree.tree import PDRTree, PDRTreeConfig
 from repro.shard.partition import ShardSlice, partition
+from repro.sketch import SketchParams
 
 #: Index structures a shard may hold.
 FAMILIES = ("inverted", "pdr")
@@ -27,21 +28,30 @@ def build_shard_index(
     slice_: ShardSlice,
     family: str,
     pdr_config: PDRTreeConfig | None = None,
+    sketch_params: SketchParams | None = None,
 ) -> ProbabilisticInvertedIndex | PDRTree:
     """Build one shard's index over its slice (on a fresh disk).
 
     Module-level so process-pool workers can rebuild a shipped slice
-    without importing :class:`ShardedIndex` state.
+    without importing :class:`ShardedIndex` state.  ``sketch_params``
+    additionally builds the shard's similarity sketch; because all
+    sketch hashing is splitmix64-keyed (never Python's salted
+    ``hash()``), workers rebuild bit-identical sketches from the same
+    slice and params.
     """
     if family == "inverted":
         index = ProbabilisticInvertedIndex(len(slice_.domain))
         index.build(slice_)
-        return index
-    if family == "pdr":
-        tree = PDRTree(len(slice_.domain), config=pdr_config)
-        tree.build(slice_)
-        return tree
-    raise QueryError(f"family must be one of {FAMILIES}, got {family!r}")
+    elif family == "pdr":
+        index = PDRTree(len(slice_.domain), config=pdr_config)
+        index.build(slice_)
+    else:
+        raise QueryError(
+            f"family must be one of {FAMILIES}, got {family!r}"
+        )
+    if sketch_params is not None:
+        index.build_sketch(sketch_params)
+    return index
 
 
 @dataclass
@@ -67,6 +77,7 @@ class ShardedIndex:
         family: str,
         strategy: str | None = None,
         pdr_config: PDRTreeConfig | None = None,
+        sketch_params: SketchParams | None = None,
     ) -> None:
         if not shards:
             raise QueryError("a sharded index needs at least one shard")
@@ -80,6 +91,9 @@ class ShardedIndex:
         self.family = family
         self.strategy = strategy
         self.pdr_config = pdr_config
+        #: Kept for worker shipping: process transports rebuild each
+        #: shard's sketch from these params (deterministically).
+        self.sketch_params = sketch_params
 
     @classmethod
     def build(
@@ -89,8 +103,14 @@ class ShardedIndex:
         family: str = "inverted",
         strategy: str | None = None,
         pdr_config: PDRTreeConfig | None = None,
+        sketch_params: SketchParams | None = None,
     ) -> "ShardedIndex":
-        """Partition ``relation`` and build every shard's index."""
+        """Partition ``relation`` and build every shard's index.
+
+        ``sketch_params`` additionally builds a similarity sketch per
+        shard — required for scattering similarity top-k queries (the
+        coordinator's divergence-ceiling round protocol).
+        """
         if family not in FAMILIES:
             raise QueryError(
                 f"family must be one of {FAMILIES}, got {family!r}"
@@ -100,12 +120,18 @@ class ShardedIndex:
             Shard(
                 shard_id=shard,
                 slice=slice_,
-                index=build_shard_index(slice_, family, pdr_config),
+                index=build_shard_index(
+                    slice_, family, pdr_config, sketch_params
+                ),
             )
             for shard, slice_ in enumerate(slices)
         ]
         return cls(
-            shards, family, strategy=strategy, pdr_config=pdr_config
+            shards,
+            family,
+            strategy=strategy,
+            pdr_config=pdr_config,
+            sketch_params=sketch_params,
         )
 
     @property

@@ -78,6 +78,8 @@ def measured_probe(
     query: Query,
     tau_floor: float,
     pool_size: int,
+    sketch: str | None = None,
+    div_ceiling: float | None = None,
 ) -> tuple[QueryResult, int, dict[str, int], dict[str, int]]:
     """Execute one probe under the measurement protocol.
 
@@ -85,9 +87,19 @@ def measured_probe(
     scoped around the execution — the same accounting as
     :func:`repro.bench.harness.measure_query`, so per-shard reads add
     up against single-node measurements apples-to-apples.
+
+    ``sketch``/``div_ceiling`` carry the coordinator's similarity
+    round state (shipped by value, never via environment re-reads);
+    both indexes reject them on non-similarity descriptors, so they
+    are only forwarded when set.
     """
     pool = BufferPool(index.disk, pool_size)
     index.pool = pool
+    extra = {}
+    if sketch is not None:
+        extra["sketch"] = sketch
+    if div_ceiling is not None:
+        extra["div_ceiling"] = div_ceiling
     metrics_before = METRICS.snapshot()
     before = index.disk.stats.snapshot()
     tags_before = index.disk.snapshot_tags()
@@ -96,9 +108,10 @@ def measured_probe(
             query,
             strategy=strategy or "highest_prob_first",
             tau_floor=tau_floor,
+            **extra,
         )
     else:
-        result = index.execute(query, tau_floor=tau_floor)
+        result = index.execute(query, tau_floor=tau_floor, **extra)
     delta = index.disk.stats.delta_since(before)
     metrics_delta = METRICS.delta_since(metrics_before)
     tags_after = index.disk.snapshot_tags()
@@ -135,6 +148,8 @@ class LocalTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> ShardProbe:
         # In-process shards never straggle; the deadline is a no-op.
         handle = self.index.shards[shard]
@@ -144,6 +159,8 @@ class LocalTransport:
             query,
             tau_floor,
             self.pool_size,
+            sketch,
+            div_ceiling,
         )
         return ShardProbe(
             shard=shard,
@@ -159,9 +176,13 @@ class LocalTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> list[ShardProbe]:
         return [
-            self.probe(shard, query, tau_floor, deadline_ms)
+            self.probe(
+                shard, query, tau_floor, deadline_ms, sketch, div_ceiling
+            )
             for shard in shard_ids
         ]
 
@@ -196,9 +217,10 @@ def _worker_build(
     plan: FaultPlan | None,
     kernel: str,
     backend: BackendSpec,
+    sketch_params=None,
 ) -> int:
     with fault_plan(plan), kernel_override(kernel), backend_scope(backend):
-        index = build_shard_index(slice_, family, pdr_config)
+        index = build_shard_index(slice_, family, pdr_config, sketch_params)
     _WORKER_SHARDS[shard] = (index, strategy, plan, kernel, backend)
     return shard
 
@@ -208,6 +230,8 @@ def _worker_probe(
     query: Query,
     tau_floor: float,
     pool_size: int,
+    sketch: str | None = None,
+    div_ceiling: float | None = None,
 ) -> ShardProbe:
     try:
         index, strategy, plan, kernel, backend = _WORKER_SHARDS[shard]
@@ -217,7 +241,8 @@ def _worker_probe(
         ) from None
     with fault_plan(plan), kernel_override(kernel), backend_scope(backend):
         result, reads, breakdown, metrics = measured_probe(
-            index, strategy, query, tau_floor, pool_size
+            index, strategy, query, tau_floor, pool_size, sketch,
+            div_ceiling,
         )
     return ShardProbe(
         shard=shard,
@@ -242,6 +267,7 @@ class ProcessTransport:
         strategy: str | None = None,
         pdr_config: PDRTreeConfig | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
+        sketch_params=None,
     ) -> None:
         if not slices:
             raise ShardError("need at least one shard slice")
@@ -263,6 +289,7 @@ class ProcessTransport:
                 plan,
                 kernel,
                 backend,
+                sketch_params,
             )
             for shard, (pool, slice_) in enumerate(zip(self._pools, slices))
         ]
@@ -283,6 +310,7 @@ class ProcessTransport:
             strategy=index.strategy,
             pdr_config=index.pdr_config,
             pool_size=pool_size,
+            sketch_params=index.sketch_params,
         )
 
     @property
@@ -295,8 +323,12 @@ class ProcessTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> ShardProbe:
-        return self.probe_many([shard], query, tau_floor, deadline_ms)[0]
+        return self.probe_many(
+            [shard], query, tau_floor, deadline_ms, sketch, div_ceiling
+        )[0]
 
     def probe_many(
         self,
@@ -304,13 +336,21 @@ class ProcessTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> list[ShardProbe]:
         # Deadlines are a wire-protocol concept; worker processes are
         # co-located and never shed (results would be computed either
         # way, and discarding them would lose their read accounting).
         futures = [
             self._pools[shard].submit(
-                _worker_probe, shard, query, tau_floor, self.pool_size
+                _worker_probe,
+                shard,
+                query,
+                tau_floor,
+                self.pool_size,
+                sketch,
+                div_ceiling,
             )
             for shard in shard_ids
         ]
@@ -448,10 +488,16 @@ class ServeTransport:
         query: Query,
         tau_floor: float,
         deadline_ms: float | None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> ShardProbe:
         client = await self._client(shard)
         payload = await client.request(
-            query, deadline_ms=deadline_ms, tau_floor=tau_floor
+            query,
+            deadline_ms=deadline_ms,
+            tau_floor=tau_floor,
+            sketch=sketch,
+            div_ceiling=div_ceiling,
         )
         status = payload.get("status")
         if status in ("timeout", "shed"):
@@ -478,11 +524,16 @@ class ServeTransport:
         query: Query,
         tau_floor: float,
         deadline_ms: float | None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> list[ShardProbe]:
         return list(
             await asyncio.gather(
                 *(
-                    self._probe_async(shard, query, tau_floor, deadline_ms)
+                    self._probe_async(
+                        shard, query, tau_floor, deadline_ms, sketch,
+                        div_ceiling,
+                    )
                     for shard in shard_ids
                 )
             )
@@ -494,9 +545,13 @@ class ServeTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> ShardProbe:
         return self._loop.call(
-            self._probe_async(shard, query, tau_floor, deadline_ms)
+            self._probe_async(
+                shard, query, tau_floor, deadline_ms, sketch, div_ceiling
+            )
         )
 
     def probe_many(
@@ -505,9 +560,14 @@ class ServeTransport:
         query: Query,
         tau_floor: float = 0.0,
         deadline_ms: float | None = None,
+        sketch: str | None = None,
+        div_ceiling: float | None = None,
     ) -> list[ShardProbe]:
         return self._loop.call(
-            self._probe_many_async(shard_ids, query, tau_floor, deadline_ms)
+            self._probe_many_async(
+                shard_ids, query, tau_floor, deadline_ms, sketch,
+                div_ceiling,
+            )
         )
 
     async def _close_async(self) -> None:

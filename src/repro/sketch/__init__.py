@@ -1,0 +1,46 @@
+"""Sketch pre-filtering for similarity queries (ROADMAP item 5).
+
+Every similarity path — DSTQ point queries, DSQ-top-k, and DSTJ joins —
+ultimately scores candidates with an exact divergence over the full
+probability vectors, the one query family where posting-list pruning
+(Lemma 1) gives no leverage.  This package adds a cheap pre-filter in
+front of that exact verification:
+
+* :mod:`repro.sketch.bounds` — per-tuple *projection sketches* (a hashed
+  support fingerprint, signed random projections, the total mass) with
+  provable **lower bounds** on l1/l2/KL divergence, the soundness
+  contract exact mode rests on;
+* :mod:`repro.sketch.minhash` — MinHash signatures over UDA support
+  sets with LSH banding, the candidate generator for approximate mode;
+* :mod:`repro.sketch.index` — :class:`SketchIndex`, the paged store
+  (tag ``"sketch"``) both live in: counted, CRC'd, fault-injectable,
+  persisted, WAL-replay- and compaction-aware like every other page;
+* :mod:`repro.sketch.search` — the similarity scan engine the inverted
+  index dispatches to;
+* :mod:`repro.sketch.config` — the ``REPRO_SKETCH`` knob
+  (``off`` / ``exact`` / ``approx``), mirroring the kernel/batch knobs.
+
+**Exact mode** prunes only candidates whose lower bound exceeds the
+current threshold/τ and fully verifies the rest — answers, scores and
+tie order are bit-identical to the unfiltered path, the win is pure
+I/O.  **Approximate mode** takes LSH candidates only and reports
+measured recall (see ``benchmarks/bench_abl_sketch.py``).
+"""
+
+from repro.sketch.config import (
+    MODES,
+    SKETCH_ENV,
+    resolve_sketch,
+    sketch_override,
+)
+from repro.sketch.index import SKETCH_TAG, SketchIndex, SketchParams
+
+__all__ = [
+    "MODES",
+    "SKETCH_ENV",
+    "SKETCH_TAG",
+    "SketchIndex",
+    "SketchParams",
+    "resolve_sketch",
+    "sketch_override",
+]

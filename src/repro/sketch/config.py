@@ -1,0 +1,68 @@
+"""The ``REPRO_SKETCH`` knob: sketch pre-filtering mode resolution.
+
+Mirrors the kernel/batch knobs (:func:`repro.exec.batch.resolve_batch`):
+an explicit argument wins over a process-local override
+(:func:`sketch_override`) wins over the environment, and a malformed
+value raises a :class:`~repro.core.exceptions.ConfigError` naming the
+variable.  The default is ``off`` — the unfiltered scan, which is
+always the I/O baseline.
+
+Modes
+-----
+``off``
+    No pre-filtering; similarity queries scan and verify every tuple.
+``exact``
+    Sketch lower bounds prune candidates that provably cannot qualify;
+    the survivors are fully verified.  Answers, scores and tie order
+    are bit-identical to ``off`` (differential-tested); the win is
+    pure I/O.  Requires an attached :class:`~repro.sketch.SketchIndex`.
+``approx``
+    MinHash/LSH banding generates the candidate set; only candidates
+    are verified.  Recall is bounded below 1 and measured by
+    ``benchmarks/bench_abl_sketch.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.config import parse_choice_knob, read_env_choice
+
+#: Environment variable selecting the default sketch mode.
+SKETCH_ENV = "REPRO_SKETCH"
+
+#: Valid sketch pre-filtering modes.
+MODES = ("off", "exact", "approx")
+
+#: Process-local override installed by :func:`sketch_override`.
+_OVERRIDE: str | None = None
+
+
+def resolve_sketch(mode: str | None = None) -> str:
+    """The effective sketch mode: explicit arg > override > env > off.
+
+    An unset / empty / ``default`` environment value means ``off`` —
+    the unfiltered scan.  A malformed ``REPRO_SKETCH`` raises a
+    :class:`~repro.core.exceptions.ConfigError` naming the variable.
+    """
+    if mode is not None:
+        return parse_choice_knob(mode, "sketch mode", choices=MODES)
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    value = read_env_choice(
+        SKETCH_ENV, choices=MODES, special={"default": "off"}
+    )
+    return "off" if value is None else value
+
+
+@contextmanager
+def sketch_override(mode: str):
+    """Scope a sketch mode to a block (tests, benches, workers)."""
+    global _OVERRIDE
+    mode = parse_choice_knob(mode, "sketch mode", choices=MODES)
+    previous = _OVERRIDE
+    _OVERRIDE = mode
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous

@@ -1,0 +1,231 @@
+"""The paged sketch store both index families attach.
+
+A :class:`SketchIndex` owns two append-only heap files on the host
+index's disk, both under the page tag :data:`SKETCH_TAG` so sketch
+reads show up under their own key in
+:meth:`~repro.storage.disk.DiskManager.snapshot_tags` — counted,
+CRC-verified, and fault-injectable like every other page:
+
+* the **projection heap** — one fixed-width record per tuple
+  (:func:`repro.sketch.bounds.record_dtype`), scanned per query by
+  exact mode to compute divergence lower bounds;
+* the **signature heap** — one MinHash signature per tuple, read once
+  at attach time to rebuild the in-memory LSH band tables (a catalog,
+  like the tid -> rid directory: query-time lookups are free, the
+  persisted truth still lives in counted pages).
+
+Mutability mirrors the host index: inserts append (the write path the
+WAL replays through), deletes drop the tid from the live set while the
+stale record lingers until the host's ``compact()`` rebuilds the store
+deterministically, and a scan resolves duplicate tids by letting the
+later record win — exactly the heap-scan convention of
+:meth:`ProbabilisticInvertedIndex.load`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.exceptions import QueryError
+from repro.sketch.bounds import QuerySketch, encode_record, record_dtype
+from repro.sketch.minhash import band_keys, minhash_signature
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile
+
+#: Page tag under which every sketch page is allocated and read.
+SKETCH_TAG = "sketch"
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Build-time knobs of a sketch store.
+
+    ``bands`` must divide ``num_perm``; with ``rows = num_perm / bands``
+    per band, a candidate is surfaced when any band's rows all collide,
+    so raising ``bands`` (fewer rows each) raises recall and candidate
+    count together — the axis ``benchmarks/bench_abl_sketch.py`` sweeps.
+    """
+
+    num_perm: int = 32
+    bands: int = 32
+    num_projections: int = 2
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.num_perm < 1:
+            raise QueryError(f"num_perm must be >= 1, got {self.num_perm}")
+        if not 1 <= self.bands <= min(self.num_perm, 255):
+            raise QueryError(
+                f"bands must lie in [1, min(num_perm, 255)], got {self.bands}"
+            )
+        if self.num_perm % self.bands:
+            raise QueryError(
+                f"bands ({self.bands}) must divide num_perm ({self.num_perm})"
+            )
+        if not 1 <= self.num_projections <= 32:
+            raise QueryError(
+                f"num_projections must lie in [1, 32], "
+                f"got {self.num_projections}"
+            )
+
+
+class SketchIndex:
+    """Per-tuple sketches over one uncertain attribute."""
+
+    def __init__(self, pool: BufferPool, params: SketchParams | None = None) -> None:
+        self.params = params if params is not None else SketchParams()
+        self._proj_heap = HeapFile(pool, tag=SKETCH_TAG)
+        self._sig_heap = HeapFile(pool, tag=SKETCH_TAG)
+        self._record_dtype = record_dtype(self.params.num_projections)
+        self._sig_dtype = np.dtype(
+            [("tid", "<u4"), ("sig", "<u4", (self.params.num_perm,))]
+        )
+        self._tids: set[int] = set()
+        self._bands: dict[bytes, set[int]] = {}
+
+    # -- buffering ----------------------------------------------------------
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._proj_heap.pool
+
+    @pool.setter
+    def pool(self, pool: BufferPool) -> None:
+        self._proj_heap.pool = pool
+        self._sig_heap.pool = pool
+
+    # -- maintenance --------------------------------------------------------
+
+    def insert(self, tid: int, items: np.ndarray, probs: np.ndarray) -> None:
+        """Sketch one tuple: append both records, index its bands.
+
+        ``probs`` must be the f32-exact values the host index stores
+        (what verification will score against), so the projection/mass
+        slack of :mod:`repro.sketch.bounds` stays sufficient.
+        """
+        params = self.params
+        self._proj_heap.append(
+            encode_record(tid, items, probs, params.num_projections, params.seed)
+        )
+        signature = minhash_signature(
+            np.asarray(items, dtype=np.int64), params.num_perm, params.seed
+        )
+        record = np.zeros(1, dtype=self._sig_dtype)
+        record["tid"] = tid
+        record["sig"] = signature
+        self._sig_heap.append(record.tobytes())
+        self._index_signature(tid, signature)
+        self._tids.add(tid)
+
+    def delete(self, tid: int) -> None:
+        """Drop a tuple from the live set; its records linger until the
+        host index's next compaction rebuilds the store."""
+        self._tids.discard(tid)
+
+    def _index_signature(self, tid: int, signature: np.ndarray) -> None:
+        for key in band_keys(signature, self.params.bands):
+            self._bands.setdefault(key, set()).add(tid)
+
+    # -- query-time access --------------------------------------------------
+
+    def bounds(self, query) -> tuple[np.ndarray, np.ndarray]:
+        """Scan the projection heap; lower-bound every live tuple.
+
+        ``query`` is a similarity descriptor
+        (:class:`~repro.core.queries.SimilarityThresholdQuery` or
+        :class:`~repro.core.queries.SimilarityTopKQuery`).  Returns
+        ``(tids, lower_bounds)`` in ascending-tid order, deduplicated
+        (last record wins) and restricted to live tuples.  Every page
+        read flows through the pool under :data:`SKETCH_TAG`.
+        """
+        params = self.params
+        sketch = QuerySketch(
+            query.q.items,
+            query.q.probs,
+            query.divergence,
+            params.num_projections,
+            params.seed,
+        )
+        chunks = [record for _, record in self._proj_heap.scan()]
+        if not chunks:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        records = np.frombuffer(b"".join(chunks), dtype=self._record_dtype)
+        lbs = sketch.lower_bounds(records)
+        tids = records["tid"].astype(np.int64)
+        latest: dict[int, int] = {}
+        for row, tid in enumerate(tids.tolist()):
+            if tid in self._tids:
+                latest[tid] = row
+        ordered = sorted(latest)
+        rows = np.fromiter(
+            (latest[tid] for tid in ordered), dtype=np.int64, count=len(ordered)
+        )
+        return np.asarray(ordered, dtype=np.int64), lbs[rows]
+
+    def lsh_candidates(self, items: np.ndarray) -> list[int]:
+        """Live tuple ids sharing at least one LSH band with ``items``."""
+        params = self.params
+        signature = minhash_signature(
+            np.asarray(items, dtype=np.int64), params.num_perm, params.seed
+        )
+        found: set[int] = set()
+        for key in band_keys(signature, params.bands):
+            found.update(self._bands.get(key, ()))
+        return sorted(found & self._tids)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self._tids)
+
+    def page_ids(self) -> list[int]:
+        """Projection-heap page ids (the pages exact mode scans)."""
+        return list(self._proj_heap.state()["page_ids"])
+
+    # -- persistence --------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-serializable attachment state (catalog only; the records
+        themselves live in the disk image)."""
+        return {
+            "params": asdict(self.params),
+            "proj_heap": self._proj_heap.state(),
+            "sig_heap": self._sig_heap.state(),
+        }
+
+    @classmethod
+    def attach(
+        cls, pool: BufferPool, state: dict, live_tids: set[int]
+    ) -> "SketchIndex":
+        """Re-attach a persisted sketch store.
+
+        The band tables are rebuilt by scanning the signature heap
+        through ``pool`` (counted attach-time reads, so a damaged
+        signature page fails the CRC here rather than serving wrong
+        candidates later).  ``live_tids`` comes from the host index's
+        directory; lingering records of deleted tuples are skipped.
+        """
+        sketch = cls(pool, SketchParams(**state["params"]))
+        sketch._proj_heap = HeapFile.attach(
+            pool, state["proj_heap"], tag=SKETCH_TAG
+        )
+        sketch._sig_heap = HeapFile.attach(
+            pool, state["sig_heap"], tag=SKETCH_TAG
+        )
+        sketch._tids = set(live_tids)
+        for _, record in sketch._sig_heap.scan():
+            decoded = np.frombuffer(record, dtype=sketch._sig_dtype)[0]
+            tid = int(decoded["tid"])
+            if tid in sketch._tids:
+                sketch._index_signature(tid, decoded["sig"])
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchIndex(tuples={self.num_tuples}, "
+            f"pages={self._proj_heap.num_pages + self._sig_heap.num_pages}, "
+            f"bands={self.params.bands}/{self.params.num_perm})"
+        )

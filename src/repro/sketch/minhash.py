@@ -1,0 +1,123 @@
+"""Deterministic hashing primitives for the sketch subsystem.
+
+Everything here is a pure function of ``(seed, input)`` built on a
+vectorized splitmix64 finalizer — **never** Python's salted ``hash``
+— because sharded deployments rebuild sketches independently in worker
+processes (:func:`repro.shard.index.build_shard_index`) and the band
+tables must agree across processes and runs.
+
+Three derived families share the one mixer, each under its own seed
+stream:
+
+* **support fingerprint** — a 64-bit Bloom filter (one hash) of the
+  UDA's support set.  A *clear* bit is a certificate that the tuple
+  stores probability exactly 0 for every query item hashing to it;
+  that certificate is what makes the divergence lower bounds of
+  :mod:`repro.sketch.bounds` sound.
+* **signed projections** — Rademacher ±1 signs per (projection, item),
+  giving the Hölder bound ``|<r, q - v>| <= ||q - v||_1``.
+* **MinHash** — ``num_perm`` independent 32-bit min-hashes over the
+  support set, banded for LSH candidate generation (the
+  datasketch-style production framing; see SNIPPETS.md §1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+#: Seed-stream offsets so the fingerprint, projection, and MinHash
+#: families draw from disjoint hash streams under one user seed.
+_STREAM_FINGERPRINT = np.uint64(0x0F1A9E5D)
+_STREAM_PROJECTION = np.uint64(0x51A7C0DE)
+_STREAM_MINHASH = np.uint64(0xB10C8A5E)
+
+
+def mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array."""
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64, copy=True) + _SPLITMIX_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _MIX_1
+        z = (z ^ (z >> np.uint64(27))) * _MIX_2
+        return z ^ (z >> np.uint64(31))
+
+
+def _keyed(items: np.ndarray, stream: np.uint64, seed: int) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        key = np.uint64(seed) * _SPLITMIX_GAMMA + stream
+        return mix64(items.astype(np.uint64) ^ key)
+
+
+def fingerprint_bits(items: np.ndarray, seed: int) -> np.ndarray:
+    """Per-item 64-bit one-hot masks (uint64), one bit per item hash."""
+    bits = _keyed(items, _STREAM_FINGERPRINT, seed) & np.uint64(63)
+    return np.left_shift(np.uint64(1), bits)
+
+
+def fingerprint(items: np.ndarray, seed: int) -> int:
+    """The support fingerprint: OR of every item's one-hot mask."""
+    if len(items) == 0:
+        return 0
+    return int(np.bitwise_or.reduce(fingerprint_bits(items, seed)))
+
+
+def projection_signs(
+    items: np.ndarray, num_projections: int, seed: int
+) -> np.ndarray:
+    """Rademacher ±1 signs, shape ``(num_projections, len(items))``.
+
+    Sign ``j`` of item ``i`` is bit ``j`` of the item's keyed hash, so
+    up to 64 projections share one mix per item.
+    """
+    hashed = _keyed(items, _STREAM_PROJECTION, seed)
+    shifts = np.arange(num_projections, dtype=np.uint64)[:, None]
+    bits = (hashed[None, :] >> shifts) & np.uint64(1)
+    return bits.astype(np.float64) * 2.0 - 1.0
+
+
+def project(
+    items: np.ndarray,
+    probs: np.ndarray,
+    num_projections: int,
+    seed: int,
+) -> np.ndarray:
+    """Signed-projection coordinates ``s_j = sum_i sign_j(i) * p_i``."""
+    if len(items) == 0:
+        return np.zeros(num_projections)
+    signs = projection_signs(items, num_projections, seed)
+    return signs @ np.asarray(probs, dtype=np.float64)
+
+
+def minhash_signature(
+    items: np.ndarray, num_perm: int, seed: int
+) -> np.ndarray:
+    """MinHash signature (uint32, length ``num_perm``) of a support set.
+
+    Permutation ``j`` hashes every item under its own derived key and
+    keeps the minimum; an empty support yields the all-ones signature
+    (which collides only with other empty supports).
+    """
+    if len(items) == 0:
+        return np.full(num_perm, 0xFFFFFFFF, dtype=np.uint32)
+    with np.errstate(over="ignore"):
+        perm_keys = mix64(
+            np.arange(num_perm, dtype=np.uint64)
+            + np.uint64(seed) * _SPLITMIX_GAMMA
+            + _STREAM_MINHASH
+        )
+        hashed = mix64(
+            items.astype(np.uint64)[None, :] ^ perm_keys[:, None]
+        )
+    return (hashed >> np.uint64(32)).min(axis=1).astype(np.uint32)
+
+
+def band_keys(signature: np.ndarray, bands: int) -> list[bytes]:
+    """Split a signature into ``bands`` row-groups, one hashable key each."""
+    rows = len(signature) // bands
+    return [
+        bytes([band]) + signature[band * rows : (band + 1) * rows].tobytes()
+        for band in range(bands)
+    ]

@@ -1,0 +1,195 @@
+"""Similarity execution over the inverted index's tuple list.
+
+The inverted index's posting lists give no leverage on divergence
+queries (Lemma 1 is an equality bound), so similarity execution is a
+scan over the tuple list — historically refused outright.  This module
+adds that scan in the three sketch modes:
+
+``off``
+    Fetch and exactly score every live tuple in ascending-tid order —
+    the unfiltered baseline whose answers define correctness.
+``exact``
+    Read the projection-sketch pages (tag ``"sketch"``), lower-bound
+    every tuple, and fetch/verify only tuples whose bound does not
+    *strictly* exceed the cutoff (the DSTQ threshold, or the running
+    k-th distance for top-k).  Because a pruned tuple's true divergence
+    is provably above the cutoff and survivors are scored by the very
+    same kernel as ``off``, answers, scores, and tie order are
+    bit-identical; only the physical reads drop.
+``approx``
+    Verify only the MinHash/LSH band candidates.  Misses are possible
+    (bounded recall, measured in ``benchmarks/bench_abl_sketch.py``);
+    every *reported* match is still exactly verified.
+
+Top-k additionally honors ``div_ceiling`` — the shard coordinator's
+global k-th divergence (the dual of ``tau_floor``): any tuple whose
+bound strictly exceeds the ceiling may be omitted, since the
+coordinator's merge could never keep it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.exceptions import QueryError
+from repro.core.queries import SimilarityThresholdQuery, SimilarityTopKQuery
+from repro.core.results import Match, QueryResult, QueryStats
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS
+
+#: Stop reason reported by every similarity scan, sketch-assisted or
+#: not: the (possibly pre-filtered) scan ran to its sound completion.
+#: Shared across modes so the exact-vs-off differential suite can
+#: assert identical stop reasons.
+STOP_SCAN_COMPLETE = "scan_complete"
+
+#: Error raised when a sketch mode runs without an attached sketch.
+NO_SKETCH_ERROR = (
+    "sketch mode {mode!r} requires an attached sketch store; build one "
+    "with build_sketch() (and persist/reload it with the index)"
+)
+
+
+def similarity_execute(index, query, mode: str, div_ceiling: float | None):
+    """Answer a similarity descriptor against an inverted index.
+
+    ``index`` duck-types :class:`ProbabilisticInvertedIndex`
+    (``live_tids``, ``fetch_uda_arrays``, ``sketch``); ``mode`` is an
+    already-resolved sketch mode.
+    """
+    if mode != "off" and index.sketch is None:
+        raise QueryError(NO_SKETCH_ERROR.format(mode=mode))
+    if isinstance(query, SimilarityThresholdQuery):
+        return _threshold(index, query, mode)
+    if isinstance(query, SimilarityTopKQuery):
+        return _top_k(index, query, mode, div_ceiling)
+    raise QueryError(
+        f"similarity scan cannot answer {type(query).__name__}"
+    )
+
+
+def _verify(index, query, tid: int, stats: QueryStats, sketched: bool) -> float:
+    """One exact verification: fetch the tuple, score it precisely."""
+    stats.random_accesses += 1
+    stats.candidates_examined += 1
+    items, probs = index.fetch_uda_arrays(tid)
+    if sketched:
+        emit_verify(tid)
+    return query.distance_arrays(items, probs)
+
+
+def emit_probe(mode: str, divergence: str, total: int) -> None:
+    """One ``sketch.probe`` record/counter per sketch-assisted query."""
+    METRICS.inc("sketch.probe")
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event(
+            "sketch.probe", mode=mode, divergence=divergence, tuples=total
+        )
+
+
+def emit_prune(pruned: int, candidates: int) -> None:
+    """One ``sketch.prune`` record/counter per pre-filtering decision."""
+    METRICS.inc("sketch.prune", pruned)
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event("sketch.prune", pruned=pruned, candidates=candidates)
+
+
+def emit_verify(tid: int) -> None:
+    """One ``sketch.verify`` record/counter per surviving candidate."""
+    METRICS.inc("sketch.verify")
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        tracer.event("sketch.verify", tid=tid)
+
+
+def _candidates(index, query, mode: str, stats: QueryStats):
+    """The (tid, bound) stream each mode feeds the verification loop.
+
+    Returns ``(tids, bounds)`` where ``bounds`` is ``None`` for modes
+    without usable lower bounds (``off``, ``approx``).
+    """
+    if mode == "off":
+        return index.live_tids(), None
+    total = index.sketch.num_tuples
+    emit_probe(mode, query.divergence, total)
+    if mode == "approx":
+        tids = index.sketch.lsh_candidates(query.q.items)
+        emit_prune(total - len(tids), len(tids))
+        return tids, None
+    tids, bounds = index.sketch.bounds(query)
+    stats.entries_scanned += len(tids)
+    return tids, bounds
+
+
+def _threshold(index, query: SimilarityThresholdQuery, mode: str) -> QueryResult:
+    stats = QueryStats()
+    tids, bounds = _candidates(index, query, mode, stats)
+    if bounds is not None:
+        keep = bounds <= query.threshold  # prune only on a strict excess
+        emit_prune(int(len(tids) - keep.sum()), int(keep.sum()))
+        tids = tids[keep].tolist()
+    matches = []
+    sketched = mode != "off"
+    for tid in tids:
+        distance = _verify(index, query, int(tid), stats, sketched)
+        if distance <= query.threshold:
+            matches.append(Match(tid=int(tid), score=-distance))
+    stats.stop_reason = STOP_SCAN_COMPLETE
+    return QueryResult(matches, stats)
+
+
+def _top_k(
+    index,
+    query: SimilarityTopKQuery,
+    mode: str,
+    div_ceiling: float | None,
+) -> QueryResult:
+    stats = QueryStats()
+    tids, bounds = _candidates(index, query, mode, stats)
+    k = query.k
+    ceiling = math.inf if div_ceiling is None else div_ceiling
+    #: Max-heap (by (distance, tid)) of the k best candidates so far;
+    #: the root is the current k-th answer, i.e. the pruning cutoff.
+    worst_first: list[tuple[float, int]] = []
+    sketched = mode != "off"
+    if bounds is None:
+        for tid in tids:
+            distance = _verify(index, query, int(tid), stats, sketched)
+            _push(worst_first, k, distance, int(tid))
+    else:
+        # Ascending-bound order lets the loop stop as soon as a bound
+        # strictly exceeds the running k-th distance: every later tuple
+        # has distance >= bound > tau_k and cannot displace even a tied
+        # answer (ties break strictly on (distance, tid)).
+        order = bounds.argsort(kind="stable")
+        verified = 0
+        for position in order.tolist():
+            bound = float(bounds[position])
+            if bound > ceiling:
+                break
+            if len(worst_first) >= k and bound > -worst_first[0][0]:
+                break
+            distance = _verify(
+                index, query, int(tids[position]), stats, sketched
+            )
+            _push(worst_first, k, distance, int(tids[position]))
+            verified += 1
+        emit_prune(len(tids) - verified, verified)
+    # Heap entries are (-distance, -tid): the first element already *is*
+    # the Match score, the second only needs its sign restored.
+    matches = [Match(tid=-neg_tid, score=neg_dist)
+               for neg_dist, neg_tid in worst_first]
+    stats.stop_reason = STOP_SCAN_COMPLETE
+    return QueryResult(sorted(matches)[:k], stats)
+
+
+def _push(worst_first: list, k: int, distance: float, tid: int) -> None:
+    """Keep the k smallest (distance, tid) pairs in a negated min-heap."""
+    entry = (-distance, -tid)
+    if len(worst_first) < k:
+        heapq.heappush(worst_first, entry)
+    elif entry > worst_first[0]:
+        heapq.heapreplace(worst_first, entry)

@@ -177,6 +177,35 @@ def test_compare_refuses_cross_shard_count_diff(tmp_path):
     assert len(problems) == 1 and "transport" in problems[0]
 
 
+def test_compare_refuses_cross_sketch_diff(tmp_path):
+    """Sketch pre-filtering changes which pages a similarity run reads
+    (exact mode legally reads *fewer*); a diff across sketch modes must
+    be refused, while legacy dirs that predate the key stay
+    comparable."""
+    compare_io = _load_compare_io()
+    assert "sketch" in compare_io.PROTOCOL_KEYS
+    payload = {"series": {"s": [{f: 0 for f in
+                                 compare_io.DETERMINISTIC_FIELDS}]}}
+    dirs = {}
+    for sketch in ("off", "exact"):
+        d = tmp_path / sketch
+        d.mkdir()
+        (d / "BENCH_summary.json").write_text(
+            json.dumps({"mode": "measure", "sketch": sketch})
+        )
+        (d / "BENCH_point.json").write_text(json.dumps(payload))
+        dirs[sketch] = d
+    problems = compare_io.compare_dirs(dirs["off"], dirs["exact"])
+    assert len(problems) == 1 and "sketch" in problems[0]
+    assert compare_io.compare_dirs(dirs["exact"], dirs["exact"]) == []
+    # Dirs from before the sketch era carry no key and compare fine.
+    legacy = tmp_path / "legacy"
+    legacy.mkdir()
+    (legacy / "BENCH_summary.json").write_text(json.dumps({"mode": "measure"}))
+    (legacy / "BENCH_point.json").write_text(json.dumps(payload))
+    assert compare_io.compare_dirs(legacy, dirs["off"]) == []
+
+
 @pytest.mark.parametrize("name", ["fig10"])
 def test_golden_reproduces_under_mmap_backend(tmp_path, name):
     """The differential property at golden granularity: the same pinned

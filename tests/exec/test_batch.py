@@ -240,9 +240,12 @@ class TestPinHygiene:
         assert index.pool.pinned_page_ids() == []
 
     def test_pins_released_on_mid_batch_exception(self, relation, index):
-        # A similarity query makes the inverted index raise *after* the
-        # shared-list prefetch has pinned pages; the finally block must
-        # still release every pin.
+        # A sketch-mode similarity query against a sketch-less index
+        # makes the inverted index raise *after* the shared-list
+        # prefetch has pinned pages; the finally block must still
+        # release every pin.
+        from repro.sketch import sketch_override
+
         shared = random_query(len(relation.domain), seed=1300)
         queries = [
             EqualityThresholdQuery(shared, 0.05),
@@ -255,7 +258,7 @@ class TestPinHygiene:
             pool_size=POOL_SIZE,
             batch_size=3,
         )
-        with pytest.raises(QueryError):
+        with sketch_override("exact"), pytest.raises(QueryError):
             executor.run(queries)
         assert index.pool.pinned_page_ids() == []
 

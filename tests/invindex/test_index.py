@@ -119,10 +119,15 @@ class TestExecuteDispatch:
         with pytest.raises(QueryError):
             index.execute(EqualityThresholdQuery(q, 0.5), strategy="magic")
 
-    def test_similarity_query_rejected(self, index, relation):
+    def test_similarity_query_answered_by_scan(self, index, relation):
+        # Historically refused outright; the similarity scan engine
+        # (repro.sketch.search) now answers it, sketch or no sketch.
         q = relation.uda_of(0)
-        with pytest.raises(QueryError):
-            index.execute(SimilarityThresholdQuery(q, 0.5))
+        result = index.execute(SimilarityThresholdQuery(q, 0.5))
+        naive = relation.execute(SimilarityThresholdQuery(q, 0.5))
+        assert [(m.tid, m.score) for m in result.matches] == [
+            (m.tid, m.score) for m in naive.matches
+        ]
 
 
 class TestIOAccounting:

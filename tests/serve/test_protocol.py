@@ -139,6 +139,73 @@ def test_request_tau_floor_rejected_on_mutation():
         parse_request(message)
 
 
+def test_request_sketch_roundtrips_on_similarity():
+    # simtq and simtopk both accept the override; absent means "defer
+    # to the server's resolved REPRO_SKETCH mode".
+    for example in (EXAMPLES[4], EXAMPLES[5]):
+        wire = query_to_wire(example)
+        for mode in ("off", "exact", "approx"):
+            request = parse_request(
+                decode_line(encode_line({"id": 1, "sketch": mode, **wire}))
+            )
+            assert request.sketch == mode
+        assert parse_request({"id": 2, **wire}).sketch is None
+
+
+def test_request_div_ceiling_roundtrips_on_simtopk():
+    wire = query_to_wire(EXAMPLES[5])
+    request = parse_request(
+        decode_line(encode_line({"id": 1, "div_ceiling": 0.625, **wire}))
+    )
+    assert request.div_ceiling == 0.625
+    assert parse_request({"id": 2, **wire}).div_ceiling is None
+    # Zero is a legal ceiling ("nothing can beat the heap").
+    assert parse_request(
+        {"id": 3, "div_ceiling": 0, **wire}
+    ).div_ceiling == 0.0
+
+
+def test_request_sketch_value_validated():
+    message = {"id": 1, "sketch": "sorta", **query_to_wire(EXAMPLES[4])}
+    with pytest.raises(ProtocolError, match="'sketch'"):
+        parse_request(message)
+
+
+def test_request_sketch_rejected_off_similarity():
+    # Equality kinds never take the sketch override, valid value or not.
+    for example in (EXAMPLES[0], EXAMPLES[1], EXAMPLES[2], EXAMPLES[3]):
+        message = {"id": 1, "sketch": "exact", **query_to_wire(example)}
+        with pytest.raises(
+            ProtocolError, match="only applies to similarity"
+        ):
+            parse_request(message)
+
+
+def test_request_div_ceiling_rejected_off_simtopk():
+    # Similarity thresholds and every equality kind refuse the ceiling.
+    for example in (EXAMPLES[2], EXAMPLES[4]):
+        message = {"id": 1, "div_ceiling": 0.5, **query_to_wire(example)}
+        with pytest.raises(
+            ProtocolError, match="only applies to simtopk"
+        ):
+            parse_request(message)
+
+
+def test_request_div_ceiling_must_be_non_negative_number():
+    wire = query_to_wire(EXAMPLES[5])
+    for bad in (-0.5, True, "low"):
+        message = {"id": 1, "div_ceiling": bad, **wire}
+        with pytest.raises(ProtocolError, match="div_ceiling"):
+            parse_request(message)
+
+
+def test_request_sketch_fields_rejected_on_mutation():
+    for extra in ({"sketch": "exact"}, {"div_ceiling": 0.5}):
+        message = {"id": 1, "mutate": "compact", **extra}
+        with pytest.raises(ProtocolError, match="not valid on a mutation"):
+            parse_request(message)
+
+
 def test_decode_line_rejects_non_json():
     with pytest.raises(ProtocolError, match="not valid JSON"):
         decode_line(b"{nope\n")

@@ -28,7 +28,15 @@ class SheddingTransport:
     def num_shards(self):
         return self.inner.num_shards
 
-    def probe_many(self, shard_ids, query, tau_floor=0.0, deadline_ms=None):
+    def probe_many(
+        self,
+        shard_ids,
+        query,
+        tau_floor=0.0,
+        deadline_ms=None,
+        sketch=None,
+        div_ceiling=None,
+    ):
         probes = []
         for shard in shard_ids:
             if deadline_ms is not None and shard not in self.attempted:
@@ -37,7 +45,15 @@ class SheddingTransport:
                     ShardProbe(shard=shard, matches=[], timed_out=True)
                 )
             else:
-                probes.append(self.inner.probe(shard, query, tau_floor))
+                probes.append(
+                    self.inner.probe(
+                        shard,
+                        query,
+                        tau_floor,
+                        sketch=sketch,
+                        div_ceiling=div_ceiling,
+                    )
+                )
         return probes
 
 

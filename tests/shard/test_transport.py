@@ -54,7 +54,15 @@ class FlakyTransport:
     def num_shards(self):
         return self.inner.num_shards
 
-    def probe_many(self, shard_ids, query, tau_floor=0.0, deadline_ms=None):
+    def probe_many(
+        self,
+        shard_ids,
+        query,
+        tau_floor=0.0,
+        deadline_ms=None,
+        sketch=None,
+        div_ceiling=None,
+    ):
         probes = []
         for shard in shard_ids:
             first = shard not in self.attempted
@@ -66,7 +74,14 @@ class FlakyTransport:
                 )
             else:
                 probes.append(
-                    self.inner.probe(shard, query, tau_floor, None)
+                    self.inner.probe(
+                        shard,
+                        query,
+                        tau_floor,
+                        None,
+                        sketch=sketch,
+                        div_ceiling=div_ceiling,
+                    )
                 )
         return probes
 

@@ -1,0 +1,43 @@
+"""Shared fixtures for the sketch pre-filtering suite."""
+
+import pytest
+
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.pdrtree import PDRTree
+
+from tests.invindex.conftest import random_relation
+
+POOL_SIZE = 100
+
+
+@pytest.fixture(scope="package")
+def relation():
+    # Wider domain / sparser supports than the equality suites: support
+    # sets must genuinely differ across tuples for a support-based
+    # pre-filter to have anything to key on.
+    return random_relation(300, 40, seed=11)
+
+
+@pytest.fixture(scope="package")
+def inverted(relation):
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    index.build_sketch()
+    return index
+
+
+@pytest.fixture(scope="package")
+def pdr(relation):
+    tree = PDRTree(len(relation.domain))
+    tree.build(relation)
+    tree.build_sketch()
+    return tree
+
+
+def full_key(result):
+    """Everything the exactness claim covers: answers, scores, tie
+    order, and the stop reason."""
+    return (
+        [(m.tid, m.score) for m in result.matches],
+        result.stats.stop_reason,
+    )

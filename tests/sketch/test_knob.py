@@ -1,0 +1,81 @@
+"""The ``REPRO_SKETCH`` knob: resolution order and guard rails."""
+
+import pytest
+
+from repro.core import EqualityThresholdQuery, EqualityTopKQuery
+from repro.core.exceptions import ConfigError, QueryError
+from repro.invindex import ProbabilisticInvertedIndex
+from repro.sketch import MODES, SKETCH_ENV, resolve_sketch, sketch_override
+
+from tests.invindex.conftest import random_query, random_relation
+from tests.sketch.conftest import full_key
+
+
+def test_default_is_off(monkeypatch):
+    monkeypatch.delenv(SKETCH_ENV, raising=False)
+    assert resolve_sketch() == "off"
+
+
+def test_env_is_honoured(monkeypatch):
+    for mode in MODES:
+        monkeypatch.setenv(SKETCH_ENV, mode)
+        assert resolve_sketch() == mode
+    monkeypatch.setenv(SKETCH_ENV, "default")
+    assert resolve_sketch() == "off"
+
+
+def test_override_beats_env_and_arg_beats_override(monkeypatch):
+    monkeypatch.setenv(SKETCH_ENV, "approx")
+    with sketch_override("exact"):
+        assert resolve_sketch() == "exact"
+        assert resolve_sketch("off") == "off"
+    assert resolve_sketch() == "approx"
+
+
+def test_malformed_values_raise(monkeypatch):
+    monkeypatch.setenv(SKETCH_ENV, "sorta")
+    with pytest.raises(ConfigError):
+        resolve_sketch()
+    monkeypatch.delenv(SKETCH_ENV)
+    with pytest.raises(ConfigError):
+        resolve_sketch("sorta")
+    with pytest.raises(ConfigError):
+        with sketch_override("sorta"):
+            pass
+
+
+@pytest.fixture(scope="module")
+def bare_index():
+    """An index with NO sketch store attached."""
+    relation = random_relation(60, 30, seed=53)
+    index = ProbabilisticInvertedIndex(len(relation.domain))
+    index.build(relation)
+    return index
+
+
+def test_sketch_modes_require_a_sketch_store(bare_index):
+    from repro.core import SimilarityThresholdQuery
+
+    query = SimilarityThresholdQuery(random_query(30, seed=1), 0.5, "l1")
+    for mode in ("exact", "approx"):
+        with pytest.raises(QueryError, match="sketch"):
+            bare_index.execute(query, sketch=mode)
+    # off still answers without one.
+    assert full_key(bare_index.execute(query, sketch="off"))
+
+
+def test_sketch_kwarg_rejected_on_equality_queries(bare_index):
+    query = EqualityThresholdQuery(random_query(30, seed=2), 0.1)
+    with pytest.raises(QueryError, match="similarity"):
+        bare_index.execute(query, sketch="exact")
+
+
+def test_div_ceiling_rejected_off_similarity_topk(bare_index):
+    query = EqualityTopKQuery(random_query(30, seed=3), 4)
+    with pytest.raises(QueryError, match="div_ceiling"):
+        bare_index.execute(query, div_ceiling=0.5)
+    from repro.core import SimilarityTopKQuery
+
+    sim = SimilarityTopKQuery(random_query(30, seed=4), 4)
+    with pytest.raises(QueryError, match="div_ceiling"):
+        bare_index.execute(sim, sketch="off", div_ceiling=-1.0)

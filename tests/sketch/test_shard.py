@@ -1,0 +1,107 @@
+"""Scatter-gather similarity: the div_ceiling round protocol is exact.
+
+Similarity top-k over shards is only admitted under exact sketch mode
+(sound per-shard lower bounds are what make the ceiling protocol
+correct); the merged answer must then be bit-identical to the
+single-node run at every fanout.  Similarity thresholds scatter as a
+plain fan-out in any mode.
+"""
+
+import pytest
+
+from repro.core import SimilarityThresholdQuery, SimilarityTopKQuery
+from repro.core.exceptions import QueryError
+from repro.shard import LocalTransport, ShardCoordinator, ShardedIndex
+from repro.sketch import SketchParams, sketch_override
+from repro.storage import BufferPool
+
+from tests.invindex.conftest import random_query
+from tests.sketch.conftest import POOL_SIZE, full_key
+
+
+def _coordinator(relation, num_shards, family, fanout=None):
+    sharded = ShardedIndex.build(
+        relation,
+        num_shards,
+        family=family,
+        sketch_params=SketchParams(),
+    )
+    return ShardCoordinator(
+        LocalTransport(sharded, pool_size=POOL_SIZE), fanout=fanout
+    )
+
+
+def _single(index, query, mode):
+    index.pool = BufferPool(index.disk, POOL_SIZE)
+    return full_key(index.execute(query, sketch=mode))
+
+
+def _queries(kind, count=6):
+    out = []
+    for i in range(count):
+        q = random_query(40, seed=700 + i)
+        divergence = ("l1", "l2", "kl")[i % 3]
+        if kind == "topk":
+            out.append(SimilarityTopKQuery(q, 1 + i % 7, divergence))
+        else:
+            out.append(
+                SimilarityThresholdQuery(q, 0.4 + 0.2 * (i % 3), divergence)
+            )
+    return out
+
+
+def test_similarity_topk_requires_exact_mode(relation):
+    coordinator = _coordinator(relation, 2, "inverted")
+    query = SimilarityTopKQuery(random_query(40, seed=5), 3)
+    for mode in ("off", "approx"):
+        with sketch_override(mode):
+            with pytest.raises(QueryError, match="REPRO_SKETCH=exact"):
+                coordinator.execute(query)
+
+
+@pytest.mark.parametrize("family", ("inverted", "pdr"))
+@pytest.mark.parametrize("num_shards,fanout", ((1, None), (3, 1), (3, 3)))
+def test_sharded_similarity_topk_matches_single_node(
+    relation, inverted, family, num_shards, fanout
+):
+    coordinator = _coordinator(relation, num_shards, family, fanout=fanout)
+    with sketch_override("exact"):
+        for query in _queries("topk"):
+            sharded = coordinator.execute(query)
+            matches = [(m.tid, m.score) for m in sharded.matches]
+            single, _ = _single(inverted, query, "exact")
+            assert matches == single
+            # Rounds follow the fanout schedule.
+            if num_shards > 1 and fanout == 1:
+                assert sharded.rounds == num_shards
+
+
+@pytest.mark.parametrize("mode", ("off", "exact"))
+def test_sharded_similarity_threshold_matches_single_node(
+    relation, inverted, mode
+):
+    coordinator = _coordinator(relation, 3, "inverted")
+    with sketch_override(mode):
+        for query in _queries("threshold"):
+            sharded = coordinator.execute(query)
+            matches = [(m.tid, m.score) for m in sharded.matches]
+            single, _ = _single(inverted, query, mode)
+            assert matches == single
+
+
+def test_div_ceiling_appears_in_schema_valid_trace(relation):
+    from repro.obs.schema import validate_records
+    from repro.obs.trace import MemorySink, Tracer, tracing
+
+    coordinator = _coordinator(relation, 3, "inverted", fanout=1)
+    query = SimilarityTopKQuery(random_query(40, seed=9), 2, "l1")
+    sink = MemorySink()
+    with sketch_override("exact"), tracing(Tracer(sink)):
+        coordinator.execute(query)
+    validate_records(sink.records)
+    rounds = sink.of_kind("shard.round")
+    assert len(rounds) == 3
+    # Once the heap holds k matches, later rounds carry the ceiling.
+    assert any("div_ceiling" in r for r in rounds[1:])
+    # The shards' sketch pre-filtering is visible too.
+    assert sink.count("sketch.probe") >= 1
